@@ -1,0 +1,1 @@
+bench/budget.ml: Ixp List Report Router

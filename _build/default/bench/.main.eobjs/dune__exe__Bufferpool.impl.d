@@ -1,0 +1,1 @@
+bench/bufferpool.ml: Array Iproute Ixp Packet Printf Report Router Sim Workload

@@ -1,0 +1,1 @@
+bench/cluster_bench.ml: Cluster Packet Printf Report Router Sim Workload

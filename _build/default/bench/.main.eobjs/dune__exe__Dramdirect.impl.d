@@ -1,0 +1,1 @@
+bench/dramdirect.ml: Report Router

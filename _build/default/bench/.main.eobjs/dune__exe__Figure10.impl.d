@@ -1,0 +1,1 @@
+bench/figure10.ml: Float List Report Router Sim

@@ -1,0 +1,1 @@
+bench/figure7.ml: List Report Router Sim

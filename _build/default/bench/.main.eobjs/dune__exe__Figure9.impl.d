@@ -1,0 +1,1 @@
+bench/figure9.ml: List Printf Report Router Sim

@@ -1,0 +1,1 @@
+bench/framesize.ml: List Packet Report Router Sim

@@ -1,0 +1,1 @@
+bench/linerate.ml: Array Iproute List Packet Printf Report Router Sim Workload

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance Iproute Ixp List Measure Packet Report Router Sim Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/mpls_bench.ml: Report Router

@@ -1,0 +1,1 @@
+bench/report.mli: Format Sim

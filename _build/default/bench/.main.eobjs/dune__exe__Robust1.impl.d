@@ -1,0 +1,1 @@
+bench/robust1.ml: Array Forwarders Iproute Ixp List Packet Printf Report Router Sim String Workload

@@ -1,0 +1,1 @@
+bench/robust2.ml: Float List Report Router Sim

@@ -1,0 +1,1 @@
+bench/routing_bench.ml: Control Iproute List Packet Printf Report Router Sim String Workload

@@ -1,0 +1,1 @@
+bench/strongarm_bench.ml: Iproute List Packet Printf Report Router Sim String Workload

@@ -1,0 +1,1 @@
+bench/table1.ml: Report Router

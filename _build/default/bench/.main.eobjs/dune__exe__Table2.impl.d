@@ -1,0 +1,1 @@
+bench/table2.ml: Int64 Iproute Packet Report Router Sim

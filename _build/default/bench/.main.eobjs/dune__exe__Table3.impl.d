@@ -1,0 +1,1 @@
+bench/table3.ml: Int64 Ixp List Printf Report Sim

@@ -1,0 +1,1 @@
+bench/table4.ml: Array Int64 Iproute Ixp Packet Report Router Sim

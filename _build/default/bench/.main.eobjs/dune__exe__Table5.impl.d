@@ -1,0 +1,1 @@
+bench/table5.ml: Forwarders Ixp List Report Router

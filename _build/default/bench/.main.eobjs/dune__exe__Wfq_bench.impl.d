@@ -1,0 +1,1 @@
+bench/wfq_bench.ml: Array Int64 Ixp List Packet Printf Report Router Sim Workload

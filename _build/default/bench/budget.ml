@@ -1,0 +1,50 @@
+(* Section 4.3: the VRP characterization for the prototype configuration
+   (8 x 100 Mbps = 1.128 Mpps): 240 cycles, 24 SRAM transfers, 3 hashes,
+   96 bytes of flow state, 650 ISTORE slots per 64-byte MP.  We derive the
+   same budget two ways: analytically (the capacity model) and empirically
+   (inverting the simulated Figure 9 curve). *)
+
+open Router.Fixed_infra
+
+let sim_blocks_at ~pps =
+  let sustains blocks =
+    let code =
+      List.concat
+        (List.init blocks (fun _ ->
+             [ Router.Vrp.Instr 10; Router.Vrp.Sram_read 4 ]))
+    in
+    let r = run { default with vrp_blocks = code } in
+    r.out_mpps *. 1e6 >= pps
+  in
+  let rec grow b = if b <= 96 && sustains (b + 4) then grow (b + 4) else b in
+  if sustains 0 then grow 0 else 0
+
+let run () =
+  Report.section "VRP budget for 8 x 100 Mbps (section 4.3)";
+  let paper = Router.Vrp.prototype_budget in
+  Report.info "paper characterization: %a" Router.Vrp.pp_budget paper;
+  let analytic =
+    Router.Capacity.vrp_budget Router.Capacity.default ~contexts:16
+      ~line_rate_pps:1.128e6 ~hashes:3
+  in
+  Report.info "analytic model:        %a" Router.Vrp.pp_budget analytic;
+  let sim_blocks = sim_blocks_at ~pps:1.128e6 in
+  Report.info "simulated (Figure 9 inversion): %d combo blocks = %d cycles + \
+               %d SRAM transfers"
+    sim_blocks (10 * sim_blocks) sim_blocks;
+  Report.row ~unit_:"cyc" ~name:"VRP cycles per MP (analytic)"
+    ~paper:(float_of_int paper.Router.Vrp.b_cycles)
+    ~measured:(float_of_int analytic.Router.Vrp.b_cycles);
+  Report.row ~unit_:"cyc" ~name:"VRP cycles per MP (simulated)"
+    ~paper:(float_of_int paper.Router.Vrp.b_cycles)
+    ~measured:(float_of_int (10 * sim_blocks));
+  Report.row ~unit_:"xfer" ~name:"SRAM transfers per MP (simulated)"
+    ~paper:(float_of_int paper.Router.Vrp.b_sram_transfers)
+    ~measured:(float_of_int sim_blocks);
+  Report.row ~unit_:"B" ~name:"persistent flow state"
+    ~paper:(float_of_int paper.Router.Vrp.b_state_bytes)
+    ~measured:(float_of_int (4 * sim_blocks));
+  Report.row ~unit_:"slot" ~name:"ISTORE slots for extensions" ~paper:650.
+    ~measured:
+      (float_of_int
+         (Ixp.Istore.capacity_vrp (Ixp.Istore.create Ixp.Config.default)))

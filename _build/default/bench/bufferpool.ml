@@ -1,0 +1,65 @@
+(* Ablation: the section 3.2.3 buffer allocator choice.
+
+   The paper's circular pool never blocks the input process — "any given
+   packet buffer remains valid for only one pass though the circular
+   buffer list ... if a packet is not transmitted by the output process
+   before its buffer is reused, the packet is effectively lost."  The
+   rejected alternative, a stack of free buffers, gives backpressure (no
+   silent overwrite) at the cost of an extra synchronization point.
+
+   We provoke the difference: a tiny pool, all traffic aimed at one
+   100 Mbps port offered 4x its line rate.  Circular loses the overrun as
+   stale buffers discovered at transmit time; the stack refuses allocation
+   at the input, and no committed packet is ever lost. *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+let run_mode ~circular =
+  let config =
+    {
+      Router.default_config with
+      Router.hw = { Ixp.Config.default with Ixp.Config.buffer_count = 64 };
+      queue_capacity = 100_000;
+      circular_buffers = circular;
+    }
+  in
+  let r = Router.create ~config () in
+  for p = 0 to 7 do
+    Router.add_route r
+      (Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" p))
+      ~port:p
+  done;
+  Router.start r;
+  let gen = Workload.Mix.udp_fixed ~dst:(addr "10.0.0.1") () in
+  for p = 0 to 3 do
+    ignore
+      (Workload.Source.spawn_constant r.Router.engine
+         ~name:(Printf.sprintf "s%d" p)
+         ~pps:141_000. ~gen
+         ~offer:(fun f -> Router.inject r ~port:p f)
+         ())
+  done;
+  Router.run_for r ~us:10_000.;
+  let c = Sim.Stats.Counter.value in
+  ( c r.Router.delivered.(0),
+    c r.Router.ostats.Router.Output_loop.stale_bufs,
+    c r.Router.istats.Router.Input_loop.enq_drop,
+    Ixp.Buffer_pool.stale_reads r.Router.chip.Ixp.Chip.buffers )
+
+let run () =
+  Report.section "Buffer allocator ablation (section 3.2.3)";
+  let d1, stale1, drops1, _ = run_mode ~circular:true in
+  Report.info
+    "circular (the paper's): delivered %d, lost to buffer reuse %d, input \
+     drops %d"
+    d1 stale1 drops1;
+  let d2, stale2, drops2, _ = run_mode ~circular:false in
+  Report.info
+    "stack pool:             delivered %d, lost to buffer reuse %d, input \
+     drops %d"
+    d2 stale2 drops2;
+  Report.info
+    "same delivered goodput either way (the wire is the limit); the designs \
+     differ in WHERE the overrun dies: silent single-pass reuse vs explicit \
+     allocation failure — the paper prefers the former for its fixed, \
+     predictable timing"

@@ -1,0 +1,27 @@
+(* Section 3.5.1's rejected early design: ports transfer packets directly
+   to/from DRAM, bypassing the FIFOs.  "This forces four memory accesses
+   for each byte of a minimal-sized packet... One of our early
+   implementations used this general strategy, and saturated DRAM while
+   forwarding 2.69 Mpps." We model it by adding the two extra 64-byte DRAM
+   crossings to each packet. *)
+
+open Router.Fixed_infra
+
+let run () =
+  Report.section "DRAM-direct input path (section 3.5.1 ablation)";
+  let baseline = run default in
+  let direct =
+    run
+      {
+        default with
+        vrp_blocks = [ Router.Vrp.Dram_read 64; Router.Vrp.Dram_write 64 ];
+      }
+  in
+  Report.row ~unit_:"Mpps" ~name:"FIFO path (baseline)" ~paper:3.47
+    ~measured:baseline.out_mpps;
+  Report.row ~unit_:"Mpps" ~name:"DRAM-direct path" ~paper:2.69
+    ~measured:direct.out_mpps;
+  Report.info "DRAM channel utilization: baseline %.2f -> direct %.2f"
+    baseline.dram_utilization direct.dram_utilization;
+  Report.info
+    "paper: the direct path saturates DRAM and halves the worst-case rate"

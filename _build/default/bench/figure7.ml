@@ -1,0 +1,56 @@
+(* Figure 7: maximum packet rates achievable by the output and input
+   processes running independently, swept over MicroEngine contexts, using
+   the minimum number of engines per point (the "dent" in the paper's
+   curves comes from that packing). *)
+
+open Router.Fixed_infra
+
+let sweep stage =
+  let series =
+    Sim.Stats.Series.create
+      ~name:
+        (match stage with
+        | Input_only -> "Figure 7 (input only)"
+        | Output_only -> "Figure 7 (output only)"
+        | Both -> "Figure 7 (both)")
+      ~x_label:"contexts" ~y_label:"Mpps"
+  in
+  List.iter
+    (fun n ->
+      let cfg =
+        match stage with
+        | Input_only -> { default with stage; n_input_contexts = n }
+        | Output_only | Both -> { default with stage; n_output_contexts = n }
+      in
+      let r = run cfg in
+      let y = match stage with Input_only -> r.in_mpps | _ -> r.out_mpps in
+      Sim.Stats.Series.add series ~x:(float_of_int n) ~y)
+    [ 1; 2; 4; 8; 12; 16; 20; 24 ];
+  series
+
+let run () =
+  Report.section "Figure 7: rate vs contexts (independent stages)";
+  let input = sweep Input_only in
+  Report.series input;
+  Report.info
+    "paper: input benefits very little beyond 16 contexts (serialized DMA)";
+  let knee =
+    match
+      ( List.assoc_opt 16. (Sim.Stats.Series.points input),
+        List.assoc_opt 24. (Sim.Stats.Series.points input) )
+    with
+    | Some a, Some b when a > 0. -> (b -. a) /. a
+    | _ -> nan
+  in
+  Report.info "measured gain from 16 to 24 input contexts: %+.1f%%"
+    (100. *. knee);
+  let output = sweep Output_only in
+  Report.series output;
+  Report.info "paper: output scales almost perfectly with added engines";
+  match
+    ( List.assoc_opt 8. (Sim.Stats.Series.points output),
+      List.assoc_opt 16. (Sim.Stats.Series.points output) )
+  with
+  | Some a, Some b when a > 0. ->
+      Report.info "measured output scaling 8 -> 16 contexts: x%.2f" (b /. a)
+  | _ -> ()

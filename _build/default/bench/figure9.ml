@@ -1,0 +1,49 @@
+(* Figure 9: number of blocks of VRP code that can run at different line
+   speeds.  Three block flavours: 10 register instructions, one 4-byte
+   SRAM read, or both (the paper's combination block). *)
+
+open Router.Fixed_infra
+
+let block_of = function
+  | `Reg -> [ Router.Vrp.Instr 10 ]
+  | `Sram -> [ Router.Vrp.Sram_read 4 ]
+  | `Combo -> [ Router.Vrp.Instr 10; Router.Vrp.Sram_read 4 ]
+
+let flavour_name = function
+  | `Reg -> "10 register instr"
+  | `Sram -> "4B SRAM read"
+  | `Combo -> "combination"
+
+let rate ~flavour ~blocks =
+  let code = List.concat (List.init blocks (fun _ -> block_of flavour)) in
+  let r = run { default with vrp_blocks = code } in
+  r.out_mpps
+
+let sweep flavour =
+  let s =
+    Sim.Stats.Series.create
+      ~name:(Printf.sprintf "Figure 9 (block = %s)" (flavour_name flavour))
+      ~x_label:"blocks/packet" ~y_label:"Mpps"
+  in
+  List.iter
+    (fun b ->
+      Sim.Stats.Series.add s ~x:(float_of_int b) ~y:(rate ~flavour ~blocks:b))
+    [ 0; 4; 8; 16; 24; 32; 48; 64 ];
+  s
+
+let run () =
+  Report.section "Figure 9: VRP code blocks vs sustainable line speed";
+  List.iter
+    (fun flavour -> Report.series (sweep flavour))
+    [ `Reg; `Sram; `Combo ];
+  Report.info
+    "paper anchor: at 1 Mpps aggregate the VRP affords 32 combination blocks";
+  (* Invert the combo curve at 1 Mpps. *)
+  let rec find_blocks b =
+    if b > 96 then b
+    else if rate ~flavour:`Combo ~blocks:b < 1.0 then b
+    else find_blocks (b + 4)
+  in
+  let b = find_blocks 4 - 4 in
+  Report.row ~unit_:"blk" ~name:"combo blocks sustaining 1 Mpps" ~paper:32.
+    ~measured:(float_of_int b)

@@ -1,0 +1,57 @@
+(* The benchmark harness: one entry per table/figure of the paper's
+   evaluation (see DESIGN.md's experiment index).  With no arguments every
+   reproduction runs in paper order; pass names to select, or "micro" for
+   the Bechamel host-side microbenchmarks. *)
+
+let experiments =
+  [
+    ("table1", "Table 1: queueing discipline rates", Table1.run);
+    ("table2", "Table 2: per-MP operation counts", Table2.run);
+    ("table3", "Table 3: memory latencies", Table3.run);
+    ("table4", "Table 4: Pentium path rates", Table4.run);
+    ("table5", "Table 5: forwarder requirements", Table5.run);
+    ("figure7", "Figure 7: rate vs contexts", Figure7.run);
+    ("figure9", "Figure 9: VRP blocks vs line speed", Figure9.run);
+    ("figure10", "Figure 10: contention reclaimed by VRP", Figure10.run);
+    ("linerate", "Section 3.5.1: 8x100Mbps line rate", Linerate.run);
+    ("strongarm", "Section 3.6: StrongARM rates", Strongarm_bench.run);
+    ("dramdirect", "Section 3.5.1: DRAM-direct ablation", Dramdirect.run);
+    ("budget", "Section 4.3: VRP budget derivation", Budget.run);
+    ("framesize", "Section 3.5.1: frame-size / MP scaling", Framesize.run);
+    ("bufferpool", "Section 3.2.3: circular vs stack buffers", Bufferpool.run);
+    ("robust1", "Section 4.7: Pentium share under full VRP", Robust1.run);
+    ("robust2", "Section 4.7: control-flood isolation", Robust2.run);
+    ("mpls", "Extension: MPLS virtual-circuit fast path", Mpls_bench.run);
+    ("routing", "Extension: route-update storms vs fast path", Routing_bench.run);
+    ("wfq", "Extension: input-side WFQ approximation", Wfq_bench.run);
+    ("cluster", "Extension: four-member cluster (section 6)", Cluster_bench.run);
+  ]
+
+let usage () =
+  print_endline "usage: bench/main.exe [experiment...]";
+  print_endline "experiments:";
+  List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments;
+  print_endline "  micro      Bechamel microbenchmarks of host primitives"
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+      Format.printf
+        "Reproducing Spalink et al., 'Building a Robust Software-Based \
+         Router Using Network Processors' (SOSP 2001)@.";
+      List.iter (fun (_, _, f) -> f ()) experiments
+  | _ :: args ->
+      List.iter
+        (fun a ->
+          match a with
+          | "micro" -> Micro.run ()
+          | "-h" | "--help" -> usage ()
+          | a -> (
+              match List.find_opt (fun (n, _, _) -> n = a) experiments with
+              | Some (_, _, f) -> f ()
+              | None ->
+                  Printf.eprintf "unknown experiment %S\n" a;
+                  usage ();
+                  exit 1))
+        args
+  | [] -> usage ()

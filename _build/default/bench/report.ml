@@ -1,0 +1,15 @@
+(* [row]'s optional unit label is deliberately last: every argument is
+   labelled, so erasure never applies anyway. *)
+[@@@ocaml.warning "-16"]
+
+let section name =
+  Format.printf "@.==== %s ====@." name
+
+let row ?(unit_ = "") ~name ~paper ~measured =
+  let ratio = if paper = 0. then nan else measured /. paper in
+  Format.printf "  %-42s paper %10.3f %-5s measured %10.3f %-5s (x%.2f)@."
+    name paper unit_ measured unit_ ratio
+
+let info fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+let series s = Format.printf "%a@." Sim.Stats.Series.pp s

@@ -1,0 +1,13 @@
+(** Uniform paper-vs-measured reporting for the benchmark harness. *)
+
+val section : string -> unit
+(** Print a banner. *)
+
+val row : ?unit_:string -> name:string -> paper:float -> measured:float -> unit
+(** One comparison line with the measured/paper ratio. *)
+
+val info : ('a, Format.formatter, unit) format -> 'a
+(** Free-form note, indented under the current section. *)
+
+val series : Sim.Stats.Series.t -> unit
+(** Print a figure's series as an aligned table with a spark column. *)

@@ -1,0 +1,42 @@
+(* Table 1: maximum packet rates by input and output queueing discipline,
+   plus the ablations the paper discusses but does not tabulate
+   (test-and-set spinlocks, dynamic context allocation). *)
+
+open Router.Fixed_infra
+
+let cfg = default
+
+let run () =
+  Report.section "Table 1: queueing disciplines (Mpps, 64-byte packets)";
+  let input name disc contention paper =
+    let r = run { cfg with stage = Input_only; input_disc = disc; contention } in
+    Report.row ~unit_:"Mpps" ~name ~paper ~measured:r.in_mpps
+  in
+  input "(I.1) private queues in regs" I1_private false 3.75;
+  input "(I.2) protected public, no contention" I2_protected false 3.47;
+  input "(I.3) protected public, max contention" I2_protected true 1.67;
+  let output name disc paper =
+    let r = run { cfg with stage = Output_only; output_disc = disc } in
+    Report.row ~unit_:"Mpps" ~name ~paper ~measured:r.out_mpps
+  in
+  output "(O.1) single queue with batching" O1_batch 3.78;
+  output "(O.2) single queue without batching" O2_single 3.41;
+  output "(O.3) multiple queues with indirection" O3_multi 3.29;
+  Report.info "cited full-system combinations:";
+  let both name input_disc output_disc paper =
+    let r = run { cfg with input_disc; output_disc } in
+    Report.row ~unit_:"Mpps" ~name ~paper ~measured:r.out_mpps
+  in
+  both "I.2 + O.1 (fastest feasible system)" I2_protected O1_batch 3.47;
+  both "I.2 + O.3 (16 queues per port, QoS)" I2_protected O3_multi 3.29;
+  Report.info "ablations (no paper numbers; section 3.2.1 / 3.4.2 rationale):";
+  let r_spin =
+    run { cfg with stage = Input_only; input_disc = I_spinlock; contention = true }
+  in
+  Report.info
+    "test-and-set spinlock under max contention: %.3f Mpps (vs %.3f hardware mutex)"
+    r_spin.in_mpps 1.67;
+  let r_dyn = run { cfg with stage = Input_only; input_disc = I_dynamic } in
+  Report.info
+    "dynamic context scheduling via scratch work queue: %.3f Mpps (vs %.3f static)"
+    r_dyn.in_mpps 3.47

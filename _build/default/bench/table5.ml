@@ -1,0 +1,45 @@
+(* Table 5: cycle, memory and register requirements of the example data
+   forwarders, from the same static analysis admission control runs. *)
+
+let run () =
+  Report.section "Table 5: example data forwarder requirements";
+  let paper =
+    [
+      ("TCP Splicer", 24., 45.);
+      ("Wavelet Dropper", 8., 28.);
+      ("ACK Monitor", 12., 15.);
+      ("SYN Monitor", 4., 5.);
+      ("Port Filter", 20., 26.);
+      ("IP", 24., 32.);
+    ]
+  in
+  let adm = Router.Admission.default Ixp.Config.default in
+  List.iter2
+    (fun (name, f) (pname, psram, preg) ->
+      assert (name = pname);
+      let c = Router.Forwarder.cost f in
+      Report.row ~unit_:"B"
+        ~name:(name ^ " SRAM read/write")
+        ~paper:psram
+        ~measured:
+          (float_of_int (c.Router.Vrp.sram_read_bytes + c.Router.Vrp.sram_write_bytes));
+      Report.row ~unit_:"ops"
+        ~name:(name ^ " register operations")
+        ~paper:preg
+        ~measured:(float_of_int c.Router.Vrp.instr);
+      Report.info "%s: admission cycles (with branch delays) = %d, ISTORE = %d slots"
+        name
+        (Router.Admission.me_cycles_required adm f)
+        (Router.Forwarder.istore_slots f))
+    Forwarders.Suite.table5 paper;
+  Report.info "heavyweight forwarders (section 4.4): host cycles per packet";
+  Report.row ~unit_:"cyc" ~name:"full IP (StrongARM/Pentium class)" ~paper:660.
+    ~measured:(float_of_int Forwarders.Ip.full.Router.Forwarder.host_cycles);
+  Report.row ~unit_:"cyc" ~name:"TCP proxy (Pentium class)" ~paper:800.
+    ~measured:(float_of_int Forwarders.Ip.proxy.Router.Forwarder.host_cycles);
+  Report.row ~unit_:"cyc" ~name:"prefix match (controlled expansion)"
+    ~paper:236.
+    ~measured:
+      (float_of_int
+         (Router.Cost_model.default.Router.Cost_model.sa_route_lookup_instr
+         + (3 * 22) (* three 4-byte SRAM reads *)))

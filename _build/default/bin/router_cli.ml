@@ -1,0 +1,197 @@
+(* Command-line driver for the simulated router.
+
+   - [run]: drive the full three-level router with synthetic traffic and
+     print the forwarding summary.
+   - [peak]: the section 3 FIFO-to-FIFO peak-rate experiment with
+     selectable queueing disciplines (Table 1's knobs).
+   - [budget]: the section 4.3 VRP budget for a given line rate. *)
+
+open Cmdliner
+
+let subnet_routes r n_ports =
+  for p = 0 to n_ports - 1 do
+    Router.add_route r
+      (Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" p))
+      ~port:p
+  done
+
+(* --- run ------------------------------------------------------------- *)
+
+let run_cmd =
+  let duration =
+    Arg.(value & opt float 10.0 & info [ "d"; "duration" ] ~docv:"MS"
+           ~doc:"Simulated milliseconds to run.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let mbps =
+    Arg.(value & opt float 100. & info [ "mbps" ] ~docv:"MBPS"
+           ~doc:"Per-port link speed.")
+  in
+  let frame_len =
+    Arg.(value & opt int 64 & info [ "frame" ] ~docv:"BYTES"
+           ~doc:"Frame length (64..1518).")
+  in
+  let exceptional =
+    Arg.(value & opt float 0. & info [ "exceptional" ] ~docv:"SHARE"
+           ~doc:"Fraction of frames carrying IP options (divert to the \
+                 StrongARM).")
+  in
+  let syn_monitor =
+    Arg.(value & flag & info [ "syn-monitor" ]
+           ~doc:"Install the SYN-monitor data forwarder at boot.")
+  in
+  let run duration seed mbps frame_len exceptional syn_monitor =
+    let config = { Router.default_config with Router.port_mbps = mbps } in
+    let r = Router.create ~config () in
+    subnet_routes r config.Router.n_ports;
+    let fid =
+      if syn_monitor then
+        match
+          Router.Iface.install r.Router.iface ~key:Packet.Flow.All
+            ~fwdr:Forwarders.Syn_monitor.forwarder ~where:Router.Iface.ME ()
+        with
+        | Ok fid -> Some fid
+        | Error es -> failwith (String.concat "; " es)
+      else None
+    in
+    Router.start r;
+    let rng = Sim.Rng.create (Int64.of_int seed) in
+    for p = 0 to config.Router.n_ports - 1 do
+      let rng = Sim.Rng.split rng in
+      let base =
+        Workload.Mix.udp_uniform ~rng ~n_subnets:config.Router.n_ports
+          ~frame_len ()
+      in
+      let gen =
+        if exceptional > 0. then
+          Workload.Mix.with_options_share ~rng:(Sim.Rng.split rng)
+            ~share:exceptional base
+        else base
+      in
+      ignore
+        (Workload.Source.spawn_line_rate r.Router.engine
+           ~name:(Printf.sprintf "gen%d" p)
+           ~mbps ~frame_len ~gen
+           ~offer:(fun f -> Router.inject r ~port:p f)
+           ())
+    done;
+    Router.run_for r ~us:(duration *. 1000.);
+    Format.printf "%a@." Router.pp_summary r;
+    Option.iter
+      (fun fid ->
+        Format.printf "syn-monitor: %d SYNs@."
+          (Forwarders.Syn_monitor.syn_count
+             (Option.get (Router.Iface.getdata r.Router.iface fid))))
+      fid
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Drive the full three-level router at line rate.")
+    Term.(
+      const run $ duration $ seed $ mbps $ frame_len $ exceptional
+      $ syn_monitor)
+
+(* --- peak ------------------------------------------------------------ *)
+
+let peak_cmd =
+  let input_disc =
+    let disc =
+      Arg.enum
+        [
+          ("i1", Router.Fixed_infra.I1_private);
+          ("i2", Router.Fixed_infra.I2_protected);
+          ("spin", Router.Fixed_infra.I_spinlock);
+          ("dyn", Router.Fixed_infra.I_dynamic);
+        ]
+    in
+    Arg.(value & opt disc Router.Fixed_infra.I2_protected
+           & info [ "input" ] ~docv:"DISC"
+               ~doc:"Input discipline: i1, i2, spin, dyn.")
+  in
+  let output_disc =
+    let disc =
+      Arg.enum
+        [
+          ("o1", Router.Fixed_infra.O1_batch);
+          ("o2", Router.Fixed_infra.O2_single);
+          ("o3", Router.Fixed_infra.O3_multi);
+        ]
+    in
+    Arg.(value & opt disc Router.Fixed_infra.O1_batch
+           & info [ "output" ] ~docv:"DISC" ~doc:"Output discipline: o1-o3.")
+  in
+  let contention =
+    Arg.(value & flag & info [ "contention" ]
+           ~doc:"All packets to one queue (I.3 / Figure 10).")
+  in
+  let blocks =
+    Arg.(value & opt int 0 & info [ "vrp-blocks" ] ~docv:"N"
+           ~doc:"Combination VRP blocks (10 instr + 4B SRAM) per packet.")
+  in
+  let in_ctx =
+    Arg.(value & opt int 16 & info [ "input-contexts" ] ~docv:"N" ~doc:"")
+  in
+  let out_ctx =
+    Arg.(value & opt int 8 & info [ "output-contexts" ] ~docv:"N" ~doc:"")
+  in
+  let run input_disc output_disc contention blocks in_ctx out_ctx =
+    let open Router.Fixed_infra in
+    let code =
+      List.concat
+        (List.init blocks (fun _ ->
+             [ Router.Vrp.Instr 10; Router.Vrp.Sram_read 4 ]))
+    in
+    let r =
+      run
+        {
+          default with
+          input_disc;
+          output_disc;
+          contention;
+          vrp_blocks = code;
+          n_input_contexts = in_ctx;
+          n_output_contexts = out_ctx;
+        }
+    in
+    Format.printf "%a@." pp_result r
+  in
+  Cmd.v
+    (Cmd.info "peak"
+       ~doc:"FIFO-to-FIFO peak forwarding rate (section 3 experiments).")
+    Term.(
+      const run $ input_disc $ output_disc $ contention $ blocks $ in_ctx
+      $ out_ctx)
+
+(* --- budget ---------------------------------------------------------- *)
+
+let budget_cmd =
+  let pps =
+    Arg.(value & opt float 1.128e6 & info [ "pps" ] ~docv:"PPS"
+           ~doc:"Aggregate line rate in packets per second.")
+  in
+  let contexts =
+    Arg.(value & opt int 16 & info [ "contexts" ] ~docv:"N"
+           ~doc:"Input contexts.")
+  in
+  let run pps contexts =
+    let b =
+      Router.Capacity.vrp_budget Router.Capacity.default ~contexts
+        ~line_rate_pps:pps ~hashes:3
+    in
+    Format.printf "VRP budget at %.3f Mpps with %d contexts: %a@." (pps /. 1e6)
+      contexts Router.Vrp.pp_budget b
+  in
+  Cmd.v
+    (Cmd.info "budget"
+       ~doc:"VRP budget available at a line rate (section 4.3).")
+    Term.(const run $ pps $ contexts)
+
+let () =
+  let info =
+    Cmd.info "router_cli" ~version:"1.0"
+      ~doc:
+        "Simulated IXP1200 software router (Spalink et al., SOSP 2001 \
+         reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; peak_cmd; budget_cmd ]))

@@ -1,0 +1,1 @@
+examples/cluster_router.ml: Array Cluster Format Packet Printf Router Sim Workload

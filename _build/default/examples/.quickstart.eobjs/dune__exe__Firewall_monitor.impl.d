@@ -1,0 +1,1 @@
+examples/firewall_monitor.ml: Array Bytes Format Forwarders Iproute Option Packet Printf Router Sim String Workload

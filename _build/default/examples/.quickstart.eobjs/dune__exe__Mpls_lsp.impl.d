@@ -1,0 +1,1 @@
+examples/mpls_lsp.ml: Array Format Iproute Mpls Packet Printf Router Sim Workload

@@ -1,0 +1,1 @@
+examples/mpls_lsp.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Forwarders Iproute Option Packet Printf Router Sim String

@@ -1,0 +1,1 @@
+examples/robustness_demo.ml: Array Float Format Iproute List Packet Printf Router Sim Workload

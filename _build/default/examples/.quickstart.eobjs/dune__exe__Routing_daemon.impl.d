@@ -1,0 +1,1 @@
+examples/routing_daemon.ml: Array Control Format Iproute Packet Router Sim String Workload

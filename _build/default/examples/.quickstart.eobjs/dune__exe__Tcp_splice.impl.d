@@ -1,0 +1,1 @@
+examples/tcp_splice.ml: Bytes Format Forwarders Int32 Iproute Option Packet Printf Router Sim String

@@ -1,0 +1,1 @@
+examples/wavelet_video.ml: Array Bytes Format Forwarders Iproute List Option Packet Printf Router Sim String Workload

@@ -1,0 +1,1 @@
+examples/wavelet_video.mli:

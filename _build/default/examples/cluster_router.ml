@@ -1,0 +1,73 @@
+(* The paper's section 6 future work, running: four Pentium/IXP pairs
+   joined by a Gigabit Ethernet fabric behave as one 32-port router.
+
+   A packet entering global port 2 (member 0) for a subnet owned by
+   member 3 is classified on member 0, forwarded out an uplink with the
+   owner's fabric MAC, switched, classified again on member 3, and
+   transmitted on its external port — two IP hops inside one "router".
+
+   Run with: dune exec examples/cluster_router.exe *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+let () =
+  let c = Cluster.create ~members:4 () in
+  Format.printf
+    "cluster: %d members, %d external ports, 2 x 1 Gbps uplinks each@."
+    (Array.length c.Cluster.members)
+    (4 * 8);
+
+  (* One cross-cluster packet, end to end. *)
+  let captured = ref None in
+  Router.connect c.Cluster.members.(3) ~port:7 (fun f -> captured := Some f);
+  let pkt =
+    Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "10.31.0.9")
+      ~src_port:4000 ~dst_port:5000 ~ttl:64 ()
+  in
+  assert (Cluster.inject c ~global_port:2 pkt);
+  Cluster.run_for c ~us:500.;
+  (match !captured with
+  | Some f ->
+      Format.printf
+        "cross-member packet delivered on global port 31: ttl %d (two hops), \
+         header %s@."
+        (Packet.Ipv4.get_ttl f)
+        (if Packet.Ipv4.valid f then "valid" else "INVALID")
+  | None -> failwith "packet lost");
+
+  (* All-to-all load at line rate on every external port. *)
+  let rng = Sim.Rng.create 8L in
+  for g = 0 to 31 do
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_line_rate c.Cluster.engine
+         ~name:(Printf.sprintf "ext%d" g)
+         ~mbps:100. ~frame_len:64
+         ~gen:(fun i ->
+           ignore i;
+           Packet.Build.udp
+             ~src:(Workload.Mix.subnet_addr ~subnet:(100 + g) ~host:1)
+             ~dst:
+               (Workload.Mix.subnet_addr
+                  ~subnet:(Sim.Rng.int rng 32)
+                  ~host:(1 + Sim.Rng.int rng 50))
+             ~src_port:1000 ~dst_port:2000 ())
+         ~offer:(fun f -> Cluster.inject c ~global_port:g f)
+         ())
+  done;
+  Cluster.run_for c ~us:8000.;
+  let secs = Sim.Engine.seconds (Sim.Engine.time c.Cluster.engine) in
+  Format.printf
+    "all-to-all at line rate: %.2f Mpps delivered across 32 ports, %.2f Mpps \
+     over the fabric@."
+    (float_of_int (Cluster.delivered_total c) /. secs /. 1e6)
+    (Cluster.internal_pps c /. 1e6);
+  let solo =
+    Router.Capacity.vrp_budget Router.Capacity.default ~contexts:16
+      ~line_rate_pps:1.128e6 ~hashes:3
+  in
+  let member = Cluster.vrp_budget_with_internal_link c ~line_rate_pps:4.512e6 in
+  Format.printf
+    "the internal link's cost (section 6): per-MP VRP budget %d cycles \
+     standalone -> %d cycles as a cluster member@."
+    solo.Router.Vrp.b_cycles member.Router.Vrp.b_cycles

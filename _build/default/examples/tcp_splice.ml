@@ -1,0 +1,115 @@
+(* TCP splicing (paper section 4.4, after Spatscheck et al.): a proxy on
+   the Pentium handles a connection's opening exchange (authentication);
+   once satisfied it splices the two TCP connections by installing a data
+   forwarder on the MicroEngines that patches sequence/acknowledgement
+   numbers and ports on every subsequent packet — the per-packet work
+   leaves the Pentium entirely.
+
+   Run with: dune exec examples/tcp_splice.exe *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+let () =
+  let r = Router.create () in
+  for port = 0 to 7 do
+    Router.add_route r
+      (Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" port))
+      ~port
+  done;
+  (* The client->proxy connection and the proxy->server connection. *)
+  let client_side =
+    {
+      Packet.Flow.src_addr = addr "10.250.0.3";
+      src_port = 40000;
+      dst_addr = addr "10.4.0.80";
+      dst_port = 80;
+    }
+  in
+  let server_port = 8080 in
+  (* Phase 1: the proxy (a Pentium forwarder) sees the flow's first
+     packets. *)
+  let auth_seen = ref 0 in
+  let proxy =
+    Router.Forwarder.make ~name:"splice-proxy" ~code:[] ~state_bytes:4
+      ~host_cycles:800 (fun ~state:_ _ ~in_port:_ ->
+        incr auth_seen;
+        Router.Forwarder.Forward_routed)
+  in
+  let proxy_fid =
+    match
+      Router.Iface.install r.Router.iface ~key:(Packet.Flow.Tuple client_side)
+        ~fwdr:proxy ~where:Router.Iface.PE ~expected_pps:10_000. ()
+    with
+    | Ok fid -> fid
+    | Error es -> failwith (String.concat "; " es)
+  in
+  Router.start r;
+  let seg i ~payload =
+    Packet.Build.tcp ~src:client_side.Packet.Flow.src_addr
+      ~dst:client_side.Packet.Flow.dst_addr
+      ~src_port:client_side.Packet.Flow.src_port
+      ~dst_port:client_side.Packet.Flow.dst_port
+      ~seq:(Int32.of_int (1000 + (i * 16)))
+      ~ack:(Int32.of_int (7000 + i))
+      ~payload ()
+  in
+  for i = 0 to 3 do
+    ignore (Router.inject r ~port:0 (seg i ~payload:"AUTH credentials"))
+  done;
+  Router.run_for r ~us:1_000.;
+  Format.printf "phase 1: proxy on the Pentium handled %d packets@." !auth_seen;
+  assert (!auth_seen = 4);
+
+  (* Phase 2: the proxy is satisfied — splice.  Remove the Pentium
+     binding, install the splicer on the MicroEngines with the deltas
+     between the two connections' sequence spaces, and rewrite the port
+     pair onto the server-side connection. *)
+  (match Router.Iface.remove r.Router.iface proxy_fid with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let splicer_fid =
+    match
+      Router.Iface.install r.Router.iface ~key:(Packet.Flow.Tuple client_side)
+        ~fwdr:Forwarders.Tcp_splicer.forwarder ~where:Router.Iface.ME ()
+    with
+    | Ok fid -> fid
+    | Error es -> failwith (String.concat "; " es)
+  in
+  let cfgd = Bytes.make 24 '\000' in
+  Forwarders.Tcp_splicer.configure cfgd ~seq_delta:500_000l
+    ~ack_delta:250_000l ~src_port:client_side.Packet.Flow.src_port
+    ~dst_port:server_port ~out_port:4;
+  (match Router.Iface.setdata r.Router.iface splicer_fid cfgd with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  Format.printf "phase 2: spliced; subsequent packets are patched on the \
+                 MicroEngines@.";
+
+  (* Phase 3: bulk data flows through the splicer in the data plane. *)
+  let pe_before =
+    Sim.Stats.Counter.value (Router.Pentium.stats r.Router.pe).Router.Pentium.processed
+  in
+  let sample = seg 100 ~payload:"data" in
+  for i = 100 to 149 do
+    ignore (Router.inject r ~port:0 (seg i ~payload:"data"))
+  done;
+  ignore (Router.inject r ~port:0 sample);
+  Router.run_for r ~us:2_000.;
+  let st = Option.get (Router.Iface.getdata r.Router.iface splicer_fid) in
+  let pe_after =
+    Sim.Stats.Counter.value (Router.Pentium.stats r.Router.pe).Router.Pentium.processed
+  in
+  Format.printf
+    "phase 3: %d packets spliced in the data plane; Pentium handled %d of \
+     them@."
+    (Forwarders.Tcp_splicer.spliced st)
+    (pe_after - pe_before);
+  Format.printf
+    "sample packet after splice: seq=%ld ack=%ld ports=%d->%d checksum %s@."
+    (Packet.Tcp.get_seq sample) (Packet.Tcp.get_ack sample)
+    (Packet.Tcp.get_src_port sample)
+    (Packet.Tcp.get_dst_port sample)
+    (if Packet.Tcp.cksum_ok sample then "valid" else "INVALID");
+  assert (pe_after = pe_before);
+  assert (Packet.Tcp.get_dst_port sample = server_port);
+  assert (Packet.Tcp.cksum_ok sample)

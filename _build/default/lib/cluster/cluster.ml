@@ -1,0 +1,115 @@
+type t = {
+  engine : Sim.Engine.t;
+  members : Router.t array;
+  switch_latency_us : float;
+  fabric_frames : Sim.Stats.Counter.t;
+}
+
+(* Locally-administered, distinct from the per-port scheme. *)
+let uplink_mac m = 0x02000000C100 lor (m land 0xFF)
+
+let member_of_uplink_mac mac =
+  if mac land 0xFFFFFFFF00 = 0x02000000C100 land 0xFFFFFFFF00 then
+    Some (mac land 0xFF)
+  else None
+
+let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
+    ?(config = Router.default_config) () =
+  if members < 2 then invalid_arg "Cluster.create: members < 2";
+  let engine = Sim.Engine.create () in
+  (* Two 1 Gbps uplinks per member (the evaluation board's pair): cross
+     traffic is spread across them by destination subnet so each stays
+     within a single output context's reach. *)
+  let config =
+    {
+      config with
+      Router.n_ports = ports_per_member;
+      uplink_ports = 2;
+      uplink_mbps = 1000.;
+    }
+  in
+  let rs = Array.init members (fun _ -> Router.create ~config ~engine ()) in
+  let uplink_local = ports_per_member in
+  (* Routes: every member knows every global subnet; remote ones point at
+     the owner's uplink MAC across the fabric. *)
+  Array.iteri
+    (fun m r ->
+      for g = 0 to (members * ports_per_member) - 1 do
+        let owner = g / ports_per_member in
+        let prefix =
+          Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" g)
+        in
+        if owner = m then Router.add_route r prefix ~port:(g mod ports_per_member)
+        else
+          Iproute.Table.add r.Router.routes prefix
+            {
+              Iproute.Table.out_port = uplink_local + (g mod 2);
+              gateway_mac = uplink_mac owner;
+            }
+      done)
+    rs;
+  let fabric_frames = Sim.Stats.Counter.create "fabric.frames" in
+  let t = { engine; members = rs; switch_latency_us; fabric_frames } in
+  (* The learning switch: deliver by destination MAC after a small
+     store-and-forward latency, onto the same-numbered uplink of the
+     destination member. *)
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun up ->
+          Router.connect r ~port:up (fun f ->
+              match member_of_uplink_mac (Packet.Ethernet.get_dst f) with
+              | None -> () (* unknown fabric MAC: flooded nowhere, dropped *)
+              | Some m' when m' >= members -> ()
+              | Some m' ->
+                  Sim.Stats.Counter.incr fabric_frames;
+                  Sim.Engine.spawn engine "switch" (fun () ->
+                      Sim.Engine.wait
+                        (Sim.Engine.of_seconds (switch_latency_us *. 1e-6));
+                      ignore (Router.inject rs.(m') ~port:up f))))
+        [ uplink_local; uplink_local + 1 ])
+    rs;
+  Array.iter (fun r -> Router.start r) rs;
+  t
+
+let member_of_global_port t g =
+  let ppm = t.members.(0).Router.config.Router.n_ports in
+  (g / ppm, g mod ppm)
+
+let inject t ~global_port f =
+  let m, p = member_of_global_port t global_port in
+  Router.inject t.members.(m) ~port:p f
+
+let delivered t ~global_port =
+  let m, p = member_of_global_port t global_port in
+  Sim.Stats.Counter.value t.members.(m).Router.delivered.(p)
+
+let delivered_total t =
+  Array.fold_left
+    (fun acc r ->
+      let n = r.Router.config.Router.n_ports in
+      let sum = ref 0 in
+      for p = 0 to n - 1 do
+        sum := !sum + Sim.Stats.Counter.value r.Router.delivered.(p)
+      done;
+      acc + !sum)
+    0 t.members
+
+let internal_pps t =
+  let secs = Sim.Engine.seconds (Sim.Engine.time t.engine) in
+  if secs <= 0. then 0.
+  else float_of_int (Sim.Stats.Counter.value t.fabric_frames) /. secs
+
+let vrp_budget_with_internal_link t ~line_rate_pps =
+  let members = float_of_int (Array.length t.members) in
+  (* One member's input contexts see its external share plus the fabric
+     traffic addressed to it. *)
+  let per_member = (line_rate_pps +. internal_pps t) /. members in
+  Router.Capacity.vrp_budget Router.Capacity.default ~contexts:16
+    ~line_rate_pps:per_member ~hashes:3
+
+let run_for t ~us =
+  let target =
+    Int64.add (Sim.Engine.time t.engine) (Sim.Engine.of_seconds (us *. 1e-6))
+  in
+  Sim.Engine.run t.engine ~until:target

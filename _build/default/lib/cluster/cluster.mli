@@ -1,0 +1,60 @@
+(** The section 6 configuration: several Pentium/IXP pairs connected by a
+    Gigabit Ethernet switch into one larger router.
+
+    "We next plan to construct a router from four Pentium/IXP pairs
+    connected by a Gigabit Ethernet switch.  The main difference ... is
+    that we will need to budget RI capacity to service packets arriving on
+    the 'internal' link ..., leaving fewer cycles for the VRP."
+
+    Each member keeps its 8 external 100 Mbps ports and adds a 1 Gbps
+    uplink into a learning switch.  Globally, external port [g] lives on
+    member [g / ports_per_member].  A member routes locally-owned subnets
+    out its own ports and everything else across the switch to the owner,
+    whose uplink MAC the route's gateway field names — so the internal hop
+    is ordinary IP forwarding plus a MAC-switched fabric, and a
+    cross-member packet pays classification (and TTL) twice, exactly the
+    structural cost the paper anticipates. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  members : Router.t array;
+  switch_latency_us : float;
+  fabric_frames : Sim.Stats.Counter.t;  (** frames crossing the switch *)
+}
+
+val create :
+  ?members:int ->
+  ?ports_per_member:int ->
+  ?switch_latency_us:float ->
+  ?config:Router.config ->
+  unit ->
+  t
+(** [create ()] builds a 4-member cluster (8 external ports each), routes
+    subnet 10.[g].0.0/16 to global external port [g], wires the uplinks
+    through the switch, and starts every member.  [config] overrides the
+    per-member router configuration (the uplink port is added to it). *)
+
+val uplink_mac : int -> Packet.Ethernet.mac
+(** The MAC identifying member [m]'s uplink on the fabric. *)
+
+val member_of_global_port : t -> int -> int * int
+(** [member_of_global_port t g] is [(member, local_port)]. *)
+
+val inject : t -> global_port:int -> Packet.Frame.t -> bool
+(** Offer a frame to a global external port. *)
+
+val delivered : t -> global_port:int -> int
+(** Frames transmitted out a global external port. *)
+
+val delivered_total : t -> int
+(** Across all external ports (uplinks excluded). *)
+
+val internal_pps : t -> float
+(** Fabric crossings per second so far. *)
+
+val vrp_budget_with_internal_link : t -> line_rate_pps:float -> Router.Vrp.budget
+(** The paper's section 6 point, quantified: the per-MP VRP budget once
+    the input contexts must also service the internal link's share
+    ([line_rate_pps] external aggregate plus the measured internal rate). *)
+
+val run_for : t -> us:float -> unit

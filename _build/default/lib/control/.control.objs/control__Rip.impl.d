@@ -1,0 +1,1 @@
+lib/control/rip.ml: Bytes Char Hashtbl Int32 Iproute List Option Packet Router Sim

@@ -1,0 +1,1 @@
+lib/control/rip.mli: Iproute Packet Router Sim

@@ -1,0 +1,1 @@
+lib/core/router.mli: Admission Capacity Chip_ctx Classifier Cost_model Desc Fixed_infra Format Forwarder Iface Input_loop Iproute Ixp Output_loop Packet Pentium Psched Sim Squeue Strongarm Vrp Wfq

@@ -1,0 +1,1 @@
+lib/core/admission.ml: Float Forwarder Ixp List Printf Vrp

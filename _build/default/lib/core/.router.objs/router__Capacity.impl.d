@@ -1,0 +1,1 @@
+lib/core/capacity.ml: Cost_model Float Ixp Vrp

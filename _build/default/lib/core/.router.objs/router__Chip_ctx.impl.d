@@ -1,0 +1,1 @@
+lib/core/chip_ctx.ml: Ixp Sim

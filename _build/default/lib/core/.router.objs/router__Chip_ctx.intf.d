@@ -1,0 +1,1 @@
+lib/core/chip_ctx.mli: Ixp Sim

@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Bytes Chip_ctx Cost_model Desc Forwarder Hashtbl Int64 Iproute List Packet

@@ -1,0 +1,1 @@
+lib/core/classifier.mli: Bytes Chip_ctx Cost_model Desc Forwarder Iproute Packet

@@ -1,0 +1,1 @@
+lib/core/fixed_infra.ml: Array Chip_ctx Cost_model Desc Float Format Input_loop Int64 Ixp List Output_loop Packet Printf Sim Squeue Vrp

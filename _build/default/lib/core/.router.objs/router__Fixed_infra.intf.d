@@ -1,0 +1,1 @@
+lib/core/fixed_infra.mli: Cost_model Format Ixp Vrp

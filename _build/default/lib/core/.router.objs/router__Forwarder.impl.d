@@ -1,0 +1,1 @@
+lib/core/forwarder.ml: Bytes Desc Format Ixp Packet Vrp

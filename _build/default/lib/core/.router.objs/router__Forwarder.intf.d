@@ -1,0 +1,1 @@
+lib/core/forwarder.mli: Bytes Desc Format Packet Vrp

@@ -1,0 +1,1 @@
+lib/core/iface.ml: Admission Array Bytes Classifier Desc Forwarder Ixp List Option Packet Printf Result

@@ -1,0 +1,1 @@
+lib/core/iface.mli: Admission Bytes Classifier Forwarder Ixp Packet

@@ -1,0 +1,1 @@
+lib/core/input_loop.ml: Array Buffer_pool Chip Chip_ctx Cost_model Desc Ixp Mac_port Packet Printf Sim Squeue

@@ -1,0 +1,1 @@
+lib/core/input_loop.mli: Chip_ctx Cost_model Desc Ixp Packet Sim Squeue

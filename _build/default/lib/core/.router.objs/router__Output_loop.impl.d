@@ -1,0 +1,1 @@
+lib/core/output_loop.ml: Array Chip Chip_ctx Cost_model Desc Ixp Packet Printf Sim Squeue

@@ -1,0 +1,1 @@
+lib/core/output_loop.mli: Cost_model Desc Ixp Packet Sim Squeue

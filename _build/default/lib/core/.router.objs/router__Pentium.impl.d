@@ -1,0 +1,1 @@
+lib/core/pentium.ml: Classifier Cost_model Desc Float Forwarder Hashtbl Int64 Ixp Psched Sim Strongarm

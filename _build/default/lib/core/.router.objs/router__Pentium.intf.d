@@ -1,0 +1,1 @@
+lib/core/pentium.mli: Classifier Cost_model Desc Ixp Sim Strongarm

@@ -1,0 +1,1 @@
+lib/core/squeue.ml: Desc Queue Sim

@@ -1,0 +1,1 @@
+lib/core/squeue.mli: Desc Sim

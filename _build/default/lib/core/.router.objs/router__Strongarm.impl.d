@@ -1,0 +1,1 @@
+lib/core/strongarm.ml: Array Chip_ctx Classifier Cost_model Desc Forwarder Int64 Iproute Ixp Packet Printf Sim Squeue

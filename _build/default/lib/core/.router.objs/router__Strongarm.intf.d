@@ -1,0 +1,1 @@
+lib/core/strongarm.mli: Chip_ctx Classifier Cost_model Desc Iproute Ixp Packet Sim Squeue

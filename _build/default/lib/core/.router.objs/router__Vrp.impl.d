@@ -1,0 +1,1 @@
+lib/core/vrp.ml: Chip_ctx Format Ixp List

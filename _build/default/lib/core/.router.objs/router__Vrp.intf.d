@@ -1,0 +1,1 @@
+lib/core/vrp.mli: Chip_ctx Format Ixp

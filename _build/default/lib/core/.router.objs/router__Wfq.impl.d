@@ -1,0 +1,1 @@
+lib/core/wfq.ml: Array Float Int64 Sim Vrp

@@ -1,0 +1,1 @@
+lib/core/wfq.mli: Vrp

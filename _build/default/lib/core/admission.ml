@@ -1,0 +1,121 @@
+type t = {
+  budget : Vrp.budget;
+  branch_delay_factor : float;
+  pe_cycle_hz : float;
+  pe_max_pps : float;
+  pe_headroom : float;
+}
+
+let default (hw : Ixp.Config.t) =
+  {
+    budget = Vrp.prototype_budget;
+    branch_delay_factor = 1.05;
+    pe_cycle_hz = hw.pentium_mhz *. 1e6;
+    pe_max_pps = 534_000.; (* Table 4 *)
+    pe_headroom = 0.9;
+  }
+
+type me_load = {
+  mutable serial_cost : Vrp.cost;
+  mutable parallel_max_cycles : int;
+  mutable state_in_use : int;
+  mutable slots_in_use : int;
+}
+
+let empty_me_load () =
+  {
+    serial_cost = Vrp.zero_cost;
+    parallel_max_cycles = 0;
+    state_in_use = 0;
+    slots_in_use = 0;
+  }
+
+let me_cycles_required t (f : Forwarder.t) =
+  let c = Forwarder.cost f in
+  int_of_float (Float.round (float_of_int c.Vrp.instr *. t.branch_delay_factor))
+
+let admit_me t load (f : Forwarder.t) ~per_flow =
+  let cost = Forwarder.cost f in
+  let cycles = me_cycles_required t f in
+  let cost = { cost with Vrp.instr = cycles } in
+  (* The budget a new forwarder must fit inside what remains after the
+     already-admitted serial chain — and, for per-flow forwarders, only
+     the most expensive one counts (they run in parallel). *)
+  let projected_serial =
+    if per_flow then load.serial_cost else Vrp.add_cost load.serial_cost cost
+  in
+  let projected_parallel =
+    if per_flow then max load.parallel_max_cycles cycles
+    else load.parallel_max_cycles
+  in
+  let combined =
+    Vrp.add_cost projected_serial
+      { Vrp.zero_cost with Vrp.instr = projected_parallel }
+  in
+  let combined =
+    if per_flow then
+      (* A per-flow forwarder's memory traffic also applies when it is the
+         one that matches; account the candidate's (conservative: the max
+         across per-flow forwarders would be tighter). *)
+      Vrp.add_cost combined { cost with Vrp.instr = 0 }
+    else combined
+  in
+  let state = load.state_in_use + f.Forwarder.state_bytes in
+  let slots = load.slots_in_use + Forwarder.istore_slots f in
+  match Vrp.check t.budget combined ~state_bytes:state ~slots with
+  | Error es -> Error es
+  | Ok () ->
+      load.serial_cost <- projected_serial;
+      load.parallel_max_cycles <- projected_parallel;
+      load.state_in_use <- state;
+      load.slots_in_use <- slots;
+      Ok ()
+
+let sub_cost a b =
+  {
+    Vrp.instr = a.Vrp.instr - b.Vrp.instr;
+    sram_read_bytes = a.Vrp.sram_read_bytes - b.Vrp.sram_read_bytes;
+    sram_write_bytes = a.Vrp.sram_write_bytes - b.Vrp.sram_write_bytes;
+    scratch_read_bytes = a.Vrp.scratch_read_bytes - b.Vrp.scratch_read_bytes;
+    scratch_write_bytes = a.Vrp.scratch_write_bytes - b.Vrp.scratch_write_bytes;
+    dram_read_bytes = a.Vrp.dram_read_bytes - b.Vrp.dram_read_bytes;
+    dram_write_bytes = a.Vrp.dram_write_bytes - b.Vrp.dram_write_bytes;
+    hashes = a.Vrp.hashes - b.Vrp.hashes;
+  }
+
+let release_me t load (f : Forwarder.t) ~per_flow =
+  let cost = Forwarder.cost f in
+  let cycles = me_cycles_required t f in
+  if not per_flow then
+    load.serial_cost <- sub_cost load.serial_cost { cost with Vrp.instr = cycles };
+  load.state_in_use <- load.state_in_use - f.Forwarder.state_bytes;
+  load.slots_in_use <- load.slots_in_use - Forwarder.istore_slots f
+
+type pe_load = { mutable cycle_rate : float; mutable pkt_rate : float }
+
+let empty_pe_load () = { cycle_rate = 0.; pkt_rate = 0. }
+
+let admit_pe t load ~expected_pps ~cycles_per_pkt =
+  let add_cycles = expected_pps *. float_of_int cycles_per_pkt in
+  let errs = ref [] in
+  if load.cycle_rate +. add_cycles > t.pe_cycle_hz *. t.pe_headroom then
+    errs :=
+      Printf.sprintf "Pentium cycles: %.0f + %.0f exceeds %.0f"
+        load.cycle_rate add_cycles
+        (t.pe_cycle_hz *. t.pe_headroom)
+      :: !errs;
+  if load.pkt_rate +. expected_pps > t.pe_max_pps then
+    errs :=
+      Printf.sprintf "Pentium packet rate: %.0f + %.0f exceeds %.0f"
+        load.pkt_rate expected_pps t.pe_max_pps
+      :: !errs;
+  match !errs with
+  | [] ->
+      load.cycle_rate <- load.cycle_rate +. add_cycles;
+      load.pkt_rate <- load.pkt_rate +. expected_pps;
+      Ok ()
+  | es -> Error (List.rev es)
+
+let release_pe load ~expected_pps ~cycles_per_pkt =
+  load.cycle_rate <- load.cycle_rate -. (expected_pps *. float_of_int cycles_per_pkt);
+  load.pkt_rate <- load.pkt_rate -. expected_pps

@@ -1,0 +1,27 @@
+type host = Me of Ixp.Microengine.t | Cpu of Sim.Engine.Clock.clock
+
+type t = { chip : Ixp.Chip.t; host : host; ctx_id : int }
+
+let make chip ~ctx_id =
+  { chip; host = Me (Ixp.Chip.context_me chip ctx_id); ctx_id }
+
+let make_cpu chip clock = { chip; host = Cpu clock; ctx_id = -1 }
+
+let exec t n =
+  match t.host with
+  | Me me -> Ixp.Microengine.exec me n
+  | Cpu clock -> Sim.Engine.Clock.wait_cycles clock n
+
+let wait_cycles t n =
+  match t.host with
+  | Me _ -> Sim.Engine.Clock.wait_cycles t.chip.Ixp.Chip.me_clock n
+  | Cpu clock -> Sim.Engine.Clock.wait_cycles clock n
+
+let sram_read t ~bytes = Ixp.Mem.read t.chip.Ixp.Chip.sram ~bytes
+let sram_write t ~bytes = Ixp.Mem.write t.chip.Ixp.Chip.sram ~bytes
+let scratch_read t ~bytes = Ixp.Mem.read t.chip.Ixp.Chip.scratch ~bytes
+let scratch_write t ~bytes = Ixp.Mem.write t.chip.Ixp.Chip.scratch ~bytes
+let dram_read t ~bytes = Ixp.Mem.read t.chip.Ixp.Chip.dram ~bytes
+let dram_write t ~bytes = Ixp.Mem.write t.chip.Ixp.Chip.dram ~bytes
+
+let hash t v = Ixp.Hash_unit.hash t.chip.Ixp.Chip.hash v

@@ -1,0 +1,40 @@
+(** A processor's view of the chip: the handle threaded through the
+    input/output loops, the VRP interpreter, and the StrongARM's queue
+    operations.
+
+    For a MicroEngine context, register instructions occupy the hosting
+    engine's issue pipeline (shared with its three sibling contexts).  For
+    the StrongARM — which has its own core but shares the SRAM and DRAM
+    channels with the MicroEngines (the interference that motivates
+    section 4.1's "the StrongARM must run within the same resource budget")
+    — instructions simply consume StrongARM cycles while memory operations
+    contend on the same channel servers. *)
+
+type host = Me of Ixp.Microengine.t | Cpu of Sim.Engine.Clock.clock
+
+type t = { chip : Ixp.Chip.t; host : host; ctx_id : int }
+
+val make : Ixp.Chip.t -> ctx_id:int -> t
+(** [make chip ~ctx_id] binds global MicroEngine context [ctx_id] to its
+    engine (contexts are numbered ME-major). *)
+
+val make_cpu : Ixp.Chip.t -> Sim.Engine.Clock.clock -> t
+(** [make_cpu chip clock] is the view of a conventional processor (the
+    StrongARM) sharing the chip's memories. *)
+
+val exec : t -> int -> unit
+(** Run register instructions on this context's processor. *)
+
+val wait_cycles : t -> int -> unit
+(** Stall without occupying the processor's issue pipeline (e.g. a CSR
+    round trip). *)
+
+val sram_read : t -> bytes:int -> unit
+val sram_write : t -> bytes:int -> unit
+val scratch_read : t -> bytes:int -> unit
+val scratch_write : t -> bytes:int -> unit
+val dram_read : t -> bytes:int -> unit
+val dram_write : t -> bytes:int -> unit
+
+val hash : t -> int64 -> int
+(** One hardware hash unit operation. *)

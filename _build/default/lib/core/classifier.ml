@@ -1,0 +1,114 @@
+type entry = {
+  fid : int;
+  key : Packet.Flow.t;
+  where : Desc.level;
+  fwdr : Forwarder.t;
+  state : Bytes.t;
+  mutable matches : int;
+}
+
+type outcome =
+  | Invalid
+  | Classified of {
+      per_flow : entry option;
+      general : entry list;
+      route : Iproute.Table.nexthop option;
+      route_cache_hit : bool;
+    }
+
+type t = {
+  cm : Cost_model.t;
+  routes : Iproute.Table.t;
+  flows : (Packet.Flow.tuple, entry) Hashtbl.t;
+  mutable general : entry list;
+}
+
+let create cm ~routes = { cm; routes; flows = Hashtbl.create 64; general = [] }
+
+let routes t = t.routes
+
+let is_ip_entry e = e.fwdr.Forwarder.name = "ip"
+
+let add t e =
+  match e.key with
+  | Packet.Flow.Tuple k -> Hashtbl.replace t.flows k e
+  | Packet.Flow.All ->
+      (* Keep minimal IP as the chain's tail (Figure 11). *)
+      let ip, rest = List.partition is_ip_entry (t.general @ [ e ]) in
+      t.general <- rest @ ip
+
+let remove t fid =
+  let found = ref None in
+  Hashtbl.iter
+    (fun k e -> if e.fid = fid then found := Some (`Flow k, e))
+    t.flows;
+  (match List.find_opt (fun e -> e.fid = fid) t.general with
+  | Some e -> found := Some (`General, e)
+  | None -> ());
+  match !found with
+  | None -> None
+  | Some (`Flow k, e) ->
+      Hashtbl.remove t.flows k;
+      Some e
+  | Some (`General, e) ->
+      t.general <- List.filter (fun x -> x.fid <> fid) t.general;
+      Some e
+
+let find_fid t fid =
+  match List.find_opt (fun e -> e.fid = fid) t.general with
+  | Some e -> Some e
+  | None ->
+      let found = ref None in
+      Hashtbl.iter (fun _ e -> if e.fid = fid then found := Some e) t.flows;
+      !found
+
+let general_chain t = t.general
+let flow_count t = Hashtbl.length t.flows
+
+let decide t frame =
+  if not (Packet.Ipv4.valid frame) then Invalid
+  else begin
+    let per_flow =
+      match Packet.Flow.of_frame frame with
+      | None -> None
+      | Some k -> (
+          match Hashtbl.find_opt t.flows k with
+          | Some e ->
+              e.matches <- e.matches + 1;
+              Some e
+          | None -> None)
+    in
+    let dst = Packet.Ipv4.get_dst frame in
+    let route, hit =
+      match Iproute.Table.lookup_cached t.routes dst with
+      | `Hit nh -> (Some nh, true)
+      | `Miss r -> (r, false)
+    in
+    Classified { per_flow; general = t.general; route; route_cache_hit = hit }
+  end
+
+(* A frame too short to hold an IP header never reaches the field reads:
+   the validation branch rejects it first (on silicon the registers would
+   simply hold stale bytes; here an out-of-range read is a crash, so the
+   guard is explicit). *)
+let dst_or_zero frame =
+  if Packet.Frame.len frame >= Packet.Ipv4.offset + Packet.Ipv4.min_header_len
+  then Packet.Ipv4.get_dst frame
+  else 0l
+
+let classify_null t ctx frame =
+  let cm = t.cm in
+  Chip_ctx.exec ctx cm.Cost_model.classify_null_instr;
+  ignore (Chip_ctx.hash ctx (Int64.of_int32 (dst_or_zero frame)));
+  Chip_ctx.sram_read ctx ~bytes:(cm.Cost_model.classify_null_sram_reads * 4);
+  decide t frame
+
+let classify_full t ctx frame =
+  let cm = t.cm in
+  Chip_ctx.exec ctx cm.Cost_model.classify_full_instr;
+  ignore (Chip_ctx.hash ctx (Int64.of_int32 (dst_or_zero frame)));
+  ignore (Chip_ctx.hash ctx (Int64.of_int (Packet.Frame.len frame)));
+  Chip_ctx.sram_read ctx ~bytes:cm.Cost_model.classify_full_sram_bytes;
+  decide t frame
+
+let classify_functional t frame = decide t frame

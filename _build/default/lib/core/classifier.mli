@@ -1,0 +1,67 @@
+(** The classifier (paper sections 2.1, 4.5).
+
+    Reads packets from an input port and selects forwarders: first the
+    header is validated ("the checksum verified and the version and length
+    fields checked — but this is done as part of the classifier rather than
+    the forwarder"), then the IP and TCP headers are hashed separately and
+    combined to index the flow metadata table, yielding the per-flow
+    forwarder (if any), the general forwarder chain, and the routing
+    decision (a route-cache probe on the fast path).
+
+    Two cost profiles exist: the trivial classifier of the section 3
+    infrastructure experiments (destination hash, route-cache hit assumed)
+    and the full classifier of section 4.5 (56 instructions, 20 bytes of
+    SRAM, two hardware hashes, counted against the VRP budget). *)
+
+type entry = {
+  fid : int;  (** the install handle *)
+  key : Packet.Flow.t;
+  where : Desc.level;
+  fwdr : Forwarder.t;
+  state : Bytes.t;  (** the flow's SRAM state block *)
+  mutable matches : int;
+}
+
+type outcome =
+  | Invalid  (** malformed header: drop *)
+  | Classified of {
+      per_flow : entry option;
+      general : entry list;  (** serial chain, minimal IP last *)
+      route : Iproute.Table.nexthop option;
+      route_cache_hit : bool;
+    }
+
+type t
+
+val create : Cost_model.t -> routes:Iproute.Table.t -> t
+
+val routes : t -> Iproute.Table.t
+
+(** {1 Table management (driven by {!Iface})} *)
+
+val add : t -> entry -> unit
+(** Adds a per-flow or general entry.  General entries keep install order;
+    an entry named ["ip"] is kept last (Figure 11's fall-through layout). *)
+
+val remove : t -> int -> entry option
+(** [remove t fid] unbinds and returns the entry. *)
+
+val find_fid : t -> int -> entry option
+val general_chain : t -> entry list
+val flow_count : t -> int
+
+(** {1 Data-plane lookups} *)
+
+val classify_null : t -> Chip_ctx.t -> Packet.Frame.t -> outcome
+(** Section 3's trivial classifier: one hardware hash of the destination
+    address plus a route-cache probe; no flow table, no general chain
+    beyond what is installed. *)
+
+val classify_full : t -> Chip_ctx.t -> Packet.Frame.t -> outcome
+(** Section 4.5's classifier: validate, hash IP and TCP headers, read flow
+    metadata from SRAM, resolve the route. *)
+
+val classify_functional : t -> Packet.Frame.t -> outcome
+(** The same decision procedure with no hardware charging — for the
+    StrongARM/Pentium (which receive the metadata pointer and "do not have
+    to re-classify"), tests, and examples. *)

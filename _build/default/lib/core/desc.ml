@@ -1,0 +1,20 @@
+type level = Microengine | Strongarm | Pentium
+
+type t = {
+  buf : Ixp.Buffer_pool.handle;
+  len : int;
+  in_port : int;
+  mutable out_port : int;
+  mutable fid : int;
+  arrival : int64;
+}
+
+let make ~buf ~len ~in_port ~out_port ?(fid = -1) ~arrival () =
+  { buf; len; in_port; out_port; fid; arrival }
+
+let pp_level ppf l =
+  Format.pp_print_string ppf
+    (match l with
+    | Microengine -> "ME"
+    | Strongarm -> "SA"
+    | Pentium -> "PE")

@@ -1,0 +1,28 @@
+(** Packet descriptors: the 32-bit SRAM queue entries of section 3.4,
+    carrying a DRAM buffer reference plus the results of classification
+    ("the packet processing results and some identification information
+    for the packet are then enqueued in the destination queue"). *)
+
+type level = Microengine | Strongarm | Pentium
+
+type t = {
+  buf : Ixp.Buffer_pool.handle;
+  len : int;  (** frame length in bytes *)
+  in_port : int;
+  mutable out_port : int;  (** classification's port choice *)
+  mutable fid : int;  (** installed-forwarder reference for SA/PE dispatch;
+                          -1 when none (plain forwarding) *)
+  arrival : int64;  (** for latency accounting *)
+}
+
+val make :
+  buf:Ixp.Buffer_pool.handle ->
+  len:int ->
+  in_port:int ->
+  out_port:int ->
+  ?fid:int ->
+  arrival:int64 ->
+  unit ->
+  t
+
+val pp_level : Format.formatter -> level -> unit

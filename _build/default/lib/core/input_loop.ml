@@ -1,0 +1,153 @@
+type source = Replay of Packet.Frame.t | Port of Ixp.Mac_port.t
+
+type target =
+  | To_queue of { qid : int; out_port : int; fid : int }
+  | Drop_it
+
+type stats = {
+  mps_in : Sim.Stats.Counter.t;
+  pkts_in : Sim.Stats.Counter.t;
+  enq_ok : Sim.Stats.Counter.t;
+  enq_drop : Sim.Stats.Counter.t;
+  drop_by_process : Sim.Stats.Counter.t;
+}
+
+let make_stats () =
+  let c = Sim.Stats.Counter.create in
+  {
+    mps_in = c "input.mps";
+    pkts_in = c "input.pkts";
+    enq_ok = c "input.enqueued";
+    enq_drop = c "input.queue_drops";
+    drop_by_process = c "input.process_drops";
+  }
+
+type t = {
+  cm : Cost_model.t;
+  enq : Chip_ctx.t -> Squeue.t -> Desc.t -> bool;
+  process : Chip_ctx.t -> Packet.Frame.t -> in_port:int -> target;
+  process_rest_mp : Chip_ctx.t -> Packet.Frame.t -> unit;
+  queue_of : ctx_id:int -> int -> Squeue.t;
+  notify : (int -> unit) option;
+  idle_backoff_cycles : int;
+}
+
+(* I.2/I.3: hardware-mutex protected public queue — the head-pointer
+   read-modify-write happens inside the critical section, so queue
+   contention serializes contexts here. *)
+let enqueue_protected cm ctx q desc =
+  Chip_ctx.scratch_read ctx ~bytes:(4 * cm.Cost_model.mutex_scratch_reads);
+  Sim.Mutex.lock (Squeue.mutex q);
+  Chip_ctx.scratch_read ctx ~bytes:(4 * cm.Cost_model.enqueue_scratch_reads);
+  Chip_ctx.exec ctx cm.Cost_model.enqueue_instr;
+  Chip_ctx.sram_write ctx ~bytes:(4 * cm.Cost_model.enqueue_sram_writes);
+  Chip_ctx.scratch_write ctx ~bytes:(4 * cm.Cost_model.enqueue_scratch_writes);
+  let ok = Squeue.push q desc in
+  Sim.Mutex.unlock (Squeue.mutex q);
+  Chip_ctx.scratch_write ctx ~bytes:(4 * cm.Cost_model.mutex_scratch_writes);
+  ok
+
+(* I.1: private queue — the tail pointer lives in a register; only the
+   entry itself and the readiness bit touch memory. *)
+let enqueue_private cm ctx q desc =
+  Chip_ctx.exec ctx cm.Cost_model.enqueue_instr;
+  Chip_ctx.sram_write ctx ~bytes:(4 * cm.Cost_model.enqueue_sram_writes);
+  Chip_ctx.scratch_write ctx ~bytes:4;
+  Squeue.push q desc
+
+let spawn_context t chip ~ring ~slot ~ctx_id ~source ~stats =
+  let open Ixp in
+  let ctx = Chip_ctx.make chip ~ctx_id in
+  let cm = t.cm in
+  Sim.Token_ring.join ring slot;
+  (* Replay emulates an infinitely fast port: the frame's MP sequence
+     (first/intermediate/last tags included) repeats forever. *)
+  let replay_items =
+    match source with
+    | Port _ -> [||]
+    | Replay f ->
+        let f = Packet.Frame.copy f in
+        let n = Packet.Mp.count (Packet.Frame.len f) in
+        Array.init n (fun index ->
+            let tag =
+              if n = 1 then Packet.Mp.Only
+              else if index = 0 then Packet.Mp.First
+              else if index = n - 1 then Packet.Mp.Last
+              else Packet.Mp.Intermediate
+            in
+            { Ixp.Mac_port.tag; index; frame = f })
+  in
+  let replay_cursor = ref 0 in
+  let name = Printf.sprintf "input.ctx%d" ctx_id in
+  Sim.Engine.spawn chip.Chip.engine name (fun () ->
+      let rec loop backoff =
+        (* Serialized section: token + port check + DMA programming. *)
+        ignore (Sim.Token_ring.acquire ring slot);
+        Chip_ctx.exec ctx cm.Cost_model.input_serial_instr;
+        Chip_ctx.wait_cycles ctx cm.Cost_model.input_serial_wait;
+        let item =
+          match source with
+          | Replay _ ->
+              let i = !replay_cursor in
+              replay_cursor := (i + 1) mod Array.length replay_items;
+              Some replay_items.(i)
+          | Port p -> Mac_port.take_mp p
+        in
+        Sim.Token_ring.release ring slot;
+        match item with
+        | None ->
+            (* Port idle: spin with bounded backoff. *)
+            Chip_ctx.exec ctx 4;
+            Chip_ctx.wait_cycles ctx backoff;
+            loop (min (backoff * 2) t.idle_backoff_cycles)
+        | Some { Mac_port.tag; index = _; frame } ->
+            Sim.Stats.Counter.incr stats.mps_in;
+            (* FIFO slot to transfer registers, then loop bookkeeping. *)
+            Chip_ctx.exec ctx cm.Cost_model.input_copy_instr;
+            Chip_ctx.exec ctx cm.Cost_model.input_loop_instr;
+            let in_port =
+              match source with Replay _ -> 0 | Port p -> Mac_port.id p
+            in
+            (match tag with
+            | Packet.Mp.First | Packet.Mp.Only ->
+                Sim.Stats.Counter.incr stats.pkts_in;
+                (* Circular buffer allocation (shared cursor; the token
+                   serialization protects it, section 3.2.3). *)
+                Chip_ctx.scratch_write ctx
+                  ~bytes:(4 * cm.Cost_model.alloc_scratch_writes);
+                let target = t.process ctx frame ~in_port in
+                (* The MP itself lands in DRAM. *)
+                Chip_ctx.dram_write ctx ~bytes:Packet.Mp.size;
+                (match target with
+                | Drop_it -> Sim.Stats.Counter.incr stats.drop_by_process
+                | To_queue { qid; out_port; fid } -> (
+                    (* A stack pool can run dry (the circular pool never
+                       does — it overwrites); an empty pool drops the
+                       packet, the backpressure the paper's design trades
+                       away for timing predictability (section 3.2.3). *)
+                    match Buffer_pool.alloc chip.Chip.buffers frame with
+                    | exception Failure _ ->
+                        Sim.Stats.Counter.incr stats.enq_drop
+                    | buf ->
+                        let desc =
+                          Desc.make ~buf ~len:(Packet.Frame.len frame)
+                            ~in_port ~out_port ~fid
+                            ~arrival:(Sim.Engine.now ()) ()
+                        in
+                        let q = t.queue_of ~ctx_id qid in
+                        if t.enq ctx q desc then begin
+                          Sim.Stats.Counter.incr stats.enq_ok;
+                          match t.notify with
+                          | Some f -> f qid
+                          | None -> ()
+                        end
+                        else begin
+                          Buffer_pool.free chip.Chip.buffers buf;
+                          Sim.Stats.Counter.incr stats.enq_drop
+                        end))
+            | Packet.Mp.Intermediate | Packet.Mp.Last ->
+                t.process_rest_mp ctx frame;
+                Chip_ctx.dram_write ctx ~bytes:Packet.Mp.size);
+            loop 1
+      in
+      loop 1)

@@ -1,0 +1,77 @@
+(** The input processing loop (paper Figure 5, sections 3.2-3.2.3).
+
+    Each input context runs this loop once per received MP: acquire the
+    token (serializing the shared DMA state machine), check the port and
+    load the next MP into its statically-owned FIFO slot, release the
+    token, copy the MP to registers, run protocol processing (classifier +
+    forwarders — the VRP), write the MP to its DRAM buffer, and on the
+    packet's first MP enqueue a descriptor on the destination queue.
+
+    The queueing discipline (Table 1, I.1-I.3) is selected by
+    [protected_queues]: private queues keep the tail pointer in registers
+    and skip synchronization; protected queues take the per-queue hardware
+    mutex around the head-pointer update. *)
+
+type source =
+  | Replay of Packet.Frame.t
+      (** the paper's "infinitely fast port": one packet preloaded per FIFO
+          slot, iterated without port interaction *)
+  | Port of Ixp.Mac_port.t  (** a real MAC port, statically assigned *)
+
+type target =
+  | To_queue of { qid : int; out_port : int; fid : int }
+  | Drop_it
+
+type stats = {
+  mps_in : Sim.Stats.Counter.t;
+  pkts_in : Sim.Stats.Counter.t;
+  enq_ok : Sim.Stats.Counter.t;
+  enq_drop : Sim.Stats.Counter.t;
+  drop_by_process : Sim.Stats.Counter.t;
+}
+
+val make_stats : unit -> stats
+
+type t = {
+  cm : Cost_model.t;
+  enq : Chip_ctx.t -> Squeue.t -> Desc.t -> bool;
+      (** the discipline-charged enqueue ({!enqueue_private},
+          {!enqueue_protected}, or a custom mechanism such as the
+          spinlock ablation) *)
+  process : Chip_ctx.t -> Packet.Frame.t -> in_port:int -> target;
+      (** protocol processing for a packet's first MP; charges its own
+          hardware costs and returns the destination *)
+  process_rest_mp : Chip_ctx.t -> Packet.Frame.t -> unit;
+      (** extra VRP work applied to each subsequent MP *)
+  queue_of : ctx_id:int -> int -> Squeue.t;
+      (** resolve a [qid] to this context's concrete queue (private
+          disciplines map the same [qid] to per-context queues) *)
+  notify : (int -> unit) option;
+      (** fired after a successful enqueue to [qid] (e.g. signal the
+          StrongARM that an exceptional packet arrived) *)
+  idle_backoff_cycles : int;
+      (** polling gap when the port has nothing (simulation efficiency;
+          real contexts would spin on [port_rdy]) *)
+}
+
+val spawn_context :
+  t ->
+  Ixp.Chip.t ->
+  ring:Sim.Token_ring.t ->
+  slot:int ->
+  ctx_id:int ->
+  source:source ->
+  stats:stats ->
+  unit
+(** Start one input context as a fiber.  [slot] is both the context's token
+    ring position and its FIFO slot; [ctx_id] selects the hosting
+    MicroEngine. *)
+
+val enqueue_private : Cost_model.t -> Chip_ctx.t -> Squeue.t -> Desc.t -> bool
+(** I.1: tail pointer in registers, no synchronization. *)
+
+val enqueue_protected :
+  Cost_model.t -> Chip_ctx.t -> Squeue.t -> Desc.t -> bool
+(** I.2/I.3: hardware-mutex protected head-pointer update; blocks under
+    contention.  Also used by the StrongARM to re-enqueue diverted packets
+    onto output queues. *)

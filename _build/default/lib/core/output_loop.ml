@@ -1,0 +1,209 @@
+type discipline = O1_batch | O2_single | O3_multi
+
+type stats = {
+  mps_out : Sim.Stats.Counter.t;
+  pkts_out : Sim.Stats.Counter.t;
+  stale_bufs : Sim.Stats.Counter.t;
+}
+
+let make_stats () =
+  let c = Sim.Stats.Counter.create in
+  {
+    mps_out = c "output.mps";
+    pkts_out = c "output.pkts";
+    stale_bufs = c "output.stale_buffers";
+  }
+
+type t = {
+  cm : Cost_model.t;
+  discipline : discipline;
+  queues : Squeue.t array;
+  port_for : Desc.t -> Ixp.Mac_port.t option;
+  on_tx : (Desc.t -> Packet.Frame.t -> unit) option;
+  idle_backoff_cycles : int;
+}
+
+type in_flight = {
+  desc : Desc.t;
+  frame : Packet.Frame.t;
+  mutable mps : Packet.Mp.t list; (* remaining to transmit *)
+}
+
+(* Dequeue bookkeeping shared by every discipline: select_queue charges are
+   paid by the caller; this pays the tail-pointer update and reads the
+   packet out of its DRAM buffer. *)
+let take_packet t ctx chip stats desc =
+  let cm = t.cm in
+  Chip_ctx.exec ctx cm.Cost_model.output_pkt_instr;
+  Chip_ctx.sram_write ctx ~bytes:(4 * cm.Cost_model.dequeue_sram_writes);
+  Chip_ctx.scratch_write ctx ~bytes:(4 * cm.Cost_model.dequeue_scratch_writes);
+  match Ixp.Buffer_pool.read chip.Ixp.Chip.buffers desc.Desc.buf with
+  | None ->
+      (* The circular allocator lapped this packet. *)
+      Sim.Stats.Counter.incr stats.stale_bufs;
+      None
+  | Some frame -> Some { desc; frame; mps = Packet.Mp.split frame }
+
+(* Move one MP of [inflight] to its port's FIFO if the wire has room.
+   Returns false when the slot is busy (caller polls again). *)
+let push_mp t ctx chip stats inflight ~on_done =
+  match inflight.mps with
+  | [] ->
+      on_done ();
+      true
+  | mp :: rest -> (
+      let slot =
+        match t.port_for inflight.desc with
+        | None -> `Ok
+        | Some p -> Ixp.Mac_port.tx_try_pace p ~tag:mp.Packet.Mp.tag
+      in
+      match slot with
+      | `Wait _ -> false
+      | `Ok ->
+          (* DRAM buffer to output FIFO, then slot enable. *)
+          Chip_ctx.dram_read ctx ~bytes:Packet.Mp.size;
+          Chip_ctx.exec ctx t.cm.Cost_model.output_mp_instr;
+          inflight.mps <- rest;
+          Sim.Stats.Counter.incr stats.mps_out;
+          (match t.port_for inflight.desc with
+          | Some p ->
+              Ixp.Mac_port.transmit_mp p mp
+                ~len_hint:(Packet.Frame.len inflight.frame)
+          | None -> ());
+          if rest = [] then begin
+            on_done ();
+            (* Return the DRAM buffer (a no-op for the circular pool). *)
+            Ixp.Buffer_pool.free chip.Ixp.Chip.buffers
+              inflight.desc.Desc.buf;
+            Sim.Stats.Counter.incr stats.pkts_out;
+            match t.on_tx with
+            | Some f -> f inflight.desc inflight.frame
+            | None -> ()
+          end;
+          true)
+
+(* One iteration per MP, exactly Figure 6: the token section, then — when
+   the previous packet finished — select_queue and dequeue, then one MP
+   from DRAM to the FIFO.  The single-queue disciplines (O.1/O.2) keep one
+   packet in flight; a context servicing several ports (O.3) holds one
+   FIFO slot per queue so a saturated port cannot head-of-line block the
+   others. *)
+let spawn_context t chip ~ring ~slot ~ctx_id ~stats =
+  let open Ixp in
+  let ctx = Chip_ctx.make chip ~ctx_id in
+  let cm = t.cm in
+  Sim.Token_ring.join ring slot;
+  let batch = ref 0 in
+  let name = Printf.sprintf "output.ctx%d" ctx_id in
+  let serial_section () =
+    ignore (Sim.Token_ring.acquire ring slot);
+    Chip_ctx.exec ctx cm.Cost_model.output_serial_instr;
+    Chip_ctx.wait_cycles ctx cm.Cost_model.output_serial_wait;
+    Sim.Token_ring.release ring slot
+  in
+  let poll_wait backoff =
+    Chip_ctx.exec ctx 4;
+    Chip_ctx.wait_cycles ctx backoff;
+    min (backoff * 2) t.idle_backoff_cycles
+  in
+  let single_queue_loop () =
+    let q = t.queues.(0) in
+    let select () =
+      match t.discipline with
+      | O1_batch ->
+          if !batch > 0 then begin
+            match Squeue.pop q with
+            | Some d ->
+                decr batch;
+                Some d
+            | None ->
+                batch := 0;
+                None
+          end
+          else begin
+            Chip_ctx.scratch_read ctx ~bytes:4;
+            let ready = Squeue.length q in
+            if ready = 0 then None
+            else begin
+              batch := ready - 1;
+              Squeue.pop q
+            end
+          end
+      | O2_single | O3_multi ->
+          Chip_ctx.scratch_read ctx ~bytes:4;
+          Squeue.pop q
+    in
+    let current = ref None in
+    let rec loop backoff =
+      serial_section ();
+      (if !current = None then
+         match select () with
+         | None -> ()
+         | Some desc -> current := take_packet t ctx chip stats desc);
+      match !current with
+      | None -> loop (poll_wait backoff)
+      | Some inflight ->
+          if push_mp t ctx chip stats inflight ~on_done:(fun () -> current := None)
+          then loop 1
+          else loop (poll_wait backoff)
+    in
+    loop 1
+  in
+  let multi_queue_loop () =
+    let n = Array.length t.queues in
+    let currents = Array.make n None in
+    let rec loop backoff =
+      serial_section ();
+      (* Advance the highest-priority slot whose wire has room. *)
+      let progressed = ref false in
+      let i = ref 0 in
+      while (not !progressed) && !i < n do
+        (match currents.(!i) with
+        | Some inflight ->
+            let idx = !i in
+            if
+              push_mp t ctx chip stats inflight ~on_done:(fun () ->
+                  currents.(idx) <- None)
+            then progressed := true
+        | None -> ());
+        incr i
+      done;
+      if !progressed then loop 1
+      else begin
+        (* Start a packet on an idle slot: one readiness bit-array read
+           summarizes every queue (section 3.4.3), then the chosen queue
+           pays its own head read. *)
+        Chip_ctx.scratch_read ctx ~bytes:(4 * cm.Cost_model.o3_scratch_reads);
+        Chip_ctx.exec ctx cm.Cost_model.o3_select_instr;
+        let rec scan i =
+          if i >= n then None
+          else if currents.(i) <> None || Squeue.is_empty t.queues.(i) then
+            scan (i + 1)
+          else begin
+            Chip_ctx.scratch_read ctx ~bytes:4;
+            match Squeue.pop t.queues.(i) with
+            | None -> scan (i + 1)
+            | Some desc -> Some (i, desc)
+          end
+        in
+        match scan 0 with
+        | Some (i, desc) ->
+            (match take_packet t ctx chip stats desc with
+            | None -> ()
+            | Some inflight ->
+                currents.(i) <- Some inflight;
+                (* Figure 6 moves the first MP in the same iteration as
+                   the dequeue. *)
+                ignore
+                  (push_mp t ctx chip stats inflight ~on_done:(fun () ->
+                       currents.(i) <- None)));
+            loop 1
+        | None -> loop (poll_wait backoff)
+      end
+    in
+    loop 1
+  in
+  Sim.Engine.spawn chip.Chip.engine name (fun () ->
+      match t.discipline with
+      | O1_batch | O2_single -> single_queue_loop ()
+      | O3_multi -> multi_queue_loop ())

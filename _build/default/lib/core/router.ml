@@ -1,0 +1,468 @@
+module Cost_model = Cost_model
+module Vrp = Vrp
+module Chip_ctx = Chip_ctx
+module Desc = Desc
+module Squeue = Squeue
+module Forwarder = Forwarder
+module Classifier = Classifier
+module Input_loop = Input_loop
+module Output_loop = Output_loop
+module Fixed_infra = Fixed_infra
+module Strongarm = Strongarm
+module Pentium = Pentium
+module Psched = Psched
+module Admission = Admission
+module Iface = Iface
+module Capacity = Capacity
+module Wfq = Wfq
+
+type config = {
+  hw : Ixp.Config.t;
+  cm : Cost_model.t;
+  n_ports : int;
+  port_mbps : float;
+  uplink_ports : int;
+  uplink_mbps : float;
+  n_input_contexts : int;
+  n_output_contexts : int;
+  full_classifier : bool;
+  sa_wakeup : Strongarm.wakeup;
+  sa_full_copy : bool;
+  pe_flow_queues : int;
+  pe_buffers : int;
+  queue_capacity : int;
+  route_engine : Iproute.Table.engine;
+  divert_on_cache_miss : bool;
+  selective_invalidation : bool;
+  circular_buffers : bool;
+}
+
+let default_config =
+  {
+    hw = Ixp.Config.default;
+    cm = Cost_model.default;
+    n_ports = 8;
+    port_mbps = 100.;
+    uplink_ports = 0;
+    uplink_mbps = 1000.;
+    n_input_contexts = 16;
+    n_output_contexts = 8;
+    full_classifier = true;
+    sa_wakeup = Strongarm.Polling;
+    sa_full_copy = false;
+    pe_flow_queues = 4;
+    pe_buffers = 128;
+    queue_capacity = 2048;
+    route_engine = Iproute.Table.Cpe;
+    divert_on_cache_miss = true;
+    selective_invalidation = false;
+    circular_buffers = true;
+  }
+
+type t = {
+  config : config;
+  engine : Sim.Engine.t;
+  chip : Ixp.Chip.t;
+  routes : Iproute.Table.t;
+  classifier : Classifier.t;
+  iface : Iface.t;
+  sa : Strongarm.t;
+  pe : Pentium.t;
+  out_queues : Squeue.t array;
+  istats : Input_loop.stats;
+  ostats : Output_loop.stats;
+  delivered : Sim.Stats.Counter.t array;
+  latency : Sim.Stats.Histogram.t;
+}
+
+let mes_used ~n = (n + 3) / 4
+
+let total_ports config = config.n_ports + config.uplink_ports
+
+let create ?(config = default_config) ?engine () =
+  let engine =
+    match engine with Some e -> e | None -> Sim.Engine.create ()
+  in
+  let n_all = total_ports config in
+  let delivered =
+    Array.init n_all (fun i ->
+        Sim.Stats.Counter.create (Printf.sprintf "port%d.delivered" i))
+  in
+  let latency = Sim.Stats.Histogram.create "latency_ps" in
+  let ports =
+    List.init n_all (fun i ->
+        {
+          Ixp.Chip.mbps =
+            (if i < config.n_ports then config.port_mbps
+             else config.uplink_mbps);
+          sink = Some (fun _ -> Sim.Stats.Counter.incr delivered.(i));
+        })
+  in
+  let chip =
+    Ixp.Chip.create ~cfg:config.hw ~ports
+      ~circular_buffers:config.circular_buffers engine
+  in
+  let routes =
+    Iproute.Table.create ~engine:config.route_engine ~cache_slots:8192
+      ~selective_invalidation:config.selective_invalidation ()
+  in
+  let classifier = Classifier.create config.cm ~routes in
+  let n_in_me = mes_used ~n:config.n_input_contexts in
+  let iface =
+    Iface.create ~chip ~classifier ~input_mes:(List.init n_in_me Fun.id) ()
+  in
+  let out_queues =
+    Array.init n_all (fun i ->
+        Squeue.create
+          ~name:(Printf.sprintf "port%d" i)
+          ~capacity:config.queue_capacity ())
+  in
+  let out_enqueue ctx desc =
+    if desc.Desc.out_port < 0 then false (* never routed: drop *)
+    else begin
+      let q = out_queues.(desc.Desc.out_port mod n_all) in
+      Input_loop.enqueue_protected config.cm ctx q desc
+    end
+  in
+  let lookup_fid fid = Iface.find iface fid in
+  (* The router's own per-port addresses (10.254.<port>.1), used as the
+     source of ICMP errors the slow path generates. *)
+  let icmp_addr port =
+    Int32.of_int ((10 lsl 24) lor (254 lsl 16) lor ((port land 0xFF) lsl 8) lor 1)
+  in
+  let sa =
+    Strongarm.create chip config.cm ~wakeup:config.sa_wakeup
+      ~pe_flow_queues:config.pe_flow_queues ~pe_buffers:config.pe_buffers
+      ~full_copy:config.sa_full_copy ~icmp_addr ~lookup_fid ~routes
+      ~out_enqueue ()
+  in
+  let pe =
+    Pentium.create chip config.cm ~from_sa:sa.Strongarm.to_pe
+      ~returns:sa.Strongarm.returns ~lookup_fid ()
+  in
+  (* Wire the Pentium's proportional-share client management into the
+     control interface. *)
+  Iface.set_pe_hooks iface
+    ~add:(fun ~fid entry ->
+      Pentium.add_flow_client pe ~fid
+        ~name:entry.Classifier.fwdr.Forwarder.name ~share:1.0)
+    ~remove:(fun ~fid -> Pentium.remove_flow_client pe ~fid);
+  {
+    config;
+    engine;
+    chip;
+    routes;
+    classifier;
+    iface;
+    sa;
+    pe;
+    out_queues;
+    istats = Input_loop.make_stats ();
+    ostats = Output_loop.make_stats ();
+    delivered;
+    latency;
+  }
+
+let qid_sa_local t = total_ports t.config
+
+let qid_sa_pe t h =
+  total_ports t.config + 1 + (abs h mod t.config.pe_flow_queues)
+
+let add_route t prefix ~port =
+  Iproute.Table.add t.routes prefix
+    {
+      Iproute.Table.out_port = port;
+      gateway_mac = Packet.Ethernet.mac_of_port (100 + port);
+    }
+
+(* Finish a routed packet: the minimal IP tail — TTL decrement with
+   incremental checksum (charged per Table 5's IP row), MAC rewrite, out
+   the routed port. *)
+let finish_ip t ctx frame nh =
+  let cm = t.config.cm in
+  Chip_ctx.exec ctx 32;
+  Chip_ctx.sram_read ctx ~bytes:24;
+  ignore cm;
+  if not (Packet.Ipv4.decrement_ttl frame) then
+    (* TTL expired: the slow path owns ICMP generation. *)
+    Input_loop.To_queue
+      { qid = qid_sa_local t; out_port = 0; fid = -1 }
+  else begin
+    Packet.Ethernet.set_dst frame nh.Iproute.Table.gateway_mac;
+    Packet.Ethernet.set_src frame
+      (Packet.Ethernet.mac_of_port nh.Iproute.Table.out_port);
+    Input_loop.To_queue
+      {
+        qid = nh.Iproute.Table.out_port mod total_ports t.config;
+        out_port = nh.Iproute.Table.out_port;
+        fid = -1;
+      }
+  end
+
+let default_process t ctx frame ~in_port =
+  let outcome =
+    if t.config.full_classifier then
+      Classifier.classify_full t.classifier ctx frame
+    else Classifier.classify_null t.classifier ctx frame
+  in
+  match outcome with
+  | Classifier.Invalid -> Input_loop.Drop_it
+  | Classifier.Classified { per_flow; general; route; route_cache_hit } ->
+      (* The routing decision travels up the hierarchy in the descriptor
+         (the paper's 8-byte internal routing header), so higher levels
+         need not re-classify; -1 marks "no route yet" and the StrongARM's
+         slow path resolves it. *)
+      let routed_out =
+        match route with Some nh -> nh.Iproute.Table.out_port | None -> -1
+      in
+      let divert_sa fid =
+        Input_loop.To_queue { qid = qid_sa_local t; out_port = routed_out; fid }
+      in
+      let divert_pe fid =
+        let h =
+          match Packet.Flow.of_frame frame with
+          | Some k -> Hashtbl.hash k
+          | None -> 0
+        in
+        Input_loop.To_queue { qid = qid_sa_pe t h; out_port = routed_out; fid }
+      in
+      let run_entry (e : Classifier.entry) k =
+        match e.Classifier.where with
+        | Desc.Strongarm -> divert_sa e.Classifier.fid
+        | Desc.Pentium -> divert_pe e.Classifier.fid
+        | Desc.Microengine -> (
+            Vrp.execute
+              ~op_overhead:
+                ( t.config.cm.Cost_model.vrp_mem_op_instr,
+                  t.config.cm.Cost_model.vrp_mem_op_wait )
+              ctx e.Classifier.fwdr.Forwarder.code;
+            match
+              e.Classifier.fwdr.Forwarder.action ~state:e.Classifier.state
+                frame ~in_port
+            with
+            | Forwarder.Continue -> k ()
+            | Forwarder.Drop -> Input_loop.Drop_it
+            | Forwarder.Forward p ->
+                Input_loop.To_queue
+                  { qid = p mod total_ports t.config; out_port = p; fid = -1 }
+            | Forwarder.Forward_routed -> (
+                match route with
+                | Some nh -> finish_ip t ctx frame nh
+                | None -> divert_sa (-1))
+            | Forwarder.Divert Desc.Strongarm -> divert_sa e.Classifier.fid
+            | Forwarder.Divert Desc.Pentium -> divert_pe e.Classifier.fid
+            | Forwarder.Divert Desc.Microengine -> k ())
+      in
+      let rec chain = function
+        | [] -> (
+            (* The built-in minimal IP tail.  Packets with options, no
+               route, or a route-cache miss are exceptional: the StrongARM
+               services them (section 3.2), warming the cache on the
+               way. *)
+            if Packet.Ipv4.has_options frame then divert_sa (-1)
+            else if t.config.divert_on_cache_miss && not route_cache_hit then
+              divert_sa (-1)
+            else
+              match route with
+              | Some nh -> finish_ip t ctx frame nh
+              | None -> divert_sa (-1))
+        | e :: rest -> run_entry e (fun () -> chain rest)
+      in
+      let entries =
+        match per_flow with Some e -> e :: general | None -> general
+      in
+      chain entries
+
+let start ?process t =
+  let cfg = t.config in
+  let cm = cfg.cm in
+  let process =
+    match process with Some p -> p t | None -> default_process t
+  in
+  (* Input contexts: two per port, maximally separated in the rotation
+     (context i serves port i mod n_ports). *)
+  let input_ring =
+    Sim.Token_ring.create ~name:"input-token"
+      ~pass_ps:
+        (Sim.Engine.Clock.ps_of_cycles t.chip.Ixp.Chip.me_clock
+           cfg.hw.Ixp.Config.token_pass_cycles)
+      ~members:cfg.n_input_contexts ()
+  in
+  let n_in_me = mes_used ~n:cfg.n_input_contexts in
+  let n_all = total_ports cfg in
+  let queue_of ~ctx_id:_ qid =
+    if qid < n_all then t.out_queues.(qid)
+    else if qid = n_all then t.sa.Strongarm.local_q
+    else t.sa.Strongarm.pe_qs.(qid - n_all - 1)
+  in
+  let notify qid = if qid >= n_all then Strongarm.notify t.sa in
+  let il =
+    {
+      Input_loop.cm;
+      enq = Input_loop.enqueue_protected cm;
+      process;
+      process_rest_mp = (fun _ _ -> ());
+      queue_of;
+      notify = Some notify;
+      idle_backoff_cycles = 128;
+    }
+  in
+  (* Contexts per port in proportion to line rate (every port gets at
+     least one when contexts suffice): the "budget RI capacity to service
+     packets arriving on the internal link" of section 6.  Quotas are
+     drained round-robin so the contexts sharing a port sit as far apart
+     as possible in the token rotation (section 3.2.2). *)
+  let port_mbps_of i = Ixp.Mac_port.mbps t.chip.Ixp.Chip.ports.(i) in
+  let quotas =
+    let total_mbps = ref 0. in
+    for i = 0 to n_all - 1 do
+      total_mbps := !total_mbps +. port_mbps_of i
+    done;
+    let q = Array.make n_all 1 in
+    let assigned = ref (min n_all cfg.n_input_contexts) in
+    (* Hand out the remaining contexts by largest fractional share. *)
+    while !assigned < cfg.n_input_contexts do
+      let best = ref 0 and best_gap = ref neg_infinity in
+      for i = 0 to n_all - 1 do
+        let want =
+          float_of_int cfg.n_input_contexts *. port_mbps_of i /. !total_mbps
+        in
+        let gap = want -. float_of_int q.(i) in
+        if gap > !best_gap then begin
+          best := i;
+          best_gap := gap
+        end
+      done;
+      q.(!best) <- q.(!best) + 1;
+      incr assigned
+    done;
+    q
+  in
+  let input_ports =
+    (* Round-robin through ports, one context per pass while quota lasts. *)
+    let remaining = Array.copy quotas in
+    let order = ref [] in
+    let left = ref (Array.fold_left ( + ) 0 remaining) in
+    while !left > 0 do
+      for i = 0 to n_all - 1 do
+        if remaining.(i) > 0 then begin
+          remaining.(i) <- remaining.(i) - 1;
+          decr left;
+          order := i :: !order
+        end
+      done
+    done;
+    Array.of_list (List.rev !order)
+  in
+  for i = 0 to cfg.n_input_contexts - 1 do
+    let ctx_id = ((i mod n_in_me) * 4) + (i / n_in_me) in
+    let port = t.chip.Ixp.Chip.ports.(input_ports.(i mod Array.length input_ports)) in
+    Input_loop.spawn_context il t.chip ~ring:input_ring ~slot:i ~ctx_id
+      ~source:(Input_loop.Port port) ~stats:t.istats
+  done;
+  (* Output contexts: one per port when they suffice; otherwise a context
+     services several ports' queues in priority order (the RI capacity the
+     internal link consumes, section 6). *)
+  let n_out = min cfg.n_output_contexts n_all in
+  let output_ring =
+    Sim.Token_ring.create ~name:"output-token"
+      ~pass_ps:
+        (Sim.Engine.Clock.ps_of_cycles t.chip.Ixp.Chip.me_clock
+           cfg.hw.Ixp.Config.token_pass_cycles)
+      ~members:n_out ()
+  in
+  (* Ports are packed onto output contexts greedily by line rate, so a
+     fast uplink gets a context to itself while slow ports share. *)
+  let out_assignment = Array.make n_out [] in
+  (let load = Array.make n_out 0. in
+   let ports_by_speed =
+     List.sort
+       (fun a b -> compare (port_mbps_of b) (port_mbps_of a))
+       (List.init n_all Fun.id)
+   in
+   List.iter
+     (fun p ->
+       let best = ref 0 in
+       for j = 1 to n_out - 1 do
+         if load.(j) < load.(!best) then best := j
+       done;
+       load.(!best) <- load.(!best) +. port_mbps_of p;
+       out_assignment.(!best) <- out_assignment.(!best) @ [ p ])
+     ports_by_speed);
+  for j = 0 to n_out - 1 do
+    let n_out_me = mes_used ~n:n_out in
+    let ctx_id = ((n_in_me + (j mod n_out_me)) * 4) + (j / n_out_me) in
+    let my_ports = out_assignment.(j) in
+    match my_ports with
+    | [] -> ()
+    | _ :: extra ->
+        (* A context with several ports transmits each packet on its
+           descriptor's port; queues are drained in priority order. *)
+        let queues =
+          Array.of_list (List.map (fun p -> t.out_queues.(p)) my_ports)
+        in
+        let multi = extra <> [] in
+        let ol =
+          {
+            Output_loop.cm;
+            discipline =
+              (if multi then Output_loop.O3_multi else Output_loop.O1_batch);
+            queues;
+            port_for =
+              (fun desc ->
+                Some t.chip.Ixp.Chip.ports.(desc.Desc.out_port mod n_all));
+            on_tx =
+              Some
+                (fun desc _ ->
+                  Sim.Stats.Histogram.observe t.latency
+                    (Int64.sub (Sim.Engine.now ()) desc.Desc.arrival));
+            idle_backoff_cycles = 128;
+          }
+        in
+        Output_loop.spawn_context ol t.chip ~ring:output_ring ~slot:j ~ctx_id
+          ~stats:t.ostats
+  done;
+  Strongarm.spawn t.sa t.chip;
+  Pentium.spawn t.pe t.chip
+
+let inject t ~port frame = Ixp.Mac_port.offer t.chip.Ixp.Chip.ports.(port) frame
+
+let connect t ~port deliver =
+  let counter = t.delivered.(port) in
+  Ixp.Mac_port.set_sink t.chip.Ixp.Chip.ports.(port) (fun f ->
+      Sim.Stats.Counter.incr counter;
+      deliver f)
+
+let run_for t ~us =
+  let target =
+    Int64.add (Sim.Engine.time t.engine) (Sim.Engine.of_seconds (us *. 1e-6))
+  in
+  Sim.Engine.run t.engine ~until:target
+
+let delivered_total t =
+  Array.fold_left (fun acc c -> acc + Sim.Stats.Counter.value c) 0 t.delivered
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>router after %.3f ms:@,"
+    (Sim.Engine.seconds (Sim.Engine.time t.engine) *. 1e3);
+  Format.fprintf ppf "  in: %d pkts (%d enqueued, %d dropped)@,"
+    (Sim.Stats.Counter.value t.istats.Input_loop.pkts_in)
+    (Sim.Stats.Counter.value t.istats.Input_loop.enq_ok)
+    (Sim.Stats.Counter.value t.istats.Input_loop.enq_drop);
+  Format.fprintf ppf "  out: %d pkts transmitted@,"
+    (Sim.Stats.Counter.value t.ostats.Output_loop.pkts_out);
+  Array.iteri
+    (fun i c ->
+      Format.fprintf ppf "  port %d: delivered %d (queue depth %d)@," i
+        (Sim.Stats.Counter.value c)
+        (Squeue.length t.out_queues.(i)))
+    t.delivered;
+  Format.fprintf ppf "  sa: local=%d bridged=%d returned=%d dropped=%d@,"
+    (Sim.Stats.Counter.value t.sa.Strongarm.stats.Strongarm.local_done)
+    (Sim.Stats.Counter.value t.sa.Strongarm.stats.Strongarm.bridged)
+    (Sim.Stats.Counter.value t.sa.Strongarm.stats.Strongarm.returned)
+    (Sim.Stats.Counter.value t.sa.Strongarm.stats.Strongarm.dropped);
+  Format.fprintf ppf "  pe: processed=%d dropped=%d@,"
+    (Sim.Stats.Counter.value (Pentium.stats t.pe).Pentium.processed)
+    (Sim.Stats.Counter.value (Pentium.stats t.pe).Pentium.dropped);
+  Format.fprintf ppf "  %a@]" Sim.Stats.Histogram.pp t.latency

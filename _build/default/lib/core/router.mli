@@ -1,0 +1,136 @@
+(** The assembled three-level router (paper Figures 1 and 8): MicroEngine
+    input/output loops around the port queues, the StrongARM bridge with
+    its local and Pentium-bound queues, the Pentium with its
+    proportional-share scheduler, and the {!Iface} control interface
+    binding them.
+
+    Queue ids: [0 .. n_ports-1] are the output-port queues; {!qid_sa_local}
+    is the StrongARM's exceptional/local queue; {!qid_sa_pe} selects a
+    Pentium-bound flow queue.
+
+    The built-in protocol processing is the paper's boot configuration:
+    validate, classify (full classifier), run the installed per-flow and
+    general forwarder chain, and finish with minimal IP (TTL decrement,
+    incremental checksum, MAC rewrite); packets with IP options, TTL
+    expiry, or route-cache misses divert to the StrongARM. *)
+
+(** {1 Library interface}
+
+    [Router] doubles as the library's entry module: every public module of
+    the core library is re-exported here. *)
+
+module Cost_model = Cost_model
+module Vrp = Vrp
+module Chip_ctx = Chip_ctx
+module Desc = Desc
+module Squeue = Squeue
+module Forwarder = Forwarder
+module Classifier = Classifier
+module Input_loop = Input_loop
+module Output_loop = Output_loop
+module Fixed_infra = Fixed_infra
+module Strongarm = Strongarm
+module Pentium = Pentium
+module Psched = Psched
+module Admission = Admission
+module Iface = Iface
+module Capacity = Capacity
+module Wfq = Wfq
+
+(** {1 The assembled router} *)
+
+type config = {
+  hw : Ixp.Config.t;
+  cm : Cost_model.t;
+  n_ports : int;
+  port_mbps : float;
+  uplink_ports : int;
+      (** extra high-speed ports after the externals (the section 6
+          cluster's internal links; the evaluation board's 2 x 1 Gbps) *)
+  uplink_mbps : float;
+  n_input_contexts : int;
+  n_output_contexts : int;
+  full_classifier : bool;
+      (** section 4.5's classifier (hashes + flow table) vs the trivial
+          one of section 3 *)
+  sa_wakeup : Strongarm.wakeup;
+  sa_full_copy : bool;  (** ship whole packets over PCI (Table 4 mode) *)
+  pe_flow_queues : int;
+  pe_buffers : int;
+  queue_capacity : int;
+  route_engine : Iproute.Table.engine;
+  divert_on_cache_miss : bool;
+      (** route-cache misses are exceptional packets serviced by the
+          StrongARM (section 3.2/3.6); false resolves them inline for
+          synthetic workloads with no locality *)
+  selective_invalidation : bool;
+      (** route changes drop only the covered cache lines (see
+          {!Iproute.Table.create}) *)
+  circular_buffers : bool;
+      (** the paper's single-pass circular DRAM buffer pool (true) vs the
+          per-buffer stack pool it declined to build (section 3.2.3) *)
+}
+
+val default_config : config
+(** The prototype: 8 x 100 Mbps ports, 16 input + 8 output contexts, full
+    classifier, polling StrongARM, lazy PCI copies. *)
+
+type t = {
+  config : config;
+  engine : Sim.Engine.t;
+  chip : Ixp.Chip.t;
+  routes : Iproute.Table.t;
+  classifier : Classifier.t;
+  iface : Iface.t;
+  sa : Strongarm.t;
+  pe : Pentium.t;
+  out_queues : Squeue.t array;
+  istats : Input_loop.stats;
+  ostats : Output_loop.stats;
+  delivered : Sim.Stats.Counter.t array;  (** frames out each port *)
+  latency : Sim.Stats.Histogram.t;  (** arrival-to-transmit, ps *)
+}
+
+val create : ?config:config -> ?engine:Sim.Engine.t -> unit -> t
+(** Build (does not start fibers).  Pass a shared [engine] to place
+    several routers in one simulation (see {!connect}). *)
+
+val add_route : t -> Iproute.Prefix.t -> port:int -> unit
+(** Convenience: route a prefix out a port via that port's peer MAC. *)
+
+val start :
+  ?process:(t -> Chip_ctx.t -> Packet.Frame.t -> in_port:int -> Input_loop.target) ->
+  t ->
+  unit
+(** Spawn every fiber: input contexts (two per port, maximally separated in
+    the token rotation), output contexts (one per port), the StrongARM and
+    the Pentium.  [process] overrides protocol processing (used by the
+    section 3.6 and robustness benches). *)
+
+val inject : t -> port:int -> Packet.Frame.t -> bool
+(** Deliver a frame to a port's receive memory (what a traffic source
+    calls); false if port memory overflowed. *)
+
+val connect : t -> port:int -> (Packet.Frame.t -> unit) -> unit
+(** Attach a delivery callback to a port's transmit side (in addition to
+    the per-port counter) — e.g. [connect a ~port:6 (fun f -> ignore
+    (inject b ~port:0 f))] cables router [a]'s port 6 to router [b]'s
+    port 0, the multi-chassis configuration of the paper's section 6. *)
+
+val run_for : t -> us:float -> unit
+(** Advance the simulation. *)
+
+val qid_sa_local : t -> int
+val qid_sa_pe : t -> int -> int
+(** [qid_sa_pe t h] picks a Pentium-bound queue by flow hash [h]. *)
+
+val default_process :
+  t -> Chip_ctx.t -> Packet.Frame.t -> in_port:int -> Input_loop.target
+(** The boot protocol processing described above (exposed so overrides can
+    fall back to it). *)
+
+val delivered_total : t -> int
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-paragraph state dump: per-port counters, SA/PE counters, queue
+    depths. *)

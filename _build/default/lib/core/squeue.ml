@@ -1,0 +1,55 @@
+type t = {
+  name : string;
+  capacity : int;
+  items : Desc.t Queue.t;
+  mutex : Sim.Mutex.t;
+  mutable enqueued : int;
+  mutable dequeued : int;
+  mutable dropped : int;
+  mutable peak : int;
+}
+
+let create ?(name = "queue") ~capacity () =
+  if capacity <= 0 then invalid_arg "Squeue.create: capacity";
+  {
+    name;
+    capacity;
+    items = Queue.create ();
+    mutex = Sim.Mutex.create ~name:(name ^ ".mutex") ();
+    enqueued = 0;
+    dequeued = 0;
+    dropped = 0;
+    peak = 0;
+  }
+
+let name q = q.name
+let capacity q = q.capacity
+
+let push q d =
+  if Queue.length q.items >= q.capacity then begin
+    q.dropped <- q.dropped + 1;
+    false
+  end
+  else begin
+    Queue.push d q.items;
+    q.enqueued <- q.enqueued + 1;
+    let len = Queue.length q.items in
+    if len > q.peak then q.peak <- len;
+    true
+  end
+
+let pop q =
+  match Queue.take_opt q.items with
+  | None -> None
+  | Some d ->
+      q.dequeued <- q.dequeued + 1;
+      Some d
+
+let peek q = Queue.peek_opt q.items
+let length q = Queue.length q.items
+let is_empty q = Queue.is_empty q.items
+let mutex q = q.mutex
+let enqueued q = q.enqueued
+let dequeued q = q.dequeued
+let dropped q = q.dropped
+let peak_length q = q.peak

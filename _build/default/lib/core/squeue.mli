@@ -1,0 +1,35 @@
+(** Packet queues (paper section 3.4): "contiguous circular arrays of
+    32-bit entries in SRAM.  Head and tail pointers are simply indexes into
+    the array, and they are stored in Scratch memory."
+
+    The queue itself is pure bookkeeping; the memory traffic its operations
+    cost is charged by the input/output loops according to the active
+    discipline (Table 1), so one queue type serves I.1/I.2/I.3 and
+    O.1/O.2/O.3 alike.  Each queue owns a hardware {!Sim.Mutex} used only
+    by the protected disciplines. *)
+
+type t
+
+val create : ?name:string -> capacity:int -> unit -> t
+(** [create ~capacity ()] is an empty circular queue. *)
+
+val name : t -> string
+val capacity : t -> int
+
+val push : t -> Desc.t -> bool
+(** [push q d] appends; false (and a drop count) when full. *)
+
+val pop : t -> Desc.t option
+val peek : t -> Desc.t option
+val length : t -> int
+val is_empty : t -> bool
+
+val mutex : t -> Sim.Mutex.t
+(** The hardware mutex protecting this queue under I.2/I.3. *)
+
+val enqueued : t -> int
+val dequeued : t -> int
+val dropped : t -> int
+
+val peak_length : t -> int
+(** High-water mark, for sizing and robustness reports. *)

@@ -1,0 +1,268 @@
+type payload = { desc : Desc.t; frame : Packet.Frame.t; bytes : int }
+
+type wakeup = Polling | Interrupts
+
+type stats = {
+  local_done : Sim.Stats.Counter.t;
+  bridged : Sim.Stats.Counter.t;
+  returned : Sim.Stats.Counter.t;
+  dropped : Sim.Stats.Counter.t;
+  route_misses : Sim.Stats.Counter.t;
+  icmp_sent : Sim.Stats.Counter.t;
+  stale_bufs : Sim.Stats.Counter.t;
+}
+
+let make_stats () =
+  let c = Sim.Stats.Counter.create in
+  {
+    local_done = c "sa.local";
+    bridged = c "sa.bridged";
+    returned = c "sa.returned";
+    dropped = c "sa.dropped";
+    route_misses = c "sa.route_misses";
+    icmp_sent = c "sa.icmp_sent";
+    stale_bufs = c "sa.stale_buffers";
+  }
+
+type t = {
+  cm : Cost_model.t;
+  ctx : Chip_ctx.t;
+  wakeup : wakeup;
+  local_q : Squeue.t;
+  pe_qs : Squeue.t array;
+  to_pe : payload Ixp.I2o.t;
+  returns : Desc.t Sim.Mailbox.t;
+  lookup_fid : int -> Classifier.entry option;
+  routes : Iproute.Table.t;
+  out_enqueue : Chip_ctx.t -> Desc.t -> bool;
+  read_buffer : Desc.t -> Packet.Frame.t option;
+  full_copy : bool;
+  icmp_addr : (int -> Packet.Ipv4.addr) option;
+  work_signal : Sim.Semaphore.t;
+  stats : stats;
+  mutable spare_probe : int;
+  mutable busy_ps : int64;
+  mutable pe_rr : int; (* round-robin cursor over the Pentium-bound queues *)
+}
+
+let create chip cm ?(wakeup = Polling) ?(pe_flow_queues = 4)
+    ?(pe_buffers = 128) ?(full_copy = false) ?icmp_addr ~lookup_fid ~routes
+    ~out_enqueue () =
+  {
+    cm;
+    ctx = Chip_ctx.make_cpu chip chip.Ixp.Chip.me_clock;
+    wakeup;
+    local_q = Squeue.create ~name:"sa.local" ~capacity:4096 ();
+    pe_qs =
+      Array.init pe_flow_queues (fun i ->
+          Squeue.create ~name:(Printf.sprintf "sa.pe%d" i) ~capacity:4096 ());
+    to_pe =
+      Ixp.I2o.create chip.Ixp.Chip.pci ~name:"i2o.up" ~buffers:pe_buffers ();
+    returns = Sim.Mailbox.create ~name:"pe.returns" ();
+    lookup_fid;
+    routes;
+    out_enqueue;
+    read_buffer = (fun d -> Ixp.Buffer_pool.read chip.Ixp.Chip.buffers d.Desc.buf);
+    full_copy;
+    icmp_addr;
+    work_signal = Sim.Semaphore.create ~name:"sa.signal" 0;
+    stats = make_stats ();
+    spare_probe = 0;
+    busy_ps = 0L;
+    pe_rr = 0;
+  }
+
+let busy t f =
+  let t0 = Sim.Engine.now () in
+  let r = f () in
+  t.busy_ps <- Int64.add t.busy_ps (Int64.sub (Sim.Engine.now ()) t0);
+  r
+
+let busy_cycles t =
+  Sim.Engine.Clock.cycles_of_ps t.ctx.Chip_ctx.chip.Ixp.Chip.me_clock t.busy_ps
+
+let notify t =
+  match t.wakeup with
+  | Polling -> ()
+  | Interrupts -> Sim.Semaphore.release t.work_signal
+
+let pci_bytes t ~len = if t.full_copy then len + 8 else min len 64 + 8
+
+(* Full longest-prefix match (route-cache miss path): the paper's
+   controlled-prefix-expansion lookup at ~236 cycles. *)
+(* Full longest-prefix match plus the link-layer rewrite the fast path's
+   minimal IP forwarder would have done. *)
+let routed_port t frame =
+  Chip_ctx.exec t.ctx t.cm.Cost_model.sa_route_lookup_instr;
+  Chip_ctx.sram_read t.ctx ~bytes:t.cm.Cost_model.sa_route_lookup_sram_bytes;
+  Sim.Stats.Counter.incr t.stats.route_misses;
+  match Iproute.Table.lookup t.routes (Packet.Ipv4.get_dst frame) with
+  | Some nh ->
+      Packet.Ethernet.set_dst frame nh.Iproute.Table.gateway_mac;
+      Packet.Ethernet.set_src frame
+        (Packet.Ethernet.mac_of_port nh.Iproute.Table.out_port);
+      Some nh.Iproute.Table.out_port
+  | None -> None
+
+let dequeue_charged t q =
+  Chip_ctx.exec t.ctx t.cm.Cost_model.sa_poll_instr;
+  Chip_ctx.sram_read t.ctx ~bytes:t.cm.Cost_model.sa_dequeue_sram_bytes;
+  (* Under interrupts every dequeued packet carries the interrupt entry and
+     exit overhead — the cost that made the paper's interrupt mode
+     "significantly slower". *)
+  if t.wakeup = Interrupts then
+    Chip_ctx.exec t.ctx t.cm.Cost_model.sa_interrupt_cycles;
+  Squeue.pop q
+
+let finish t desc =
+  if t.out_enqueue t.ctx desc then ()
+  else Sim.Stats.Counter.incr t.stats.dropped
+
+let process_local t desc =
+  match t.read_buffer desc with
+  | None ->
+      (* The circular allocator lapped this packet while it waited for
+         slow-path service (section 3.2.3's documented loss mode). *)
+      Sim.Stats.Counter.incr t.stats.stale_bufs
+  | Some frame -> (
+      let handle_verdict v =
+        match (v : Forwarder.verdict) with
+        | Forwarder.Drop -> Sim.Stats.Counter.incr t.stats.dropped
+        | Forwarder.Forward p ->
+            desc.Desc.out_port <- p;
+            Sim.Stats.Counter.incr t.stats.local_done;
+            finish t desc
+        | Forwarder.Continue | Forwarder.Forward_routed -> begin
+            match routed_port t frame with
+            | Some p ->
+                desc.Desc.out_port <- p;
+                Sim.Stats.Counter.incr t.stats.local_done;
+                finish t desc
+            | None -> Sim.Stats.Counter.incr t.stats.dropped
+          end
+        | Forwarder.Divert Desc.Pentium ->
+            ignore (Squeue.push t.pe_qs.(0) desc)
+        | Forwarder.Divert (Desc.Strongarm | Desc.Microengine) ->
+            (* Nowhere further to divert locally. *)
+            Sim.Stats.Counter.incr t.stats.dropped
+      in
+      (* Building and routing an ICMP error costs real StrongARM work. *)
+      let send_icmp make =
+        match t.icmp_addr with
+        | None -> Sim.Stats.Counter.incr t.stats.dropped
+        | Some addr_of -> begin
+            Chip_ctx.exec t.ctx 500;
+            let reply = make ~router:(addr_of desc.Desc.in_port) frame in
+            match routed_port t reply with
+            | None -> Sim.Stats.Counter.incr t.stats.dropped
+            | Some port ->
+                let buf =
+                  Ixp.Buffer_pool.alloc t.ctx.Chip_ctx.chip.Ixp.Chip.buffers
+                    reply
+                in
+                let d =
+                  Desc.make ~buf ~len:(Packet.Frame.len reply)
+                    ~in_port:desc.Desc.in_port ~out_port:port
+                    ~arrival:(Sim.Engine.now ()) ()
+                in
+                Sim.Stats.Counter.incr t.stats.icmp_sent;
+                finish t d
+          end
+      in
+      match t.lookup_fid desc.Desc.fid with
+      | Some e ->
+          Chip_ctx.exec t.ctx e.Classifier.fwdr.Forwarder.host_cycles;
+          handle_verdict
+            (e.Classifier.fwdr.Forwarder.action ~state:e.Classifier.state
+               frame ~in_port:desc.Desc.in_port)
+      | None ->
+          (* Exceptional IP slow path: full validation, option handling,
+             ICMP generation for TTL expiry and routing failures. *)
+          Chip_ctx.exec t.ctx t.cm.Cost_model.sa_poll_instr;
+          if not (Packet.Ipv4.valid frame) then
+            Sim.Stats.Counter.incr t.stats.dropped
+          else if Packet.Ipv4.get_ttl frame <= 1 then
+            send_icmp Packet.Icmp.time_exceeded
+          else begin
+            ignore (Packet.Ipv4.decrement_ttl frame);
+            match routed_port t frame with
+            | Some p ->
+                desc.Desc.out_port <- p;
+                Sim.Stats.Counter.incr t.stats.local_done;
+                finish t desc
+            | None -> send_icmp (Packet.Icmp.dest_unreachable ~code:0)
+          end)
+
+let bridge_up t desc =
+  match t.read_buffer desc with
+  | None -> Sim.Stats.Counter.incr t.stats.stale_bufs
+  | Some frame ->
+      let bytes = pci_bytes t ~len:desc.Desc.len in
+      (* Waiting for a free host buffer is backpressure, not work. *)
+      Ixp.I2o.acquire_free t.to_pe;
+      busy t (fun () ->
+          (* Program the DMA; the transfer and full-pointer push ride
+             behind concurrently. *)
+          Chip_ctx.exec t.ctx
+            t.ctx.Chip_ctx.chip.Ixp.Chip.cfg.Ixp.Config.pci_dma_setup_cycles;
+          Ixp.I2o.send_acquired t.to_pe
+            ~producer_clock:t.ctx.Chip_ctx.chip.Ixp.Chip.me_clock ~bytes
+            { desc; frame; bytes });
+      Sim.Stats.Counter.incr t.stats.bridged
+
+let spawn t chip =
+  Sim.Engine.spawn chip.Ixp.Chip.engine "strongarm" (fun () ->
+      let rec loop backoff =
+        (* Highest priority: packets coming back down from the Pentium sit
+           in a descriptor ring in IXP memory (posted writes by the host);
+           draining one is cheap. *)
+        match Sim.Mailbox.try_get t.returns with
+        | Some desc ->
+            busy t (fun () ->
+                Chip_ctx.exec t.ctx 20;
+                Chip_ctx.scratch_read t.ctx ~bytes:4;
+                Sim.Stats.Counter.incr t.stats.returned;
+                finish t desc);
+            loop 1
+        | None -> (
+            (* Then Pentium-bound flows, strictly before local work; the
+               flow queues themselves are served round-robin so the bridge
+               cannot starve a flow before the Pentium's scheduler sees
+               it. *)
+            let n_pe = Array.length t.pe_qs in
+            let rec first_pe k =
+              if k >= n_pe then None
+              else begin
+                let i = (t.pe_rr + k) mod n_pe in
+                if Squeue.is_empty t.pe_qs.(i) then first_pe (k + 1)
+                else begin
+                  t.pe_rr <- (i + 1) mod n_pe;
+                  busy t (fun () -> dequeue_charged t t.pe_qs.(i))
+                end
+              end
+            in
+            match first_pe 0 with
+            | Some desc ->
+                bridge_up t desc;
+                loop 1
+            | None -> (
+                match
+                  if Squeue.is_empty t.local_q then None
+                  else busy t (fun () -> dequeue_charged t t.local_q)
+                with
+                | Some desc ->
+                    busy t (fun () -> process_local t desc);
+                    loop 1
+                | None -> (
+                    match t.wakeup with
+                    | Polling ->
+                        (* The paper's delay-loop spare-cycle probe. *)
+                        t.spare_probe <- t.spare_probe + backoff;
+                        Chip_ctx.wait_cycles t.ctx backoff;
+                        loop (min (backoff * 2) 64)
+                    | Interrupts ->
+                        Sim.Semaphore.acquire t.work_signal;
+                        Chip_ctx.exec t.ctx t.cm.Cost_model.sa_interrupt_cycles;
+                        loop 1)))
+      in
+      loop 1)

@@ -1,0 +1,54 @@
+type cls = {
+  rate_pps : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last : int64;
+  mutable high : int;
+  mutable low : int;
+}
+
+type t = { classes : cls array }
+
+let create ~link_pps ~shares ?(burst = 16.) () =
+  if Array.length shares = 0 then invalid_arg "Wfq.create: no classes";
+  if Array.exists (fun s -> s <= 0.) shares then
+    invalid_arg "Wfq.create: non-positive share";
+  let total = Array.fold_left ( +. ) 0. shares in
+  {
+    classes =
+      Array.map
+        (fun s ->
+          {
+            rate_pps = link_pps *. s /. total;
+            burst;
+            tokens = burst;
+            last = 0L;
+            high = 0;
+            low = 0;
+          })
+        shares;
+  }
+
+let classes t = Array.length t.classes
+
+let pick t ~class_id ~now =
+  let c = t.classes.(class_id) in
+  let dt = Sim.Engine.seconds (Int64.sub now c.last) in
+  c.last <- now;
+  c.tokens <- Float.min c.burst (c.tokens +. (dt *. c.rate_pps));
+  if c.tokens >= 1. then begin
+    c.tokens <- c.tokens -. 1.;
+    c.high <- c.high + 1;
+    `High
+  end
+  else begin
+    c.low <- c.low + 1;
+    `Low
+  end
+
+(* Token arithmetic in fixed point: load the bucket word, a few ALU ops,
+   store it back. *)
+let vrp_code = [ Vrp.Sram_read 4; Vrp.Instr 12; Vrp.Sram_write 4 ]
+
+let in_profile t ~class_id = t.classes.(class_id).high
+let demoted t ~class_id = t.classes.(class_id).low

@@ -1,0 +1,1 @@
+lib/forwarders/ack_monitor.ml: Fstate Packet Router

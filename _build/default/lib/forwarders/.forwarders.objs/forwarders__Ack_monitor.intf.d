@@ -1,0 +1,1 @@
+lib/forwarders/ack_monitor.mli: Bytes Router

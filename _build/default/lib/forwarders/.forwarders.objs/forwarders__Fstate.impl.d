@@ -1,0 +1,1 @@
+lib/forwarders/fstate.ml: Bytes Char Int32

@@ -1,0 +1,1 @@
+lib/forwarders/fstate.mli: Bytes

@@ -1,0 +1,1 @@
+lib/forwarders/ip.ml: Bytes Fstate Packet Router

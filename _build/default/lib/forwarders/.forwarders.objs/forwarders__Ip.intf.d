@@ -1,0 +1,1 @@
+lib/forwarders/ip.mli: Router

@@ -1,0 +1,1 @@
+lib/forwarders/perf_monitor.ml: Fstate Packet Router

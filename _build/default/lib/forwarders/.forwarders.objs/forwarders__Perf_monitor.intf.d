@@ -1,0 +1,1 @@
+lib/forwarders/perf_monitor.mli: Bytes Router

@@ -1,0 +1,1 @@
+lib/forwarders/port_filter.ml: Bytes Fstate Packet Router

@@ -1,0 +1,1 @@
+lib/forwarders/port_filter.mli: Bytes Router

@@ -1,0 +1,1 @@
+lib/forwarders/suite.ml: Ack_monitor Float Ip List Perf_monitor Port_filter Router Syn_monitor Tcp_splicer Wavelet_dropper

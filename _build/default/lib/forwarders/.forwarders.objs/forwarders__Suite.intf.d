@@ -1,0 +1,1 @@
+lib/forwarders/suite.mli: Router

@@ -1,0 +1,1 @@
+lib/forwarders/syn_monitor.ml: Fstate Packet Router

@@ -1,0 +1,1 @@
+lib/forwarders/syn_monitor.mli: Bytes Router

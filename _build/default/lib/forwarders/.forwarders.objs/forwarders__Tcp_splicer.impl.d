@@ -1,0 +1,1 @@
+lib/forwarders/tcp_splicer.ml: Fstate Int32 Packet Router

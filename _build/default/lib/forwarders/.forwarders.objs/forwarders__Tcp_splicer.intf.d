@@ -1,0 +1,1 @@
+lib/forwarders/tcp_splicer.mli: Bytes Router

@@ -1,0 +1,1 @@
+lib/forwarders/wavelet_dropper.ml: Fstate Packet Router

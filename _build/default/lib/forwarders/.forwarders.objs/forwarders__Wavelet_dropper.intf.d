@@ -1,0 +1,1 @@
+lib/forwarders/wavelet_dropper.mli: Bytes Packet Router

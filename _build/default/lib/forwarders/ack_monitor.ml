@@ -1,0 +1,21 @@
+let action ~state frame ~in_port:_ =
+  (if
+     Packet.Ipv4.get_proto frame = Packet.Ipv4.proto_tcp
+     && Packet.Tcp.has_flag frame Packet.Tcp.flag_ack
+   then begin
+     let ack = Packet.Tcp.get_ack frame in
+     if Fstate.get_i32 state 0 = ack then Fstate.add_u32 state 4 1
+     else Fstate.set_i32 state 0 ack;
+     Fstate.add_u32 state 8 1
+   end);
+  Router.Forwarder.Continue
+
+let forwarder =
+  Router.Forwarder.make ~name:"ack-monitor"
+    ~code:
+      [ Router.Vrp.Instr 15; Router.Vrp.Sram_read 8; Router.Vrp.Sram_write 4 ]
+    ~state_bytes:12 action
+
+let last_ack state = Fstate.get_i32 state 0
+let dup_acks state = Fstate.get_u32 state 4
+let total_acks state = Fstate.get_u32 state 8

@@ -1,0 +1,23 @@
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let set_u32 b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+let add_u32 b off n = set_u32 b off ((get_u32 b off + n) land 0xFFFFFFFF)
+
+let get_u16 b off =
+  Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let get_i32 b off = Int32.of_int (get_u32 b off)
+let set_i32 b off v = set_u32 b off (Int32.to_int v land 0xFFFFFFFF)

@@ -1,0 +1,18 @@
+(** Little-endian accessors for forwarder flow state.
+
+    Flow state is the SRAM block shared between a data forwarder and its
+    control forwarder through [getdata]/[setdata]; both sides use these
+    helpers so the layout stays consistent. *)
+
+val get_u32 : Bytes.t -> int -> int
+(** [get_u32 state off] reads an unsigned 32-bit counter. *)
+
+val set_u32 : Bytes.t -> int -> int -> unit
+val add_u32 : Bytes.t -> int -> int -> unit
+(** [add_u32 state off n] increments in place (wrapping at 2^32). *)
+
+val get_u16 : Bytes.t -> int -> int
+val set_u16 : Bytes.t -> int -> int -> unit
+
+val get_i32 : Bytes.t -> int -> int32
+val set_i32 : Bytes.t -> int -> int32 -> unit

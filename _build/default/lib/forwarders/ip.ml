@@ -1,0 +1,38 @@
+let minimal_action ~state:_ frame ~in_port:_ =
+  if Packet.Ipv4.has_options frame then
+    Router.Forwarder.Divert Router.Desc.Strongarm
+  else if Packet.Ipv4.get_ttl frame <= 1 then
+    Router.Forwarder.Divert Router.Desc.Strongarm
+  else begin
+    ignore (Packet.Ipv4.decrement_ttl frame);
+    Router.Forwarder.Forward_routed
+  end
+
+let minimal =
+  Router.Forwarder.make ~name:"ip"
+    ~code:[ Router.Vrp.Instr 32; Router.Vrp.Sram_read 24 ]
+    ~state_bytes:0 minimal_action
+
+let full_action ~state:_ frame ~in_port:_ =
+  (* Options are validated and consumed (we honour no source routes); TTL
+     handling is the same as the fast path but without the divert. *)
+  if Packet.Ipv4.get_ttl frame <= 1 then Router.Forwarder.Drop
+  else begin
+    ignore (Packet.Ipv4.decrement_ttl frame);
+    Router.Forwarder.Forward_routed
+  end
+
+let full =
+  Router.Forwarder.make ~name:"ip-full"
+    ~code:[ Router.Vrp.Instr 400; Router.Vrp.Sram_read 24 ]
+    ~state_bytes:0 ~host_cycles:660 full_action
+
+let proxy_action ~state frame ~in_port:_ =
+  ignore frame;
+  (if Bytes.length state >= 4 then Fstate.add_u32 state 0 1);
+  Router.Forwarder.Forward_routed
+
+let proxy =
+  Router.Forwarder.make ~name:"tcp-proxy"
+    ~code:[ Router.Vrp.Instr 400 ]
+    ~state_bytes:4 ~host_cycles:800 proxy_action

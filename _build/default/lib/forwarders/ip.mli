@@ -1,0 +1,22 @@
+(** The IP forwarders (paper sections 2.1, 4.4, Table 5).
+
+    The router boots with two: {!minimal}, the fast-path forwarder (Table
+    5's last row: 24 bytes SRAM, 32 register ops — decrement TTL, update
+    the checksum incrementally, rewrite the Ethernet header), and {!full},
+    the complete protocol including options, which at ~660 cycles per
+    packet "clearly needs to run on the StrongARM or Pentium". *)
+
+val minimal : Router.Forwarder.t
+(** ME-level fast path.  Packets with options or expiring TTL divert to
+    the StrongARM.  (The assembled {!Router} charges this forwarder's cost
+    in its built-in tail; install [minimal] explicitly only in custom
+    pipelines, or its work is duplicated.) *)
+
+val full : Router.Forwarder.t
+(** StrongARM-level slow path (660 host cycles): consumes known option
+    blocks, decrements TTL, and routes.  Register in the StrongARM boot
+    set. *)
+
+val proxy : Router.Forwarder.t
+(** A Pentium-class TCP proxy stand-in (800 host cycles, section 4.4) used
+    by the admission and robustness experiments. *)

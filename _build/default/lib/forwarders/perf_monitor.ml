@@ -1,0 +1,23 @@
+let action ~state frame ~in_port:_ =
+  Fstate.add_u32 state 0 1;
+  let proto = Packet.Ipv4.get_proto frame in
+  if proto = Packet.Ipv4.proto_tcp then Fstate.add_u32 state 4 1
+  else if proto = Packet.Ipv4.proto_udp then Fstate.add_u32 state 8 1;
+  Fstate.add_u32 state 12 (Packet.Frame.len frame);
+  Router.Forwarder.Continue
+
+let forwarder =
+  Router.Forwarder.make ~name:"perf-monitor"
+    ~code:
+      [ Router.Vrp.Instr 12; Router.Vrp.Sram_read 8; Router.Vrp.Sram_write 8 ]
+    ~state_bytes:16 action
+
+type snapshot = { packets : int; tcp : int; udp : int; bytes : int }
+
+let read state =
+  {
+    packets = Fstate.get_u32 state 0;
+    tcp = Fstate.get_u32 state 4;
+    udp = Fstate.get_u32 state 8;
+    bytes = Fstate.get_u32 state 12;
+  }

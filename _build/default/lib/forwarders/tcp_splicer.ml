@@ -1,0 +1,47 @@
+let action ~state frame ~in_port:_ =
+  if Packet.Ipv4.get_proto frame <> Packet.Ipv4.proto_tcp then
+    Router.Forwarder.Continue
+  else begin
+    let seq_delta = Fstate.get_i32 state 0 in
+    let ack_delta = Fstate.get_i32 state 4 in
+    let old_seq = Packet.Tcp.get_seq frame in
+    let old_ack = Packet.Tcp.get_ack frame in
+    let new_seq = Int32.add old_seq seq_delta in
+    let new_ack = Int32.sub old_ack ack_delta in
+    Packet.Tcp.set_seq frame new_seq;
+    Packet.Tcp.update_cksum_u32 frame ~old_v:old_seq ~new_v:new_seq;
+    Packet.Tcp.set_ack frame new_ack;
+    Packet.Tcp.update_cksum_u32 frame ~old_v:old_ack ~new_v:new_ack;
+    (* Patch the port pair onto the spliced connection's identifiers. *)
+    let old_sp = Packet.Tcp.get_src_port frame in
+    let old_dp = Packet.Tcp.get_dst_port frame in
+    let new_sp = Fstate.get_u16 state 8 in
+    let new_dp = Fstate.get_u16 state 10 in
+    if new_sp lor new_dp <> 0 then begin
+      Packet.Tcp.set_src_port frame new_sp;
+      Packet.Tcp.set_dst_port frame new_dp;
+      Packet.Tcp.set_cksum frame
+        (Packet.Checksum.update16
+           ~old_cksum:
+             (Packet.Checksum.update16 ~old_cksum:(Packet.Tcp.get_cksum frame)
+                ~old_word:old_sp ~new_word:new_sp)
+           ~old_word:old_dp ~new_word:new_dp)
+    end;
+    Fstate.add_u32 state 16 1;
+    Router.Forwarder.Forward (Fstate.get_u32 state 12)
+  end
+
+let forwarder =
+  Router.Forwarder.make ~name:"tcp-splicer"
+    ~code:
+      [ Router.Vrp.Instr 45; Router.Vrp.Sram_read 16; Router.Vrp.Sram_write 8 ]
+    ~state_bytes:24 action
+
+let configure state ~seq_delta ~ack_delta ~src_port ~dst_port ~out_port =
+  Fstate.set_i32 state 0 seq_delta;
+  Fstate.set_i32 state 4 ack_delta;
+  Fstate.set_u16 state 8 src_port;
+  Fstate.set_u16 state 10 dst_port;
+  Fstate.set_u32 state 12 out_port
+
+let spliced state = Fstate.get_u32 state 16

@@ -1,0 +1,27 @@
+(** TCP Splicer (paper Table 5: 24 bytes SRAM, 45 register ops).
+
+    TCP splicing (section 4.4, after Spatscheck et al. [21]): once a proxy
+    on the Pentium has authenticated a connection, the two TCP connections
+    are spliced so that subsequent packets are patched in the data plane
+    instead of traversing two full TCP state machines.  The data forwarder
+    rewrites sequence/acknowledgement numbers by the deltas between the two
+    connections and fixes the TCP checksum incrementally.
+
+    Per-flow.  State layout: [0..3] sequence delta, [4..7] ack delta,
+    [8..9] rewritten source port, [10..11] rewritten destination port,
+    [12..15] output port, [16..19] packets spliced, [20..23] reserved. *)
+
+val forwarder : Router.Forwarder.t
+
+val configure :
+  Bytes.t ->
+  seq_delta:int32 ->
+  ack_delta:int32 ->
+  src_port:int ->
+  dst_port:int ->
+  out_port:int ->
+  unit
+(** Fill a state buffer for [setdata] when the proxy splices. *)
+
+val spliced : Bytes.t -> int
+(** Packets patched so far. *)

@@ -1,0 +1,23 @@
+let layer_of_frame frame =
+  if Packet.Ipv4.get_proto frame <> Packet.Ipv4.proto_udp then 0
+  else begin
+    let off = Packet.Udp.payload_offset frame in
+    if off < Packet.Frame.len frame then Packet.Frame.get_u8 frame off else 0
+  end
+
+let action ~state frame ~in_port:_ =
+  if layer_of_frame frame > Fstate.get_u32 state 0 then Router.Forwarder.Drop
+  else begin
+    Fstate.add_u32 state 4 1;
+    Router.Forwarder.Continue
+  end
+
+let forwarder =
+  Router.Forwarder.make ~name:"wavelet-dropper"
+    ~code:
+      [ Router.Vrp.Instr 28; Router.Vrp.Sram_read 4; Router.Vrp.Sram_write 4 ]
+    ~state_bytes:8 action
+
+let set_cutoff state v = Fstate.set_u32 state 0 v
+let cutoff state = Fstate.get_u32 state 0
+let forwarded state = Fstate.get_u32 state 4

@@ -1,0 +1,1 @@
+lib/host/endpoint.ml: Buffer Bytes Hashtbl Int32 Int64 List Packet Sim String

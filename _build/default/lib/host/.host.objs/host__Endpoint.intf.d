@@ -1,0 +1,1 @@
+lib/host/endpoint.mli: Packet Sim

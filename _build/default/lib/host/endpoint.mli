@@ -1,0 +1,64 @@
+(** End systems: minimal but real TCP endpoints attached to router ports.
+
+    The paper's heavyweight forwarders (TCP proxies, splicing, ACK
+    monitoring) presume real TCP flows.  This module provides them: a host
+    owns an address, transmits frames into a router port and receives the
+    frames the router delivers there.  Its TCP is deliberately small —
+    three-way handshake, cumulative ACKs, a fixed window, go-back-N
+    retransmission on a single timer, in-order reassembly with an
+    out-of-order buffer — but it is an honest state machine, so splicing a
+    connection mid-stream (rewriting sequence numbers in the data plane)
+    is verified by a real receiver reassembling the right bytes. *)
+
+type t
+(** A host: one address, one attachment point. *)
+
+type conn
+(** One TCP connection endpoint. *)
+
+val create :
+  Sim.Engine.t ->
+  addr:Packet.Ipv4.addr ->
+  send:(Packet.Frame.t -> bool) ->
+  unit ->
+  t
+(** [create engine ~addr ~send ()] attaches a host whose outbound frames
+    go through [send] (typically [Router.inject r ~port:p]).  Wire the
+    reverse direction with {!deliver} from the port's sink. *)
+
+val deliver : t -> Packet.Frame.t -> unit
+(** Hand the host a frame the network delivered (ignores frames not
+    addressed to it). *)
+
+val addr : t -> Packet.Ipv4.addr
+
+val listen : t -> port:int -> unit
+(** Accept connections to [port]. *)
+
+val connect : t -> dst:Packet.Ipv4.addr -> dst_port:int -> src_port:int -> conn
+(** Start an active open (SYN goes out on the next tick).  The returned
+    endpoint becomes {!established} when the handshake completes. *)
+
+val accepted : t -> port:int -> conn list
+(** Connections accepted on a listening port so far. *)
+
+val established : conn -> bool
+
+val send : conn -> string -> unit
+(** Queue bytes for transmission (segmented to the MSS, retransmitted
+    until acknowledged). *)
+
+val received : conn -> string
+(** The in-order byte stream received so far. *)
+
+val all_acked : conn -> bool
+(** Every byte queued by {!send} has been cumulatively acknowledged. *)
+
+val local_port : conn -> int
+val peer : conn -> Packet.Ipv4.addr * int
+
+val retransmissions : conn -> int
+(** Segments re-sent by the timer (loss-recovery witness). *)
+
+val mss : int
+(** Maximum segment payload (512 bytes). *)

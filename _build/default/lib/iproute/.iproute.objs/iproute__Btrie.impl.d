@@ -1,0 +1,1 @@
+lib/iproute/btrie.ml: Int32 Prefix

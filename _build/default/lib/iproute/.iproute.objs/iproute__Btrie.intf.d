@@ -1,0 +1,1 @@
+lib/iproute/btrie.mli: Packet Prefix

@@ -1,0 +1,1 @@
+lib/iproute/cpe.ml: Array Hashtbl Int32 List Prefix

@@ -1,0 +1,1 @@
+lib/iproute/cpe.mli: Packet Prefix

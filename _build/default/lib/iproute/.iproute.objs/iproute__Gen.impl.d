@@ -1,0 +1,1 @@
+lib/iproute/gen.ml: Array Hashtbl Int32 List Prefix Sim

@@ -1,0 +1,1 @@
+lib/iproute/gen.mli: Packet Prefix Sim

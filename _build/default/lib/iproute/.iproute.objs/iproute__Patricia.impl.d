@@ -1,0 +1,1 @@
+lib/iproute/patricia.ml: Int32 Prefix

@@ -1,0 +1,1 @@
+lib/iproute/patricia.mli: Packet Prefix

@@ -1,0 +1,1 @@
+lib/iproute/prefix.ml: Format Int32 List Packet Stdlib String

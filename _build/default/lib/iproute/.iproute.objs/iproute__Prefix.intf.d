@@ -1,0 +1,1 @@
+lib/iproute/prefix.mli: Format Packet

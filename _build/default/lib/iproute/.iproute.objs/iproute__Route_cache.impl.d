@@ -1,0 +1,1 @@
+lib/iproute/route_cache.ml: Array Int32 Packet

@@ -1,0 +1,1 @@
+lib/iproute/route_cache.mli: Packet

@@ -1,0 +1,1 @@
+lib/iproute/table.ml: Btrie Cpe Format List Option Packet Patricia Prefix Route_cache

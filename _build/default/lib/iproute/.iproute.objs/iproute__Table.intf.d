@@ -1,0 +1,1 @@
+lib/iproute/table.mli: Format Packet Prefix

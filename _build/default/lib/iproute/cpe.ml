@@ -1,0 +1,206 @@
+type 'a slot = {
+  mutable owner : (int * 'a) option; (* (prefix length, value) *)
+  mutable child : 'a node option;
+}
+
+and 'a node = { level : int; base : int; stride : int; slots : 'a slot array }
+
+type 'a t = {
+  strides : int array;
+  mutable root : 'a node;
+  mutable stored : (Prefix.t * 'a) list;
+}
+
+let u32 a = Int32.to_int a land 0xFFFFFFFF
+
+let fresh_node ~strides ~level ~base =
+  let stride = strides.(level) in
+  {
+    level;
+    base;
+    stride;
+    slots = Array.init (1 lsl stride) (fun _ -> { owner = None; child = None });
+  }
+
+(* Count unibit-trie nodes at each depth 0..32: nodes.(m) is the number of
+   distinct m-bit leading patterns among prefixes of length >= m. *)
+let depth_nodes lens_addrs =
+  let tbl = Array.init 33 (fun _ -> Hashtbl.create 16) in
+  List.iter
+    (fun (abits, len) ->
+      for m = 0 to len do
+        let pat = if m = 0 then 0 else abits lsr (32 - m) in
+        Hashtbl.replace tbl.(m) pat ()
+      done)
+    lens_addrs;
+  Array.map (fun h -> max 1 (Hashtbl.length h)) tbl
+
+let rec optimal_strides ~max_levels lens =
+  if max_levels < 1 then invalid_arg "Cpe.optimal_strides: max_levels < 1";
+  (* The DP only needs per-depth node counts; synthesize distinct fake
+     addresses per stored length so counts are >= 1 where lengths exist.
+     Callers with real tables use [build], which passes real addresses. *)
+  let nodes =
+    depth_nodes (List.mapi (fun i l -> ((i * 2654435761) land 0xFFFFFFFF, l)) lens)
+  in
+  solve ~max_levels ~nodes
+
+and solve ~max_levels ~nodes =
+  let inf = max_int / 2 in
+  (* t.(j).(r): min entries covering depths 1..j with r levels; choice
+     records the split point m. *)
+  let t = Array.make_matrix 33 (max_levels + 1) inf in
+  let choice = Array.make_matrix 33 (max_levels + 1) (-1) in
+  for j = 1 to 32 do
+    if j <= 24 then t.(j).(1) <- 1 lsl j else t.(j).(1) <- inf;
+    (* strides > 24 would allocate 2^25+ entries; exclude them *)
+    choice.(j).(1) <- 0
+  done;
+  for r = 2 to max_levels do
+    for j = r to 32 do
+      for m = r - 1 to j - 1 do
+        if j - m <= 24 && t.(m).(r - 1) < inf then begin
+          let cost = t.(m).(r - 1) + (nodes.(m) * (1 lsl (j - m))) in
+          if cost < t.(j).(r) then begin
+            t.(j).(r) <- cost;
+            choice.(j).(r) <- m
+          end
+        end
+      done
+    done
+  done;
+  let best_r = ref 1 in
+  for r = 2 to max_levels do
+    if t.(32).(r) < t.(32).(!best_r) then best_r := r
+  done;
+  let rec unwind j r acc =
+    if r = 0 then acc
+    else begin
+      let m = choice.(j).(r) in
+      unwind m (r - 1) ((j - m) :: acc)
+    end
+  in
+  if t.(32).(!best_r) >= inf then [ 16; 8; 8 ]
+  else unwind 32 !best_r []
+
+let mask stride = (1 lsl stride) - 1
+
+let rec insert ~strides node p v =
+  let top = node.base + node.stride in
+  let l = Prefix.length p in
+  let abits = u32 (Prefix.addr p) in
+  if l <= top then begin
+    (* Expand within this node: fix bits [base, l), enumerate the rest. *)
+    let shift = top - l in
+    let idx_prefix =
+      if l = node.base then 0
+      else (abits lsr (32 - l)) land mask (l - node.base)
+    in
+    for k = 0 to (1 lsl shift) - 1 do
+      let slot = node.slots.((idx_prefix lsl shift) lor k) in
+      match slot.owner with
+      | Some (ol, _) when ol > l -> ()
+      | Some _ | None -> slot.owner <- Some (l, v)
+    done
+  end
+  else begin
+    let idx = (abits lsr (32 - top)) land mask node.stride in
+    let slot = node.slots.(idx) in
+    let child =
+      match slot.child with
+      | Some c -> c
+      | None ->
+          let c = fresh_node ~strides ~level:(node.level + 1) ~base:top in
+          slot.child <- Some c;
+          c
+    in
+    insert ~strides child p v
+  end
+
+let build_root ~strides stored =
+  let root = fresh_node ~strides ~level:0 ~base:0 in
+  (* Insert shortest-first so longer prefixes correctly override. *)
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> Prefix.compare a b) stored
+  in
+  List.iter (fun (p, v) -> insert ~strides root p v) sorted;
+  root
+
+let build ?strides ?(max_levels = 4) bindings =
+  let strides =
+    match strides with
+    | Some s ->
+        if List.fold_left ( + ) 0 s <> 32 then
+          invalid_arg "Cpe.build: strides must sum to 32";
+        if List.exists (fun x -> x <= 0 || x > 24) s then
+          invalid_arg "Cpe.build: stride out of range";
+        Array.of_list s
+    | None ->
+        let la =
+          List.map
+            (fun (p, _) -> (u32 (Prefix.addr p), Prefix.length p))
+            bindings
+        in
+        let nodes = depth_nodes la in
+        Array.of_list (solve ~max_levels ~nodes)
+  in
+  let stored =
+    (* Last binding for a duplicated prefix wins. *)
+    List.fold_left
+      (fun acc (p, v) ->
+        (p, v) :: List.filter (fun (q, _) -> not (Prefix.equal p q)) acc)
+      [] bindings
+  in
+  { strides; root = build_root ~strides stored; stored }
+
+let strides t = Array.to_list t.strides
+
+let add t p v =
+  (* Replacing an existing binding needs a rebuild (the old value may be
+     expanded into slots the new insert would not overwrite under the
+     longest-owner rule); a genuinely new prefix expands incrementally. *)
+  let existed = List.exists (fun (q, _) -> Prefix.equal p q) t.stored in
+  t.stored <-
+    (p, v) :: List.filter (fun (q, _) -> not (Prefix.equal p q)) t.stored;
+  if existed then t.root <- build_root ~strides:t.strides t.stored
+  else insert ~strides:t.strides t.root p v
+
+let remove t p =
+  t.stored <- List.filter (fun (q, _) -> not (Prefix.equal p q)) t.stored;
+  t.root <- build_root ~strides:t.strides t.stored
+
+let lookup t a =
+  let abits = u32 a in
+  let rec go node best =
+    let top = node.base + node.stride in
+    let idx = (abits lsr (32 - top)) land mask node.stride in
+    let slot = node.slots.(idx) in
+    let best = match slot.owner with Some _ as o -> o | None -> best in
+    match slot.child with Some c -> go c best | None -> best
+  in
+  match go t.root None with
+  | None -> None
+  | Some (l, v) -> Some (Prefix.make a l, v)
+
+let lookup_levels t a =
+  let abits = u32 a in
+  let rec go node n =
+    let top = node.base + node.stride in
+    let idx = (abits lsr (32 - top)) land mask node.stride in
+    match node.slots.(idx).child with Some c -> go c (n + 1) | None -> n + 1
+  in
+  go t.root 0
+
+let size t = List.length t.stored
+
+let memory_entries t =
+  let rec go node =
+    Array.length node.slots
+    + Array.fold_left
+        (fun acc slot ->
+          match slot.child with Some c -> acc + go c | None -> acc)
+        0 node.slots
+  in
+  go t.root
+
+let bindings t = t.stored

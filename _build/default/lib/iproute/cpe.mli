@@ -1,0 +1,48 @@
+(** Controlled prefix expansion (Srinivasan & Varghese), the paper's
+    longest-prefix-match algorithm (ref [22]: "the prefix matching
+    algorithm we use requires on average 236 cycles per packet").
+
+    A fixed-stride multibit trie: prefixes are expanded to the nearest
+    stride boundary, so a lookup inspects at most one node per level.
+    Stride selection uses the classic dynamic program minimizing total
+    table memory for a given maximum number of levels. *)
+
+type 'a t
+
+val build : ?strides:int list -> ?max_levels:int -> (Prefix.t * 'a) list -> 'a t
+(** [build bindings] constructs a table.  If [strides] is given it is used
+    verbatim (it must sum to 32); otherwise the memory-optimal strides for
+    at most [max_levels] (default 4) levels are computed from the prefix
+    length distribution by dynamic programming. *)
+
+val strides : 'a t -> int list
+(** The stride (bits consumed) of each level. *)
+
+val add : 'a t -> Prefix.t -> 'a -> unit
+(** [add t p v] inserts/replaces [p] in place (incremental expansion). *)
+
+val remove : 'a t -> Prefix.t -> unit
+(** [remove t p] deletes [p].  Implemented by rebuild over the surviving
+    bindings — fine for control-plane-rate updates. *)
+
+val lookup : 'a t -> Packet.Ipv4.addr -> (Prefix.t * 'a) option
+(** [lookup t a] is the longest matching prefix and its value. *)
+
+val lookup_levels : 'a t -> Packet.Ipv4.addr -> int
+(** Number of trie levels a lookup for [a] touches (the memory-access cost
+    the MicroEngine would pay). *)
+
+val size : 'a t -> int
+(** Number of stored prefixes. *)
+
+val memory_entries : 'a t -> int
+(** Total table entries allocated across all nodes (the memory the DP
+    minimizes). *)
+
+val bindings : 'a t -> (Prefix.t * 'a) list
+(** The stored (unexpanded) bindings. *)
+
+val optimal_strides : max_levels:int -> int list -> int list
+(** [optimal_strides ~max_levels lens] is the DP solution for a table whose
+    stored prefixes have bit-lengths [lens] (duplicates matter).  Exposed
+    for tests and the microbench. *)

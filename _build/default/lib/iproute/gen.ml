@@ -1,0 +1,47 @@
+let length_distribution =
+  [
+    (8, 0.002);
+    (12, 0.005);
+    (14, 0.01);
+    (16, 0.10);
+    (18, 0.04);
+    (19, 0.06);
+    (20, 0.08);
+    (21, 0.07);
+    (22, 0.11);
+    (23, 0.09);
+    (24, 0.54);
+  ]
+
+let pick_length rng =
+  let x = Sim.Rng.float rng 1.0 in
+  let rec go acc = function
+    | [] -> 24
+    | (len, w) :: rest -> if x < acc +. w then len else go (acc +. w) rest
+  in
+  go 0. length_distribution
+
+let table ~rng ~n ~n_ports =
+  if n <= 0 || n_ports <= 0 then invalid_arg "Gen.table";
+  let seen = Hashtbl.create (2 * n) in
+  let rec fresh () =
+    let p = Prefix.make (Sim.Rng.int32 rng) (pick_length rng) in
+    if Hashtbl.mem seen p then fresh ()
+    else begin
+      Hashtbl.replace seen p ();
+      p
+    end
+  in
+  (Prefix.default, 0)
+  :: List.init (n - 1) (fun _ -> (fresh (), Sim.Rng.int rng n_ports))
+
+let matching_addr ~rng bindings =
+  let arr = Array.of_list bindings in
+  let p, _ = Sim.Rng.pick rng arr in
+  let host_bits = 32 - Prefix.length p in
+  let noise =
+    if host_bits = 0 then 0l
+    else
+      Int32.of_int (Sim.Rng.int rng (1 lsl min 30 host_bits))
+  in
+  Int32.logor (Prefix.addr p) noise

@@ -1,0 +1,19 @@
+(** Synthetic routing tables with Internet-like shape.
+
+    Real BGP tables are dominated by /24s, with heavy /16 and /19-/22
+    populations, a few very short prefixes and essentially nothing longer
+    than /24 — the distribution the controlled-prefix-expansion stride DP
+    optimizes for.  This generator reproduces that shape deterministically
+    from a seed, for lookup benchmarks and stride-selection tests. *)
+
+val length_distribution : (int * float) list
+(** [(prefix_length, weight)] pairs approximating a backbone table. *)
+
+val table : rng:Sim.Rng.t -> n:int -> n_ports:int -> (Prefix.t * int) list
+(** [table ~rng ~n ~n_ports] is [n] distinct prefixes with next-hop port
+    values in [0, n_ports), Internet-like length mix, plus a default
+    route. *)
+
+val matching_addr : rng:Sim.Rng.t -> (Prefix.t * 'a) list -> Packet.Ipv4.addr
+(** An address covered by a random table entry (a "hit" workload, vs
+    uniformly random addresses that mostly fall to the default route). *)

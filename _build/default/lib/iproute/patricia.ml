@@ -1,0 +1,136 @@
+type 'a t =
+  | Empty
+  | Node of { key : int32; klen : int; value : 'a option; zero : 'a t; one : 'a t }
+(* Invariant: [key] is the canonical full path from the root ([klen] bits,
+   host bits zero); both children, when present, extend it and differ at
+   bit [klen]. *)
+
+let empty = Empty
+
+let is_empty = function Empty -> true | Node _ -> false
+
+let u32 a = Int32.to_int a land 0xFFFFFFFF
+
+let bit a i = (u32 a lsr (31 - i)) land 1
+
+(* Leading bits on which [a] and [b] agree, capped at [max]. *)
+let common_len a b ~max:m =
+  let x = u32 a lxor u32 b in
+  if x = 0 then m
+  else begin
+    let rec leading i = if i >= m then m else if (x lsr (31 - i)) land 1 = 1 then i else leading (i + 1) in
+    leading 0
+  end
+
+let prefix_of key klen = Prefix.make key klen
+
+let node key klen value zero one = Node { key; klen; value; zero; one }
+
+let rec add t p v =
+  let pa = Prefix.addr p and pl = Prefix.length p in
+  match t with
+  | Empty -> node pa pl (Some v) Empty Empty
+  | Node n ->
+      let c = common_len pa n.key ~max:(min pl n.klen) in
+      if c = n.klen then
+        if pl = n.klen then Node { n with value = Some v }
+        else if bit pa n.klen = 0 then Node { n with zero = add n.zero p v }
+        else Node { n with one = add n.one p v }
+      else if c = pl then begin
+        (* p is a proper prefix of this node: insert above it. *)
+        let existing = Node n in
+        if bit n.key pl = 0 then node pa pl (Some v) existing Empty
+        else node pa pl (Some v) Empty existing
+      end
+      else begin
+        (* Diverge at bit c: an intermediate branching node. *)
+        let mid = Prefix.addr (Prefix.make pa c) in
+        let fresh = node pa pl (Some v) Empty Empty in
+        let existing = Node n in
+        if bit pa c = 0 then node mid c None fresh existing
+        else node mid c None existing fresh
+      end
+
+(* Re-establish compression: a valueless node with at most one child
+   disappears. *)
+let compress = function
+  | Node { value = None; zero = Empty; one = Empty; _ } -> Empty
+  | Node { value = None; zero = child; one = Empty; _ }
+  | Node { value = None; zero = Empty; one = child; _ } ->
+      child
+  | t -> t
+
+let rec remove t p =
+  let pa = Prefix.addr p and pl = Prefix.length p in
+  match t with
+  | Empty -> Empty
+  | Node n ->
+      if pl < n.klen then t
+      else begin
+        let c = common_len pa n.key ~max:n.klen in
+        if c < n.klen then t
+        else if pl = n.klen then compress (Node { n with value = None })
+        else if bit pa n.klen = 0 then
+          compress (Node { n with zero = remove n.zero p })
+        else compress (Node { n with one = remove n.one p })
+      end
+
+let rec find t p =
+  let pa = Prefix.addr p and pl = Prefix.length p in
+  match t with
+  | Empty -> None
+  | Node n ->
+      if pl < n.klen then None
+      else if common_len pa n.key ~max:n.klen < n.klen then None
+      else if pl = n.klen then
+        if Prefix.addr p = n.key then n.value else None
+      else if bit pa n.klen = 0 then find n.zero p
+      else find n.one p
+
+let lookup t a =
+  let rec go t best =
+    match t with
+    | Empty -> best
+    | Node n ->
+        if common_len a n.key ~max:n.klen < n.klen then best
+        else begin
+          let best =
+            match n.value with
+            | Some v -> Some (prefix_of n.key n.klen, v)
+            | None -> best
+          in
+          if n.klen = 32 then best
+          else go (if bit a n.klen = 0 then n.zero else n.one) best
+        end
+  in
+  go t None
+
+let rec size = function
+  | Empty -> 0
+  | Node n ->
+      (match n.value with Some _ -> 1 | None -> 0) + size n.zero + size n.one
+
+let rec node_count = function
+  | Empty -> 0
+  | Node n -> 1 + node_count n.zero + node_count n.one
+
+let depth t a =
+  let rec go t d =
+    match t with
+    | Empty -> d
+    | Node n ->
+        if common_len a n.key ~max:n.klen < n.klen then d + 1
+        else if n.klen = 32 then d + 1
+        else go (if bit a n.klen = 0 then n.zero else n.one) (d + 1)
+  in
+  go t 0
+
+let rec bindings = function
+  | Empty -> []
+  | Node n ->
+      let here =
+        match n.value with
+        | Some v -> [ (prefix_of n.key n.klen, v) ]
+        | None -> []
+      in
+      here @ bindings n.zero @ bindings n.one

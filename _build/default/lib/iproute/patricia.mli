@@ -1,0 +1,38 @@
+(** Path-compressed binary trie (Patricia/radix tree) for longest-prefix
+    match.
+
+    The unibit {!Btrie} inspects one bit per node — up to 32 nodes per
+    lookup; this structure compresses single-child chains so a lookup
+    touches at most one node per {e stored branching point}, typically 3-6
+    for Internet-like tables.  It is the classic software LPM the paper's
+    controlled-prefix-expansion reference [22] competes against, so both
+    appear in the microbenchmarks. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val add : 'a t -> Prefix.t -> 'a -> 'a t
+(** Insert/replace. *)
+
+val remove : 'a t -> Prefix.t -> 'a t
+(** Delete the exact prefix (no-op if absent). *)
+
+val find : 'a t -> Prefix.t -> 'a option
+(** Exact-prefix lookup. *)
+
+val lookup : 'a t -> Packet.Ipv4.addr -> (Prefix.t * 'a) option
+(** Longest matching prefix. *)
+
+val size : 'a t -> int
+(** Number of stored prefixes. *)
+
+val node_count : 'a t -> int
+(** Allocated nodes (compression diagnostics: [node_count <= 2*size]). *)
+
+val depth : 'a t -> Packet.Ipv4.addr -> int
+(** Nodes inspected by [lookup] for this address (the memory-access cost
+    metric comparable to {!Cpe.lookup_levels}). *)
+
+val bindings : 'a t -> (Prefix.t * 'a) list

@@ -1,0 +1,39 @@
+type t = { addr : int32; len : int }
+
+let mask_of len =
+  if len = 0 then 0l
+  else Int32.shift_left (-1l) (32 - len)
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make: length";
+  { addr = Int32.logand addr (mask_of len); len }
+
+let of_string s =
+  match String.split_on_char '/' s with
+  | [ a; l ] -> make (Packet.Ipv4.addr_of_string a) (int_of_string l)
+  | [ a ] -> make (Packet.Ipv4.addr_of_string a) 32
+  | _ -> invalid_arg "Prefix.of_string"
+
+let addr p = p.addr
+let length p = p.len
+
+let matches p a = Int32.logand a (mask_of p.len) = p.addr
+
+let default = { addr = 0l; len = 0 }
+
+let equal a b = a.addr = b.addr && a.len = b.len
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c else Int32.unsigned_compare a.addr b.addr
+
+let pp ppf p = Format.fprintf ppf "%a/%d" Packet.Ipv4.pp_addr p.addr p.len
+
+let bit a i = Int32.to_int (Int32.shift_right_logical a (31 - i)) land 1
+
+let expand p len =
+  if len < p.len then invalid_arg "Prefix.expand: shrinking";
+  let extra = len - p.len in
+  if extra > 20 then invalid_arg "Prefix.expand: too wide";
+  List.init (1 lsl extra) (fun i ->
+      let suffix = Int32.shift_left (Int32.of_int i) (32 - len) in
+      { addr = Int32.logor p.addr suffix; len })

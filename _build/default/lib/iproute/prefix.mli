@@ -1,0 +1,31 @@
+(** IPv4 prefixes for routing tables. *)
+
+type t
+(** A canonical prefix: host bits below the mask are zero. *)
+
+val make : Packet.Ipv4.addr -> int -> t
+(** [make addr len] is [addr/len]; host bits are cleared.  [0 <= len <= 32]. *)
+
+val of_string : string -> t
+(** [of_string "10.1.0.0/16"] parses CIDR notation. *)
+
+val addr : t -> Packet.Ipv4.addr
+val length : t -> int
+
+val matches : t -> Packet.Ipv4.addr -> bool
+(** [matches p a] is true iff [a] falls inside [p]. *)
+
+val default : t
+(** The 0.0.0.0/0 prefix. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val bit : Packet.Ipv4.addr -> int -> int
+(** [bit a i] is bit [i] of [a], counting from the most significant (0). *)
+
+val expand : t -> int -> t list
+(** [expand p len] rewrites [p] as the list of [2^(len - length p)]
+    prefixes of exactly [len] bits that cover it — the primitive of
+    controlled prefix expansion.  Requires [len >= length p]. *)

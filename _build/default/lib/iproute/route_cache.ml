@@ -1,0 +1,51 @@
+type 'a t = {
+  hash : Packet.Ipv4.addr -> int;
+  lines : (Packet.Ipv4.addr * 'a) option array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_hash a =
+  (* Full-avalanche mix (the IXP1200's hash unit is CRC-like): line
+     selection takes the hash modulo the slot count, so the high address
+     bits must reach the low hash bits. *)
+  let x = Int32.to_int a land 0xFFFFFFFF in
+  let x = x * 0x9E3779B1 in
+  let x = x lxor (x lsr 16) in
+  let x = x * 0x85EBCA6B in
+  let x = x lxor (x lsr 13) in
+  x land max_int
+
+let create ?(hash = default_hash) ~slots () =
+  if slots <= 0 then invalid_arg "Route_cache.create: slots <= 0";
+  { hash; lines = Array.make slots None; hits = 0; misses = 0 }
+
+let line c a = c.hash a mod Array.length c.lines
+
+let find c a =
+  match c.lines.(line c a) with
+  | Some (key, v) when key = a ->
+      c.hits <- c.hits + 1;
+      Some v
+  | Some _ | None ->
+      c.misses <- c.misses + 1;
+      None
+
+let insert c a v = c.lines.(line c a) <- Some (a, v)
+
+let invalidate c = Array.fill c.lines 0 (Array.length c.lines) None
+
+let invalidate_matching c pred =
+  Array.iteri
+    (fun i line ->
+      match line with
+      | Some (key, _) when pred key -> c.lines.(i) <- None
+      | Some _ | None -> ())
+    c.lines
+
+let hits c = c.hits
+let misses c = c.misses
+
+let hit_rate c =
+  let total = c.hits + c.misses in
+  if total = 0 then 0. else float_of_int c.hits /. float_of_int total

@@ -1,0 +1,32 @@
+(** Direct-mapped route cache.
+
+    The MicroEngine fast path classifies "using a one-cycle hardware hash of
+    [the destination] address, and we assume a hit in a route cache"
+    (section 3.5.1).  A miss diverts the packet to the StrongARM, which
+    performs the full longest-prefix match and refills the cache. *)
+
+type 'a t
+
+val create : ?hash:(Packet.Ipv4.addr -> int) -> slots:int -> unit -> 'a t
+(** [create ~slots ()] is an empty cache of [slots] lines ([slots > 0]).
+    [hash] defaults to a multiplicative hash standing in for the IXP1200
+    hardware hash unit. *)
+
+val find : 'a t -> Packet.Ipv4.addr -> 'a option
+(** [find c a] is the cached value for exactly [a], if its line holds it. *)
+
+val insert : 'a t -> Packet.Ipv4.addr -> 'a -> unit
+(** [insert c a v] fills [a]'s line, evicting any previous occupant. *)
+
+val invalidate : 'a t -> unit
+(** Drop every line (route table changed). *)
+
+val invalidate_matching : 'a t -> (Packet.Ipv4.addr -> bool) -> unit
+(** Drop only the lines whose key satisfies the predicate — selective
+    invalidation for a single-prefix table change. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+
+val hit_rate : 'a t -> float
+(** Hits over total probes (0 if no probes yet). *)

@@ -1,0 +1,109 @@
+type nexthop = { out_port : int; gateway_mac : Packet.Ethernet.mac }
+
+type engine = Linear | Trie | Patricia | Cpe
+
+type backend =
+  | B_linear of (Prefix.t * nexthop) list ref
+  | B_trie of nexthop Btrie.t ref
+  | B_pat of nexthop Patricia.t ref
+  | B_cpe of nexthop Cpe.t
+
+type t = {
+  backend : backend;
+  cache : nexthop Route_cache.t;
+  selective : bool;
+  mutable n : int;
+}
+
+let create ?(engine = Cpe) ?(cache_slots = 1024)
+    ?(selective_invalidation = false) () =
+  let backend =
+    match engine with
+    | Linear -> B_linear (ref [])
+    | Trie -> B_trie (ref Btrie.empty)
+    | Patricia -> B_pat (ref Patricia.empty)
+    | Cpe -> B_cpe (Cpe.build ~strides:[ 16; 8; 8 ] [])
+  in
+  {
+    backend;
+    cache = Route_cache.create ~slots:cache_slots ();
+    selective = selective_invalidation;
+    n = 0;
+  }
+
+let on_change t p =
+  if t.selective then
+    Route_cache.invalidate_matching t.cache (Prefix.matches p)
+  else Route_cache.invalidate t.cache
+
+let add t p nh =
+  (match t.backend with
+  | B_linear l ->
+      l := (p, nh) :: List.filter (fun (q, _) -> not (Prefix.equal p q)) !l
+  | B_trie r -> r := Btrie.add !r p nh
+  | B_pat r -> r := Patricia.add !r p nh
+  | B_cpe c -> Cpe.add c p nh);
+  on_change t p;
+  t.n <-
+    (match t.backend with
+    | B_linear l -> List.length !l
+    | B_trie r -> Btrie.size !r
+    | B_pat r -> Patricia.size !r
+    | B_cpe c -> Cpe.size c)
+
+let remove t p =
+  (match t.backend with
+  | B_linear l -> l := List.filter (fun (q, _) -> not (Prefix.equal p q)) !l
+  | B_trie r -> r := Btrie.remove !r p
+  | B_pat r -> r := Patricia.remove !r p
+  | B_cpe c -> Cpe.remove c p);
+  on_change t p;
+  t.n <-
+    (match t.backend with
+    | B_linear l -> List.length !l
+    | B_trie r -> Btrie.size !r
+    | B_pat r -> Patricia.size !r
+    | B_cpe c -> Cpe.size c)
+
+let lookup t a =
+  match t.backend with
+  | B_linear l ->
+      let best =
+        List.fold_left
+          (fun acc (p, nh) ->
+            if Prefix.matches p a then
+              match acc with
+              | Some (q, _) when Prefix.length q >= Prefix.length p -> acc
+              | _ -> Some (p, nh)
+            else acc)
+          None !l
+      in
+      Option.map snd best
+  | B_trie r -> Option.map snd (Btrie.lookup !r a)
+  | B_pat r -> Option.map snd (Patricia.lookup !r a)
+  | B_cpe c -> Option.map snd (Cpe.lookup c a)
+
+let lookup_cached t a =
+  match Route_cache.find t.cache a with
+  | Some nh -> `Hit nh
+  | None -> (
+      match lookup t a with
+      | Some nh ->
+          Route_cache.insert t.cache a nh;
+          `Miss (Some nh)
+      | None -> `Miss None)
+
+let size t = t.n
+
+let cache_hit_rate t = Route_cache.hit_rate t.cache
+
+let engine_name t =
+  match t.backend with
+  | B_linear _ -> "linear"
+  | B_trie _ -> "trie"
+  | B_pat _ -> "patricia"
+  | B_cpe _ -> "cpe"
+
+let pp_nexthop ppf nh =
+  Format.fprintf ppf "port %d via %a" nh.out_port Packet.Ethernet.pp_mac
+    nh.gateway_mac

@@ -1,0 +1,47 @@
+(** The router's routing table: next-hop entries behind a pluggable
+    longest-prefix-match engine with a route cache in front.
+
+    The control plane (OSPF on the Pentium, in the paper) updates the
+    table; updates invalidate the cache.  The data plane calls
+    {!lookup_cached}, which is a cache probe on the fast path and a full
+    LPM + refill on a miss. *)
+
+type nexthop = {
+  out_port : int;  (** which router port forwards this packet *)
+  gateway_mac : Packet.Ethernet.mac;  (** next hop's MAC address *)
+}
+
+type engine = Linear | Trie | Patricia | Cpe
+(** Lookup engine: linear scan (testing baseline), unibit trie,
+    path-compressed trie, controlled prefix expansion. *)
+
+type t
+
+val create :
+  ?engine:engine -> ?cache_slots:int -> ?selective_invalidation:bool ->
+  unit -> t
+(** [create ()] is an empty table (default engine [Cpe], 1024-line cache).
+    With [selective_invalidation] (default false), a route change only
+    drops the cache lines the changed prefix covers, instead of the whole
+    cache — cheap control-plane churn at the cost of a per-line scan. *)
+
+val add : t -> Prefix.t -> nexthop -> unit
+(** Insert/replace a route; invalidates the cache. *)
+
+val remove : t -> Prefix.t -> unit
+(** Delete a route; invalidates the cache. *)
+
+val lookup : t -> Packet.Ipv4.addr -> nexthop option
+(** Full longest-prefix match (no cache) — what the StrongARM runs. *)
+
+val lookup_cached : t -> Packet.Ipv4.addr -> [ `Hit of nexthop | `Miss of nexthop option ]
+(** Fast-path lookup: [`Hit] on a cache hit; on a miss, runs the full match,
+    refills the cache on success, and reports what it found. *)
+
+val size : t -> int
+(** Number of routes. *)
+
+val cache_hit_rate : t -> float
+val engine_name : t -> string
+
+val pp_nexthop : Format.formatter -> nexthop -> unit

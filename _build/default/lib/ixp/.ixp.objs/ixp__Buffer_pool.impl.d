@@ -1,0 +1,1 @@
+lib/ixp/buffer_pool.ml: Array Packet Stack

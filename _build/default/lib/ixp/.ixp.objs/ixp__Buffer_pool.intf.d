@@ -1,0 +1,1 @@
+lib/ixp/buffer_pool.mli: Packet

@@ -1,0 +1,1 @@
+lib/ixp/chip.ml: Array Buffer_pool Config Fifo Hash_unit Istore List Mac_port Mem Microengine Packet Pci Sim

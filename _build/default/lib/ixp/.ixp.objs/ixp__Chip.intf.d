@@ -1,0 +1,1 @@
+lib/ixp/chip.mli: Buffer_pool Config Fifo Hash_unit Istore Mac_port Mem Microengine Packet Pci Sim

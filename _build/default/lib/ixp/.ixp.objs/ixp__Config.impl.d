@@ -1,0 +1,1 @@
+lib/ixp/config.ml: Sim

@@ -1,0 +1,1 @@
+lib/ixp/fifo.ml: Array Packet

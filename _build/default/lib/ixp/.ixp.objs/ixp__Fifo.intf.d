@@ -1,0 +1,1 @@
+lib/ixp/fifo.mli: Packet

@@ -1,0 +1,1 @@
+lib/ixp/hash_unit.ml: Int64 Sim

@@ -1,0 +1,1 @@
+lib/ixp/hash_unit.mli: Sim

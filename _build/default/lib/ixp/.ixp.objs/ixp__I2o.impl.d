@@ -1,0 +1,1 @@
+lib/ixp/i2o.ml: Pci Sim

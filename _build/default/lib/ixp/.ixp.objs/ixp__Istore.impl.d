@@ -1,0 +1,1 @@
+lib/ixp/istore.ml: Config List Printf

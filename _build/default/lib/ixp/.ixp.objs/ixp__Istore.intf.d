@@ -1,0 +1,1 @@
+lib/ixp/istore.mli: Config

@@ -1,0 +1,1 @@
+lib/ixp/mac_port.ml: Int64 List Packet Queue Sim

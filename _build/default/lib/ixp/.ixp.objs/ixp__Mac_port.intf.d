@@ -1,0 +1,1 @@
+lib/ixp/mac_port.mli: Packet Sim

@@ -1,0 +1,1 @@
+lib/ixp/mem.ml: Config Sim

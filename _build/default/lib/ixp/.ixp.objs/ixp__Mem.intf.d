@@ -1,0 +1,1 @@
+lib/ixp/mem.mli: Config Sim

@@ -1,0 +1,1 @@
+lib/ixp/microengine.ml: Printf Sim

@@ -1,0 +1,1 @@
+lib/ixp/microengine.mli: Sim

@@ -1,0 +1,1 @@
+lib/ixp/pci.ml: Config Int64 Sim

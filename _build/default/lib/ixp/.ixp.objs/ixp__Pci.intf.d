@@ -1,0 +1,1 @@
+lib/ixp/pci.mli: Config Sim

@@ -1,0 +1,88 @@
+type handle = { index : int; generation : int }
+
+type slot = {
+  mutable frame : Packet.Frame.t option;
+  mutable generation : int;
+  mutable live : bool; (* stack mode: allocated and not yet freed *)
+}
+
+type mode = Circular of { mutable next : int } | Stack of int Stack.t
+
+type t = {
+  slots : slot array;
+  mode : mode;
+  mutable overwrites : int;
+  mutable stale_reads : int;
+  mutable in_use : int;
+}
+
+let make_slots count =
+  Array.init count (fun _ -> { frame = None; generation = 0; live = false })
+
+let create_circular ~count () =
+  if count <= 0 then invalid_arg "Buffer_pool: count";
+  {
+    slots = make_slots count;
+    mode = Circular { next = 0 };
+    overwrites = 0;
+    stale_reads = 0;
+    in_use = 0;
+  }
+
+let create_stack ~count () =
+  if count <= 0 then invalid_arg "Buffer_pool: count";
+  let free = Stack.create () in
+  for i = count - 1 downto 0 do
+    Stack.push i free
+  done;
+  {
+    slots = make_slots count;
+    mode = Stack free;
+    overwrites = 0;
+    stale_reads = 0;
+    in_use = 0;
+  }
+
+let alloc t frame =
+  match t.mode with
+  | Circular c ->
+      let index = c.next in
+      c.next <- (c.next + 1) mod Array.length t.slots;
+      let slot = t.slots.(index) in
+      if slot.frame <> None then t.overwrites <- t.overwrites + 1;
+      slot.generation <- slot.generation + 1;
+      slot.frame <- Some frame;
+      { index; generation = slot.generation }
+  | Stack free ->
+      if Stack.is_empty free then failwith "Buffer_pool: out of buffers";
+      let index = Stack.pop free in
+      let slot = t.slots.(index) in
+      slot.generation <- slot.generation + 1;
+      slot.frame <- Some frame;
+      slot.live <- true;
+      t.in_use <- t.in_use + 1;
+      { index; generation = slot.generation }
+
+let read t h =
+  let slot = t.slots.(h.index) in
+  if slot.generation <> h.generation then begin
+    t.stale_reads <- t.stale_reads + 1;
+    None
+  end
+  else slot.frame
+
+let free t h =
+  match t.mode with
+  | Circular _ -> ()
+  | Stack free ->
+      let slot = t.slots.(h.index) in
+      if slot.live && slot.generation = h.generation then begin
+        slot.live <- false;
+        slot.frame <- None;
+        t.in_use <- t.in_use - 1;
+        Stack.push h.index free
+      end
+
+let overwrites t = t.overwrites
+let stale_reads t = t.stale_reads
+let in_use t = t.in_use

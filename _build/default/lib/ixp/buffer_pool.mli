@@ -1,0 +1,45 @@
+(** DRAM packet buffers (paper section 3.2.3).
+
+    The paper's allocator divides 16 MB of DRAM into 8192 buffers of 2 KB,
+    consumed circularly: "any given packet buffer remains valid for only
+    one pass though the circular buffer list.  If a packet is not
+    transmitted by the output process before its buffer is reused, the
+    packet is effectively lost."  We model exactly that, with a generation
+    number per handle so a stale read is detected (the packet was "lost")
+    rather than silently corrupted.
+
+    A per-port stack pool — the alternative the paper declined to build —
+    is provided for the ablation benchmark. *)
+
+type t
+
+type handle = { index : int; generation : int }
+(** A reference to a buffer as enqueued in an SRAM queue. *)
+
+val create_circular : count:int -> unit -> t
+(** The paper's allocator. *)
+
+val create_stack : count:int -> unit -> t
+(** A free-list allocator; {!free} returns buffers for reuse. *)
+
+val alloc : t -> Packet.Frame.t -> handle
+(** [alloc pool frame] stores [frame] in the next buffer.  In circular
+    mode this may silently overwrite the oldest in-flight buffer (counted
+    in {!overwrites}).  In stack mode it raises [Failure] when empty. *)
+
+val read : t -> handle -> Packet.Frame.t option
+(** [read pool h] is the stored frame, or [None] if the buffer was reused
+    since [h] was created (a lost packet). *)
+
+val free : t -> handle -> unit
+(** Stack mode: return the buffer.  Circular mode: no-op. *)
+
+val overwrites : t -> int
+(** Circular mode: buffers overwritten while still un-transmitted would
+    show up here as stale {!read}s; this counts generation laps. *)
+
+val stale_reads : t -> int
+(** Packets lost to buffer reuse. *)
+
+val in_use : t -> int
+(** Stack mode: buffers currently allocated. *)

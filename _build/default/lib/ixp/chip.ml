@@ -1,0 +1,58 @@
+type t = {
+  cfg : Config.t;
+  engine : Sim.Engine.t;
+  me_clock : Sim.Engine.Clock.clock;
+  pentium_clock : Sim.Engine.Clock.clock;
+  dram : Mem.t;
+  sram : Mem.t;
+  scratch : Mem.t;
+  mes : Microengine.t array;
+  istores : Istore.t array;
+  in_fifo : Fifo.t;
+  out_fifo : Fifo.t;
+  hash : Hash_unit.t;
+  ports : Mac_port.t array;
+  pci : Pci.t;
+  buffers : Buffer_pool.t;
+}
+
+type port_spec = { mbps : float; sink : (Packet.Frame.t -> unit) option }
+
+let eval_board_ports =
+  List.init 10 (fun i ->
+      { mbps = (if i < 8 then 100. else 1000.); sink = None })
+
+let create ?(cfg = Config.default) ?(ports = eval_board_ports)
+    ?(circular_buffers = true) engine =
+  let me_clock = Config.me_clock cfg in
+  {
+    cfg;
+    engine;
+    me_clock;
+    pentium_clock = Config.pentium_clock cfg;
+    dram = Mem.create me_clock ~name:"dram" cfg.dram;
+    sram = Mem.create me_clock ~name:"sram" cfg.sram;
+    scratch = Mem.create me_clock ~name:"scratch" cfg.scratch;
+    mes =
+      Array.init cfg.n_microengines (fun id -> Microengine.create me_clock ~id);
+    istores = Array.init cfg.n_microengines (fun _ -> Istore.create cfg);
+    in_fifo = Fifo.create ~slots:cfg.fifo_slots ();
+    out_fifo = Fifo.create ~slots:cfg.fifo_slots ();
+    hash = Hash_unit.create me_clock ~cycles:cfg.hash_cycles;
+    ports =
+      Array.of_list
+        (List.mapi
+           (fun id (spec : port_spec) ->
+             Mac_port.create engine ~id ~mbps:spec.mbps
+               ~rx_slots:cfg.port_rx_slots ?sink:spec.sink ())
+           ports);
+    pci = Pci.create engine cfg;
+    buffers =
+      (if circular_buffers then Buffer_pool.create_circular
+       else Buffer_pool.create_stack)
+        ~count:cfg.buffer_count ();
+  }
+
+let context_me t ctx = t.mes.(ctx / t.cfg.contexts_per_me)
+
+let elapsed t = Sim.Engine.time t.engine

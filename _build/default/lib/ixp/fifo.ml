@@ -1,0 +1,25 @@
+type t = { slots : Packet.Mp.t option array; mutable transfers : int }
+
+let create ~slots () =
+  if slots <= 0 then invalid_arg "Fifo.create";
+  { slots = Array.make slots None; transfers = 0 }
+
+let slots t = Array.length t.slots
+
+let load t i mp =
+  match t.slots.(i) with
+  | Some _ -> invalid_arg "Fifo.load: slot occupied"
+  | None ->
+      t.slots.(i) <- Some mp;
+      t.transfers <- t.transfers + 1
+
+let take t i =
+  match t.slots.(i) with
+  | None -> invalid_arg "Fifo.take: slot empty"
+  | Some mp ->
+      t.slots.(i) <- None;
+      mp
+
+let peek t i = t.slots.(i)
+
+let transfers t = t.transfers

@@ -1,0 +1,26 @@
+(** The IXP1200 transfer FIFOs (paper section 2.2).
+
+    "Each 'FIFO' is an addressable 16-slot x 64-byte register file.  It is
+    up to the programmer to use these register files so that they behave as
+    FIFOs."  The router statically assigns slots to contexts, so a slot is
+    a single-owner mailbox for one MP at a time. *)
+
+type t
+
+val create : slots:int -> unit -> t
+
+val slots : t -> int
+
+val load : t -> int -> Packet.Mp.t -> unit
+(** [load f i mp] fills slot [i] (the receive DMA's action).  Raises
+    [Invalid_argument] if the slot is already full — a static-allocation
+    bug. *)
+
+val take : t -> int -> Packet.Mp.t
+(** [take f i] empties slot [i] into the caller (the context's
+    FIFO-to-registers copy).  Raises if empty. *)
+
+val peek : t -> int -> Packet.Mp.t option
+
+val transfers : t -> int
+(** Total slot loads (DMA traffic accounting). *)

@@ -1,0 +1,23 @@
+type t = {
+  clock : Sim.Engine.Clock.clock;
+  cycles : int;
+  mutable uses : int;
+}
+
+let create clock ~cycles = { clock; cycles; uses = 0 }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_free t v =
+  ignore t;
+  Int64.to_int (mix v) land max_int
+
+let hash t v =
+  t.uses <- t.uses + 1;
+  Sim.Engine.Clock.wait_cycles t.clock t.cycles;
+  hash_free t v
+
+let uses t = t.uses

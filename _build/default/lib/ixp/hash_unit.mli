@@ -1,0 +1,20 @@
+(** The IXP1200 hardware hashing unit.
+
+    The fast path classifies "using a one-cycle hardware hash" of the
+    destination address (section 3.5.1), and the full classifier hashes the
+    IP and TCP headers separately (section 4.5).  The VRP budget allows a
+    forwarder 3 hashes per MP (section 4.3). *)
+
+type t
+
+val create : Sim.Engine.Clock.clock -> cycles:int -> t
+
+val hash : t -> int64 -> int
+(** [hash u v] (inside a fiber) charges the unit's latency and returns a
+    well-mixed non-negative hash of [v]. *)
+
+val hash_free : t -> int64 -> int
+(** The same mixing function without the cycle charge (for code that
+    accounts costs in aggregate, e.g. the VRP interpreter). *)
+
+val uses : t -> int

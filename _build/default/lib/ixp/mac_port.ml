@@ -1,0 +1,113 @@
+type rx_item = { tag : Packet.Mp.tag; index : int; frame : Packet.Frame.t }
+
+type t = {
+  id : int;
+  mbps : float;
+  rx_slots : int;
+  rx : rx_item Queue.t;
+  mutable sink : Packet.Frame.t -> unit;
+  mutable tx_partial : Packet.Mp.t list; (* reversed *)
+  mutable tx_horizon : int64; (* when the wire finishes what it has *)
+  mutable rx_frames : int;
+  mutable rx_dropped : int;
+  mutable tx_frames : int;
+  mutable tx_errors : int;
+}
+
+let create _engine ~id ~mbps ~rx_slots ?(sink = fun _ -> ()) () =
+  {
+    id;
+    mbps;
+    rx_slots;
+    rx = Queue.create ();
+    sink;
+    tx_partial = [];
+    tx_horizon = 0L;
+    rx_frames = 0;
+    rx_dropped = 0;
+    tx_frames = 0;
+    tx_errors = 0;
+  }
+
+let id t = t.id
+let mbps t = t.mbps
+let set_sink t f = t.sink <- f
+
+let offer t f =
+  let n = Packet.Mp.count (Packet.Frame.len f) in
+  if Queue.length t.rx + n > t.rx_slots then begin
+    t.rx_dropped <- t.rx_dropped + 1;
+    false
+  end
+  else begin
+    let open Packet.Mp in
+    for index = 0 to n - 1 do
+      let tag =
+        if n = 1 then Only
+        else if index = 0 then First
+        else if index = n - 1 then Last
+        else Intermediate
+      in
+      Queue.push { tag; index; frame = f } t.rx
+    done;
+    t.rx_frames <- t.rx_frames + 1;
+    true
+  end
+
+let rdy t = not (Queue.is_empty t.rx)
+
+let take_mp t = Queue.take_opt t.rx
+
+let frame_time_ps t ~bytes =
+  (* Preamble+SFD (8) and minimum inter-frame gap (12) per IEEE 802.3. *)
+  let wire_bits = float_of_int ((bytes + 20) * 8) in
+  Int64.of_float (wire_bits /. t.mbps *. 1e6)
+
+let tx_try_pace t ~tag =
+  (* An MP occupies the wire for its 64 bytes; the frame's final MP also
+     carries the preamble + inter-frame-gap overhead (20 bytes). *)
+  let bytes =
+    Packet.Mp.size
+    + (match tag with Packet.Mp.Last | Packet.Mp.Only -> 20 | _ -> 0)
+  in
+  let wire = Int64.of_float (float_of_int (bytes * 8) /. t.mbps *. 1e6) in
+  let now = Sim.Engine.now () in
+  (* One MP of headroom: accept while the wire is at most one MP ahead. *)
+  if Int64.sub t.tx_horizon now > wire then
+    `Wait (Int64.sub t.tx_horizon (Int64.add now wire))
+  else begin
+    t.tx_horizon <- Int64.add (if t.tx_horizon > now then t.tx_horizon else now) wire;
+    `Ok
+  end
+
+let transmit_mp t mp ~len_hint =
+  let open Packet.Mp in
+  let finish mps =
+    t.tx_partial <- [];
+    match join mps ~len:len_hint with
+    | f ->
+        t.tx_frames <- t.tx_frames + 1;
+        t.sink f
+    | exception Invalid_argument _ -> t.tx_errors <- t.tx_errors + 1
+  in
+  match mp.tag with
+  | Only ->
+      if t.tx_partial <> [] then begin
+        t.tx_errors <- t.tx_errors + 1;
+        t.tx_partial <- []
+      end;
+      finish [ mp ]
+  | First ->
+      if t.tx_partial <> [] then begin
+        t.tx_errors <- t.tx_errors + 1;
+        t.tx_partial <- []
+      end;
+      t.tx_partial <- [ mp ]
+  | Intermediate -> t.tx_partial <- mp :: t.tx_partial
+  | Last -> finish (List.rev (mp :: t.tx_partial))
+
+let rx_frames t = t.rx_frames
+let rx_dropped t = t.rx_dropped
+let tx_frames t = t.tx_frames
+let tx_errors t = t.tx_errors
+let occupancy t = Queue.length t.rx

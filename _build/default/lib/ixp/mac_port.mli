@@ -1,0 +1,88 @@
+(** A MAC Ethernet port (paper section 2.2: 8 x 100 Mbps + 2 x 1 Gbps).
+
+    Receive side: the MAC segments each arriving frame into 64-byte MPs in
+    its small port memory; input contexts poll {!rdy} and DMA one MP at a
+    time into the input FIFO.  If port memory overflows because the
+    MicroEngines fall behind line rate, frames drop here — exactly the
+    receive pressure the paper's line-speed requirement exists to avoid.
+
+    Transmit side: the port reassembles outgoing MPs and delivers completed
+    frames to the attached sink, pacing at line rate. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  id:int ->
+  mbps:float ->
+  rx_slots:int ->
+  ?sink:(Packet.Frame.t -> unit) ->
+  unit ->
+  t
+
+val id : t -> int
+val mbps : t -> float
+
+val set_sink : t -> (Packet.Frame.t -> unit) -> unit
+(** Replace where transmitted frames are delivered — e.g. wire this port
+    to another router's receive side to build multi-router topologies. *)
+
+(** {1 Receive (wire to router)} *)
+
+val offer : t -> Packet.Frame.t -> bool
+(** [offer p f] is called by a traffic source when a frame finishes
+    arriving.  Returns false — and counts a drop — if port memory cannot
+    hold its MPs. *)
+
+type rx_item = {
+  tag : Packet.Mp.tag;
+  index : int;  (** MP position within its frame *)
+  frame : Packet.Frame.t;  (** the frame this MP belongs to *)
+}
+(** One received MP as the input loop sees it.  The frame reference rides
+    along so protocol processing on the first MP can read real headers
+    without a reassembly step the hardware would not perform either. *)
+
+val rdy : t -> bool
+(** Is at least one received MP waiting? (The input loop's [port_rdy].) *)
+
+val take_mp : t -> rx_item option
+(** Remove the next received MP (the receive DMA's read side). *)
+
+val frame_time_ps : t -> bytes:int -> int64
+(** Wire time of a [bytes]-byte frame including preamble and inter-frame
+    gap (IEEE 802.3: 8 + 12 overhead bytes) — what a line-rate source
+    waits between frames. *)
+
+(** {1 Transmit (router to wire)} *)
+
+val tx_try_pace : t -> tag:Packet.Mp.tag -> [ `Ok | `Wait of int64 ]
+(** [tx_try_pace p ~tag] asks the MAC for a transmit slot: the wire drains
+    at line rate, with one MP of headroom so preparing the next MP
+    overlaps transmitting the current one.  [`Ok] reserves the slot;
+    [`Wait d] means the slot frees in [d] ps — the caller should poll
+    again (with a short backoff, not by sleeping the whole [d]: an output
+    context that naps stalls the token rotation for everyone). *)
+
+val transmit_mp : t -> Packet.Mp.t -> len_hint:int -> unit
+(** [transmit_mp p mp ~len_hint] hands one MP to the MAC.  On the packet's
+    final MP the frame (of [len_hint] bytes) is reassembled and delivered
+    to the sink.  Misordered MPs count as {!tx_errors} and the fragment is
+    discarded — the "garbage data sent to a non-existent port" failure the
+    static FIFO discipline prevents. *)
+
+(** {1 Counters} *)
+
+val rx_frames : t -> int
+(** Frames accepted into port memory. *)
+
+val rx_dropped : t -> int
+(** Frames lost to port-memory overflow. *)
+
+val tx_frames : t -> int
+(** Frames fully transmitted. *)
+
+val tx_errors : t -> int
+
+val occupancy : t -> int
+(** MPs currently waiting in receive port memory. *)

@@ -1,0 +1,30 @@
+type t = {
+  clock : Sim.Engine.Clock.clock;
+  timing : Config.mem_timing;
+  server : Sim.Server.t;
+  mutable ops : int;
+}
+
+let create clock ~name timing =
+  { clock; timing; server = Sim.Server.create ~name (); ops = 0 }
+
+let read_ops t ~bytes =
+  if bytes <= 0 then 0 else (bytes + t.timing.unit_bytes - 1) / t.timing.unit_bytes
+
+let transfer t ~bytes ~cycles =
+  let n = read_ops t ~bytes in
+  let occupancy =
+    Sim.Engine.Clock.ps_of_cycles t.clock t.timing.occupancy_cycles
+  in
+  let latency = Sim.Engine.Clock.ps_of_cycles t.clock cycles in
+  for _ = 1 to n do
+    Sim.Server.access t.server ~occupancy ~latency;
+    t.ops <- t.ops + 1
+  done
+
+let read t ~bytes = transfer t ~bytes ~cycles:t.timing.read_cycles
+let write t ~bytes = transfer t ~bytes ~cycles:t.timing.write_cycles
+
+let server t = t.server
+let ops_completed t = t.ops
+let timing t = t.timing

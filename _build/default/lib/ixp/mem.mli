@@ -1,0 +1,32 @@
+(** One memory channel (DRAM, SRAM, or Scratch) shared by every
+    MicroEngine context and the StrongARM.
+
+    Each operation moves at most [unit_bytes]; larger requests issue
+    multiple back-to-back operations (that is what Table 2's "2 DRAM
+    writes" for a 64-byte MP means).  The requester observes the Table 3
+    latency per operation plus any queueing behind other contexts — the
+    contention that the paper's design works so hard to avoid. *)
+
+type t
+
+val create :
+  Sim.Engine.Clock.clock -> name:string -> Config.mem_timing -> t
+(** [create clock ~name timing] is an idle channel. *)
+
+val read : t -> bytes:int -> unit
+(** [read ch ~bytes] (inside a fiber) performs [ceil (bytes/unit)] read
+    operations, blocking for their cumulative latency. *)
+
+val write : t -> bytes:int -> unit
+(** Like {!read} for writes. *)
+
+val read_ops : t -> bytes:int -> int
+(** Number of operations a [bytes]-sized access issues (cost accounting). *)
+
+val server : t -> Sim.Server.t
+(** The underlying server, for utilization queries. *)
+
+val ops_completed : t -> int
+(** Total operations served. *)
+
+val timing : t -> Config.mem_timing

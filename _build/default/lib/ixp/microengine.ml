@@ -1,0 +1,26 @@
+type t = {
+  id : int;
+  clock : Sim.Engine.Clock.clock;
+  core : Sim.Server.t;
+  mutable instructions : int;
+}
+
+let create clock ~id =
+  {
+    id;
+    clock;
+    core = Sim.Server.create ~name:(Printf.sprintf "me%d" id) ();
+    instructions = 0;
+  }
+
+let id t = t.id
+
+let exec t n =
+  if n > 0 then begin
+    let d = Sim.Engine.Clock.ps_of_cycles t.clock n in
+    Sim.Server.access t.core ~occupancy:d ~latency:d;
+    t.instructions <- t.instructions + n
+  end
+
+let instructions t = t.instructions
+let busy_time t = Sim.Server.busy_time t.core

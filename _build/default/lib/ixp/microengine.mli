@@ -1,0 +1,24 @@
+(** A MicroEngine: one single-issue core timeshared by four hardware
+    contexts (paper section 2.2).
+
+    Register-to-register instructions occupy the core; a context that
+    blocks on memory releases it, which is precisely the latency-hiding
+    trick the whole chip is designed around.  We model the core as a FIFO
+    server: [exec me n] charges [n] instruction cycles of core occupancy,
+    so when all four contexts are compute-bound they divide the core's
+    200 MHz between them. *)
+
+type t
+
+val create : Sim.Engine.Clock.clock -> id:int -> t
+
+val id : t -> int
+
+val exec : t -> int -> unit
+(** [exec me n] (inside a context fiber) runs [n] register instructions. *)
+
+val instructions : t -> int
+(** Total instructions issued. *)
+
+val busy_time : t -> int64
+(** Core-occupied picoseconds, for utilization. *)

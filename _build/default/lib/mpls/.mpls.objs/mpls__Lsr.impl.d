@@ -1,0 +1,1 @@
+lib/mpls/lsr.ml: Hashtbl Int64 Iproute Option Packet Router Sim

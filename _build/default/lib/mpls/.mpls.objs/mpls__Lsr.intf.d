@@ -1,0 +1,1 @@
+lib/mpls/lsr.mli: Iproute Packet Router Sim

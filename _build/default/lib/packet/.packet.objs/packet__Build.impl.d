@@ -1,0 +1,1 @@
+lib/packet/build.ml: Bytes Ethernet Frame Ipv4 String Tcp Udp

@@ -1,0 +1,1 @@
+lib/packet/build.mli: Frame Ipv4

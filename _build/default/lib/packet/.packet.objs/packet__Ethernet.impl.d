@@ -1,0 +1,1 @@
+lib/packet/ethernet.ml: Format Frame Int32 List String

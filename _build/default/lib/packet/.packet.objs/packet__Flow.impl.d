@@ -1,0 +1,1 @@
+lib/packet/flow.ml: Format Frame Ipv4 Stdlib

@@ -1,0 +1,1 @@
+lib/packet/frame.ml: Bytes Char Format Int32 String

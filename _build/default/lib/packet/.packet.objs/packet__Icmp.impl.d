@@ -1,0 +1,1 @@
+lib/packet/icmp.ml: Bytes Checksum Ethernet Frame Ipv4

@@ -1,0 +1,1 @@
+lib/packet/ipv4.ml: Checksum Ethernet Format Frame Int32 List String

@@ -1,0 +1,1 @@
+lib/packet/mp.ml: Bytes Format Frame List

@@ -1,0 +1,1 @@
+lib/packet/mp.mli: Bytes Format Frame

@@ -1,0 +1,1 @@
+lib/packet/mpls.ml: Bytes Ethernet Frame Int32

@@ -1,0 +1,1 @@
+lib/packet/tcp.ml: Checksum Frame Int32 Ipv4

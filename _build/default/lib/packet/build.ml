@@ -1,0 +1,73 @@
+let min_frame = 64
+let max_frame = 1518
+
+let base_frame ~frame_len ~src ~dst ~ttl ~proto ~l4_len =
+  (* Headroom for encapsulation (e.g. an MPLS label push at an ingress
+     LER) — the real DRAM buffer is 2 KB regardless of frame size. *)
+  let f = Frame.alloc ~headroom:16 frame_len in
+  Ethernet.set_dst f (Ethernet.mac_of_port 0);
+  Ethernet.set_src f (Ethernet.mac_of_string "02:00:00:00:00:01");
+  Ethernet.set_ethertype f Ethernet.ethertype_ipv4;
+  Frame.set_u8 f Ipv4.offset 0x45;
+  Ipv4.set_total_len f (Ipv4.min_header_len + l4_len);
+  Ipv4.set_ttl f ttl;
+  Ipv4.set_proto f proto;
+  Ipv4.set_src f src;
+  Ipv4.set_dst f dst;
+  f
+
+let l4_capacity ~frame_len = frame_len - Ipv4.offset - Ipv4.min_header_len
+
+let udp ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port ?(ttl = 64)
+    ?(payload = "") () =
+  let l4_len = min (8 + String.length payload) (l4_capacity ~frame_len) in
+  let f = base_frame ~frame_len ~src ~dst ~ttl ~proto:Ipv4.proto_udp ~l4_len in
+  Udp.set_src_port f src_port;
+  Udp.set_dst_port f dst_port;
+  Udp.set_len f l4_len;
+  let pay_room = l4_len - 8 in
+  if pay_room > 0 && payload <> "" then
+    Bytes.blit_string payload 0 f.Frame.data (Udp.payload_offset f)
+      (min pay_room (String.length payload));
+  Ipv4.fill_cksum f;
+  Udp.fill_cksum f;
+  f
+
+let tcp ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port ?(ttl = 64)
+    ?(seq = 0l) ?(ack = 0l) ?(flags = Tcp.flag_ack) ?(payload = "") () =
+  let l4_len = min (20 + String.length payload) (l4_capacity ~frame_len) in
+  let f = base_frame ~frame_len ~src ~dst ~ttl ~proto:Ipv4.proto_tcp ~l4_len in
+  Tcp.set_src_port f src_port;
+  Tcp.set_dst_port f dst_port;
+  Tcp.set_seq f seq;
+  Tcp.set_ack f ack;
+  (* Data offset 5 words, then flags. *)
+  Frame.set_u8 f (Ipv4.payload_offset f + 12) 0x50;
+  Tcp.set_flags f flags;
+  Frame.set_u16 f (Ipv4.payload_offset f + 14) 0xFFFF (* window *);
+  let pay_room = l4_len - 20 in
+  if pay_room > 0 && payload <> "" then
+    Bytes.blit_string payload 0 f.Frame.data
+      (Ipv4.payload_offset f + 20)
+      (min pay_room (String.length payload));
+  Ipv4.fill_cksum f;
+  Tcp.fill_cksum f;
+  f
+
+let with_ip_options f =
+  let old_hlen = Ipv4.header_len f in
+  let extra = 4 in
+  let g = Frame.alloc (Frame.len f + extra) in
+  let ip_end = Ipv4.offset + old_hlen in
+  Bytes.blit f.Frame.data 0 g.Frame.data 0 ip_end;
+  (* NOP, NOP, NOP, EOL option block. *)
+  Bytes.set g.Frame.data ip_end '\001';
+  Bytes.set g.Frame.data (ip_end + 1) '\001';
+  Bytes.set g.Frame.data (ip_end + 2) '\001';
+  Bytes.set g.Frame.data (ip_end + 3) '\000';
+  Bytes.blit f.Frame.data ip_end g.Frame.data (ip_end + extra)
+    (Frame.len f - ip_end);
+  Frame.set_u8 g Ipv4.offset (0x40 lor (old_hlen / 4 + 1));
+  Ipv4.set_total_len g (Ipv4.get_total_len f + extra);
+  Ipv4.fill_cksum g;
+  g

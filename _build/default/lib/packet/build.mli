@@ -1,0 +1,40 @@
+(** Packet constructors for workloads, examples and tests. *)
+
+val min_frame : int
+(** 64 bytes: the minimum Ethernet frame, the paper's worst case. *)
+
+val max_frame : int
+(** 1518 bytes: a maximal Ethernet frame (1500-byte IP packet). *)
+
+val udp :
+  ?frame_len:int ->
+  src:Ipv4.addr ->
+  dst:Ipv4.addr ->
+  src_port:int ->
+  dst_port:int ->
+  ?ttl:int ->
+  ?payload:string ->
+  unit ->
+  Frame.t
+(** A well-formed Ethernet/IPv4/UDP frame with valid checksums, padded to
+    [frame_len] (default {!min_frame}). *)
+
+val tcp :
+  ?frame_len:int ->
+  src:Ipv4.addr ->
+  dst:Ipv4.addr ->
+  src_port:int ->
+  dst_port:int ->
+  ?ttl:int ->
+  ?seq:int32 ->
+  ?ack:int32 ->
+  ?flags:int ->
+  ?payload:string ->
+  unit ->
+  Frame.t
+(** A well-formed Ethernet/IPv4/TCP frame with valid checksums. *)
+
+val with_ip_options : Frame.t -> Frame.t
+(** [with_ip_options f] is a copy of [f] with a 4-byte NOP IP option block
+    inserted (IHL 6), checksums fixed — an "exceptional" packet that the
+    fast path must divert (paper section 3.2). *)

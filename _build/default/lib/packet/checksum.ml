@@ -1,0 +1,37 @@
+let sum b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Checksum.sum: range";
+  let acc = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc := !acc + (Char.code (Bytes.get b !i) lsl 8) + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get b !i) lsl 8);
+  !acc
+
+let finish s =
+  let s = (s land 0xFFFF) + (s lsr 16) in
+  let s = (s land 0xFFFF) + (s lsr 16) in
+  lnot s land 0xFFFF
+
+let compute b ~off ~len = finish (sum b ~off ~len)
+
+let verify b ~off ~len =
+  let s = sum b ~off ~len in
+  let s = (s land 0xFFFF) + (s lsr 16) in
+  let s = (s land 0xFFFF) + (s lsr 16) in
+  s = 0xFFFF
+
+(* RFC 1624: HC' = ~(~HC + ~m + m'). *)
+let update16 ~old_cksum ~old_word ~new_word =
+  let s = (lnot old_cksum land 0xFFFF) + (lnot old_word land 0xFFFF) + new_word in
+  let s = (s land 0xFFFF) + (s lsr 16) in
+  let s = (s land 0xFFFF) + (s lsr 16) in
+  lnot s land 0xFFFF
+
+let pseudo_header_sum ~src ~dst ~proto ~len =
+  let hi32 v = Int32.to_int (Int32.shift_right_logical v 16) land 0xFFFF in
+  let lo32 v = Int32.to_int v land 0xFFFF in
+  hi32 src + lo32 src + hi32 dst + lo32 dst + proto + len

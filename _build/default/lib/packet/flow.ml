@@ -1,0 +1,64 @@
+type tuple = {
+  src_addr : Ipv4.addr;
+  src_port : int;
+  dst_addr : Ipv4.addr;
+  dst_port : int;
+}
+
+type t = All | Tuple of tuple
+
+let of_frame f =
+  if Frame.len f < Ipv4.offset + Ipv4.min_header_len then None
+  else begin
+    let proto = Ipv4.get_proto f in
+    if proto <> Ipv4.proto_tcp && proto <> Ipv4.proto_udp then None
+    else begin
+      let base = Ipv4.payload_offset f in
+      if Frame.len f < base + 4 then None
+      else
+        Some
+          {
+            src_addr = Ipv4.get_src f;
+            src_port = Frame.get_u16 f base;
+            dst_addr = Ipv4.get_dst f;
+            dst_port = Frame.get_u16 f (base + 2);
+          }
+    end
+  end
+
+let reverse t =
+  {
+    src_addr = t.dst_addr;
+    src_port = t.dst_port;
+    dst_addr = t.src_addr;
+    dst_port = t.src_port;
+  }
+
+let equal_tuple a b =
+  a.src_addr = b.src_addr && a.src_port = b.src_port && a.dst_addr = b.dst_addr
+  && a.dst_port = b.dst_port
+
+let equal a b =
+  match (a, b) with
+  | All, All -> true
+  | Tuple x, Tuple y -> equal_tuple x y
+  | All, Tuple _ | Tuple _, All -> false
+
+let compare a b =
+  match (a, b) with
+  | All, All -> 0
+  | All, Tuple _ -> -1
+  | Tuple _, All -> 1
+  | Tuple x, Tuple y -> Stdlib.compare x y
+
+let pp ppf = function
+  | All -> Format.pp_print_string ppf "ALL"
+  | Tuple t ->
+      Format.fprintf ppf "%a:%d -> %a:%d" Ipv4.pp_addr t.src_addr t.src_port
+        Ipv4.pp_addr t.dst_addr t.dst_port
+
+let matches k f =
+  match k with
+  | All -> true
+  | Tuple t -> (
+      match of_frame f with None -> false | Some u -> equal_tuple t u)

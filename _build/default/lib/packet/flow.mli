@@ -1,0 +1,27 @@
+(** Flow keys for the classifier (paper section 4.5).
+
+    A key is the [(src_addr, src_port, dst_addr, dst_port)] 4-tuple, or the
+    wildcard [All] used by general forwarders that apply to every packet. *)
+
+type tuple = {
+  src_addr : Ipv4.addr;
+  src_port : int;
+  dst_addr : Ipv4.addr;
+  dst_port : int;
+}
+
+type t = All | Tuple of tuple
+
+val of_frame : Frame.t -> tuple option
+(** [of_frame f] extracts the 4-tuple if [f] carries TCP or UDP. *)
+
+val reverse : tuple -> tuple
+(** Swap the endpoint pair (the splicer's other connection half). *)
+
+val equal : t -> t -> bool
+val equal_tuple : tuple -> tuple -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val matches : t -> Frame.t -> bool
+(** [matches k f] is true if [k] is [All] or [f]'s 4-tuple equals [k]'s. *)

@@ -1,0 +1,34 @@
+type t = { data : Bytes.t; mutable len : int }
+
+let alloc ?(headroom = 0) n = { data = Bytes.make (n + headroom) '\000'; len = n }
+let of_bytes b = { data = b; len = Bytes.length b }
+let copy f = { data = Bytes.copy f.data; len = f.len }
+let len f = f.len
+
+let get_u8 f off = Char.code (Bytes.get f.data off)
+let set_u8 f off v = Bytes.set f.data off (Char.chr (v land 0xFF))
+
+let get_u16 f off = (get_u8 f off lsl 8) lor get_u8 f (off + 1)
+
+let set_u16 f off v =
+  set_u8 f off (v lsr 8);
+  set_u8 f (off + 1) v
+
+let get_u32 f off =
+  let hi = get_u16 f off and lo = get_u16 f (off + 2) in
+  Int32.logor (Int32.shift_left (Int32.of_int hi) 16) (Int32.of_int lo)
+
+let set_u32 f off v =
+  set_u16 f off (Int32.to_int (Int32.shift_right_logical v 16) land 0xFFFF);
+  set_u16 f (off + 2) (Int32.to_int v land 0xFFFF)
+
+let blit_string s f off = Bytes.blit_string s 0 f.data off (String.length s)
+
+let equal a b =
+  a.len = b.len && Bytes.sub a.data 0 a.len = Bytes.sub b.data 0 b.len
+
+let pp_hex ppf f =
+  for i = 0 to f.len - 1 do
+    if i > 0 && i mod 16 = 0 then Format.pp_print_newline ppf ();
+    Format.fprintf ppf "%02x " (get_u8 f i)
+  done

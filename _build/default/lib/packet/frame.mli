@@ -1,0 +1,40 @@
+(** A network frame: a fixed buffer plus a live length.
+
+    All header modules ({!Ethernet}, {!Ipv4}, {!Tcp}, {!Udp}) read and write
+    fields in place, mirroring how the MicroEngine code patches headers in
+    FIFO registers and DRAM. *)
+
+type t = { data : Bytes.t; mutable len : int }
+
+val alloc : ?headroom:int -> int -> t
+(** [alloc n] is a zeroed frame of length [n].  [headroom] adds spare
+    capacity beyond [n] (the router's DRAM buffers are 2 KB regardless of
+    frame size, so encapsulations like MPLS push always have room there;
+    default 0). *)
+
+val of_bytes : Bytes.t -> t
+(** [of_bytes b] wraps [b] (no copy). *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+val len : t -> int
+(** Current frame length in bytes. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+(** Big-endian 16-bit read at byte offset. *)
+
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int32
+val set_u32 : t -> int -> int32 -> unit
+
+val blit_string : string -> t -> int -> unit
+(** [blit_string s f off] copies [s] into the frame at [off]. *)
+
+val equal : t -> t -> bool
+(** Byte equality over the live length. *)
+
+val pp_hex : Format.formatter -> t -> unit
+(** Hex dump (for tests and examples). *)

@@ -1,0 +1,64 @@
+type addr = int32
+
+let addr_of_string s =
+  match String.split_on_char '.' s |> List.map int_of_string with
+  | [ a; b; c; d ]
+    when List.for_all (fun x -> x >= 0 && x <= 255) [ a; b; c; d ] ->
+      Int32.of_int ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d)
+  | _ -> invalid_arg "Ipv4.addr_of_string"
+
+let pp_addr ppf a =
+  let a = Int32.to_int a land 0xFFFFFFFF in
+  Format.fprintf ppf "%d.%d.%d.%d" ((a lsr 24) land 0xFF) ((a lsr 16) land 0xFF)
+    ((a lsr 8) land 0xFF) (a land 0xFF)
+
+let offset = Ethernet.header_len
+let min_header_len = 20
+
+let get_version f = Frame.get_u8 f offset lsr 4
+let get_ihl f = Frame.get_u8 f offset land 0xF
+let header_len f = 4 * get_ihl f
+let has_options f = get_ihl f > 5
+let get_total_len f = Frame.get_u16 f (offset + 2)
+let set_total_len f v = Frame.set_u16 f (offset + 2) v
+let get_ttl f = Frame.get_u8 f (offset + 8)
+let set_ttl f v = Frame.set_u8 f (offset + 8) v
+let get_proto f = Frame.get_u8 f (offset + 9)
+let set_proto f v = Frame.set_u8 f (offset + 9) v
+let get_cksum f = Frame.get_u16 f (offset + 10)
+let set_cksum f v = Frame.set_u16 f (offset + 10) v
+let get_src f = Frame.get_u32 f (offset + 12)
+let set_src f v = Frame.set_u32 f (offset + 12) v
+let get_dst f = Frame.get_u32 f (offset + 16)
+let set_dst f v = Frame.set_u32 f (offset + 16) v
+
+let proto_tcp = 6
+let proto_udp = 17
+
+let fill_cksum f =
+  set_cksum f 0;
+  set_cksum f (Checksum.compute f.Frame.data ~off:offset ~len:(header_len f))
+
+let valid f =
+  Frame.len f >= offset + min_header_len
+  && get_version f = 4
+  && get_ihl f >= 5
+  && offset + header_len f <= Frame.len f
+  && get_total_len f >= header_len f
+  && offset + get_total_len f <= Frame.len f
+  && Checksum.verify f.Frame.data ~off:offset ~len:(header_len f)
+
+(* TTL and protocol share a 16-bit checksum word: old = ttl<<8 | proto. *)
+let decrement_ttl f =
+  let ttl = get_ttl f in
+  if ttl <= 1 then false
+  else begin
+    let proto = get_proto f in
+    let old_word = (ttl lsl 8) lor proto in
+    let new_word = ((ttl - 1) lsl 8) lor proto in
+    set_ttl f (ttl - 1);
+    set_cksum f (Checksum.update16 ~old_cksum:(get_cksum f) ~old_word ~new_word);
+    true
+  end
+
+let payload_offset f = offset + header_len f

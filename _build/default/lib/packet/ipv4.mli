@@ -1,0 +1,58 @@
+(** IPv4 header access, validation, and the forwarding transformations of
+    the paper's IP forwarders: header validation, TTL decrement with
+    incremental checksum update (fast path), and option handling (slow
+    path, diverted up the processor hierarchy). *)
+
+type addr = int32
+(** An IPv4 address in network bit order. *)
+
+val addr_of_string : string -> addr
+(** [addr_of_string "10.0.0.1"] parses dotted quad. *)
+
+val pp_addr : Format.formatter -> addr -> unit
+(** Prints dotted quad. *)
+
+val offset : int
+(** Byte offset of the IP header in an Ethernet frame. *)
+
+val min_header_len : int
+(** 20 bytes (no options). *)
+
+val get_version : Frame.t -> int
+val get_ihl : Frame.t -> int
+(** Header length in 32-bit words; > 5 means options are present. *)
+
+val header_len : Frame.t -> int
+(** IHL in bytes. *)
+
+val has_options : Frame.t -> bool
+val get_total_len : Frame.t -> int
+val set_total_len : Frame.t -> int -> unit
+val get_ttl : Frame.t -> int
+val set_ttl : Frame.t -> int -> unit
+val get_proto : Frame.t -> int
+val set_proto : Frame.t -> int -> unit
+val get_cksum : Frame.t -> int
+val set_cksum : Frame.t -> int -> unit
+val get_src : Frame.t -> addr
+val set_src : Frame.t -> addr -> unit
+val get_dst : Frame.t -> addr
+val set_dst : Frame.t -> addr -> unit
+
+val proto_tcp : int
+val proto_udp : int
+
+val fill_cksum : Frame.t -> unit
+(** Recompute and store the header checksum. *)
+
+val valid : Frame.t -> bool
+(** The classifier's validation (section 4.4): version is 4, IHL and total
+    length are sane, header checksum verifies. *)
+
+val decrement_ttl : Frame.t -> bool
+(** [decrement_ttl f] performs the fast-path transformation: decrement TTL
+    and incrementally update the checksum.  Returns false (frame untouched)
+    if TTL is already 0 or 1 — the packet must be diverted/dropped. *)
+
+val payload_offset : Frame.t -> int
+(** First byte past the IP header (start of TCP/UDP). *)

@@ -1,0 +1,31 @@
+(** MAC-Packets (paper section 3.1).
+
+    "The common unit of data transferred through the IXP1200 is a 64-byte
+    MAC-Packet (MP).  As each packet is received, the MAC breaks it into
+    separate MPs; tags each MP as being the first, an intermediate, the
+    last, or the only MP of the packet."
+
+    Everything between a MAC port and DRAM moves in these units, so
+    per-packet costs in the forwarding pipeline scale with [count]. *)
+
+val size : int
+(** 64 bytes. *)
+
+type tag = Only | First | Intermediate | Last
+
+type t = { tag : tag; index : int; data : Bytes.t }
+(** One MP: [data] is exactly {!size} bytes (the tail MP of a packet is
+    zero-padded); [index] is its position within the packet. *)
+
+val count : int -> int
+(** [count len] is the number of MPs a [len]-byte frame occupies (>= 1).
+    A 1500-byte IP packet in a 1518-byte Ethernet frame takes 24. *)
+
+val split : Frame.t -> t list
+(** [split f] segments a frame into tagged MPs. *)
+
+val join : t list -> len:int -> Frame.t
+(** [join mps ~len] reassembles MPs (in order) into a frame of [len] bytes.
+    Raises [Invalid_argument] on inconsistent tags or count. *)
+
+val pp_tag : Format.formatter -> tag -> unit

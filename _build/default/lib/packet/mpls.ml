@@ -1,0 +1,72 @@
+type entry = { label : int; tc : int; bos : bool; ttl : int }
+
+let ethertype = 0x8847
+let entry_len = 4
+let base = Ethernet.header_len
+
+let is_mpls f = Ethernet.get_ethertype f = ethertype
+
+let read_entry f depth =
+  let off = base + (depth * entry_len) in
+  let w = Frame.get_u32 f off in
+  let w = Int32.to_int w land 0xFFFFFFFF in
+  {
+    label = (w lsr 12) land 0xFFFFF;
+    tc = (w lsr 9) land 0x7;
+    bos = (w lsr 8) land 1 = 1;
+    ttl = w land 0xFF;
+  }
+
+let write_entry f depth e =
+  if e.label < 0 || e.label > 0xFFFFF then invalid_arg "Mpls: label";
+  if e.ttl < 0 || e.ttl > 255 then invalid_arg "Mpls: ttl";
+  let off = base + (depth * entry_len) in
+  let w =
+    (e.label lsl 12) lor ((e.tc land 0x7) lsl 9)
+    lor (if e.bos then 0x100 else 0)
+    lor (e.ttl land 0xFF)
+  in
+  Frame.set_u32 f off (Int32.of_int w)
+
+let top f = read_entry f 0
+
+let stack_depth f =
+  let rec go depth =
+    if base + ((depth + 1) * entry_len) > Frame.len f then
+      invalid_arg "Mpls.stack_depth: unterminated stack"
+    else if (read_entry f depth).bos then depth + 1
+    else go (depth + 1)
+  in
+  go 0
+
+let push f e =
+  let was_ip = not (is_mpls f) in
+  let len = Frame.len f in
+  if len + entry_len > Bytes.length f.Frame.data then
+    invalid_arg "Mpls.push: no headroom";
+  (* Shift everything after the Ethernet header right by one entry. *)
+  Bytes.blit f.Frame.data base f.Frame.data (base + entry_len) (len - base);
+  f.Frame.len <- len + entry_len;
+  Ethernet.set_ethertype f ethertype;
+  write_entry f 0 { e with bos = (if was_ip then true else e.bos) }
+
+let pop f =
+  if not (is_mpls f) then invalid_arg "Mpls.pop: not MPLS";
+  let e = top f in
+  let len = Frame.len f in
+  Bytes.blit f.Frame.data (base + entry_len) f.Frame.data base
+    (len - base - entry_len);
+  f.Frame.len <- len - entry_len;
+  if e.bos then Ethernet.set_ethertype f Ethernet.ethertype_ipv4;
+  e
+
+let swap f ~label =
+  let e = top f in
+  write_entry f 0 { e with label; ttl = max 0 (e.ttl - 1) }
+
+let payload_is_ipv4 f =
+  match stack_depth f with
+  | d ->
+      let off = base + (d * entry_len) in
+      off < Frame.len f && Frame.get_u8 f off lsr 4 = 4
+  | exception Invalid_argument _ -> false

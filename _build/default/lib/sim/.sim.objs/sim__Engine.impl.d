@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Float Fmt Heap Int64 Printexc

@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Array Engine Float Format Int64 List String

@@ -1,0 +1,1 @@
+lib/sim/token_ring.mli:

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Engine Format Int64 List String

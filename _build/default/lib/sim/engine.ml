@@ -1,0 +1,130 @@
+type t = {
+  mutable clock : int64;
+  mutable seq : int;
+  queue : (unit -> unit) Heap.t;
+  mutable live : int;
+}
+
+type waker = unit -> unit
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | Wait : int64 -> unit Effect.t
+  | Suspend : (waker -> unit) -> unit Effect.t
+  | Now : int64 Effect.t
+  | Spawn_here : (string * (unit -> unit)) -> unit Effect.t
+  | Self : t Effect.t
+
+let create () = { clock = 0L; seq = 0; queue = Heap.create (); live = 0 }
+
+let time t = t.clock
+
+let schedule t ~at thunk =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.push t.queue ~time:at ~seq thunk
+
+(* Each fiber body runs under this handler; resuming a captured continuation
+   re-enters the handler, so a fiber only needs wrapping once, at spawn. *)
+let rec exec_fiber t name fn =
+  let open Effect.Deep in
+  t.live <- t.live + 1;
+  match_with fn ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun e ->
+          t.live <- t.live - 1;
+          let bt = Printexc.get_raw_backtrace () in
+          Fmt.epr "sim: fiber %S died: %s@." name (Printexc.to_string e);
+          Printexc.raise_with_backtrace e bt);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if d < 0L then
+                    discontinue k (Invalid_argument "Engine.wait: negative")
+                  else
+                    schedule t ~at:(Int64.add t.clock d) (fun () ->
+                        continue k ()))
+          | Suspend f ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let fired = ref false in
+                  let waker () =
+                    if !fired then
+                      invalid_arg ("Engine: waker called twice (" ^ name ^ ")")
+                    else begin
+                      fired := true;
+                      schedule t ~at:t.clock (fun () -> continue k ())
+                    end
+                  in
+                  f waker)
+          | Now -> Some (fun (k : (a, unit) continuation) -> continue k t.clock)
+          | Spawn_here (n, g) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  spawn t n g;
+                  continue k ())
+          | Self -> Some (fun (k : (a, unit) continuation) -> continue k t)
+          | _ -> None);
+    }
+
+and spawn t name fn = schedule t ~at:t.clock (fun () -> exec_fiber t name fn)
+
+let run t ~until =
+  let rec loop () =
+    match Heap.peek_time t.queue with
+    | None -> ()
+    | Some at when at > until -> t.clock <- until
+    | Some _ -> (
+        match Heap.pop t.queue with
+        | None -> ()
+        | Some (at, _, thunk) ->
+            t.clock <- at;
+            thunk ();
+            loop ())
+  in
+  loop ()
+
+let run_until_idle t =
+  let rec loop () =
+    match Heap.pop t.queue with
+    | None ->
+        if t.live > 0 then
+          raise
+            (Deadlock
+               (Fmt.str "%d fiber(s) suspended with no pending event" t.live))
+    | Some (at, _, thunk) ->
+        t.clock <- at;
+        thunk ();
+        loop ()
+  in
+  loop ()
+
+let live_fibers t = t.live
+
+let now () = Effect.perform Now
+let wait d = Effect.perform (Wait d)
+let suspend f = Effect.perform (Suspend f)
+let spawn_here name fn = Effect.perform (Spawn_here (name, fn))
+let self_engine () = Effect.perform Self
+
+module Clock = struct
+  type clock = { ps : int64 }
+
+  let of_mhz f = { ps = Int64.of_float (Float.round (1_000_000. /. f)) }
+  let ps_per_cycle c = c.ps
+  let ps_of_cycles c n = Int64.mul c.ps (Int64.of_int n)
+
+  let cycles_of_ps c ps = Int64.to_float ps /. Int64.to_float c.ps
+
+  let wait_cycles c n = if n > 0 then wait (ps_of_cycles c n)
+end
+
+let ps_of_ns x = Int64.of_float (Float.round (x *. 1000.))
+let seconds ps = Int64.to_float ps /. 1e12
+let of_seconds s = Int64.of_float (s *. 1e12)

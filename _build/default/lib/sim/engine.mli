@@ -1,0 +1,98 @@
+(** Deterministic discrete-event simulation engine.
+
+    Fibers (simulated threads of control: MicroEngine contexts, the
+    StrongARM, the Pentium, traffic sources, ...) are OCaml functions run
+    under an effect handler.  A fiber advances simulated time by performing
+    {!wait}, parks itself on a resource with {!suspend}, and reads the clock
+    with {!now}.  The engine interleaves fibers in strict timestamp order
+    with FIFO tie-breaking, so a run is a pure function of its inputs.
+
+    Time is measured in integer picoseconds so that the 200 MHz IXP clock
+    (5000 ps) and the 733 MHz Pentium clock (1364 ps) share an exact common
+    base. *)
+
+type t
+(** An engine instance: clock, run queue, fiber accounting. *)
+
+type waker = unit -> unit
+(** A one-shot callback that reschedules a suspended fiber at the current
+    simulated instant.  Calling a waker twice raises [Invalid_argument]. *)
+
+exception Deadlock of string
+(** Raised by {!run} when fibers remain but no event is queued. *)
+
+val create : unit -> t
+(** [create ()] is a fresh engine at time 0 with no fibers. *)
+
+val time : t -> int64
+(** [time t] is the current simulated time in picoseconds (valid inside and
+    outside fibers). *)
+
+val spawn : t -> string -> (unit -> unit) -> unit
+(** [spawn t name fn] registers fiber [fn], to start at the current
+    simulated time.  [name] appears in crash reports. *)
+
+val run : t -> until:int64 -> unit
+(** [run t ~until] executes queued events in order until the queue drains or
+    the next event lies strictly after [until]; the clock ends at [until] if
+    events remain, else at the last event time.  Raises {!Deadlock} only via
+    {!run_until_idle}. *)
+
+val run_until_idle : t -> unit
+(** [run_until_idle t] executes events until none remain.  Raises
+    {!Deadlock} if live fibers are still suspended when the queue drains
+    (i.e. somebody is waiting on a waker that can no longer fire). *)
+
+val live_fibers : t -> int
+(** [live_fibers t] is the number of fibers that have started and not yet
+    returned. *)
+
+(** {1 Operations valid only inside a fiber} *)
+
+val now : unit -> int64
+(** [now ()] is the current simulated time, from inside a fiber. *)
+
+val wait : int64 -> unit
+(** [wait d] advances this fiber [d] picoseconds.  [wait 0L] yields to other
+    fibers scheduled at the same instant. *)
+
+val suspend : (waker -> unit) -> unit
+(** [suspend f] parks the calling fiber and hands [f] a waker that any other
+    fiber (or resource bookkeeping code) may call to resume it. *)
+
+val spawn_here : string -> (unit -> unit) -> unit
+(** [spawn_here name fn] spawns a sibling fiber from inside a fiber. *)
+
+val self_engine : unit -> t
+(** [self_engine ()] is the engine running the calling fiber. *)
+
+(** {1 Clocks} *)
+
+module Clock : sig
+  type clock
+  (** A processor clock: a conversion between cycles and picoseconds. *)
+
+  val of_mhz : float -> clock
+  (** [of_mhz f] is the clock of an [f] MHz processor. *)
+
+  val ps_per_cycle : clock -> int64
+  (** Picoseconds per cycle, rounded to nearest. *)
+
+  val ps_of_cycles : clock -> int -> int64
+  (** [ps_of_cycles c n] converts [n] cycles to picoseconds. *)
+
+  val cycles_of_ps : clock -> int64 -> float
+  (** [cycles_of_ps c ps] converts a duration back to (fractional) cycles. *)
+
+  val wait_cycles : clock -> int -> unit
+  (** [wait_cycles c n] is [wait (ps_of_cycles c n)] (inside a fiber). *)
+end
+
+val ps_of_ns : float -> int64
+(** [ps_of_ns x] converts nanoseconds to picoseconds (rounded). *)
+
+val seconds : int64 -> float
+(** [seconds ps] converts picoseconds to seconds. *)
+
+val of_seconds : float -> int64
+(** [of_seconds s] converts seconds to picoseconds. *)

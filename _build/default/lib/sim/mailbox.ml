@@ -1,0 +1,24 @@
+type 'a t = {
+  items : 'a Queue.t;
+  ready : Semaphore.t;
+  mutable peak : int;
+}
+
+let create ?(name = "mailbox") () =
+  { items = Queue.create (); ready = Semaphore.create ~name 0; peak = 0 }
+
+let put mb v =
+  Queue.push v mb.items;
+  let len = Queue.length mb.items in
+  if len > mb.peak then mb.peak <- len;
+  Semaphore.release mb.ready
+
+let get mb =
+  Semaphore.acquire mb.ready;
+  Queue.pop mb.items
+
+let try_get mb =
+  if Semaphore.try_acquire mb.ready then Some (Queue.pop mb.items) else None
+
+let length mb = Queue.length mb.items
+let peak_length mb = mb.peak

@@ -1,0 +1,40 @@
+type t = {
+  name : string;
+  mutable locked : bool;
+  waiters : Engine.waker Queue.t;
+  mutable contended : int;
+  mutable wait_time : int64;
+}
+
+let create ?(name = "mutex") () =
+  { name; locked = false; waiters = Queue.create (); contended = 0; wait_time = 0L }
+
+let lock m =
+  if not m.locked then m.locked <- true
+  else begin
+    m.contended <- m.contended + 1;
+    let t0 = Engine.now () in
+    Engine.suspend (fun w -> Queue.push w m.waiters);
+    (* The unlocker transferred ownership to us; the lock stays held. *)
+    m.wait_time <- Int64.add m.wait_time (Int64.sub (Engine.now ()) t0)
+  end
+
+let unlock m =
+  if not m.locked then invalid_arg (m.name ^ ": unlock of unlocked mutex");
+  match Queue.take_opt m.waiters with
+  | None -> m.locked <- false
+  | Some w -> w ()
+
+let with_lock m f =
+  lock m;
+  match f () with
+  | v ->
+      unlock m;
+      v
+  | exception e ->
+      unlock m;
+      raise e
+
+let contended_acquires m = m.contended
+let wait_time_total m = m.wait_time
+let locked m = m.locked

@@ -1,0 +1,38 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let next r =
+  r.state <- Int64.add r.state golden;
+  mix r.state
+
+let split r = create (next r)
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let v = Int64.to_int (next r) land max_int in
+  v mod bound
+
+let float r x =
+  let v = Int64.to_float (Int64.shift_right_logical (next r) 11) in
+  x *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool r = Int64.logand (next r) 1L = 1L
+
+let int32 r = Int64.to_int32 (next r)
+
+let exponential r ~mean =
+  let u = float r 1.0 in
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+let pick r a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty";
+  a.(int r (Array.length a))

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic choice in the simulator draws from an explicit [Rng.t]
+    so that runs are reproducible from a seed and independent streams can be
+    split without correlation. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. *)
+
+val split : t -> t
+(** [split r] derives an independent stream (advances [r]). *)
+
+val next : t -> int64
+(** [next r] is the next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int r bound] is uniform in [\[0, bound)]; [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float r x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** [bool r] is a fair coin. *)
+
+val int32 : t -> int32
+(** [int32 r] is a uniform 32-bit value (e.g. a random IPv4 address). *)
+
+val exponential : t -> mean:float -> float
+(** [exponential r ~mean] draws from Exp(1/mean): Poisson interarrivals. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick r a] is a uniformly chosen element of non-empty [a]. *)

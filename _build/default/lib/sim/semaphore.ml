@@ -1,0 +1,28 @@
+type t = {
+  name : string;
+  mutable permits : int;
+  queue : Engine.waker Queue.t;
+}
+
+let create ?(name = "sem") n =
+  if n < 0 then invalid_arg "Semaphore.create: negative";
+  { name; permits = n; queue = Queue.create () }
+
+let acquire s =
+  if s.permits > 0 then s.permits <- s.permits - 1
+  else Engine.suspend (fun w -> Queue.push w s.queue)
+
+let try_acquire s =
+  if s.permits > 0 then begin
+    s.permits <- s.permits - 1;
+    true
+  end
+  else false
+
+let release s =
+  match Queue.take_opt s.queue with
+  | None -> s.permits <- s.permits + 1
+  | Some w -> w ()
+
+let permits s = s.permits
+let waiters s = Queue.length s.queue

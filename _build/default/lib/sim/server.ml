@@ -1,0 +1,35 @@
+type t = {
+  name : string;
+  mutable busy_until : int64;
+  mutable busy_time : int64;
+  mutable requests : int;
+  mutable queue_delay_total : int64;
+}
+
+let create ?(name = "server") () =
+  { name; busy_until = 0L; busy_time = 0L; requests = 0; queue_delay_total = 0L }
+
+let name s = s.name
+
+let access s ~occupancy ~latency =
+  let t = Engine.now () in
+  let start = if s.busy_until > t then s.busy_until else t in
+  let qdelay = Int64.sub start t in
+  s.busy_until <- Int64.add start occupancy;
+  s.busy_time <- Int64.add s.busy_time occupancy;
+  s.requests <- s.requests + 1;
+  s.queue_delay_total <- Int64.add s.queue_delay_total qdelay;
+  let visible = if latency > occupancy then latency else occupancy in
+  Engine.wait (Int64.add qdelay visible)
+
+let busy_time s = s.busy_time
+let requests s = s.requests
+let queue_delay_total s = s.queue_delay_total
+
+let utilization s ~total =
+  if total = 0L then 0. else Int64.to_float s.busy_time /. Int64.to_float total
+
+let reset_stats s =
+  s.busy_time <- 0L;
+  s.requests <- 0;
+  s.queue_delay_total <- 0L

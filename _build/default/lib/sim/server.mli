@@ -1,0 +1,40 @@
+(** A queued server: the building block for buses, memory channels, DMA
+    engines and processor issue pipelines.
+
+    A server processes requests one at a time in arrival order.  Each
+    request names an [occupancy] (how long the server itself stays busy,
+    e.g. bus transfer time) and a [latency] (how long the requester
+    observes, e.g. full memory round-trip); [latency >= occupancy] for
+    pipelined devices whose end-to-end latency exceeds their per-request
+    throughput cost.  Requests arriving while the server is busy queue in
+    FIFO order.  Occupancy accounting gives utilization for free. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+(** [create ~name ()] is an idle server. *)
+
+val name : t -> string
+(** [name s] is the server's diagnostic name. *)
+
+val access : t -> occupancy:int64 -> latency:int64 -> unit
+(** [access s ~occupancy ~latency] (inside a fiber) waits for the server to
+    drain earlier requests, holds it for [occupancy], and returns after the
+    requester-visible [latency] has elapsed from service start.  The total
+    delay observed by the caller is [queueing + max latency occupancy]. *)
+
+val busy_time : t -> int64
+(** [busy_time s] is the cumulative occupancy served, for utilization. *)
+
+val requests : t -> int
+(** [requests s] counts completed {!access} calls. *)
+
+val queue_delay_total : t -> int64
+(** [queue_delay_total s] is the cumulative time requests spent waiting for
+    earlier requests to drain (contention). *)
+
+val utilization : t -> total:int64 -> float
+(** [utilization s ~total] is [busy_time / total]. *)
+
+val reset_stats : t -> unit
+(** [reset_stats s] zeroes the counters (not the busy horizon). *)

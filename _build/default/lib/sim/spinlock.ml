@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  retry_ps : int64;
+  mutable locked : bool;
+  mutable attempts : int;
+  mutable acquisitions : int;
+}
+
+let create ?(name = "spinlock") ~retry_ps () =
+  { name; retry_ps; locked = false; attempts = 0; acquisitions = 0 }
+
+let rec lock l ~attempt =
+  l.attempts <- l.attempts + 1;
+  attempt ();
+  if l.locked then begin
+    Engine.wait l.retry_ps;
+    lock l ~attempt
+  end
+  else begin
+    l.locked <- true;
+    l.acquisitions <- l.acquisitions + 1
+  end
+
+let unlock l ~attempt =
+  if not l.locked then invalid_arg (l.name ^ ": unlock of unlocked spinlock");
+  attempt ();
+  l.locked <- false
+
+let attempts l = l.attempts
+let acquisitions l = l.acquisitions

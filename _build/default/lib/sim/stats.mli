@@ -1,0 +1,66 @@
+(** Measurement primitives: counters, rate meters, and histograms.
+
+    The benchmark harness reads packet rates (Mpps) and latency
+    distributions from these.  All are plain mutable records updated from
+    inside fibers. *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+  (** [create name] is a zero counter. *)
+
+  val incr : t -> unit
+  (** Add one. *)
+
+  val add : t -> int -> unit
+  (** Add [n]. *)
+
+  val value : t -> int
+  (** Current value. *)
+
+  val name : t -> string
+  (** Diagnostic name. *)
+
+  val reset : t -> unit
+  (** Zero the counter. *)
+
+  val rate : t -> over:int64 -> float
+  (** [rate c ~over] is events per second over a window of [over]
+      picoseconds. *)
+end
+
+module Histogram : sig
+  type t
+  (** Log-2-bucketed histogram of non-negative [int64] samples
+      (latencies in picoseconds, queue depths, ...). *)
+
+  val create : string -> t
+  val observe : t -> int64 -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val max_value : t -> int64
+  (** Largest observed sample. *)
+
+  val percentile : t -> float -> int64
+  (** [percentile h p] is an upper bound on the [p]-quantile ([0 <= p <= 1])
+      given bucket resolution. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** One-line summary: count/mean/p50/p99/max. *)
+end
+
+module Series : sig
+  type t
+  (** An append-only (x, y) series collected by a sweep, printable as the
+      rows of a paper figure. *)
+
+  val create : name:string -> x_label:string -> y_label:string -> t
+  val add : t -> x:float -> y:float -> unit
+  val points : t -> (float * float) list
+  val name : t -> string
+
+  val pp : Format.formatter -> t -> unit
+  (** Render as an aligned two-column table with an ASCII spark column. *)
+end

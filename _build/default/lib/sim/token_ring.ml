@@ -1,0 +1,83 @@
+type t = {
+  name : string;
+  pass_ps : int64;
+  n : int;
+  claimed : bool array;
+  waiters : Engine.waker option array;
+  mutable pos : int; (* slot the token is parked at / travelling to *)
+  mutable held : bool;
+  mutable available_at : int64; (* pass-in-flight horizon *)
+  mutable hold_start : int64;
+  mutable rotations : int;
+  mutable hold_time : int64;
+}
+
+let create ?(name = "ring") ?(pass_ps = 0L) ~members () =
+  if members <= 0 then invalid_arg "Token_ring.create: members <= 0";
+  {
+    name;
+    pass_ps;
+    n = members;
+    claimed = Array.make members false;
+    waiters = Array.make members None;
+    pos = 0;
+    held = false;
+    available_at = 0L;
+    hold_start = 0L;
+    rotations = 0;
+    hold_time = 0L;
+  }
+
+let members t = t.n
+
+let join t idx =
+  if idx < 0 || idx >= t.n then invalid_arg (t.name ^ ": slot out of range");
+  if t.claimed.(idx) then invalid_arg (t.name ^ ": slot already claimed");
+  t.claimed.(idx) <- true
+
+let take t =
+  (* The token may still be in flight from the previous holder. *)
+  let now = Engine.now () in
+  if t.available_at > now then Engine.wait (Int64.sub t.available_at now);
+  t.held <- true;
+  t.hold_start <- Engine.now ();
+  t.rotations
+
+let acquire t idx =
+  if not t.claimed.(idx) then invalid_arg (t.name ^ ": acquire before join");
+  if t.pos = idx && not t.held then take t
+  else begin
+    (match t.waiters.(idx) with
+    | Some _ -> invalid_arg (t.name ^ ": slot acquired twice concurrently")
+    | None -> ());
+    Engine.suspend (fun w -> t.waiters.(idx) <- Some w);
+    take t
+  end
+
+let release t idx =
+  if not t.held then invalid_arg (t.name ^ ": release without hold");
+  if t.pos <> idx then invalid_arg (t.name ^ ": release from wrong slot");
+  let now = Engine.now () in
+  t.hold_time <- Int64.add t.hold_time (Int64.sub now t.hold_start);
+  t.held <- false;
+  t.pos <- (t.pos + 1) mod t.n;
+  if t.pos = 0 then t.rotations <- t.rotations + 1;
+  t.available_at <- Int64.add now t.pass_ps;
+  match t.waiters.(t.pos) with
+  | Some w ->
+      t.waiters.(t.pos) <- None;
+      w ()
+  | None -> ()
+
+let with_token t idx f =
+  let _ = acquire t idx in
+  match f () with
+  | v ->
+      release t idx;
+      v
+  | exception e ->
+      release t idx;
+      raise e
+
+let rotations t = t.rotations
+let hold_time_total t = t.hold_time

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Char Int32 Packet Sim String

@@ -1,0 +1,52 @@
+let subnet_addr ~subnet ~host =
+  Int32.of_int
+    ((10 lsl 24) lor ((subnet land 0xFF) lsl 16) lor (host land 0xFFFF))
+
+let udp_uniform ~rng ~n_subnets ?(frame_len = Packet.Build.min_frame) () i =
+  let subnet = Sim.Rng.int rng n_subnets in
+  let host = 1 + Sim.Rng.int rng 100 in
+  Packet.Build.udp ~frame_len
+    ~src:(subnet_addr ~subnet:(200 + (i mod 8)) ~host:(i land 0xFFFF))
+    ~dst:(subnet_addr ~subnet ~host)
+    ~src_port:(1024 + (i mod 60000))
+    ~dst_port:(Sim.Rng.int rng 10000)
+    ()
+
+let udp_fixed ~dst ?(frame_len = Packet.Build.min_frame) () i =
+  Packet.Build.udp ~frame_len
+    ~src:(subnet_addr ~subnet:250 ~host:i)
+    ~dst ~src_port:4000 ~dst_port:5000 ()
+
+let tcp_stream ~flow ?(frame_len = Packet.Build.min_frame) ?(payload = "") ()
+    i =
+  let seg = String.length payload in
+  let seq = Int32.of_int (1000 + (i * max 1 seg)) in
+  let pure_ack = i mod 4 = 3 in
+  Packet.Build.tcp ~frame_len ~src:flow.Packet.Flow.src_addr
+    ~dst:flow.Packet.Flow.dst_addr ~src_port:flow.Packet.Flow.src_port
+    ~dst_port:flow.Packet.Flow.dst_port ~seq
+    ~ack:(Int32.of_int (5000 + (i / 4)))
+    ~flags:Packet.Tcp.flag_ack
+    ~payload:(if pure_ack then "" else payload)
+    ()
+
+let syn_flood ~rng ~dst ~dst_port i =
+  Packet.Build.tcp
+    ~src:(Sim.Rng.int32 rng)
+    ~dst
+    ~src_port:(1024 + Sim.Rng.int rng 60000)
+    ~dst_port
+    ~seq:(Int32.of_int i)
+    ~flags:Packet.Tcp.flag_syn ()
+
+let layered_video ~flow ~layers ?(frame_len = Packet.Build.min_frame) () i =
+  let layer = i mod layers in
+  Packet.Build.udp ~frame_len ~src:flow.Packet.Flow.src_addr
+    ~dst:flow.Packet.Flow.dst_addr ~src_port:flow.Packet.Flow.src_port
+    ~dst_port:flow.Packet.Flow.dst_port
+    ~payload:(String.make 1 (Char.chr layer))
+    ()
+
+let with_options_share ~rng ~share base i =
+  let f = base i in
+  if Sim.Rng.float rng 1.0 < share then Packet.Build.with_ip_options f else f

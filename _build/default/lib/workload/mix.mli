@@ -1,0 +1,46 @@
+(** Frame generators: the packet mixes the experiments and examples feed
+    through the router. *)
+
+val subnet_addr : subnet:int -> host:int -> Packet.Ipv4.addr
+(** [subnet_addr ~subnet ~host] is 10.[subnet].x.y — the address scheme the
+    default test topology routes as one /16 per port. *)
+
+val udp_uniform :
+  rng:Sim.Rng.t ->
+  n_subnets:int ->
+  ?frame_len:int ->
+  unit ->
+  int ->
+  Packet.Frame.t
+(** Minimum-size UDP frames with destinations uniform over the routed
+    subnets (spreads load over all output ports). *)
+
+val udp_fixed :
+  dst:Packet.Ipv4.addr -> ?frame_len:int -> unit -> int -> Packet.Frame.t
+(** Every frame to one destination (the port-contention workload). *)
+
+val tcp_stream :
+  flow:Packet.Flow.tuple ->
+  ?frame_len:int ->
+  ?payload:string ->
+  unit ->
+  int ->
+  Packet.Frame.t
+(** An in-order TCP segment stream on one flow (sequence numbers advance
+    by the payload length; every 4th segment is a pure ACK). *)
+
+val syn_flood :
+  rng:Sim.Rng.t -> dst:Packet.Ipv4.addr -> dst_port:int -> int -> Packet.Frame.t
+(** SYN packets from random spoofed sources — what the SYN monitor is for. *)
+
+val layered_video :
+  flow:Packet.Flow.tuple -> layers:int -> ?frame_len:int -> unit -> int ->
+  Packet.Frame.t
+(** The wavelet dropper's workload: UDP frames whose first payload byte
+    cycles through layer numbers [0 .. layers-1]. *)
+
+val with_options_share :
+  rng:Sim.Rng.t -> share:float -> (int -> Packet.Frame.t) -> int ->
+  Packet.Frame.t
+(** Make fraction [share] of a base generator's frames "exceptional" by
+    inserting IP options (the control-flood robustness workload). *)

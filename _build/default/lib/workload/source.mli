@@ -1,0 +1,54 @@
+(** Traffic sources: fibers that offer frames to a router port on a
+    schedule.
+
+    The paper's testbed drives each 100 Mbps port with a Kingston
+    KNE100TX-based generator at 141 Kpps of minimum-sized packets — 95% of
+    the 148.8 Kpps theoretical line rate; {!spawn_line_rate} reproduces
+    that shape, {!spawn_constant}/{!spawn_poisson} give controlled rates. *)
+
+type stats = {
+  offered : Sim.Stats.Counter.t;  (** frames generated *)
+  accepted : Sim.Stats.Counter.t;  (** frames the port had room for *)
+}
+
+val make_stats : string -> stats
+
+val spawn_constant :
+  Sim.Engine.t ->
+  name:string ->
+  pps:float ->
+  gen:(int -> Packet.Frame.t) ->
+  offer:(Packet.Frame.t -> bool) ->
+  ?stats:stats ->
+  unit ->
+  stats
+(** Fixed inter-arrival source; [gen i] builds the [i]th frame. *)
+
+val spawn_poisson :
+  Sim.Engine.t ->
+  name:string ->
+  rng:Sim.Rng.t ->
+  pps:float ->
+  gen:(int -> Packet.Frame.t) ->
+  offer:(Packet.Frame.t -> bool) ->
+  ?stats:stats ->
+  unit ->
+  stats
+(** Exponential inter-arrivals at mean rate [pps]. *)
+
+val line_rate_pps : mbps:float -> frame_len:int -> float
+(** Theoretical maximum frame rate of a link (IEEE 802.3 framing overhead
+    included): 148.8 Kpps for 64-byte frames at 100 Mbps. *)
+
+val spawn_line_rate :
+  Sim.Engine.t ->
+  name:string ->
+  mbps:float ->
+  frame_len:int ->
+  ?efficiency:float ->
+  gen:(int -> Packet.Frame.t) ->
+  offer:(Packet.Frame.t -> bool) ->
+  unit ->
+  stats
+(** A generator pinned at [efficiency] (default 0.95, the testbed's 141 of
+    148.8 Kpps) of line rate. *)

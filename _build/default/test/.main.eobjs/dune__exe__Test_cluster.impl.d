@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Cluster Packet Printf Router Sim Workload

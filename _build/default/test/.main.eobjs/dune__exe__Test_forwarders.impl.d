@@ -1,0 +1,1 @@
+test/test_forwarders.ml: Admission Alcotest Bytes Desc Forwarder Forwarders Ixp List Packet QCheck QCheck_alcotest Result Router Vrp Workload

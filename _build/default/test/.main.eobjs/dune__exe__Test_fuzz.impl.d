@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Control Iproute List Packet Printf QCheck QCheck_alcotest Router Sim Workload

@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Char Forwarders Host Iproute List Option Packet Printf Router String

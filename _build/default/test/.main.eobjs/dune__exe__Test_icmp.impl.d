@@ -1,0 +1,1 @@
+test/test_icmp.ml: Alcotest Array Iproute Packet Printf Router Sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bytes Forwarders Int64 Iproute Ixp List Option Packet Printf Router Sim String Workload

@@ -1,0 +1,1 @@
+test/test_iproute.ml: Alcotest Format Iproute List Option Packet Printf QCheck QCheck_alcotest Sim

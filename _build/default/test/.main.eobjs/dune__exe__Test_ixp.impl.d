@@ -1,0 +1,1 @@
+test/test_ixp.ml: Alcotest Bytes Int64 Ixp List Packet Printf Sim

@@ -1,0 +1,1 @@
+test/test_mpls.ml: Alcotest Array Iproute List Mpls Packet Printf QCheck QCheck_alcotest Router Sim

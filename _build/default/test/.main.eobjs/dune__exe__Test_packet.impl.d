@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Char Format Gen Int32 List Option Packet QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int64 List Option Printf QCheck QCheck_alcotest Sim

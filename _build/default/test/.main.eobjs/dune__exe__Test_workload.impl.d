@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Int32 Packet Printf Sim Workload

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "npr"
+    [
+      ("sim", Test_sim.tests);
+      ("packet", Test_packet.tests);
+      ("iproute", Test_iproute.tests);
+      ("ixp", Test_ixp.tests);
+      ("router", Test_router.tests);
+      ("forwarders", Test_forwarders.tests);
+      ("workload", Test_workload.tests);
+      ("mpls", Test_mpls.tests);
+      ("icmp", Test_icmp.tests);
+      ("control", Test_control.tests);
+      ("cluster", Test_cluster.tests);
+      ("host", Test_host.tests);
+      ("integration", Test_integration.tests);
+      ("fuzz", Test_fuzz.tests);
+    ]

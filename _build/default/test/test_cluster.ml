@@ -1,0 +1,100 @@
+(* Tests for the section 6 cluster configuration. *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+let local_forwarding_stays_local () =
+  let c = Cluster.create ~members:2 () in
+  (* Global port 3 lives on member 0; 10.3/16 traffic entering member 0
+     never crosses the fabric. *)
+  let f =
+    Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "10.3.0.1")
+      ~src_port:1 ~dst_port:2 ()
+  in
+  Alcotest.(check bool) "inject" true (Cluster.inject c ~global_port:0 f);
+  Cluster.run_for c ~us:300.;
+  Alcotest.(check int) "delivered locally" 1 (Cluster.delivered c ~global_port:3);
+  Alcotest.(check int) "no fabric crossing" 0
+    (Sim.Stats.Counter.value c.Cluster.fabric_frames)
+
+let cross_member_forwarding () =
+  let c = Cluster.create ~members:2 () in
+  (* Global port 11 = member 1, local port 3; capture what it emits. *)
+  let final = ref None in
+  Router.connect c.Cluster.members.(1) ~port:3 (fun g -> final := Some g);
+  let f =
+    Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "10.11.0.1")
+      ~src_port:1 ~dst_port:2 ~ttl:64 ()
+  in
+  Alcotest.(check bool) "inject" true (Cluster.inject c ~global_port:0 f);
+  Cluster.run_for c ~us:500.;
+  Alcotest.(check int) "crossed the fabric" 1
+    (Sim.Stats.Counter.value c.Cluster.fabric_frames);
+  Alcotest.(check int) "delivered on the owner" 1
+    (Cluster.delivered c ~global_port:11);
+  match !final with
+  | None -> Alcotest.fail "no frame captured"
+  | Some g ->
+      (* Two routers, two IP hops. *)
+      Alcotest.(check int) "ttl decremented twice" 62 (Packet.Ipv4.get_ttl g);
+      Alcotest.(check bool) "checksum still valid" true (Packet.Ipv4.valid g)
+
+let all_to_all_no_loss () =
+  let c = Cluster.create ~members:4 () in
+  let rng = Sim.Rng.create 17L in
+  let n_global = 32 in
+  for g = 0 to n_global - 1 do
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_constant c.Cluster.engine
+         ~name:(Printf.sprintf "g%d" g)
+         ~pps:30_000.
+         ~gen:(fun i ->
+           ignore i;
+           let dst_g = Sim.Rng.int rng n_global in
+           Packet.Build.udp
+             ~src:(Workload.Mix.subnet_addr ~subnet:(200 + g) ~host:1)
+             ~dst:(Workload.Mix.subnet_addr ~subnet:dst_g ~host:(1 + Sim.Rng.int rng 50))
+             ~src_port:1000 ~dst_port:2000 ())
+         ~offer:(fun f -> Cluster.inject c ~global_port:g f)
+         ())
+  done;
+  Cluster.run_for c ~us:6000.;
+  let offered = 32. *. 30_000. *. 6e-3 in
+  let delivered = Cluster.delivered_total c in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivered %d of ~%.0f" delivered offered)
+    true
+    (float_of_int delivered >= 0.93 *. offered);
+  Alcotest.(check bool) "substantial fabric traffic" true
+    (Sim.Stats.Counter.value c.Cluster.fabric_frames > 1000)
+
+let internal_link_shrinks_budget () =
+  let c = Cluster.create ~members:4 () in
+  (* With no fabric traffic yet, the budget equals a member's external
+     share; fabric load must shrink it. *)
+  let quiet = Cluster.vrp_budget_with_internal_link c ~line_rate_pps:1.128e6 in
+  ignore
+    (Workload.Source.spawn_constant c.Cluster.engine ~name:"cross"
+       ~pps:100_000.
+       ~gen:(fun i ->
+         ignore i;
+         Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "10.30.0.1")
+           ~src_port:1 ~dst_port:2 ())
+       ~offer:(fun f -> Cluster.inject c ~global_port:0 f)
+       ());
+  Cluster.run_for c ~us:5000.;
+  let loaded = Cluster.vrp_budget_with_internal_link c ~line_rate_pps:1.128e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "budget shrinks (%d -> %d cycles)"
+       quiet.Router.Vrp.b_cycles loaded.Router.Vrp.b_cycles)
+    true
+    (loaded.Router.Vrp.b_cycles < quiet.Router.Vrp.b_cycles)
+
+let tests =
+  [
+    Alcotest.test_case "local stays local" `Quick local_forwarding_stays_local;
+    Alcotest.test_case "cross-member forwarding" `Quick cross_member_forwarding;
+    Alcotest.test_case "all-to-all no loss" `Slow all_to_all_no_loss;
+    Alcotest.test_case "internal link shrinks budget" `Quick
+      internal_link_shrinks_budget;
+  ]

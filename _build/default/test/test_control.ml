@@ -1,0 +1,141 @@
+(* Tests for the RIP-style routing daemon on the Pentium. *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+let pfx = Iproute.Prefix.of_string
+
+let encode_decode_roundtrip () =
+  let routes =
+    [
+      { Control.Rip.prefix = pfx "10.1.0.0/16"; metric = 2 };
+      { Control.Rip.prefix = pfx "192.168.0.0/24"; metric = 0 };
+      { Control.Rip.prefix = pfx "0.0.0.0/0"; metric = 15 };
+    ]
+  in
+  let f =
+    Control.Rip.encode ~src:(addr "10.250.0.2")
+      ~dst:(Control.Rip.router_addr 1) routes
+  in
+  Alcotest.(check bool) "valid ip" true (Packet.Ipv4.valid f);
+  match Control.Rip.decode f with
+  | None -> Alcotest.fail "decode failed"
+  | Some got ->
+      Alcotest.(check int) "count" 3 (List.length got);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "prefix" true
+            (Iproute.Prefix.equal a.Control.Rip.prefix b.Control.Rip.prefix);
+          Alcotest.(check int) "metric" a.Control.Rip.metric
+            b.Control.Rip.metric)
+        routes got
+
+let decode_rejects_noise () =
+  let not_rip =
+    Packet.Build.udp ~src:(addr "1.1.1.1") ~dst:(addr "2.2.2.2") ~src_port:5
+      ~dst_port:6 ()
+  in
+  Alcotest.(check bool) "wrong port" true (Control.Rip.decode not_rip = None);
+  let tcp =
+    Packet.Build.tcp ~src:(addr "1.1.1.1") ~dst:(addr "2.2.2.2") ~src_port:520
+      ~dst_port:520 ()
+  in
+  Alcotest.(check bool) "not udp" true (Control.Rip.decode tcp = None)
+
+let mk () =
+  let r = Router.create () in
+  let daemon = Control.Rip.create r in
+  (r, daemon)
+
+let counter = Sim.Stats.Counter.value
+
+let announcements_install_routes () =
+  let r, daemon = mk () in
+  let neighbor = addr "10.250.0.2" in
+  (match Control.Rip.add_neighbor daemon ~addr:neighbor ~via_port:1 with
+  | Ok _ -> ()
+  | Error es -> Alcotest.fail (String.concat ";" es));
+  Router.start r;
+  let ann =
+    Control.Rip.encode ~src:neighbor ~dst:(Control.Rip.router_addr 1)
+      [ { Control.Rip.prefix = pfx "10.7.0.0/16"; metric = 1 } ]
+  in
+  ignore (Router.inject r ~port:1 ann);
+  Router.run_for r ~us:1000.;
+  Alcotest.(check int) "announcement processed" 1
+    (counter (Control.Rip.stats daemon).Control.Rip.announcements);
+  Alcotest.(check int) "route installed" 1
+    (counter (Control.Rip.stats daemon).Control.Rip.routes_installed);
+  Alcotest.(check (option int)) "metric incremented" (Some 2)
+    (Control.Rip.best_metric daemon (pfx "10.7.0.0/16"));
+  (* Forwarding now works for the learned prefix. *)
+  let data =
+    Packet.Build.udp ~src:(addr "10.250.0.3") ~dst:(addr "10.7.1.1")
+      ~src_port:9 ~dst_port:10 ()
+  in
+  ignore (Router.inject r ~port:0 data);
+  Router.run_for r ~us:1000.;
+  Alcotest.(check int) "learned route forwards out port 1" 1
+    (counter r.Router.delivered.(1))
+
+let better_metric_wins_and_withdrawal () =
+  let r, daemon = mk () in
+  let n1 = addr "10.250.0.2" and n2 = addr "10.250.0.3" in
+  ignore (Control.Rip.add_neighbor daemon ~addr:n1 ~via_port:1);
+  ignore (Control.Rip.add_neighbor daemon ~addr:n2 ~via_port:2);
+  Router.start r;
+  let p = pfx "10.9.0.0/16" in
+  let send ~from ~via ~metric =
+    ignore
+      (Router.inject r ~port:via
+         (Control.Rip.encode ~src:from ~dst:(Control.Rip.router_addr via)
+            [ { Control.Rip.prefix = p; metric } ]));
+    Router.run_for r ~us:800.
+  in
+  send ~from:n1 ~via:1 ~metric:5;
+  Alcotest.(check (option int)) "first" (Some 6) (Control.Rip.best_metric daemon p);
+  (* A worse announcement from another neighbor is rejected... *)
+  send ~from:n2 ~via:2 ~metric:9;
+  Alcotest.(check (option int)) "worse rejected" (Some 6)
+    (Control.Rip.best_metric daemon p);
+  (* ...a better one wins... *)
+  send ~from:n2 ~via:2 ~metric:2;
+  Alcotest.(check (option int)) "better wins" (Some 3)
+    (Control.Rip.best_metric daemon p);
+  (* ...and only the current next hop can withdraw. *)
+  send ~from:n1 ~via:1 ~metric:Control.Rip.infinity_metric;
+  Alcotest.(check (option int)) "foreign withdrawal ignored" (Some 3)
+    (Control.Rip.best_metric daemon p);
+  send ~from:n2 ~via:2 ~metric:Control.Rip.infinity_metric;
+  Alcotest.(check (option int)) "withdrawn" None
+    (Control.Rip.best_metric daemon p);
+  Alcotest.(check int) "withdrawals counted" 1
+    (counter (Control.Rip.stats daemon).Control.Rip.routes_withdrawn)
+
+let unconfigured_neighbor_ignored () =
+  let r, daemon = mk () in
+  ignore (Control.Rip.add_neighbor daemon ~addr:(addr "10.250.0.2") ~via_port:1);
+  Router.start r;
+  (* An announcement from a stranger matches no per-flow entry: it is just
+     an (unroutable) data packet, never reaching the daemon. *)
+  let ann =
+    Control.Rip.encode ~src:(addr "66.66.66.66")
+      ~dst:(Control.Rip.router_addr 1)
+      [ { Control.Rip.prefix = pfx "10.9.0.0/16"; metric = 1 } ]
+  in
+  ignore (Router.inject r ~port:1 ann);
+  Router.run_for r ~us:1000.;
+  Alcotest.(check int) "nothing processed" 0
+    (counter (Control.Rip.stats daemon).Control.Rip.announcements);
+  Alcotest.(check int) "no routes learned" 0 (Control.Rip.route_count daemon)
+
+let tests =
+  [
+    Alcotest.test_case "encode/decode roundtrip" `Quick encode_decode_roundtrip;
+    Alcotest.test_case "decode rejects noise" `Quick decode_rejects_noise;
+    Alcotest.test_case "announcements install routes" `Quick
+      announcements_install_routes;
+    Alcotest.test_case "metric preference + withdrawal" `Quick
+      better_metric_wins_and_withdrawal;
+    Alcotest.test_case "unconfigured neighbor ignored" `Quick
+      unconfigured_neighbor_ignored;
+  ]

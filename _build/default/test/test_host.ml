@@ -1,0 +1,158 @@
+(* Tests for the TCP endpoints, including end-to-end flows through the
+   router and recovery when the network drops segments. *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+(* Two hosts through a router: h1 on port 0's subnet, h2 on port 1's. *)
+let wire ?(lossy = None) () =
+  let r = Router.create () in
+  Router.add_route r (Iproute.Prefix.of_string "10.0.0.0/16") ~port:0;
+  Router.add_route r (Iproute.Prefix.of_string "10.1.0.0/16") ~port:1;
+  Router.start r;
+  let drop_every = lossy in
+  let count = ref 0 in
+  let maybe_send port f =
+    incr count;
+    match drop_every with
+    | Some n when !count mod n = 0 -> true (* silently dropped by the wire *)
+    | _ -> Router.inject r ~port f
+  in
+  let h1 =
+    Host.Endpoint.create r.Router.engine ~addr:(addr "10.0.0.100")
+      ~send:(maybe_send 0) ()
+  in
+  let h2 =
+    Host.Endpoint.create r.Router.engine ~addr:(addr "10.1.0.100")
+      ~send:(maybe_send 1) ()
+  in
+  Router.connect r ~port:0 (fun f -> Host.Endpoint.deliver h1 f);
+  Router.connect r ~port:1 (fun f -> Host.Endpoint.deliver h2 f);
+  (r, h1, h2)
+
+let handshake_and_transfer () =
+  let r, h1, h2 = wire () in
+  Host.Endpoint.listen h2 ~port:80;
+  let c = Host.Endpoint.connect h1 ~dst:(addr "10.1.0.100") ~dst_port:80 ~src_port:4000 in
+  Router.run_for r ~us:2000.;
+  Alcotest.(check bool) "client established" true (Host.Endpoint.established c);
+  (match Host.Endpoint.accepted h2 ~port:80 with
+  | [ s ] ->
+      Alcotest.(check bool) "server established" true
+        (Host.Endpoint.established s);
+      Alcotest.(check int) "server sees client port" 4000
+        (snd (Host.Endpoint.peer s))
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 accept, got %d" (List.length l)));
+  (* Data, larger than one segment and one window. *)
+  let payload = String.init 5000 (fun i -> Char.chr (33 + (i mod 90))) in
+  Host.Endpoint.send c payload;
+  Router.run_for r ~us:20_000.;
+  let s = List.hd (Host.Endpoint.accepted h2 ~port:80) in
+  Alcotest.(check string) "bytes intact in order" payload
+    (Host.Endpoint.received s);
+  Alcotest.(check bool) "sender saw all ACKs" true (Host.Endpoint.all_acked c)
+
+let bidirectional () =
+  let r, h1, h2 = wire () in
+  Host.Endpoint.listen h2 ~port:7;
+  let c = Host.Endpoint.connect h1 ~dst:(addr "10.1.0.100") ~dst_port:7 ~src_port:4001 in
+  Router.run_for r ~us:2000.;
+  let s = List.hd (Host.Endpoint.accepted h2 ~port:7) in
+  Host.Endpoint.send c "ping from h1";
+  Host.Endpoint.send s "pong from h2";
+  Router.run_for r ~us:10_000.;
+  Alcotest.(check string) "h2 got" "ping from h1" (Host.Endpoint.received s);
+  Alcotest.(check string) "h1 got" "pong from h2" (Host.Endpoint.received c)
+
+let loss_recovery () =
+  (* Drop every 7th frame on the wire: the stream must still arrive intact
+     thanks to retransmission. *)
+  let r, h1, h2 = wire ~lossy:(Some 7) () in
+  Host.Endpoint.listen h2 ~port:80;
+  let c = Host.Endpoint.connect h1 ~dst:(addr "10.1.0.100") ~dst_port:80 ~src_port:4002 in
+  Router.run_for r ~us:10_000.;
+  Alcotest.(check bool) "established despite loss" true
+    (Host.Endpoint.established c);
+  let payload = String.init 4000 (fun i -> Char.chr (48 + (i mod 10))) in
+  Host.Endpoint.send c payload;
+  Router.run_for r ~us:120_000.;
+  let s = List.hd (Host.Endpoint.accepted h2 ~port:80) in
+  Alcotest.(check string) "intact despite drops" payload
+    (Host.Endpoint.received s);
+  Alcotest.(check bool) "retransmissions happened" true
+    (Host.Endpoint.retransmissions c > 0)
+
+let no_listener_ignored () =
+  let r, h1, _h2 = wire () in
+  let c = Host.Endpoint.connect h1 ~dst:(addr "10.1.0.100") ~dst_port:99 ~src_port:4003 in
+  Router.run_for r ~us:5000.;
+  Alcotest.(check bool) "never establishes" false (Host.Endpoint.established c)
+
+let monitors_on_real_flow () =
+  (* The paper's ACK monitor watching an actual TCP connection with real
+     loss: duplicate ACKs from go-back-N recovery must show up in the
+     data-plane counters (section 4.4, after Paxson). *)
+  let r, h1, h2 = wire ~lossy:(Some 9) () in
+  Host.Endpoint.listen h2 ~port:80;
+  (* Monitor the reverse (ACK-bearing) direction: server -> client. *)
+  let ack_flow =
+    {
+      Packet.Flow.src_addr = addr "10.1.0.100";
+      src_port = 80;
+      dst_addr = addr "10.0.0.100";
+      dst_port = 4100;
+    }
+  in
+  let ack_fid =
+    match
+      Router.Iface.install r.Router.iface ~key:(Packet.Flow.Tuple ack_flow)
+        ~fwdr:Forwarders.Ack_monitor.forwarder ~where:Router.Iface.ME ()
+    with
+    | Ok fid -> fid
+    | Error es -> Alcotest.fail (String.concat ";" es)
+  in
+  let syn_fid =
+    match
+      Router.Iface.install r.Router.iface ~key:Packet.Flow.All
+        ~fwdr:Forwarders.Syn_monitor.forwarder ~where:Router.Iface.ME ()
+    with
+    | Ok fid -> fid
+    | Error es -> Alcotest.fail (String.concat ";" es)
+  in
+  let c =
+    Host.Endpoint.connect h1 ~dst:(addr "10.1.0.100") ~dst_port:80
+      ~src_port:4100
+  in
+  Router.run_for r ~us:10_000.;
+  Host.Endpoint.send c (String.make 6000 'x');
+  Router.run_for r ~us:150_000.;
+  let s = List.hd (Host.Endpoint.accepted h2 ~port:80) in
+  Alcotest.(check int) "stream intact under loss" 6000
+    (String.length (Host.Endpoint.received s));
+  let syns =
+    Forwarders.Syn_monitor.syn_count
+      (Option.get (Router.Iface.getdata r.Router.iface syn_fid))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "SYN monitor saw the handshake (%d)" syns)
+    true (syns >= 1);
+  let ack_state = Option.get (Router.Iface.getdata r.Router.iface ack_fid) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ACK monitor saw ACKs (%d)"
+       (Forwarders.Ack_monitor.total_acks ack_state))
+    true
+    (Forwarders.Ack_monitor.total_acks ack_state > 5);
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicate ACKs from loss recovery (%d)"
+       (Forwarders.Ack_monitor.dup_acks ack_state))
+    true
+    (Forwarders.Ack_monitor.dup_acks ack_state >= 1)
+
+let tests =
+  [
+    Alcotest.test_case "handshake + 5KB transfer" `Quick handshake_and_transfer;
+    Alcotest.test_case "monitors on a real lossy flow" `Slow
+      monitors_on_real_flow;
+    Alcotest.test_case "bidirectional" `Quick bidirectional;
+    Alcotest.test_case "loss recovery" `Slow loss_recovery;
+    Alcotest.test_case "no listener" `Quick no_listener_ignored;
+  ]

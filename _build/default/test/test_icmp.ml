@@ -1,0 +1,86 @@
+(* Tests for ICMP construction and the StrongARM's error generation. *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+let echo_roundtrip () =
+  let req =
+    Packet.Icmp.echo_request ~src:(addr "10.250.0.1") ~dst:(addr "10.0.0.1")
+      ~id:7 ~seq:3 ()
+  in
+  Alcotest.(check bool) "request valid ip" true (Packet.Ipv4.valid req);
+  Alcotest.(check bool) "request icmp cksum" true (Packet.Icmp.checksum_ok req);
+  Alcotest.(check int) "type" Packet.Icmp.type_echo_request
+    (Packet.Icmp.get_type req);
+  let rep = Packet.Icmp.echo_reply_of req in
+  Alcotest.(check int) "reply type" Packet.Icmp.type_echo_reply
+    (Packet.Icmp.get_type rep);
+  Alcotest.(check int32) "addresses swapped" (Packet.Ipv4.get_src req)
+    (Packet.Ipv4.get_dst rep);
+  Alcotest.(check bool) "reply cksums" true
+    (Packet.Ipv4.valid rep && Packet.Icmp.checksum_ok rep)
+
+let time_exceeded_quotes_original () =
+  let orig =
+    Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "10.3.0.1")
+      ~src_port:1234 ~dst_port:80 ~ttl:1 ()
+  in
+  let err = Packet.Icmp.time_exceeded ~router:(addr "10.254.0.1") orig in
+  Alcotest.(check bool) "valid" true (Packet.Ipv4.valid err);
+  Alcotest.(check bool) "icmp cksum" true (Packet.Icmp.checksum_ok err);
+  Alcotest.(check int) "type" Packet.Icmp.type_time_exceeded
+    (Packet.Icmp.get_type err);
+  Alcotest.(check int32) "addressed to original source" (addr "10.250.0.1")
+    (Packet.Ipv4.get_dst err);
+  Alcotest.(check (option int32)) "quotes original source"
+    (Some (addr "10.250.0.1"))
+    (Packet.Icmp.quoted_src err)
+
+let router_answers_ttl_expiry () =
+  let r = Router.create () in
+  for p = 0 to 7 do
+    Router.add_route r
+      (Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" p))
+      ~port:p
+  done;
+  (* Route back to the sender's subnet so the error has somewhere to go. *)
+  Router.add_route r (Iproute.Prefix.of_string "10.250.0.0/16") ~port:7;
+  Router.start r;
+  let dying =
+    Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "10.3.0.1")
+      ~src_port:5 ~dst_port:6 ~ttl:1 ()
+  in
+  for _ = 1 to 3 do
+    ignore (Router.inject r ~port:0 (Packet.Frame.copy dying))
+  done;
+  Router.run_for r ~us:500.;
+  Alcotest.(check int) "icmp errors generated" 3
+    (Sim.Stats.Counter.value
+       r.Router.sa.Router.Strongarm.stats.Router.Strongarm.icmp_sent);
+  Alcotest.(check int) "delivered toward the sender" 3
+    (Sim.Stats.Counter.value r.Router.delivered.(7))
+
+let router_answers_no_route () =
+  let r = Router.create () in
+  Router.add_route r (Iproute.Prefix.of_string "10.250.0.0/16") ~port:2;
+  Router.start r;
+  let stray =
+    Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "99.9.9.9")
+      ~src_port:5 ~dst_port:6 ()
+  in
+  ignore (Router.inject r ~port:0 stray);
+  Router.run_for r ~us:500.;
+  Alcotest.(check int) "unreachable generated" 1
+    (Sim.Stats.Counter.value
+       r.Router.sa.Router.Strongarm.stats.Router.Strongarm.icmp_sent);
+  Alcotest.(check int) "error delivered to source's subnet" 1
+    (Sim.Stats.Counter.value r.Router.delivered.(2))
+
+let tests =
+  [
+    Alcotest.test_case "echo roundtrip" `Quick echo_roundtrip;
+    Alcotest.test_case "time exceeded quotes original" `Quick
+      time_exceeded_quotes_original;
+    Alcotest.test_case "router answers ttl expiry" `Quick
+      router_answers_ttl_expiry;
+    Alcotest.test_case "router answers no-route" `Quick router_answers_no_route;
+  ]

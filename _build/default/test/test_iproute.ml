@@ -1,0 +1,345 @@
+(* Tests for prefixes and the three longest-prefix-match engines. *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+let prefix_canonical () =
+  let p = Iproute.Prefix.make (addr "10.1.2.3") 16 in
+  Alcotest.(check string) "host bits cleared" "10.1.0.0/16"
+    (Format.asprintf "%a" Iproute.Prefix.pp p)
+
+let prefix_matches () =
+  let p = Iproute.Prefix.of_string "192.168.4.0/22" in
+  Alcotest.(check bool) "inside" true (Iproute.Prefix.matches p (addr "192.168.7.255"));
+  Alcotest.(check bool) "outside" false (Iproute.Prefix.matches p (addr "192.168.8.0"));
+  Alcotest.(check bool) "default matches all" true
+    (Iproute.Prefix.matches Iproute.Prefix.default (addr "255.255.255.255"))
+
+let prefix_expand () =
+  let p = Iproute.Prefix.of_string "10.0.0.0/8" in
+  let e = Iproute.Prefix.expand p 10 in
+  Alcotest.(check int) "4 expansions" 4 (List.length e);
+  List.iter
+    (fun q ->
+      Alcotest.(check int) "length" 10 (Iproute.Prefix.length q);
+      Alcotest.(check bool) "covered" true
+        (Iproute.Prefix.matches p (Iproute.Prefix.addr q)))
+    e
+
+let btrie_basic () =
+  let t = Iproute.Btrie.empty in
+  let t = Iproute.Btrie.add t (Iproute.Prefix.of_string "10.0.0.0/8") "a" in
+  let t = Iproute.Btrie.add t (Iproute.Prefix.of_string "10.1.0.0/16") "b" in
+  let t = Iproute.Btrie.add t Iproute.Prefix.default "d" in
+  let get a =
+    match Iproute.Btrie.lookup t (addr a) with
+    | Some (_, v) -> v
+    | None -> "none"
+  in
+  Alcotest.(check string) "longest wins" "b" (get "10.1.9.9");
+  Alcotest.(check string) "shorter" "a" (get "10.2.0.1");
+  Alcotest.(check string) "default" "d" (get "11.0.0.1");
+  let t = Iproute.Btrie.remove t (Iproute.Prefix.of_string "10.1.0.0/16") in
+  Alcotest.(check string) "after remove" "a"
+    (match Iproute.Btrie.lookup t (addr "10.1.9.9") with
+    | Some (_, v) -> v
+    | None -> "none")
+
+let cpe_strides_sum () =
+  let lens = [ 8; 16; 16; 24; 24; 24; 32 ] in
+  let s = Iproute.Cpe.optimal_strides ~max_levels:4 lens in
+  Alcotest.(check int) "sum 32" 32 (List.fold_left ( + ) 0 s);
+  Alcotest.(check bool) "levels bound" true (List.length s <= 4)
+
+let random_prefix rng =
+  let len = 1 + Sim.Rng.int rng 32 in
+  Iproute.Prefix.make (Sim.Rng.int32 rng) len
+
+(* The linear scan is the obviously-correct specification. *)
+let linear_lookup bindings a =
+  List.fold_left
+    (fun acc (p, v) ->
+      if Iproute.Prefix.matches p a then
+        match acc with
+        | Some (q, _) when Iproute.Prefix.length q >= Iproute.Prefix.length p
+          ->
+            acc
+        | _ -> Some (p, v)
+      else acc)
+    None bindings
+
+let dedup bindings =
+  List.fold_left
+    (fun acc (p, v) ->
+      if List.exists (fun (q, _) -> Iproute.Prefix.equal p q) acc then acc
+      else (p, v) :: acc)
+    [] bindings
+
+let engines_agree =
+  QCheck.Test.make ~name:"btrie = cpe = linear on random tables" ~count:60
+    QCheck.(pair int64 (int_range 1 60))
+    (fun (seed, n) ->
+      let rng = Sim.Rng.create seed in
+      let bindings =
+        dedup (List.init n (fun i -> (random_prefix rng, i)))
+      in
+      let bt =
+        List.fold_left
+          (fun t (p, v) -> Iproute.Btrie.add t p v)
+          Iproute.Btrie.empty bindings
+      in
+      let cpe = Iproute.Cpe.build bindings in
+      let pat =
+        List.fold_left
+          (fun t (p, v) -> Iproute.Patricia.add t p v)
+          Iproute.Patricia.empty bindings
+      in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let a = Sim.Rng.int32 rng in
+        let expect = Option.map snd (linear_lookup bindings a) in
+        let got_bt = Option.map snd (Iproute.Btrie.lookup bt a) in
+        let got_cpe = Option.map snd (Iproute.Cpe.lookup cpe a) in
+        let got_pat = Option.map snd (Iproute.Patricia.lookup pat a) in
+        if got_bt <> expect || got_cpe <> expect || got_pat <> expect then
+          ok := false
+      done;
+      !ok)
+
+let cpe_incremental_add =
+  QCheck.Test.make ~name:"cpe incremental add = rebuild" ~count:40
+    QCheck.(pair int64 (int_range 2 40))
+    (fun (seed, n) ->
+      let rng = Sim.Rng.create seed in
+      let bindings = dedup (List.init n (fun i -> (random_prefix rng, i))) in
+      let all = Iproute.Cpe.build bindings in
+      let incr = Iproute.Cpe.build [] in
+      List.iter (fun (p, v) -> Iproute.Cpe.add incr p v) (List.rev bindings);
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let a = Sim.Rng.int32 rng in
+        if Iproute.Cpe.lookup all a <> Iproute.Cpe.lookup incr a then
+          ok := false
+      done;
+      !ok)
+
+let cpe_remove () =
+  let p1 = Iproute.Prefix.of_string "10.0.0.0/8" in
+  let p2 = Iproute.Prefix.of_string "10.128.0.0/9" in
+  let t = Iproute.Cpe.build [ (p1, 1); (p2, 2) ] in
+  Alcotest.(check (option int)) "longest" (Some 2)
+    (Option.map snd (Iproute.Cpe.lookup t (addr "10.200.0.1")));
+  Iproute.Cpe.remove t p2;
+  Alcotest.(check (option int)) "fallback" (Some 1)
+    (Option.map snd (Iproute.Cpe.lookup t (addr "10.200.0.1")));
+  Alcotest.(check int) "size" 1 (Iproute.Cpe.size t)
+
+let cpe_lookup_levels () =
+  let t =
+    Iproute.Cpe.build ~strides:[ 16; 8; 8 ]
+      [
+        (Iproute.Prefix.of_string "10.0.0.0/8", 1);
+        (Iproute.Prefix.of_string "10.1.1.0/24", 2);
+      ]
+  in
+  Alcotest.(check int) "short prefix: 1 level" 1
+    (Iproute.Cpe.lookup_levels t (addr "11.0.0.1"));
+  Alcotest.(check bool) "deep prefix: more levels" true
+    (Iproute.Cpe.lookup_levels t (addr "10.1.1.5") >= 2)
+
+let route_cache_behavior () =
+  let c = Iproute.Route_cache.create ~slots:4 () in
+  Alcotest.(check (option int)) "empty miss" None
+    (Iproute.Route_cache.find c (addr "10.0.0.1"));
+  Iproute.Route_cache.insert c (addr "10.0.0.1") 7;
+  Alcotest.(check (option int)) "hit" (Some 7)
+    (Iproute.Route_cache.find c (addr "10.0.0.1"));
+  Iproute.Route_cache.invalidate c;
+  Alcotest.(check (option int)) "after invalidate" None
+    (Iproute.Route_cache.find c (addr "10.0.0.1"));
+  Alcotest.(check int) "misses counted" 2 (Iproute.Route_cache.misses c)
+
+let table_cached_lookup () =
+  let t = Iproute.Table.create () in
+  Iproute.Table.add t
+    (Iproute.Prefix.of_string "10.0.0.0/8")
+    { Iproute.Table.out_port = 3; gateway_mac = 0x020000000001 };
+  (match Iproute.Table.lookup_cached t (addr "10.5.5.5") with
+  | `Miss (Some nh) -> Alcotest.(check int) "port" 3 nh.Iproute.Table.out_port
+  | _ -> Alcotest.fail "expected refill miss");
+  (match Iproute.Table.lookup_cached t (addr "10.5.5.5") with
+  | `Hit nh -> Alcotest.(check int) "port" 3 nh.Iproute.Table.out_port
+  | _ -> Alcotest.fail "expected hit");
+  Iproute.Table.remove t (Iproute.Prefix.of_string "10.0.0.0/8");
+  match Iproute.Table.lookup_cached t (addr "10.5.5.5") with
+  | `Miss None -> ()
+  | _ -> Alcotest.fail "expected miss after remove (cache invalidated)"
+
+let table_engines_consistent () =
+  let mk engine =
+    let t = Iproute.Table.create ~engine () in
+    List.iter
+      (fun (s, p) ->
+        Iproute.Table.add t (Iproute.Prefix.of_string s)
+          { Iproute.Table.out_port = p; gateway_mac = 0 })
+      [ ("0.0.0.0/0", 0); ("10.0.0.0/8", 1); ("10.64.0.0/10", 2) ];
+    t
+  in
+  let engines =
+    [
+      mk Iproute.Table.Linear;
+      mk Iproute.Table.Trie;
+      mk Iproute.Table.Patricia;
+      mk Iproute.Table.Cpe;
+    ]
+  in
+  List.iter
+    (fun (a, expect) ->
+      List.iter
+        (fun t ->
+          Alcotest.(check (option int))
+            (Format.asprintf "%s via %a" (Iproute.Table.engine_name t)
+               Packet.Ipv4.pp_addr a)
+            expect
+            (Option.map
+               (fun nh -> nh.Iproute.Table.out_port)
+               (Iproute.Table.lookup t a)))
+        engines)
+    [
+      (addr "10.65.0.1", Some 2);
+      (addr "10.1.0.1", Some 1);
+      (addr "8.8.8.8", Some 0);
+    ]
+
+let pfx_of = Iproute.Prefix.of_string
+
+let selective_invalidation_scope () =
+  let t = Iproute.Table.create ~selective_invalidation:true () in
+  let nh p = { Iproute.Table.out_port = p; gateway_mac = 0 } in
+  Iproute.Table.add t (pfx_of "10.1.0.0/16") (nh 1);
+  Iproute.Table.add t (pfx_of "10.2.0.0/16") (nh 2);
+  (* Warm both cache lines. *)
+  ignore (Iproute.Table.lookup_cached t (addr "10.1.0.5"));
+  ignore (Iproute.Table.lookup_cached t (addr "10.2.0.5"));
+  (match Iproute.Table.lookup_cached t (addr "10.1.0.5") with
+  | `Hit _ -> ()
+  | `Miss _ -> Alcotest.fail "expected warm 10.1");
+  (* A change to an unrelated prefix must not evict either line... *)
+  Iproute.Table.add t (pfx_of "192.168.0.0/16") (nh 3);
+  (match Iproute.Table.lookup_cached t (addr "10.1.0.5") with
+  | `Hit _ -> ()
+  | `Miss _ -> Alcotest.fail "unrelated change evicted 10.1");
+  (* ...but a change covering 10.2 must evict exactly that line. *)
+  Iproute.Table.add t (pfx_of "10.2.0.0/24") (nh 4);
+  (match Iproute.Table.lookup_cached t (addr "10.2.0.5") with
+  | `Miss (Some nh') ->
+      Alcotest.(check int) "more specific now wins" 4 nh'.Iproute.Table.out_port
+  | _ -> Alcotest.fail "expected 10.2 evicted and rerouted");
+  match Iproute.Table.lookup_cached t (addr "10.1.0.5") with
+  | `Hit _ -> ()
+  | `Miss _ -> Alcotest.fail "10.1 should have survived"
+
+let patricia_compression () =
+  let t =
+    List.fold_left
+      (fun t (s, v) -> Iproute.Patricia.add t (pfx_of s) v)
+      Iproute.Patricia.empty
+      [ ("10.0.0.0/8", 1); ("10.128.0.0/9", 2); ("10.129.0.0/16", 3);
+        ("192.168.42.0/24", 4) ]
+  in
+  Alcotest.(check int) "size" 4 (Iproute.Patricia.size t);
+  Alcotest.(check bool) "compressed (nodes <= 2*size)" true
+    (Iproute.Patricia.node_count t <= 2 * Iproute.Patricia.size t);
+  Alcotest.(check bool) "shallow lookups" true
+    (Iproute.Patricia.depth t (addr "10.129.5.5") <= 4);
+  Alcotest.(check (option int)) "longest wins" (Some 3)
+    (Option.map snd (Iproute.Patricia.lookup t (addr "10.129.5.5")));
+  Alcotest.(check (option int)) "mid" (Some 2)
+    (Option.map snd (Iproute.Patricia.lookup t (addr "10.130.0.1")));
+  Alcotest.(check (option int)) "exact find" (Some 4)
+    (Iproute.Patricia.find t (pfx_of "192.168.42.0/24"));
+  Alcotest.(check (option reject)) "absent exact" None
+    (Iproute.Patricia.find t (pfx_of "192.168.0.0/16"))
+
+let patricia_add_remove =
+  QCheck.Test.make ~name:"patricia add/remove = rebuild without" ~count:60
+    QCheck.(pair int64 (int_range 2 40))
+    (fun (seed, n) ->
+      let rng = Sim.Rng.create seed in
+      let bindings = dedup (List.init n (fun i -> (random_prefix rng, i))) in
+      match bindings with
+      | [] -> true
+      | (victim, _) :: rest ->
+          let with_all =
+            List.fold_left
+              (fun t (p, v) -> Iproute.Patricia.add t p v)
+              Iproute.Patricia.empty bindings
+          in
+          let removed = Iproute.Patricia.remove with_all victim in
+          let without =
+            List.fold_left
+              (fun t (p, v) -> Iproute.Patricia.add t p v)
+              Iproute.Patricia.empty rest
+          in
+          let ok = ref (Iproute.Patricia.size removed = List.length rest) in
+          for _ = 1 to 100 do
+            let a = Sim.Rng.int32 rng in
+            if Iproute.Patricia.lookup removed a <> Iproute.Patricia.lookup without a
+            then ok := false
+          done;
+          !ok)
+
+let generated_table_shape () =
+  let rng = Sim.Rng.create 99L in
+  let bindings = Iproute.Gen.table ~rng ~n:1000 ~n_ports:8 in
+  Alcotest.(check int) "count" 1000 (List.length bindings);
+  let distinct = dedup bindings in
+  Alcotest.(check int) "distinct" 1000 (List.length distinct);
+  let n24 =
+    List.length
+      (List.filter (fun (p, _) -> Iproute.Prefix.length p = 24) bindings)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "/24-heavy (%d/1000)" n24)
+    true
+    (n24 > 400 && n24 < 700);
+  (* Every generated hit-address matches some entry more specific than the
+     default route most of the time. *)
+  let bt =
+    List.fold_left
+      (fun t (p, v) -> Iproute.Btrie.add t p v)
+      Iproute.Btrie.empty bindings
+  in
+  let hits = ref 0 in
+  for _ = 1 to 200 do
+    let a = Iproute.Gen.matching_addr ~rng bindings in
+    match Iproute.Btrie.lookup bt a with
+    | Some (p, _) when Iproute.Prefix.length p > 0 -> incr hits
+    | _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly specific hits (%d/200)" !hits)
+    true (!hits > 150)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ engines_agree; cpe_incremental_add; patricia_add_remove ]
+
+let tests =
+  [
+    Alcotest.test_case "prefix canonicalization" `Quick prefix_canonical;
+    Alcotest.test_case "prefix matches" `Quick prefix_matches;
+    Alcotest.test_case "prefix expand" `Quick prefix_expand;
+    Alcotest.test_case "btrie basics" `Quick btrie_basic;
+    Alcotest.test_case "cpe DP strides sum to 32" `Quick cpe_strides_sum;
+    Alcotest.test_case "cpe remove" `Quick cpe_remove;
+    Alcotest.test_case "cpe lookup levels" `Quick cpe_lookup_levels;
+    Alcotest.test_case "route cache" `Quick route_cache_behavior;
+    Alcotest.test_case "table cached lookup" `Quick table_cached_lookup;
+    Alcotest.test_case "table engines consistent" `Quick
+      table_engines_consistent;
+    Alcotest.test_case "selective cache invalidation" `Quick
+      selective_invalidation_scope;
+    Alcotest.test_case "patricia compression" `Quick patricia_compression;
+    Alcotest.test_case "generated table shape" `Quick generated_table_shape;
+  ]
+  @ qsuite

@@ -1,0 +1,219 @@
+(* Tests for the IXP1200 hardware model. *)
+
+let mk_chip () =
+  let e = Sim.Engine.create () in
+  (e, Ixp.Chip.create e)
+
+let mem_latency_matches_table3 () =
+  let e, chip = mk_chip () in
+  let probe mem bytes expect_read expect_write =
+    let t0 = ref 0L and t1 = ref 0L and t2 = ref 0L in
+    Sim.Engine.spawn e "probe" (fun () ->
+        t0 := Sim.Engine.now ();
+        Ixp.Mem.read mem ~bytes;
+        t1 := Sim.Engine.now ();
+        Ixp.Mem.write mem ~bytes;
+        t2 := Sim.Engine.now ());
+    Sim.Engine.run_until_idle e;
+    let cycles d = Int64.to_int (Int64.div d 5000L) in
+    Alcotest.(check int) "read cycles" expect_read (cycles (Int64.sub !t1 !t0));
+    Alcotest.(check int) "write cycles" expect_write
+      (cycles (Int64.sub !t2 !t1))
+  in
+  probe chip.Ixp.Chip.dram 32 52 40;
+  probe chip.Ixp.Chip.sram 4 22 22;
+  probe chip.Ixp.Chip.scratch 4 16 20
+
+let mem_splits_large_transfers () =
+  let _, chip = mk_chip () in
+  Alcotest.(check int) "64B DRAM = 2 ops" 2
+    (Ixp.Mem.read_ops chip.Ixp.Chip.dram ~bytes:64);
+  Alcotest.(check int) "20B SRAM = 5 ops" 5
+    (Ixp.Mem.read_ops chip.Ixp.Chip.sram ~bytes:20)
+
+let mem_contention_queues () =
+  let e, chip = mk_chip () in
+  let finished = ref [] in
+  for i = 0 to 3 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "c%d" i)
+      (fun () ->
+        Ixp.Mem.read chip.Ixp.Chip.dram ~bytes:32;
+        finished := (i, Sim.Engine.now ()) :: !finished)
+  done;
+  Sim.Engine.run_until_idle e;
+  let times = List.rev_map snd !finished in
+  (* Occupancy 8 cycles: completions stagger by at least 8 cycles. *)
+  let sorted = List.sort compare times in
+  let rec gaps = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "staggered" true (Int64.sub b a >= 40000L);
+        gaps rest
+    | _ -> ()
+  in
+  gaps sorted
+
+let circular_pool_single_pass () =
+  let pool = Ixp.Buffer_pool.create_circular ~count:4 () in
+  let f = Packet.Frame.alloc 64 in
+  let h0 = Ixp.Buffer_pool.alloc pool f in
+  Alcotest.(check bool) "readable" true (Ixp.Buffer_pool.read pool h0 <> None);
+  (* Lap the pool: h0's buffer is reused. *)
+  for _ = 1 to 4 do
+    ignore (Ixp.Buffer_pool.alloc pool f)
+  done;
+  Alcotest.(check (option reject)) "stale after lap" None
+    (Ixp.Buffer_pool.read pool h0);
+  Alcotest.(check int) "stale read counted" 1 (Ixp.Buffer_pool.stale_reads pool)
+
+let stack_pool_recycles () =
+  let pool = Ixp.Buffer_pool.create_stack ~count:2 () in
+  let f = Packet.Frame.alloc 64 in
+  let h1 = Ixp.Buffer_pool.alloc pool f in
+  let _h2 = Ixp.Buffer_pool.alloc pool f in
+  Alcotest.(check int) "in use" 2 (Ixp.Buffer_pool.in_use pool);
+  Alcotest.check_raises "exhausted" (Failure "Buffer_pool: out of buffers")
+    (fun () -> ignore (Ixp.Buffer_pool.alloc pool f));
+  Ixp.Buffer_pool.free pool h1;
+  let h3 = Ixp.Buffer_pool.alloc pool f in
+  Alcotest.(check bool) "recycled readable" true
+    (Ixp.Buffer_pool.read pool h3 <> None);
+  Alcotest.(check (option reject)) "old handle stale" None
+    (Ixp.Buffer_pool.read pool h1)
+
+let fifo_slot_ownership () =
+  let f = Ixp.Fifo.create ~slots:4 () in
+  let mp =
+    { Packet.Mp.tag = Packet.Mp.Only; index = 0; data = Bytes.make 64 'x' }
+  in
+  Ixp.Fifo.load f 2 mp;
+  Alcotest.check_raises "double load" (Invalid_argument "Fifo.load: slot occupied")
+    (fun () -> Ixp.Fifo.load f 2 mp);
+  let got = Ixp.Fifo.take f 2 in
+  Alcotest.(check bool) "same mp" true (got == mp);
+  Alcotest.check_raises "take empty" (Invalid_argument "Fifo.take: slot empty")
+    (fun () -> ignore (Ixp.Fifo.take f 2))
+
+let istore_accounting () =
+  let st = Ixp.Istore.create Ixp.Config.default in
+  Alcotest.(check int) "vrp capacity" 650 (Ixp.Istore.capacity_vrp st);
+  (match Ixp.Istore.install st Ixp.Istore.General ~name:"f1" ~slots:100 with
+  | Ok h ->
+      Alcotest.(check int) "used" 100 (Ixp.Istore.used st);
+      Ixp.Istore.remove st h;
+      Alcotest.(check int) "freed" 0 (Ixp.Istore.used st)
+  | Error e -> Alcotest.fail e);
+  (match Ixp.Istore.install st Ixp.Istore.General ~name:"big" ~slots:651 with
+  | Ok _ -> Alcotest.fail "should not fit"
+  | Error _ -> ());
+  Alcotest.(check int) "write cost 10 instr = 800 cycles" 800
+    (Ixp.Istore.write_cost_cycles st ~slots:10)
+
+let mac_port_rx_overflow () =
+  let e = Sim.Engine.create () in
+  let p = Ixp.Mac_port.create e ~id:0 ~mbps:100. ~rx_slots:3 () in
+  let small = Packet.Frame.alloc 64 in
+  Alcotest.(check bool) "first fits" true (Ixp.Mac_port.offer p small);
+  Alcotest.(check bool) "second fits" true (Ixp.Mac_port.offer p small);
+  Alcotest.(check bool) "third fits" true (Ixp.Mac_port.offer p small);
+  Alcotest.(check bool) "fourth drops" false (Ixp.Mac_port.offer p small);
+  Alcotest.(check int) "drop counted" 1 (Ixp.Mac_port.rx_dropped p)
+
+let mac_port_reassembly () =
+  let e = Sim.Engine.create () in
+  let got = ref None in
+  let p =
+    Ixp.Mac_port.create e ~id:1 ~mbps:100. ~rx_slots:64
+      ~sink:(fun f -> got := Some f)
+      ()
+  in
+  let f =
+    Packet.Build.udp ~frame_len:200
+      ~src:(Packet.Ipv4.addr_of_string "1.2.3.4")
+      ~dst:(Packet.Ipv4.addr_of_string "5.6.7.8")
+      ~src_port:1 ~dst_port:2 ~payload:"reassemble me" ()
+  in
+  List.iter
+    (fun mp -> Ixp.Mac_port.transmit_mp p mp ~len_hint:200)
+    (Packet.Mp.split f);
+  (match !got with
+  | Some g -> Alcotest.(check bool) "frame intact" true (Packet.Frame.equal f g)
+  | None -> Alcotest.fail "no frame delivered");
+  Alcotest.(check int) "tx count" 1 (Ixp.Mac_port.tx_frames p)
+
+let mac_port_misorder_detected () =
+  let e = Sim.Engine.create () in
+  let p = Ixp.Mac_port.create e ~id:2 ~mbps:100. ~rx_slots:64 () in
+  let f = Packet.Frame.alloc 200 in
+  (match Packet.Mp.split f with
+  | _first :: mid :: _ -> Ixp.Mac_port.transmit_mp p mid ~len_hint:200
+  | _ -> Alcotest.fail "expected multiple MPs");
+  (* An Intermediate with no First in progress is absorbed; following Last
+     without full set errors. *)
+  let last =
+    { Packet.Mp.tag = Packet.Mp.Last; index = 3; data = Bytes.make 64 ' ' }
+  in
+  Ixp.Mac_port.transmit_mp p last ~len_hint:200;
+  Alcotest.(check bool) "error counted" true (Ixp.Mac_port.tx_errors p >= 1)
+
+let mac_frame_time () =
+  let e = Sim.Engine.create () in
+  let p = Ixp.Mac_port.create e ~id:0 ~mbps:100. ~rx_slots:4 () in
+  (* (64B + 20B overhead) x 8 = 672 bits = 6.72 us at 100 Mbps. *)
+  Alcotest.(check int64) "64B wire time" 6720000L
+    (Ixp.Mac_port.frame_time_ps p ~bytes:64)
+
+let pci_bandwidth () =
+  let e, chip = mk_chip () in
+  let pci = chip.Ixp.Chip.pci in
+  let t_done = ref 0L in
+  Sim.Engine.spawn e "dma" (fun () ->
+      Ixp.Pci.dma_blocking pci ~bytes:1330;
+      t_done := Sim.Engine.now ());
+  Sim.Engine.run_until_idle e;
+  (* 1330 B at 133 MB/s = 10 us (chunked transfers round per chunk). *)
+  Alcotest.(check bool) "transfer time ~10us" true
+    (Int64.abs (Int64.sub !t_done 10_000_000L) <= 100L)
+
+let i2o_roundtrip_and_backpressure () =
+  let e, chip = mk_chip () in
+  let q = Ixp.I2o.create chip.Ixp.Chip.pci ~name:"t" ~buffers:2 () in
+  let clock = chip.Ixp.Chip.me_clock in
+  let received = ref [] in
+  let sent = ref 0 in
+  Sim.Engine.spawn e "producer" (fun () ->
+      for i = 1 to 5 do
+        Ixp.I2o.send q ~producer_clock:clock ~bytes:64 i;
+        sent := i
+      done);
+  Sim.Engine.spawn e "consumer" (fun () ->
+      for _ = 1 to 5 do
+        Sim.Engine.wait 2_000_000L;
+        received := Ixp.I2o.recv q ~consumer_clock:clock :: !received
+      done);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4; 5 ] (List.rev !received);
+  Alcotest.(check int) "all sent" 5 !sent
+
+let qsuite = []
+
+let tests =
+  [
+    Alcotest.test_case "memory latencies = Table 3" `Quick
+      mem_latency_matches_table3;
+    Alcotest.test_case "memory op splitting" `Quick mem_splits_large_transfers;
+    Alcotest.test_case "memory contention queues" `Quick mem_contention_queues;
+    Alcotest.test_case "circular pool single-pass lifetime" `Quick
+      circular_pool_single_pass;
+    Alcotest.test_case "stack pool recycles" `Quick stack_pool_recycles;
+    Alcotest.test_case "fifo slot ownership" `Quick fifo_slot_ownership;
+    Alcotest.test_case "istore accounting" `Quick istore_accounting;
+    Alcotest.test_case "mac port rx overflow" `Quick mac_port_rx_overflow;
+    Alcotest.test_case "mac port reassembly" `Quick mac_port_reassembly;
+    Alcotest.test_case "mac port misorder" `Quick mac_port_misorder_detected;
+    Alcotest.test_case "mac frame wire time" `Quick mac_frame_time;
+    Alcotest.test_case "pci bandwidth" `Quick pci_bandwidth;
+    Alcotest.test_case "i2o roundtrip + backpressure" `Quick
+      i2o_roundtrip_and_backpressure;
+  ]
+  @ qsuite

@@ -1,0 +1,153 @@
+(* Tests for the MPLS wire format and the label-switching fast path. *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+let sample () =
+  Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "10.3.0.9")
+    ~src_port:1111 ~dst_port:2222 ~ttl:40 ()
+
+let entry_roundtrip =
+  QCheck.Test.make ~name:"mpls entry encode/decode roundtrip" ~count:300
+    QCheck.(triple (int_bound 0xFFFFF) (int_bound 7) (int_bound 255))
+    (fun (label, tc, ttl) ->
+      let f = sample () in
+      Packet.Mpls.push f { Packet.Mpls.label; tc; bos = true; ttl };
+      let e = Packet.Mpls.top f in
+      e.Packet.Mpls.label = label && e.Packet.Mpls.tc = tc
+      && e.Packet.Mpls.ttl = ttl && e.Packet.Mpls.bos)
+
+let push_pop_restores_frame () =
+  let f = sample () in
+  let before = Packet.Frame.copy f in
+  Packet.Mpls.push f { Packet.Mpls.label = 42; tc = 1; bos = true; ttl = 9 };
+  Alcotest.(check bool) "is mpls" true (Packet.Mpls.is_mpls f);
+  Alcotest.(check int) "longer" (Packet.Frame.len before + 4) (Packet.Frame.len f);
+  Alcotest.(check bool) "payload is ip" true (Packet.Mpls.payload_is_ipv4 f);
+  let e = Packet.Mpls.pop f in
+  Alcotest.(check int) "popped label" 42 e.Packet.Mpls.label;
+  Alcotest.(check bool) "frame restored" true (Packet.Frame.equal before f);
+  Alcotest.(check bool) "ip again" true
+    (Packet.Ethernet.get_ethertype f = Packet.Ethernet.ethertype_ipv4);
+  Alcotest.(check bool) "ip header still valid" true (Packet.Ipv4.valid f)
+
+let stack_of_two () =
+  let f = sample () in
+  Packet.Mpls.push f { Packet.Mpls.label = 100; tc = 0; bos = true; ttl = 64 };
+  Packet.Mpls.push f { Packet.Mpls.label = 200; tc = 0; bos = false; ttl = 64 };
+  Alcotest.(check int) "depth 2" 2 (Packet.Mpls.stack_depth f);
+  Alcotest.(check int) "top is outer" 200 (Packet.Mpls.top f).Packet.Mpls.label;
+  Alcotest.(check int) "inner" 100
+    (Packet.Mpls.read_entry f 1).Packet.Mpls.label;
+  Alcotest.(check bool) "inner is bos" true
+    (Packet.Mpls.read_entry f 1).Packet.Mpls.bos
+
+let swap_decrements_ttl () =
+  let f = sample () in
+  Packet.Mpls.push f { Packet.Mpls.label = 7; tc = 0; bos = true; ttl = 10 };
+  Packet.Mpls.swap f ~label:8;
+  let e = Packet.Mpls.top f in
+  Alcotest.(check int) "label" 8 e.Packet.Mpls.label;
+  Alcotest.(check int) "ttl" 9 e.Packet.Mpls.ttl
+
+let mk_router () =
+  let r = Router.create () in
+  for p = 0 to 7 do
+    Router.add_route r
+      (Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" p))
+      ~port:p
+  done;
+  r
+
+let lsr_swap_path () =
+  let r = mk_router () in
+  let sw = Mpls.Lsr.create () in
+  Mpls.Lsr.add_ilm sw ~label:100
+    (Mpls.Lsr.Swap { out_label = 200; out_port = 5 });
+  Router.start ~process:(Mpls.Lsr.process sw) r;
+  let f = sample () in
+  Packet.Mpls.push f { Packet.Mpls.label = 100; tc = 0; bos = true; ttl = 30 };
+  Alcotest.(check bool) "injected" true (Router.inject r ~port:0 f);
+  Router.run_for r ~us:100.;
+  Alcotest.(check int) "delivered out port 5" 1
+    (Sim.Stats.Counter.value r.Router.delivered.(5));
+  Alcotest.(check int) "swapped" 1
+    (Sim.Stats.Counter.value (Mpls.Lsr.stats sw).Mpls.Lsr.swapped);
+  Alcotest.(check int) "label now 200" 200
+    (Packet.Mpls.top f).Packet.Mpls.label;
+  Alcotest.(check int) "label ttl decremented" 29
+    (Packet.Mpls.top f).Packet.Mpls.ttl
+
+let lsr_ingress_and_egress () =
+  let r = mk_router () in
+  let sw = Mpls.Lsr.create () in
+  (* Ingress: FEC 10.6.0.0/16 enters the LSP with label 300 out port 6;
+     egress: label 400 pops and routes as IP. *)
+  Mpls.Lsr.add_ftn sw
+    (Iproute.Prefix.of_string "10.6.0.0/16")
+    ~push_label:300 ~out_port:6;
+  Mpls.Lsr.add_ilm sw ~label:400 Mpls.Lsr.Pop_and_route;
+  Router.start ~process:(Mpls.Lsr.process sw) r;
+  (* Unlabelled packet to the FEC gets encapsulated. *)
+  let f1 = sample () in
+  Packet.Ipv4.set_dst f1 (addr "10.6.1.2");
+  Packet.Ipv4.fill_cksum f1;
+  ignore (Router.inject r ~port:0 f1);
+  (* Labelled packet with the egress label pops and routes to 10.3/16. *)
+  let f2 = sample () in
+  Packet.Mpls.push f2 { Packet.Mpls.label = 400; tc = 0; bos = true; ttl = 30 };
+  ignore (Router.inject r ~port:1 f2);
+  Router.run_for r ~us:200.;
+  Alcotest.(check int) "pushed" 1
+    (Sim.Stats.Counter.value (Mpls.Lsr.stats sw).Mpls.Lsr.pushed);
+  Alcotest.(check bool) "f1 labelled" true (Packet.Mpls.is_mpls f1);
+  Alcotest.(check int) "f1 out port 6" 1
+    (Sim.Stats.Counter.value r.Router.delivered.(6));
+  Alcotest.(check int) "popped" 1
+    (Sim.Stats.Counter.value (Mpls.Lsr.stats sw).Mpls.Lsr.popped);
+  Alcotest.(check bool) "f2 is plain ip again" true
+    (Packet.Ethernet.get_ethertype f2 = Packet.Ethernet.ethertype_ipv4);
+  Alcotest.(check int) "f2 routed out port 3" 1
+    (Sim.Stats.Counter.value r.Router.delivered.(3))
+
+let lsr_label_miss_and_ttl () =
+  let r = mk_router () in
+  let sw = Mpls.Lsr.create () in
+  Mpls.Lsr.add_ilm sw ~label:9 (Mpls.Lsr.Swap { out_label = 10; out_port = 1 });
+  Router.start ~process:(Mpls.Lsr.process sw) r;
+  let miss = sample () in
+  Packet.Mpls.push miss { Packet.Mpls.label = 777; tc = 0; bos = true; ttl = 5 };
+  ignore (Router.inject r ~port:0 miss);
+  let dying = sample () in
+  Packet.Mpls.push dying { Packet.Mpls.label = 9; tc = 0; bos = true; ttl = 1 };
+  ignore (Router.inject r ~port:0 dying);
+  Router.run_for r ~us:200.;
+  Alcotest.(check int) "miss counted" 1
+    (Sim.Stats.Counter.value (Mpls.Lsr.stats sw).Mpls.Lsr.label_miss);
+  Alcotest.(check int) "ttl expiry counted" 1
+    (Sim.Stats.Counter.value (Mpls.Lsr.stats sw).Mpls.Lsr.ttl_expired);
+  Alcotest.(check int) "nothing delivered" 0 (Router.delivered_total r)
+
+let unlabelled_falls_through_to_ip () =
+  let r = mk_router () in
+  let sw = Mpls.Lsr.create () in
+  Router.start ~process:(Mpls.Lsr.process sw) r;
+  let f = sample () in
+  ignore (Router.inject r ~port:0 f);
+  Router.run_for r ~us:100.;
+  Alcotest.(check int) "IP-forwarded out port 3" 1
+    (Sim.Stats.Counter.value r.Router.delivered.(3))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ entry_roundtrip ]
+
+let tests =
+  [
+    Alcotest.test_case "push/pop restores frame" `Quick push_pop_restores_frame;
+    Alcotest.test_case "two-entry stack" `Quick stack_of_two;
+    Alcotest.test_case "swap decrements ttl" `Quick swap_decrements_ttl;
+    Alcotest.test_case "LSR swap path" `Quick lsr_swap_path;
+    Alcotest.test_case "LSR ingress + egress" `Quick lsr_ingress_and_egress;
+    Alcotest.test_case "LSR miss and ttl expiry" `Quick lsr_label_miss_and_ttl;
+    Alcotest.test_case "unlabelled falls through" `Quick
+      unlabelled_falls_through_to_ip;
+  ]
+  @ qsuite

@@ -1,0 +1,203 @@
+(* Tests for frames, headers, checksums, flows and MP segmentation. *)
+
+let addr = Packet.Ipv4.addr_of_string
+
+let sample_udp ?(frame_len = 64) () =
+  Packet.Build.udp ~frame_len ~src:(addr "10.0.0.1") ~dst:(addr "10.1.2.3")
+    ~src_port:1234 ~dst_port:80 ~payload:"hello" ()
+
+let sample_tcp ?(frame_len = 64) () =
+  Packet.Build.tcp ~frame_len ~src:(addr "192.168.0.5") ~dst:(addr "10.9.8.7")
+    ~src_port:5555 ~dst_port:443 ~seq:1000l ~ack:2000l
+    ~flags:(Packet.Tcp.flag_ack lor Packet.Tcp.flag_syn)
+    ()
+
+let frame_field_roundtrip () =
+  let f = Packet.Frame.alloc 64 in
+  Packet.Frame.set_u16 f 10 0xBEEF;
+  Packet.Frame.set_u32 f 20 0xDEADBEEFl;
+  Alcotest.(check int) "u16" 0xBEEF (Packet.Frame.get_u16 f 10);
+  Alcotest.(check int32) "u32" 0xDEADBEEFl (Packet.Frame.get_u32 f 20)
+
+let mac_roundtrip () =
+  let m = Packet.Ethernet.mac_of_string "02:ab:cd:ef:01:99" in
+  let f = Packet.Frame.alloc 64 in
+  Packet.Ethernet.set_dst f m;
+  Packet.Ethernet.set_src f (Packet.Ethernet.mac_of_port 3);
+  Alcotest.(check int) "dst" m (Packet.Ethernet.get_dst f);
+  Alcotest.(check string) "pp" "02:ab:cd:ef:01:99"
+    (Format.asprintf "%a" Packet.Ethernet.pp_mac m)
+
+let addr_roundtrip =
+  QCheck.Test.make ~name:"ipv4 addr string roundtrip" ~count:200 QCheck.int32
+    (fun a ->
+      let s = Format.asprintf "%a" Packet.Ipv4.pp_addr a in
+      Packet.Ipv4.addr_of_string s = a)
+
+let built_packets_validate () =
+  Alcotest.(check bool) "udp valid" true (Packet.Ipv4.valid (sample_udp ()));
+  Alcotest.(check bool) "tcp valid" true (Packet.Ipv4.valid (sample_tcp ()));
+  Alcotest.(check bool) "tcp cksum" true (Packet.Tcp.cksum_ok (sample_tcp ()))
+
+let corrupt_header_detected () =
+  let f = sample_udp () in
+  Packet.Frame.set_u8 f (Packet.Ipv4.offset + 8) 77 (* TTL, no cksum fix *);
+  Alcotest.(check bool) "invalid" false (Packet.Ipv4.valid f)
+
+let ttl_decrement_incremental () =
+  let f = sample_udp () in
+  Alcotest.(check bool) "decrements" true (Packet.Ipv4.decrement_ttl f);
+  Alcotest.(check int) "ttl" 63 (Packet.Ipv4.get_ttl f);
+  Alcotest.(check bool) "still valid" true (Packet.Ipv4.valid f)
+
+let ttl_expiry_refused () =
+  let f =
+    Packet.Build.udp ~src:(addr "1.1.1.1") ~dst:(addr "2.2.2.2") ~src_port:1
+      ~dst_port:2 ~ttl:1 ()
+  in
+  Alcotest.(check bool) "refused" false (Packet.Ipv4.decrement_ttl f);
+  Alcotest.(check int) "untouched" 1 (Packet.Ipv4.get_ttl f)
+
+let ttl_qcheck =
+  QCheck.Test.make ~name:"incremental TTL update preserves validity"
+    ~count:200
+    QCheck.(int_range 2 255)
+    (fun ttl ->
+      let f =
+        Packet.Build.udp ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.2")
+          ~src_port:7 ~dst_port:8 ~ttl ()
+      in
+      let rec hops ok =
+        if not ok then false
+        else if Packet.Ipv4.get_ttl f > 1 then
+          hops (Packet.Ipv4.decrement_ttl f && Packet.Ipv4.valid f)
+        else true
+      in
+      hops true)
+
+let checksum_rfc1624_update =
+  QCheck.Test.make ~name:"incremental checksum equals recompute" ~count:300
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (old_word, new_word) ->
+      let b = Bytes.make 20 '\000' in
+      Bytes.set b 0 (Char.chr (old_word lsr 8));
+      Bytes.set b 1 (Char.chr (old_word land 0xFF));
+      let c0 = Packet.Checksum.compute b ~off:0 ~len:20 in
+      Bytes.set b 0 (Char.chr (new_word lsr 8));
+      Bytes.set b 1 (Char.chr (new_word land 0xFF));
+      let direct = Packet.Checksum.compute b ~off:0 ~len:20 in
+      let incr = Packet.Checksum.update16 ~old_cksum:c0 ~old_word ~new_word in
+      (* Both are valid checksums for the new data: verify both. *)
+      Bytes.set b 10 (Char.chr (incr lsr 8));
+      Bytes.set b 11 (Char.chr (incr land 0xFF));
+      let v_incr = Packet.Checksum.verify b ~off:0 ~len:20 in
+      Bytes.set b 10 (Char.chr (direct lsr 8));
+      Bytes.set b 11 (Char.chr (direct land 0xFF));
+      v_incr && Packet.Checksum.verify b ~off:0 ~len:20)
+
+let checksum_verify_roundtrip =
+  QCheck.Test.make ~name:"checksum verify(compute) holds" ~count:300
+    QCheck.(list_of_size (Gen.int_range 2 64) (int_bound 255))
+    (fun bytes ->
+      let n = List.length bytes + 2 in
+      let b = Bytes.make n '\000' in
+      List.iteri (fun i v -> Bytes.set b (i + 2) (Char.chr v)) bytes;
+      let c = Packet.Checksum.compute b ~off:0 ~len:n in
+      Bytes.set b 0 (Char.chr (c lsr 8));
+      Bytes.set b 1 (Char.chr (c land 0xFF));
+      (* Checksum field position is arbitrary as long as it was zero when
+         computing; here it is bytes 0-1. *)
+      Packet.Checksum.verify b ~off:0 ~len:n)
+
+let flow_extraction () =
+  let f = sample_tcp () in
+  match Packet.Flow.of_frame f with
+  | None -> Alcotest.fail "expected a flow"
+  | Some t ->
+      Alcotest.(check int) "sport" 5555 t.Packet.Flow.src_port;
+      Alcotest.(check int) "dport" 443 t.Packet.Flow.dst_port;
+      let r = Packet.Flow.reverse t in
+      Alcotest.(check int) "reversed" 443 r.Packet.Flow.src_port;
+      Alcotest.(check bool) "reverse involutive" true
+        (Packet.Flow.equal_tuple t (Packet.Flow.reverse r))
+
+let flow_matches () =
+  let f = sample_tcp () in
+  let t = Option.get (Packet.Flow.of_frame f) in
+  Alcotest.(check bool) "all matches" true (Packet.Flow.matches Packet.Flow.All f);
+  Alcotest.(check bool) "tuple matches" true
+    (Packet.Flow.matches (Packet.Flow.Tuple t) f);
+  Alcotest.(check bool) "other tuple no" false
+    (Packet.Flow.matches
+       (Packet.Flow.Tuple { t with Packet.Flow.src_port = 1 })
+       f)
+
+let mp_split_counts () =
+  Alcotest.(check int) "64B -> 1" 1 (Packet.Mp.count 64);
+  Alcotest.(check int) "65B -> 2" 2 (Packet.Mp.count 65);
+  Alcotest.(check int) "1518B -> 24" 24 (Packet.Mp.count 1518);
+  let f = sample_udp ~frame_len:200 () in
+  let mps = Packet.Mp.split f in
+  Alcotest.(check int) "4 MPs" 4 (List.length mps);
+  match mps with
+  | a :: rest ->
+      Alcotest.(check bool) "first tag" true (a.Packet.Mp.tag = Packet.Mp.First);
+      let last = List.nth rest (List.length rest - 1) in
+      Alcotest.(check bool) "last tag" true (last.Packet.Mp.tag = Packet.Mp.Last)
+  | [] -> Alcotest.fail "no MPs"
+
+let mp_roundtrip =
+  QCheck.Test.make ~name:"MP split/join identity" ~count:200
+    QCheck.(int_range 64 1518)
+    (fun len ->
+      let f =
+        Packet.Build.udp ~frame_len:len ~src:(addr "10.0.0.1")
+          ~dst:(addr "10.2.0.9") ~src_port:9 ~dst_port:10
+          ~payload:(String.init (min 64 len) (fun i -> Char.chr (i land 0xFF)))
+          ()
+      in
+      let g = Packet.Mp.join (Packet.Mp.split f) ~len in
+      Packet.Frame.equal f g)
+
+let options_insertion () =
+  let f = sample_udp () in
+  let g = Packet.Build.with_ip_options f in
+  Alcotest.(check bool) "has options" true (Packet.Ipv4.has_options g);
+  Alcotest.(check bool) "still valid" true (Packet.Ipv4.valid g);
+  Alcotest.(check int) "ihl 6" 6 (Packet.Ipv4.get_ihl g)
+
+let tcp_incremental_u32 () =
+  let f = sample_tcp () in
+  let old_v = Packet.Tcp.get_seq f in
+  let new_v = Int32.add old_v 4242l in
+  Packet.Tcp.set_seq f new_v;
+  Packet.Tcp.update_cksum_u32 f ~old_v ~new_v;
+  Alcotest.(check bool) "checksum still ok" true (Packet.Tcp.cksum_ok f)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      addr_roundtrip;
+      ttl_qcheck;
+      checksum_rfc1624_update;
+      checksum_verify_roundtrip;
+      mp_roundtrip;
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "frame field roundtrip" `Quick frame_field_roundtrip;
+    Alcotest.test_case "mac roundtrip" `Quick mac_roundtrip;
+    Alcotest.test_case "built packets validate" `Quick built_packets_validate;
+    Alcotest.test_case "corrupt header detected" `Quick corrupt_header_detected;
+    Alcotest.test_case "ttl decrement incremental" `Quick
+      ttl_decrement_incremental;
+    Alcotest.test_case "ttl expiry refused" `Quick ttl_expiry_refused;
+    Alcotest.test_case "flow extraction" `Quick flow_extraction;
+    Alcotest.test_case "flow matches" `Quick flow_matches;
+    Alcotest.test_case "mp split counts/tags" `Quick mp_split_counts;
+    Alcotest.test_case "ip options insertion" `Quick options_insertion;
+    Alcotest.test_case "tcp incremental u32 checksum" `Quick
+      tcp_incremental_u32;
+  ]
+  @ qsuite

@@ -1,0 +1,392 @@
+(* Tests for the discrete-event engine and its resources. *)
+
+let check = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+let heap_orders_by_time_then_seq () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.push h ~time:5L ~seq:0 "a";
+  Sim.Heap.push h ~time:3L ~seq:1 "b";
+  Sim.Heap.push h ~time:3L ~seq:2 "c";
+  Sim.Heap.push h ~time:1L ~seq:3 "d";
+  let order = ref [] in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | None -> ()
+    | Some (_, _, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "fifo at equal times" [ "d"; "b"; "c"; "a" ]
+    (List.rev !order)
+
+let heap_qcheck =
+  QCheck.Test.make ~name:"heap pops in nondecreasing key order" ~count:200
+    QCheck.(list (pair (int_bound 1000) small_nat))
+    (fun events ->
+      let h = Sim.Heap.create () in
+      List.iteri
+        (fun seq (t, _) -> Sim.Heap.push h ~time:(Int64.of_int t) ~seq ())
+        events;
+      let rec drain last ok =
+        match Sim.Heap.pop h with
+        | None -> ok
+        | Some (t, _, ()) -> drain t (ok && t >= last)
+      in
+      drain Int64.min_int true)
+
+let wait_advances_clock () =
+  let e = Sim.Engine.create () in
+  let seen = ref 0L in
+  Sim.Engine.spawn e "f" (fun () ->
+      Sim.Engine.wait 100L;
+      Sim.Engine.wait 23L;
+      seen := Sim.Engine.now ());
+  Sim.Engine.run_until_idle e;
+  check64 "clock" 123L !seen;
+  check "no live fibers" 0 (Sim.Engine.live_fibers e)
+
+let run_until_bounds_time () =
+  let e = Sim.Engine.create () in
+  let ticks = ref 0 in
+  Sim.Engine.spawn e "ticker" (fun () ->
+      let rec go () =
+        Sim.Engine.wait 10L;
+        incr ticks;
+        go ()
+      in
+      go ());
+  Sim.Engine.run e ~until:105L;
+  check "ticks" 10 !ticks;
+  check64 "time stops at bound" 105L (Sim.Engine.time e)
+
+let interleaving_is_deterministic () =
+  let trace () =
+    let e = Sim.Engine.create () in
+    let log = ref [] in
+    for i = 0 to 4 do
+      Sim.Engine.spawn e
+        (Printf.sprintf "f%d" i)
+        (fun () ->
+          for _ = 1 to 3 do
+            Sim.Engine.wait (Int64.of_int (10 + i));
+            log := (i, Sim.Engine.now ()) :: !log
+          done)
+    done;
+    Sim.Engine.run_until_idle e;
+    List.rev !log
+  in
+  Alcotest.(check bool) "two runs identical" true (trace () = trace ())
+
+let suspend_and_wake () =
+  let e = Sim.Engine.create () in
+  let waker = ref None in
+  let woke_at = ref 0L in
+  Sim.Engine.spawn e "sleeper" (fun () ->
+      Sim.Engine.suspend (fun w -> waker := Some w);
+      woke_at := Sim.Engine.now ());
+  Sim.Engine.spawn e "waker" (fun () ->
+      Sim.Engine.wait 500L;
+      Option.get !waker ());
+  Sim.Engine.run_until_idle e;
+  check64 "woke at waker's time" 500L !woke_at
+
+let deadlock_detected () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.spawn e "stuck" (fun () ->
+      Sim.Engine.suspend (fun _ -> ()));
+  Alcotest.check_raises "deadlock"
+    (Sim.Engine.Deadlock "1 fiber(s) suspended with no pending event")
+    (fun () -> Sim.Engine.run_until_idle e)
+
+let server_serializes () =
+  let e = Sim.Engine.create () in
+  let s = Sim.Server.create () in
+  let done_at = Array.make 3 0L in
+  for i = 0 to 2 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "c%d" i)
+      (fun () ->
+        Sim.Server.access s ~occupancy:100L ~latency:100L;
+        done_at.(i) <- Sim.Engine.now ())
+  done;
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (array int64)) "staircase" [| 100L; 200L; 300L |] done_at;
+  check64 "busy time" 300L (Sim.Server.busy_time s)
+
+let server_latency_exceeds_occupancy () =
+  (* Pipelined device: second requester queues only behind occupancy. *)
+  let e = Sim.Engine.create () in
+  let s = Sim.Server.create () in
+  let done_at = Array.make 2 0L in
+  for i = 0 to 1 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "c%d" i)
+      (fun () ->
+        Sim.Server.access s ~occupancy:10L ~latency:100L;
+        done_at.(i) <- Sim.Engine.now ())
+  done;
+  Sim.Engine.run_until_idle e;
+  check64 "first" 100L done_at.(0);
+  check64 "second starts at 10" 110L done_at.(1)
+
+let token_ring_strict_rotation () =
+  let e = Sim.Engine.create () in
+  let ring = Sim.Token_ring.create ~members:4 () in
+  let order = ref [] in
+  for i = 0 to 3 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "m%d" i)
+      (fun () ->
+        Sim.Token_ring.join ring i;
+        for _ = 1 to 3 do
+          Sim.Token_ring.with_token ring i (fun () ->
+              order := i :: !order;
+              Sim.Engine.wait 7L)
+        done)
+  done;
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list int)) "rotation order"
+    [ 0; 1; 2; 3; 0; 1; 2; 3; 0; 1; 2; 3 ]
+    (List.rev !order);
+  check "rotations" 3 (Sim.Token_ring.rotations ring)
+
+let token_ring_mutual_exclusion () =
+  let e = Sim.Engine.create () in
+  let ring = Sim.Token_ring.create ~members:3 () in
+  let inside = ref 0 in
+  let max_inside = ref 0 in
+  for i = 0 to 2 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "m%d" i)
+      (fun () ->
+        Sim.Token_ring.join ring i;
+        for _ = 1 to 5 do
+          Sim.Token_ring.with_token ring i (fun () ->
+              incr inside;
+              if !inside > !max_inside then max_inside := !inside;
+              Sim.Engine.wait 3L;
+              decr inside);
+          Sim.Engine.wait 11L
+        done)
+  done;
+  Sim.Engine.run_until_idle e;
+  check "never two holders" 1 !max_inside
+
+let token_ring_pass_delay () =
+  let e = Sim.Engine.create () in
+  let ring = Sim.Token_ring.create ~pass_ps:5L ~members:2 () in
+  let times = ref [] in
+  for i = 0 to 1 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "m%d" i)
+      (fun () ->
+        Sim.Token_ring.join ring i;
+        for _ = 1 to 2 do
+          Sim.Token_ring.with_token ring i (fun () ->
+              times := Sim.Engine.now () :: !times)
+        done)
+  done;
+  Sim.Engine.run_until_idle e;
+  (* Zero hold time, so acquisitions land exactly one pass delay apart. *)
+  Alcotest.(check (list int64)) "pass delays" [ 0L; 5L; 10L; 15L ]
+    (List.rev !times)
+
+let mutex_fifo_transfer () =
+  let e = Sim.Engine.create () in
+  let m = Sim.Mutex.create () in
+  let order = ref [] in
+  for i = 0 to 2 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "c%d" i)
+      (fun () ->
+        Sim.Engine.wait (Int64.of_int i);
+        Sim.Mutex.with_lock m (fun () ->
+            order := i :: !order;
+            Sim.Engine.wait 50L))
+  done;
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list int)) "fifo order" [ 0; 1; 2 ] (List.rev !order);
+  check "contended" 2 (Sim.Mutex.contended_acquires m)
+
+let semaphore_counts () =
+  let e = Sim.Engine.create () in
+  let s = Sim.Semaphore.create 2 in
+  let running = ref 0 in
+  let peak = ref 0 in
+  for i = 0 to 4 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "c%d" i)
+      (fun () ->
+        Sim.Semaphore.acquire s;
+        incr running;
+        if !running > !peak then peak := !running;
+        Sim.Engine.wait 10L;
+        decr running;
+        Sim.Semaphore.release s)
+  done;
+  Sim.Engine.run_until_idle e;
+  check "at most 2 permits out" 2 !peak
+
+let mailbox_fifo () =
+  let e = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create () in
+  let got = ref [] in
+  Sim.Engine.spawn e "consumer" (fun () ->
+      for _ = 1 to 3 do
+        got := Sim.Mailbox.get mb :: !got
+      done);
+  Sim.Engine.spawn e "producer" (fun () ->
+      List.iter
+        (fun v ->
+          Sim.Engine.wait 5L;
+          Sim.Mailbox.put mb v)
+        [ 1; 2; 3 ]);
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !got)
+
+let spinlock_counts_attempts () =
+  let e = Sim.Engine.create () in
+  let l = Sim.Spinlock.create ~retry_ps:10L () in
+  let attempts_cost = ref 0 in
+  let attempt () = incr attempts_cost in
+  for i = 0 to 1 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "c%d" i)
+      (fun () ->
+        Sim.Spinlock.lock l ~attempt;
+        Sim.Engine.wait 35L;
+        Sim.Spinlock.unlock l ~attempt)
+  done;
+  Sim.Engine.run_until_idle e;
+  check "acquisitions" 2 (Sim.Spinlock.acquisitions l);
+  Alcotest.(check bool) "retries generated memory traffic" true
+    (Sim.Spinlock.attempts l > 2)
+
+let rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Sim.Rng.create seed in
+      let v = Sim.Rng.int r bound in
+      v >= 0 && v < bound)
+
+let rng_deterministic () =
+  let a = Sim.Rng.create 99L and b = Sim.Rng.create 99L in
+  for _ = 1 to 100 do
+    check64 "same stream" (Sim.Rng.next a) (Sim.Rng.next b)
+  done
+
+let histogram_percentiles () =
+  let h = Sim.Stats.Histogram.create "t" in
+  for i = 1 to 1000 do
+    Sim.Stats.Histogram.observe h (Int64.of_int i)
+  done;
+  check "count" 1000 (Sim.Stats.Histogram.count h);
+  check64 "max" 1000L (Sim.Stats.Histogram.max_value h);
+  Alcotest.(check bool) "p50 bucket bound" true
+    (Sim.Stats.Histogram.percentile h 0.5 >= 500L)
+
+let counter_rate () =
+  let c = Sim.Stats.Counter.create "c" in
+  Sim.Stats.Counter.add c 1000;
+  Alcotest.(check (float 1.0)) "1000 events over 1us = 1e9/s" 1e9
+    (Sim.Stats.Counter.rate c ~over:1_000_000L)
+
+let spawn_here_and_self () =
+  let e = Sim.Engine.create () in
+  let child_ran = ref 0L in
+  let same_engine = ref false in
+  Sim.Engine.spawn e "parent" (fun () ->
+      Sim.Engine.wait 50L;
+      same_engine := Sim.Engine.self_engine () == e;
+      Sim.Engine.spawn_here "child" (fun () ->
+          Sim.Engine.wait 25L;
+          child_ran := Sim.Engine.now ()));
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check bool) "self_engine" true !same_engine;
+  Alcotest.(check int64) "child starts at parent's now" 75L !child_ran
+
+let trace_ring_and_filter () =
+  let tr = Sim.Trace.create ~capacity:4 () in
+  let e = Sim.Engine.create () in
+  Sim.Engine.spawn e "f" (fun () ->
+      for i = 1 to 6 do
+        Sim.Engine.wait 10L;
+        Sim.Trace.emit tr ~who:"f" ~what:(Printf.sprintf "step %d" i)
+      done);
+  (* Disabled: nothing recorded. *)
+  Sim.Engine.run e ~until:25L;
+  Alcotest.(check int) "disabled = empty" 0 (List.length (Sim.Trace.events tr));
+  Sim.Trace.enable tr;
+  Sim.Engine.run_until_idle e;
+  (* 4 most recent of steps 3..6 survive (steps 1,2 fired while disabled). *)
+  let evs = Sim.Trace.events tr in
+  Alcotest.(check int) "ring holds capacity" 4 (List.length evs);
+  Alcotest.(check string) "newest kept" "step 6"
+    (List.nth evs 3).Sim.Trace.what;
+  Alcotest.(check bool) "timestamps ordered" true
+    (List.for_all2
+       (fun a b -> a.Sim.Trace.at <= b.Sim.Trace.at)
+       (List.filteri (fun i _ -> i < 3) evs)
+       (List.tl evs));
+  Alcotest.(check int) "filter" 1
+    (List.length (Sim.Trace.find tr ~what_contains:"step 5"))
+
+let server_utilization_bound =
+  QCheck.Test.make ~name:"server utilization never exceeds 1" ~count:50
+    QCheck.(pair int64 (int_range 1 20))
+    (fun (seed, nfibers) ->
+      let rng = Sim.Rng.create seed in
+      let e = Sim.Engine.create () in
+      let s = Sim.Server.create () in
+      for i = 0 to nfibers - 1 do
+        let occ = Int64.of_int (1 + Sim.Rng.int rng 500) in
+        Sim.Engine.spawn e
+          (Printf.sprintf "c%d" i)
+          (fun () ->
+            for _ = 1 to 5 do
+              Sim.Server.access s ~occupancy:occ
+                ~latency:(Int64.add occ (Int64.of_int (Sim.Rng.int rng 100)))
+            done)
+      done;
+      Sim.Engine.run_until_idle e;
+      let total = Sim.Engine.time e in
+      total = 0L || Sim.Server.utilization s ~total <= 1.0 +. 1e-9)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ heap_qcheck; rng_bounds; server_utilization_bound ]
+
+let tests =
+  [
+    Alcotest.test_case "heap: time then seq order" `Quick
+      heap_orders_by_time_then_seq;
+    Alcotest.test_case "engine: wait advances clock" `Quick wait_advances_clock;
+    Alcotest.test_case "engine: run ~until bounds time" `Quick
+      run_until_bounds_time;
+    Alcotest.test_case "engine: deterministic interleaving" `Quick
+      interleaving_is_deterministic;
+    Alcotest.test_case "engine: suspend/wake" `Quick suspend_and_wake;
+    Alcotest.test_case "engine: deadlock detection" `Quick deadlock_detected;
+    Alcotest.test_case "server: FIFO serialization" `Quick server_serializes;
+    Alcotest.test_case "server: pipelined latency" `Quick
+      server_latency_exceeds_occupancy;
+    Alcotest.test_case "token ring: strict rotation" `Quick
+      token_ring_strict_rotation;
+    Alcotest.test_case "token ring: mutual exclusion" `Quick
+      token_ring_mutual_exclusion;
+    Alcotest.test_case "token ring: pass delay" `Quick token_ring_pass_delay;
+    Alcotest.test_case "mutex: FIFO transfer" `Quick mutex_fifo_transfer;
+    Alcotest.test_case "semaphore: permit counting" `Quick semaphore_counts;
+    Alcotest.test_case "mailbox: FIFO delivery" `Quick mailbox_fifo;
+    Alcotest.test_case "spinlock: attempts traffic" `Quick
+      spinlock_counts_attempts;
+    Alcotest.test_case "rng: determinism" `Quick rng_deterministic;
+    Alcotest.test_case "histogram: percentiles" `Quick histogram_percentiles;
+    Alcotest.test_case "counter: rate" `Quick counter_rate;
+    Alcotest.test_case "trace: ring + filter" `Quick trace_ring_and_filter;
+    Alcotest.test_case "engine: spawn_here/self" `Quick spawn_here_and_self;
+  ]
+  @ qsuite

@@ -1,0 +1,104 @@
+(* Tests for traffic sources and packet mixes. *)
+
+let line_rate_math () =
+  Alcotest.(check (float 100.)) "148.8 Kpps at 100 Mbps/64B" 148_809.5
+    (Workload.Source.line_rate_pps ~mbps:100. ~frame_len:64);
+  Alcotest.(check (float 100.)) "~81.3 Kpps at 1518B/1Gbps" 81274.7
+    (Workload.Source.line_rate_pps ~mbps:1000. ~frame_len:1518)
+
+let constant_source_rate () =
+  let e = Sim.Engine.create () in
+  let n = ref 0 in
+  ignore
+    (Workload.Source.spawn_constant e ~name:"s" ~pps:1_000_000.
+       ~gen:(fun _ ->
+         Packet.Build.udp
+           ~src:(Packet.Ipv4.addr_of_string "1.1.1.1")
+           ~dst:(Packet.Ipv4.addr_of_string "2.2.2.2")
+           ~src_port:1 ~dst_port:2 ())
+       ~offer:(fun _ ->
+         incr n;
+         true)
+       ());
+  Sim.Engine.run e ~until:(Sim.Engine.of_seconds 1e-3);
+  Alcotest.(check int) "1000 frames in 1 ms at 1 Mpps" 1000 !n
+
+let poisson_source_mean_rate () =
+  let e = Sim.Engine.create () in
+  let n = ref 0 in
+  ignore
+    (Workload.Source.spawn_poisson e ~name:"p" ~rng:(Sim.Rng.create 5L)
+       ~pps:500_000.
+       ~gen:(fun _ ->
+         Packet.Build.udp
+           ~src:(Packet.Ipv4.addr_of_string "1.1.1.1")
+           ~dst:(Packet.Ipv4.addr_of_string "2.2.2.2")
+           ~src_port:1 ~dst_port:2 ())
+       ~offer:(fun _ ->
+         incr n;
+         true)
+       ());
+  Sim.Engine.run e ~until:(Sim.Engine.of_seconds 10e-3);
+  (* 5000 expected; allow 10%. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "got %d" !n)
+    true
+    (!n > 4500 && !n < 5500)
+
+let uniform_mix_routes_everywhere () =
+  let rng = Sim.Rng.create 11L in
+  let gen = Workload.Mix.udp_uniform ~rng ~n_subnets:8 () in
+  let seen = Array.make 8 0 in
+  for i = 0 to 799 do
+    let f = gen i in
+    let dst = Int32.to_int (Packet.Ipv4.get_dst f) land 0xFFFFFFFF in
+    let subnet = (dst lsr 16) land 0xFF in
+    Alcotest.(check bool) "in range" true (subnet < 8);
+    seen.(subnet) <- seen.(subnet) + 1;
+    Alcotest.(check bool) "valid frame" true (Packet.Ipv4.valid f)
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "subnet %d used" i) true (c > 50))
+    seen
+
+let syn_flood_is_syns () =
+  let rng = Sim.Rng.create 3L in
+  for i = 0 to 50 do
+    let f =
+      Workload.Mix.syn_flood ~rng
+        ~dst:(Packet.Ipv4.addr_of_string "10.0.0.1")
+        ~dst_port:80 i
+    in
+    Alcotest.(check bool) "syn set" true (Packet.Tcp.has_flag f Packet.Tcp.flag_syn);
+    Alcotest.(check bool) "valid" true (Packet.Ipv4.valid f)
+  done
+
+let options_share_mixes () =
+  let rng = Sim.Rng.create 23L in
+  let base _ =
+    Packet.Build.udp
+      ~src:(Packet.Ipv4.addr_of_string "1.1.1.1")
+      ~dst:(Packet.Ipv4.addr_of_string "2.2.2.2")
+      ~src_port:1 ~dst_port:2 ()
+  in
+  let gen = Workload.Mix.with_options_share ~rng ~share:0.3 base in
+  let n_opts = ref 0 in
+  for i = 0 to 999 do
+    if Packet.Ipv4.has_options (gen i) then incr n_opts
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "share ~0.3 (got %d/1000)" !n_opts)
+    true
+    (!n_opts > 230 && !n_opts < 370)
+
+let tests =
+  [
+    Alcotest.test_case "line rate math" `Quick line_rate_math;
+    Alcotest.test_case "constant source rate" `Quick constant_source_rate;
+    Alcotest.test_case "poisson source mean" `Quick poisson_source_mean_rate;
+    Alcotest.test_case "uniform mix coverage" `Quick
+      uniform_mix_routes_everywhere;
+    Alcotest.test_case "syn flood shape" `Quick syn_flood_is_syns;
+    Alcotest.test_case "options share" `Quick options_share_mixes;
+  ]
