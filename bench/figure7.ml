@@ -5,7 +5,10 @@
 
 open Router.Fixed_infra
 
-let sweep stage =
+(* [telemetry_at] instruments the sweep point with that many contexts and
+   attaches its snapshot to the experiment (per-MicroEngine gauges for
+   BENCH.json; the other points run bare). *)
+let sweep ?telemetry_at stage =
   let series =
     Sim.Stats.Series.create
       ~name:
@@ -22,7 +25,17 @@ let sweep stage =
         | Input_only -> { default with stage; n_input_contexts = n }
         | Output_only | Both -> { default with stage; n_output_contexts = n }
       in
-      let r = run cfg in
+      let telemetry =
+        match telemetry_at with
+        | Some m when m = n -> Some (Telemetry.Registry.create ())
+        | _ -> None
+      in
+      let r = run ?telemetry cfg in
+      Option.iter
+        (fun reg ->
+          Report.attach "telemetry"
+            (Telemetry.Registry.snapshot reg))
+        telemetry;
       let y = match stage with Input_only -> r.in_mpps | _ -> r.out_mpps in
       Sim.Stats.Series.add series ~x:(float_of_int n) ~y)
     [ 1; 2; 4; 8; 12; 16; 20; 24 ];
@@ -30,7 +43,7 @@ let sweep stage =
 
 let run () =
   Report.section "Figure 7: rate vs contexts (independent stages)";
-  let input = sweep Input_only in
+  let input = sweep ~telemetry_at:16 Input_only in
   Report.series input;
   Report.info
     "paper: input benefits very little beyond 16 contexts (serialized DMA)";

@@ -1,7 +1,10 @@
 (* The benchmark harness: one entry per table/figure of the paper's
-   evaluation (see DESIGN.md's experiment index).  With no arguments every
-   reproduction runs in paper order; pass names to select, or "micro" for
-   the Bechamel host-side microbenchmarks. *)
+   evaluation (see DESIGN.md's experiment index).  With no experiment
+   names every reproduction runs in paper order; pass names to select, or
+   "micro" for the Bechamel host-side microbenchmarks.  With [--json FILE]
+   the run additionally writes one BENCH.json — paper/measured/ratio rows,
+   figure series, and telemetry snapshots — which CI archives as the perf
+   trajectory artifact. *)
 
 let experiments =
   [
@@ -28,30 +31,66 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: bench/main.exe [experiment...]";
+  print_endline "usage: bench/main.exe [--json FILE] [experiment...]";
+  print_endline "options:";
+  print_endline
+    "  --json FILE  also write a machine-readable BENCH.json of every row,";
+  print_endline "               series, and telemetry snapshot";
   print_endline "experiments:";
   List.iter (fun (n, d, _) -> Printf.printf "  %-10s %s\n" n d) experiments;
   print_endline "  micro      Bechamel microbenchmarks of host primitives"
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] ->
-      Format.printf
-        "Reproducing Spalink et al., 'Building a Robust Software-Based \
-         Router Using Network Processors' (SOSP 2001)@.";
-      List.iter (fun (_, _, f) -> f ()) experiments
-  | _ :: args ->
-      List.iter
-        (fun a ->
-          match a with
-          | "micro" -> Micro.run ()
-          | "-h" | "--help" -> usage ()
-          | a -> (
-              match List.find_opt (fun (n, _, _) -> n = a) experiments with
-              | Some (_, _, f) -> f ()
-              | None ->
-                  Printf.eprintf "unknown experiment %S\n" a;
-                  usage ();
-                  exit 1))
-        args
-  | [] -> usage ()
+  let rec parse args json names =
+    match args with
+    | [] -> (json, List.rev names)
+    | "--json" :: file :: rest -> parse rest (Some file) names
+    | [ "--json" ] ->
+        prerr_endline "--json requires a file argument";
+        usage ();
+        exit 2
+    | ("-h" | "--help") :: _ ->
+        usage ();
+        exit 0
+    | a :: rest -> parse rest json (a :: names)
+  in
+  let json, names = parse (List.tl (Array.to_list Sys.argv)) None [] in
+  let find name = List.find_opt (fun (n, _, _) -> n = name) experiments in
+  (* Resolve every name before running anything: an unknown experiment is
+     a hard error (exit 2), so a typo in a CI smoke job fails the job
+     instead of silently printing usage and succeeding. *)
+  let unknown =
+    List.filter (fun a -> a <> "micro" && find a = None) names
+  in
+  if unknown <> [] then begin
+    List.iter (fun a -> Printf.eprintf "unknown experiment %S\n" a) unknown;
+    usage ();
+    exit 2
+  end;
+  let selected =
+    match names with
+    | [] ->
+        Format.printf
+          "Reproducing Spalink et al., 'Building a Robust Software-Based \
+           Router Using Network Processors' (SOSP 2001)@.";
+        experiments
+    | names ->
+        List.map
+          (fun a ->
+            match find a with
+            | Some e -> e
+            | None ->
+                ("micro", "Bechamel microbenchmarks of host primitives",
+                 Micro.run))
+          names
+  in
+  List.iter
+    (fun (name, title, run) ->
+      Report.begin_experiment ~name ~title;
+      run ())
+    selected;
+  match json with
+  | None -> ()
+  | Some file ->
+      Report.write_json file;
+      Format.printf "@.wrote %s@." file

@@ -2,14 +2,113 @@
    labelled, so erasure never applies anyway. *)
 [@@@ocaml.warning "-16"]
 
-let section name =
-  Format.printf "@.==== %s ====@." name
+type recorded_row = {
+  r_name : string;
+  r_paper : float;
+  r_measured : float;
+  r_unit : string;
+}
+
+type experiment = {
+  e_name : string;
+  e_title : string;
+  mutable e_rows : recorded_row list; (* all lists reversed *)
+  mutable e_notes : string list;
+  mutable e_series : Sim.Stats.Series.t list;
+  mutable e_attachments : (string * Telemetry.Json.t) list;
+}
+
+let experiments : experiment list ref = ref []
+let current : experiment option ref = ref None
+
+let begin_experiment ~name ~title =
+  let e =
+    {
+      e_name = name;
+      e_title = title;
+      e_rows = [];
+      e_notes = [];
+      e_series = [];
+      e_attachments = [];
+    }
+  in
+  experiments := e :: !experiments;
+  current := Some e
+
+let with_current f = match !current with None -> () | Some e -> f e
+
+let section name = Format.printf "@.==== %s ====@." name
 
 let row ?(unit_ = "") ~name ~paper ~measured =
   let ratio = if paper = 0. then nan else measured /. paper in
   Format.printf "  %-42s paper %10.3f %-5s measured %10.3f %-5s (x%.2f)@."
-    name paper unit_ measured unit_ ratio
+    name paper unit_ measured unit_ ratio;
+  with_current (fun e ->
+      e.e_rows <-
+        { r_name = name; r_paper = paper; r_measured = measured; r_unit = unit_ }
+        :: e.e_rows)
 
-let info fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+let info fmt =
+  Format.kasprintf
+    (fun s ->
+      Format.printf "  %s@." s;
+      with_current (fun e -> e.e_notes <- s :: e.e_notes))
+    fmt
 
-let series s = Format.printf "%a@." Sim.Stats.Series.pp s
+let series s =
+  Format.printf "%a@." Sim.Stats.Series.pp s;
+  with_current (fun e -> e.e_series <- s :: e.e_series)
+
+let attach key json =
+  with_current (fun e -> e.e_attachments <- (key, json) :: e.e_attachments)
+
+let to_json () =
+  let open Telemetry.Json in
+  let row_json r =
+    Obj
+      [
+        ("name", String r.r_name);
+        ("paper", Float r.r_paper);
+        ("measured", Float r.r_measured);
+        ( "ratio",
+          if r.r_paper = 0. then Null else Float (r.r_measured /. r.r_paper) );
+        ("unit", String r.r_unit);
+      ]
+  in
+  let series_json s =
+    Obj
+      [
+        ("name", String (Sim.Stats.Series.name s));
+        ("x_label", String (Sim.Stats.Series.x_label s));
+        ("y_label", String (Sim.Stats.Series.y_label s));
+        ( "points",
+          List
+            (List.map
+               (fun (x, y) -> List [ Float x; Float y ])
+               (Sim.Stats.Series.points s)) );
+      ]
+  in
+  let experiment_json e =
+    Obj
+      ([
+         ("name", String e.e_name);
+         ("title", String e.e_title);
+         ("rows", List (List.map row_json (List.rev e.e_rows)));
+         ("notes", List (List.map (fun s -> String s) (List.rev e.e_notes)));
+         ("series", List (List.map series_json (List.rev e.e_series)));
+       ]
+      @ List.rev e.e_attachments)
+  in
+  Obj
+    [
+      ("schema", String "npr-bench/1");
+      ("experiments", List (List.map experiment_json (List.rev !experiments)));
+    ]
+
+let write_json file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Telemetry.Json.to_string (to_json ()));
+      output_char oc '\n')

@@ -1,4 +1,16 @@
-(** Uniform paper-vs-measured reporting for the benchmark harness. *)
+(** Uniform paper-vs-measured reporting for the benchmark harness.
+
+    Every call both prints the human-readable line it always did and
+    records the datum into the current experiment, so a run can end with
+    {!write_json}: one BENCH.json carrying each experiment's
+    paper/measured/ratio rows, notes, figure series, and any attached
+    telemetry snapshots — the machine-readable perf trajectory CI
+    archives on every push. *)
+
+val begin_experiment : name:string -> title:string -> unit
+(** Open a new experiment record; subsequent rows/notes/series/attachments
+    accumulate under it.  The harness calls this before each experiment's
+    [run]. *)
 
 val section : string -> unit
 (** Print a banner. *)
@@ -11,3 +23,13 @@ val info : ('a, Format.formatter, unit) format -> 'a
 
 val series : Sim.Stats.Series.t -> unit
 (** Print a figure's series as an aligned table with a spark column. *)
+
+val attach : string -> Telemetry.Json.t -> unit
+(** Attach a JSON document (e.g. a telemetry snapshot) to the current
+    experiment under the given key.  Not printed. *)
+
+val to_json : unit -> Telemetry.Json.t
+(** Everything recorded since startup, oldest experiment first. *)
+
+val write_json : string -> unit
+(** Serialize {!to_json} to a file (with a trailing newline). *)

@@ -23,11 +23,19 @@ let run () =
   output "(O.2) single queue without batching" O2_single 3.41;
   output "(O.3) multiple queues with indirection" O3_multi 3.29;
   Report.info "cited full-system combinations:";
-  let both name input_disc output_disc paper =
-    let r = run { cfg with input_disc; output_disc } in
-    Report.row ~unit_:"Mpps" ~name ~paper ~measured:r.out_mpps
+  (* The full-system runs carry a telemetry snapshot into BENCH.json:
+     per-MicroEngine instruction/busy gauges, per-queue depths, stage
+     counters, cycles-per-packet — the trajectory CI diffs across pushes. *)
+  let both ?telemetry name input_disc output_disc paper =
+    let r = run ?telemetry { cfg with input_disc; output_disc } in
+    Report.row ~unit_:"Mpps" ~name ~paper ~measured:r.out_mpps;
+    Option.iter
+      (fun reg -> Report.attach "telemetry" (Telemetry.Registry.snapshot reg))
+      telemetry
   in
-  both "I.2 + O.1 (fastest feasible system)" I2_protected O1_batch 3.47;
+  both
+    ~telemetry:(Telemetry.Registry.create ())
+    "I.2 + O.1 (fastest feasible system)" I2_protected O1_batch 3.47;
   both "I.2 + O.3 (16 queues per port, QoS)" I2_protected O3_multi 3.29;
   Report.info "ablations (no paper numbers; section 3.2.1 / 3.4.2 rationale):";
   let r_spin =

@@ -63,6 +63,7 @@ let run_case ~use_wfq =
           queue_of = (fun ~ctx_id:_ qid -> queues.(qid));
           notify = None;
           idle_backoff_cycles = 64;
+          scope = None;
         }
       in
       (* Each class offers the full output line rate: 2x overload
@@ -95,6 +96,7 @@ let run_case ~use_wfq =
             let cls = desc.Router.Desc.out_port in
             delivered.(cls) <- delivered.(cls) + 1);
       idle_backoff_cycles = 64;
+      scope = None;
     }
   in
   Router.Output_loop.spawn_context ol chip ~ring:oring ~slot:0 ~ctx_id:8

@@ -8,6 +8,34 @@
 
 open Cmdliner
 
+(* Shared --metrics flag: dump a telemetry snapshot as JSON to a file, or
+   to stdout when FILE is "-". *)
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Dump a JSON telemetry snapshot (per-MicroEngine, per-queue, \
+           per-stage instruments) after the run; \"-\" writes to stdout.")
+
+let dump_metrics dest json =
+  match dest with
+  | None -> ()
+  | Some "-" -> Format.printf "%a@." Telemetry.Json.pp json
+  | Some file -> (
+      match open_out file with
+      | oc ->
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Telemetry.Json.to_string json);
+              output_char oc '\n');
+          Format.printf "wrote metrics to %s@." file
+      | exception Sys_error msg ->
+          Format.eprintf "cannot write metrics: %s@." msg;
+          exit 1)
+
 let subnet_routes r n_ports =
   for p = 0 to n_ports - 1 do
     Router.add_route r
@@ -42,7 +70,7 @@ let run_cmd =
     Arg.(value & flag & info [ "syn-monitor" ]
            ~doc:"Install the SYN-monitor data forwarder at boot.")
   in
-  let run duration seed mbps frame_len exceptional syn_monitor =
+  let run duration seed mbps frame_len exceptional syn_monitor metrics =
     let config = { Router.default_config with Router.port_mbps = mbps } in
     let r = Router.create ~config () in
     subnet_routes r config.Router.n_ports;
@@ -84,13 +112,14 @@ let run_cmd =
         Format.printf "syn-monitor: %d SYNs@."
           (Forwarders.Syn_monitor.syn_count
              (Option.get (Router.Iface.getdata r.Router.iface fid))))
-      fid
+      fid;
+    dump_metrics metrics (Router.telemetry_snapshot r)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Drive the full three-level router at line rate.")
     Term.(
       const run $ duration $ seed $ mbps $ frame_len $ exceptional
-      $ syn_monitor)
+      $ syn_monitor $ metrics_arg)
 
 (* --- peak ------------------------------------------------------------ *)
 
@@ -135,15 +164,16 @@ let peak_cmd =
   let out_ctx =
     Arg.(value & opt int 8 & info [ "output-contexts" ] ~docv:"N" ~doc:"")
   in
-  let run input_disc output_disc contention blocks in_ctx out_ctx =
+  let run input_disc output_disc contention blocks in_ctx out_ctx metrics =
     let open Router.Fixed_infra in
     let code =
       List.concat
         (List.init blocks (fun _ ->
              [ Router.Vrp.Instr 10; Router.Vrp.Sram_read 4 ]))
     in
+    let telemetry = Telemetry.Registry.create () in
     let r =
-      run
+      run ~telemetry
         {
           default with
           input_disc;
@@ -154,14 +184,15 @@ let peak_cmd =
           n_output_contexts = out_ctx;
         }
     in
-    Format.printf "%a@." pp_result r
+    Format.printf "%a@." pp_result r;
+    dump_metrics metrics (Telemetry.Registry.snapshot telemetry)
   in
   Cmd.v
     (Cmd.info "peak"
        ~doc:"FIFO-to-FIFO peak forwarding rate (section 3 experiments).")
     Term.(
       const run $ input_disc $ output_disc $ contention $ blocks $ in_ctx
-      $ out_ctx)
+      $ out_ctx $ metrics_arg)
 
 (* --- budget ---------------------------------------------------------- *)
 

@@ -69,7 +69,7 @@ let ctx_ids ~me_base ~contexts_per_me ~n =
 
 let mes_used ~contexts_per_me ~n = (n + contexts_per_me - 1) / contexts_per_me
 
-let run cfg =
+let run ?telemetry cfg =
   let engine = Sim.Engine.create () in
   let hw =
     (* Make sure the chip has enough MicroEngines for the requested split
@@ -109,6 +109,68 @@ let run cfg =
   let istats = Input_loop.make_stats () in
   let ostats = Output_loop.make_stats () in
   let latency = Sim.Stats.Histogram.create "latency" in
+
+  (* Telemetry wiring: registration happens once, before fibers start;
+     the hot loops keep mutating the same stats records as ever, and
+     gauges read them only at snapshot time. *)
+  let in_me_range, out_me_range =
+    let n_in = mes_used ~contexts_per_me:4 ~n:cfg.n_input_contexts in
+    let n_out = mes_used ~contexts_per_me:4 ~n:cfg.n_output_contexts in
+    match cfg.stage with
+    | Both -> ((0, n_in), (n_in, n_in + n_out))
+    | Input_only -> ((0, n_in), (0, 0))
+    | Output_only -> ((0, 0), (0, n_out))
+  in
+  let input_scope, output_scope =
+    match telemetry with
+    | None -> (None, None)
+    | Some reg ->
+        Telemetry.Registry.set_clock reg (fun () -> Sim.Engine.time engine);
+        Array.iteri
+          (fun i me ->
+            let s =
+              Telemetry.Registry.scope reg "me"
+                ~labels:[ ("id", string_of_int i) ]
+            in
+            Ixp.Microengine.register_telemetry s me)
+          chip.Ixp.Chip.mes;
+        Array.iter
+          (fun q ->
+            let s =
+              Telemetry.Registry.scope reg "queue"
+                ~labels:[ ("name", Squeue.name q) ]
+            in
+            Squeue.register_telemetry s q)
+          queues;
+        let instructions_in (lo, hi) =
+          let total = ref 0 in
+          for i = lo to hi - 1 do
+            total := !total + Ixp.Microengine.instructions chip.Ixp.Chip.mes.(i)
+          done;
+          !total
+        in
+        let per_packet range counter () =
+          float_of_int (instructions_in range)
+          /. float_of_int (max 1 (Sim.Stats.Counter.value counter))
+        in
+        let si = Telemetry.Registry.scope reg "input" in
+        Input_loop.register_stats si istats;
+        Telemetry.Scope.gauge si "cycles_per_packet"
+          (per_packet in_me_range istats.Input_loop.pkts_in);
+        let so = Telemetry.Registry.scope reg "output" in
+        Output_loop.register_stats so ostats;
+        Telemetry.Scope.register_histogram so ~name:"latency_ps" latency;
+        Telemetry.Scope.gauge so "cycles_per_packet"
+          (per_packet out_me_range ostats.Output_loop.pkts_out);
+        (if cfg.vrp_blocks <> [] then
+           let vs = Telemetry.Registry.scope reg "vrp" in
+           ignore
+             (Vrp.check_recorded ~scope:vs Vrp.prototype_budget
+                (Vrp.static_cost cfg.vrp_blocks)
+                ~state_bytes:0
+                ~slots:(Vrp.istore_slots cfg.vrp_blocks)));
+        (Some si, Some so)
+  in
 
   (* Input stage. *)
   let input_ring =
@@ -150,6 +212,15 @@ let run cfg =
      drains it at its own pace (section 4.7's second experiment). *)
   let sa_q = Squeue.create ~name:"sa.exceptional" ~capacity:8192 () in
   let sa_done = Sim.Stats.Counter.create "sa.serviced" in
+  (match telemetry with
+  | Some reg when cfg.exceptional_share > 0. ->
+      let s = Telemetry.Registry.scope reg "strongarm" in
+      Telemetry.Scope.register_counter s ~name:"serviced" sa_done;
+      Squeue.register_telemetry
+        (Telemetry.Scope.sub s "queue"
+           ~labels:[ ("name", Squeue.name sa_q) ])
+        sa_q
+  | _ -> ());
   if cfg.exceptional_share > 0. then begin
     let sa_ctx = Chip_ctx.make_cpu chip chip.Ixp.Chip.me_clock in
     Sim.Engine.spawn engine "strongarm-drain" (fun () ->
@@ -226,6 +297,7 @@ let run cfg =
                 if qid = cfg.n_queues then sa_q else queues.(qid));
             notify = None;
             idle_backoff_cycles = 64;
+            scope = input_scope;
           }
         in
         Input_loop.spawn_context t chip ~ring:input_ring ~slot:seq ~ctx_id
@@ -277,6 +349,7 @@ let run cfg =
                   Sim.Stats.Histogram.observe latency
                     (Int64.sub (Sim.Engine.now ()) desc.Desc.arrival));
             idle_backoff_cycles = 64;
+            scope = output_scope;
           }
         in
         Output_loop.spawn_context t chip ~ring:output_ring ~slot:j ~ctx_id

@@ -71,8 +71,17 @@ type result = {
           as it is forwarded" plus queueing *)
 }
 
-val run : config -> result
+val run : ?telemetry:Telemetry.Registry.t -> config -> result
 (** Build a fresh engine+chip, run the configured stages, measure over the
-    post-warmup window. *)
+    post-warmup window.
+
+    When [telemetry] is given, the run's instruments are registered into
+    it before fibers start — per-MicroEngine scopes (["me"] labeled by
+    id, with a derived cycles-per-packet gauge per stage), per-queue
+    scopes, the stage counters, the latency histogram, and a ["vrp"]
+    scope counting budget checks/overruns for the configured
+    [vrp_blocks] — and its clock is bound to the run's engine, so
+    [Telemetry.Registry.snapshot] after [run] returns reports the whole
+    experiment. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -22,6 +22,14 @@ let make_stats () =
     drop_by_process = c "input.process_drops";
   }
 
+let register_stats scope stats =
+  let r = Telemetry.Scope.register_counter scope in
+  r ~name:"mps_in" stats.mps_in;
+  r ~name:"pkts_in" stats.pkts_in;
+  r ~name:"enqueued" stats.enq_ok;
+  r ~name:"queue_drops" stats.enq_drop;
+  r ~name:"process_drops" stats.drop_by_process
+
 type t = {
   cm : Cost_model.t;
   enq : Chip_ctx.t -> Squeue.t -> Desc.t -> bool;
@@ -30,7 +38,15 @@ type t = {
   queue_of : ctx_id:int -> int -> Squeue.t;
   notify : (int -> unit) option;
   idle_backoff_cycles : int;
+  scope : Telemetry.Scope.t option;
 }
+
+(* Drops are the robustness signal the telemetry layer exists for; they
+   are rare on the fast path, so an event per drop is affordable. *)
+let drop_event t what =
+  match t.scope with
+  | None -> ()
+  | Some scope -> Telemetry.Scope.event scope what
 
 (* I.2/I.3: hardware-mutex protected public queue — the head-pointer
    read-modify-write happens inside the critical section, so queue
@@ -119,7 +135,9 @@ let spawn_context t chip ~ring ~slot ~ctx_id ~source ~stats =
                 (* The MP itself lands in DRAM. *)
                 Chip_ctx.dram_write ctx ~bytes:Packet.Mp.size;
                 (match target with
-                | Drop_it -> Sim.Stats.Counter.incr stats.drop_by_process
+                | Drop_it ->
+                    Sim.Stats.Counter.incr stats.drop_by_process;
+                    drop_event t "drop: protocol processing"
                 | To_queue { qid; out_port; fid } -> (
                     (* A stack pool can run dry (the circular pool never
                        does — it overwrites); an empty pool drops the
@@ -127,7 +145,8 @@ let spawn_context t chip ~ring ~slot ~ctx_id ~source ~stats =
                        away for timing predictability (section 3.2.3). *)
                     match Buffer_pool.alloc chip.Chip.buffers frame with
                     | exception Failure _ ->
-                        Sim.Stats.Counter.incr stats.enq_drop
+                        Sim.Stats.Counter.incr stats.enq_drop;
+                        drop_event t "drop: buffer pool dry"
                     | buf ->
                         let desc =
                           Desc.make ~buf ~len:(Packet.Frame.len frame)
@@ -143,7 +162,9 @@ let spawn_context t chip ~ring ~slot ~ctx_id ~source ~stats =
                         end
                         else begin
                           Buffer_pool.free chip.Chip.buffers buf;
-                          Sim.Stats.Counter.incr stats.enq_drop
+                          Sim.Stats.Counter.incr stats.enq_drop;
+                          drop_event t
+                            ("drop: queue full " ^ Squeue.name q)
                         end))
             | Packet.Mp.Intermediate | Packet.Mp.Last ->
                 t.process_rest_mp ctx frame;

@@ -32,6 +32,10 @@ type stats = {
 
 val make_stats : unit -> stats
 
+val register_stats : Telemetry.Scope.t -> stats -> unit
+(** Register every stage counter under a telemetry scope (typically
+    ["input"]). *)
+
 type t = {
   cm : Cost_model.t;
   enq : Chip_ctx.t -> Squeue.t -> Desc.t -> bool;
@@ -52,6 +56,9 @@ type t = {
   idle_backoff_cycles : int;
       (** polling gap when the port has nothing (simulation efficiency;
           real contexts would spin on [port_rdy]) *)
+  scope : Telemetry.Scope.t option;
+      (** telemetry scope receiving one event per dropped packet (queue
+          full, pool dry, protocol drop); [None] records nothing *)
 }
 
 val spawn_context :

@@ -14,6 +14,12 @@ let make_stats () =
     stale_bufs = c "output.stale_buffers";
   }
 
+let register_stats scope stats =
+  let r = Telemetry.Scope.register_counter scope in
+  r ~name:"mps_out" stats.mps_out;
+  r ~name:"pkts_out" stats.pkts_out;
+  r ~name:"stale_buffers" stats.stale_bufs
+
 type t = {
   cm : Cost_model.t;
   discipline : discipline;
@@ -21,6 +27,7 @@ type t = {
   port_for : Desc.t -> Ixp.Mac_port.t option;
   on_tx : (Desc.t -> Packet.Frame.t -> unit) option;
   idle_backoff_cycles : int;
+  scope : Telemetry.Scope.t option;
 }
 
 type in_flight = {
@@ -41,6 +48,10 @@ let take_packet t ctx chip stats desc =
   | None ->
       (* The circular allocator lapped this packet. *)
       Sim.Stats.Counter.incr stats.stale_bufs;
+      (match t.scope with
+      | None -> ()
+      | Some scope ->
+          Telemetry.Scope.event scope "stale buffer: circular pool lapped");
       None
   | Some frame -> Some { desc; frame; mps = Packet.Mp.split frame }
 

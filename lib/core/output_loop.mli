@@ -25,6 +25,10 @@ type stats = {
 
 val make_stats : unit -> stats
 
+val register_stats : Telemetry.Scope.t -> stats -> unit
+(** Register every stage counter under a telemetry scope (typically
+    ["output"]). *)
+
 type t = {
   cm : Cost_model.t;
   discipline : discipline;
@@ -36,6 +40,9 @@ type t = {
   on_tx : (Desc.t -> Packet.Frame.t -> unit) option;
       (** observer invoked as each packet completes transmission *)
   idle_backoff_cycles : int;
+  scope : Telemetry.Scope.t option;
+      (** telemetry scope receiving one event per stale buffer; [None]
+          records nothing *)
 }
 
 val spawn_context :

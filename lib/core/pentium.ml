@@ -158,6 +158,13 @@ let spawn_control t chip ~name ~period_us ~cycles f =
 
 let stats t = t.stats
 
+let register_telemetry scope t =
+  Telemetry.Scope.register_counter scope ~name:"processed" t.stats.processed;
+  Telemetry.Scope.register_counter scope ~name:"dropped" t.stats.dropped;
+  Telemetry.Scope.gauge_int scope "busy_ps" (fun () ->
+      Int64.to_int t.busy_ps);
+  Psched.register_telemetry (Telemetry.Scope.sub scope "sched") t.sched
+
 let busy_cycles t = Sim.Engine.Clock.cycles_of_ps t.clock t.busy_ps
 
 let spare_cycles_per_packet t =

@@ -45,6 +45,11 @@ val spawn_control :
 
 val stats : t -> stats
 
+val register_telemetry : Telemetry.Scope.t -> t -> unit
+(** Register the packet counters, busy-time gauge, and the
+    proportional-share scheduler's per-client table (under a ["sched"]
+    sub-scope) into a telemetry scope. *)
+
 val busy_cycles : t -> float
 (** Pentium cycles consumed by packet work (PIO stalls included) — the
     complement of Table 4's spare-cycle delay-loop measurement. *)

@@ -60,3 +60,23 @@ let client_name c = c.name
 let client_share c = c.share
 let served c = c.served
 let work_done c = c.work
+
+let register_telemetry scope t =
+  Telemetry.Scope.gauge_int scope "backlog" (fun () -> t.backlog);
+  (* Clients come and go (flows install and uninstall), so the table is
+     walked at snapshot time rather than registered per client. *)
+  Telemetry.Scope.dynamic scope "clients" (fun () ->
+      let open Telemetry.Json in
+      let client c =
+        Obj
+          [
+            ("name", String c.name);
+            ("share", Float c.share);
+            ("served", Int c.served);
+            ("work", Float c.work);
+            ("queued", Int (Queue.length c.queue));
+          ]
+      in
+      List
+        (List.map client
+           (List.sort (fun a b -> compare a.name b.name) t.clients)))

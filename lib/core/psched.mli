@@ -45,3 +45,7 @@ val served : 'a client -> int
 
 val work_done : 'a client -> float
 (** Total work charged to this client. *)
+
+val register_telemetry : Telemetry.Scope.t -> 'a t -> unit
+(** Register the backlog gauge and a snapshot-time per-client table
+    (name, share, served, work, queued) under a telemetry scope. *)

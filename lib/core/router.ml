@@ -73,6 +73,9 @@ type t = {
   ostats : Output_loop.stats;
   delivered : Sim.Stats.Counter.t array;
   latency : Sim.Stats.Histogram.t;
+  telemetry : Telemetry.Registry.t;
+  input_scope : Telemetry.Scope.t;
+  output_scope : Telemetry.Scope.t;
 }
 
 let mes_used ~n = (n + 3) / 4
@@ -147,6 +150,44 @@ let create ?(config = default_config) ?engine () =
       Pentium.add_flow_client pe ~fid
         ~name:entry.Classifier.fwdr.Forwarder.name ~share:1.0)
     ~remove:(fun ~fid -> Pentium.remove_flow_client pe ~fid);
+  let istats = Input_loop.make_stats () in
+  let ostats = Output_loop.make_stats () in
+  (* Telemetry: every level registers its instruments once, here; the
+     registry snapshots on demand (--metrics, robustness benches). *)
+  let telemetry = Telemetry.Registry.create () in
+  Telemetry.Registry.set_clock telemetry (fun () -> Sim.Engine.time engine);
+  Array.iteri
+    (fun i me ->
+      Ixp.Microengine.register_telemetry
+        (Telemetry.Registry.scope telemetry "me"
+           ~labels:[ ("id", string_of_int i) ])
+        me)
+    chip.Ixp.Chip.mes;
+  Array.iter
+    (fun q ->
+      Squeue.register_telemetry
+        (Telemetry.Registry.scope telemetry "queue"
+           ~labels:[ ("name", Squeue.name q) ])
+        q)
+    out_queues;
+  Array.iteri
+    (fun i c ->
+      Telemetry.Scope.register_counter
+        (Telemetry.Registry.scope telemetry "port"
+           ~labels:[ ("id", string_of_int i) ])
+        ~name:"delivered" c)
+    delivered;
+  let input_scope = Telemetry.Registry.scope telemetry "input" in
+  Input_loop.register_stats input_scope istats;
+  let output_scope = Telemetry.Registry.scope telemetry "output" in
+  Output_loop.register_stats output_scope ostats;
+  Telemetry.Scope.register_histogram output_scope ~name:"latency_ps" latency;
+  Strongarm.register_telemetry
+    (Telemetry.Registry.scope telemetry "strongarm")
+    sa;
+  Pentium.register_telemetry
+    (Telemetry.Registry.scope telemetry "pentium")
+    pe;
   {
     config;
     engine;
@@ -157,10 +198,13 @@ let create ?(config = default_config) ?engine () =
     sa;
     pe;
     out_queues;
-    istats = Input_loop.make_stats ();
-    ostats = Output_loop.make_stats ();
+    istats;
+    ostats;
     delivered;
     latency;
+    telemetry;
+    input_scope;
+    output_scope;
   }
 
 let qid_sa_local t = total_ports t.config
@@ -305,6 +349,7 @@ let start ?process t =
       queue_of;
       notify = Some notify;
       idle_backoff_cycles = 128;
+      scope = Some t.input_scope;
     }
   in
   (* Contexts per port in proportion to line rate (every port gets at
@@ -417,6 +462,7 @@ let start ?process t =
                   Sim.Stats.Histogram.observe t.latency
                     (Int64.sub (Sim.Engine.now ()) desc.Desc.arrival));
             idle_backoff_cycles = 128;
+            scope = Some t.output_scope;
           }
         in
         Output_loop.spawn_context ol t.chip ~ring:output_ring ~slot:j ~ctx_id
@@ -438,6 +484,8 @@ let run_for t ~us =
     Int64.add (Sim.Engine.time t.engine) (Sim.Engine.of_seconds (us *. 1e-6))
   in
   Sim.Engine.run t.engine ~until:target
+
+let telemetry_snapshot t = Telemetry.Registry.snapshot t.telemetry
 
 let delivered_total t =
   Array.fold_left (fun acc c -> acc + Sim.Stats.Counter.value c) 0 t.delivered

@@ -89,6 +89,11 @@ type t = {
   ostats : Output_loop.stats;
   delivered : Sim.Stats.Counter.t array;  (** frames out each port *)
   latency : Sim.Stats.Histogram.t;  (** arrival-to-transmit, ps *)
+  telemetry : Telemetry.Registry.t;
+      (** every level's instruments, registered at {!create}; clocked by
+          the router's engine *)
+  input_scope : Telemetry.Scope.t;  (** receives input-stage drop events *)
+  output_scope : Telemetry.Scope.t;  (** receives stale-buffer events *)
 }
 
 val create : ?config:config -> ?engine:Sim.Engine.t -> unit -> t
@@ -130,6 +135,11 @@ val default_process :
     fall back to it). *)
 
 val delivered_total : t -> int
+
+val telemetry_snapshot : t -> Telemetry.Json.t
+(** Deterministic JSON snapshot of every registered instrument —
+    per-MicroEngine, per-queue, per-port, both stage loops, the StrongARM,
+    and the Pentium's scheduler — at the current simulated time. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-paragraph state dump: per-port counters, SA/PE counters, queue

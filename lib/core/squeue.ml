@@ -53,3 +53,12 @@ let enqueued q = q.enqueued
 let dequeued q = q.dequeued
 let dropped q = q.dropped
 let peak_length q = q.peak
+
+let register_telemetry scope q =
+  let g = Telemetry.Scope.gauge_int scope in
+  g "depth" (fun () -> Queue.length q.items);
+  g "peak_depth" (fun () -> q.peak);
+  g "enqueued" (fun () -> q.enqueued);
+  g "dequeued" (fun () -> q.dequeued);
+  g "dropped" (fun () -> q.dropped);
+  g "mutex_contended" (fun () -> Sim.Mutex.contended_acquires q.mutex)

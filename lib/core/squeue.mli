@@ -33,3 +33,7 @@ val dropped : t -> int
 
 val peak_length : t -> int
 (** High-water mark, for sizing and robustness reports. *)
+
+val register_telemetry : Telemetry.Scope.t -> t -> unit
+(** Register depth/peak/enqueued/dequeued/dropped gauges plus the
+    hardware mutex's contention count under a telemetry scope. *)

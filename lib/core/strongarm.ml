@@ -72,6 +72,23 @@ let create chip cm ?(wakeup = Polling) ?(pe_flow_queues = 4)
     pe_rr = 0;
   }
 
+let register_telemetry scope t =
+  let r = Telemetry.Scope.register_counter scope in
+  r ~name:"local_done" t.stats.local_done;
+  r ~name:"bridged" t.stats.bridged;
+  r ~name:"returned" t.stats.returned;
+  r ~name:"dropped" t.stats.dropped;
+  r ~name:"route_misses" t.stats.route_misses;
+  r ~name:"icmp_sent" t.stats.icmp_sent;
+  r ~name:"stale_buffers" t.stats.stale_bufs;
+  let queue q =
+    Squeue.register_telemetry
+      (Telemetry.Scope.sub scope "queue" ~labels:[ ("name", Squeue.name q) ])
+      q
+  in
+  queue t.local_q;
+  Array.iter queue t.pe_qs
+
 let busy t f =
   let t0 = Sim.Engine.now () in
   let r = f () in

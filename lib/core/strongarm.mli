@@ -90,3 +90,7 @@ val pci_bytes : t -> len:int -> int
 val busy_cycles : t -> float
 (** StrongARM cycles spent on packet work; its complement against the
     clock is Table 4's spare-cycle column. *)
+
+val register_telemetry : Telemetry.Scope.t -> t -> unit
+(** Register the StrongARM's packet counters and its local/Pentium-bound
+    queue scopes into a telemetry scope. *)

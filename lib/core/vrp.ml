@@ -139,6 +139,17 @@ let prototype_budget =
     b_istore_slots = 650;
   }
 
+let budget_json b =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("cycles", Int b.b_cycles);
+      ("sram_transfers", Int b.b_sram_transfers);
+      ("hashes", Int b.b_hashes);
+      ("state_bytes", Int b.b_state_bytes);
+      ("istore_slots", Int b.b_istore_slots);
+    ]
+
 let check b cost ~state_bytes ~slots =
   let errs = ref [] in
   let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
@@ -156,3 +167,20 @@ let check b cost ~state_bytes ~slots =
   if slots > b.b_istore_slots then
     err "ISTORE: needs %d slots, budget %d" slots b.b_istore_slots;
   match !errs with [] -> Ok () | es -> Error (List.rev es)
+
+let check_recorded ?scope b cost ~state_bytes ~slots =
+  let result = check b cost ~state_bytes ~slots in
+  (match scope with
+  | None -> ()
+  | Some scope -> (
+      let checks = Telemetry.Scope.counter scope "budget_checks" in
+      let overruns = Telemetry.Scope.counter scope "budget_overruns" in
+      Sim.Stats.Counter.incr checks;
+      match result with
+      | Ok () -> ()
+      | Error es ->
+          Sim.Stats.Counter.incr overruns;
+          List.iter
+            (fun e -> Telemetry.Scope.event scope ("budget overrun: " ^ e))
+            es));
+  result

@@ -77,3 +77,16 @@ val check :
   budget -> cost -> state_bytes:int -> slots:int -> (unit, string list) result
 (** [check b cost ~state_bytes ~slots] verifies a forwarder fits, returning
     every violated dimension on failure. *)
+
+val check_recorded :
+  ?scope:Telemetry.Scope.t ->
+  budget ->
+  cost ->
+  state_bytes:int ->
+  slots:int ->
+  (unit, string list) result
+(** {!check}, additionally counting the check (and any overrun, with one
+    event per violated dimension) under a telemetry scope when given. *)
+
+val budget_json : budget -> Telemetry.Json.t
+(** The budget's dimensions as a JSON object (for BENCH.json rows). *)

@@ -24,3 +24,8 @@ let exec t n =
 
 let instructions t = t.instructions
 let busy_time t = Sim.Server.busy_time t.core
+
+let register_telemetry scope t =
+  Telemetry.Scope.gauge_int scope "instructions" (fun () -> t.instructions);
+  Telemetry.Scope.gauge_int scope "busy_ps" (fun () ->
+      Int64.to_int (busy_time t))

@@ -22,3 +22,7 @@ val instructions : t -> int
 
 val busy_time : t -> int64
 (** Core-occupied picoseconds, for utilization. *)
+
+val register_telemetry : Telemetry.Scope.t -> t -> unit
+(** Register this engine's issued-instruction and busy-time gauges under
+    a telemetry scope (typically ["me"] labeled with {!id}). *)

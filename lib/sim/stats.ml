@@ -78,6 +78,8 @@ module Series = struct
   let add s ~x ~y = s.pts <- (x, y) :: s.pts
   let points s = List.rev s.pts
   let name s = s.name
+  let x_label s = s.x_label
+  let y_label s = s.y_label
 
   let pp ppf s =
     let pts = points s in

@@ -60,6 +60,8 @@ module Series : sig
   val add : t -> x:float -> y:float -> unit
   val points : t -> (float * float) list
   val name : t -> string
+  val x_label : t -> string
+  val y_label : t -> string
 
   val pp : Format.formatter -> t -> unit
   (** Render as an aligned two-column table with an ASCII spark column. *)

@@ -1,0 +1,3 @@
+(* Ergonomic alias: [Telemetry.Scope.t] for signatures that take a scope,
+   without spelling [Telemetry.Registry.Scope]. *)
+include Registry.Scope

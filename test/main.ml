@@ -2,6 +2,7 @@ let () =
   Alcotest.run "npr"
     [
       ("sim", Test_sim.tests);
+      ("telemetry", Test_telemetry.tests);
       ("packet", Test_packet.tests);
       ("iproute", Test_iproute.tests);
       ("ixp", Test_ixp.tests);
