@@ -28,6 +28,8 @@ let experiments =
     ("routing", "Extension: route-update storms vs fast path", Routing_bench.run);
     ("wfq", "Extension: input-side WFQ approximation", Wfq_bench.run);
     ("cluster", "Extension: four-member cluster (section 6)", Cluster_bench.run);
+    ("fault_matrix", "Extension: invariants under fault injection",
+     Fault_matrix.run);
   ]
 
 let usage () =
@@ -89,8 +91,15 @@ let () =
       Report.begin_experiment ~name ~title;
       run ())
     selected;
-  match json with
+  (match json with
   | None -> ()
   | Some file ->
       Report.write_json file;
-      Format.printf "@.wrote %s@." file
+      Format.printf "@.wrote %s@." file);
+  (* The fault matrix gates CI: violations fail the run, but only after
+     the JSON artifact is written so the evidence is archived. *)
+  if !Fault_matrix.failures > 0 then begin
+    Printf.eprintf "fault_matrix: %d invariant violation(s)\n"
+      !Fault_matrix.failures;
+    exit 1
+  end

@@ -70,8 +70,25 @@ let run_cmd =
     Arg.(value & flag & info [ "syn-monitor" ]
            ~doc:"Install the SYN-monitor data forwarder at boot.")
   in
-  let run duration seed mbps frame_len exceptional syn_monitor metrics =
-    let config = { Router.default_config with Router.port_mbps = mbps } in
+  let faults =
+    Arg.(value & opt string "none" & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Fault-injection scenario as comma-separated key:value \
+                 pairs, e.g. mac_corrupt:0.01,pool_fail:0.005 (see \
+                 lib/fault/scenario.mli for the keys).  Seeded from \
+                 --seed, so a failing run replays exactly.")
+  in
+  let run duration seed mbps frame_len exceptional syn_monitor faults metrics =
+    let scenario =
+      match Fault.Scenario.parse faults with
+      | Ok s -> Fault.Scenario.with_seed s (Int64.of_int seed)
+      | Error msg ->
+          Format.eprintf "bad --faults spec: %s@." msg;
+          exit 2
+    in
+    let config =
+      { Router.default_config with Router.port_mbps = mbps;
+        Router.faults = scenario }
+    in
     let r = Router.create ~config () in
     subnet_routes r config.Router.n_ports;
     let fid =
@@ -113,13 +130,22 @@ let run_cmd =
           (Forwarders.Syn_monitor.syn_count
              (Option.get (Router.Iface.getdata r.Router.iface fid))))
       fid;
-    dump_metrics metrics (Router.telemetry_snapshot r)
+    dump_metrics metrics (Router.telemetry_snapshot r);
+    if not (Fault.Invariant.ok r.Router.invariants) then begin
+      Format.eprintf "%a@." Fault.Invariant.pp_report r.Router.invariants;
+      Format.eprintf
+        "repro: router_cli run --faults '%s' --seed %d -d %g --mbps %g \
+         --frame %d@."
+        (Fault.Scenario.to_spec scenario)
+        seed duration mbps frame_len;
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Drive the full three-level router at line rate.")
     Term.(
       const run $ duration $ seed $ mbps $ frame_len $ exceptional
-      $ syn_monitor $ metrics_arg)
+      $ syn_monitor $ faults $ metrics_arg)
 
 (* --- peak ------------------------------------------------------------ *)
 

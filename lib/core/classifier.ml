@@ -66,7 +66,14 @@ let general_chain t = t.general
 let flow_count t = Hashtbl.length t.flows
 
 let decide t frame =
-  if not (Packet.Ipv4.valid frame) then Invalid
+  (* The ethertype check matters: a frame whose type field is damaged on
+     the wire can still carry an intact IP header behind it, and without
+     this guard it would be forwarded with a garbage ethertype. *)
+  if
+    Packet.Frame.len frame < 14
+    || Packet.Ethernet.get_ethertype frame <> Packet.Ethernet.ethertype_ipv4
+    || not (Packet.Ipv4.valid frame)
+  then Invalid
   else begin
     let per_flow =
       match Packet.Flow.of_frame frame with

@@ -15,6 +15,8 @@ type t = {
   default_client : Strongarm.payload Psched.client;
   stats : stats;
   mutable busy_ps : int64;
+  mutable faults : Fault.Injector.t option;
+  mutable crashes : int;
 }
 
 let create chip cm ~from_sa ~returns ~lookup_fid () =
@@ -35,7 +37,12 @@ let create chip cm ~from_sa ~returns ~lookup_fid () =
         dropped = Sim.Stats.Counter.create "pe.dropped";
       };
     busy_ps = 0L;
+    faults = None;
+    crashes = 0;
   }
+
+let set_faults t inj = t.faults <- Some inj
+let crashes t = t.crashes
 
 let add_flow_client t ~fid ~name ~share =
   Hashtbl.replace t.clients fid (Psched.add_client t.sched ~name ~share)
@@ -129,6 +136,17 @@ let spawn t chip =
           | None -> ()
       in
       let rec loop () =
+        (match t.faults with
+        | Some inj when Fault.Injector.fires inj Pe_crash ->
+            (* Host crash-and-restart: packets already in the I2O queues
+               and scheduler backlog survive in memory; service just
+               pauses for the reboot. *)
+            t.crashes <- t.crashes + 1;
+            Sim.Engine.wait
+              (Sim.Engine.of_seconds
+                 ((Fault.Injector.scenario inj).Fault.Scenario.pe_restart_us
+                 *. 1e-6))
+        | _ -> ());
         (if Psched.backlog t.sched = 0 then begin
            (* Idle: block on the full queue.  Only the PIO stalls count as
               busy time, not the wait for a packet to arrive. *)

@@ -25,6 +25,14 @@ val create :
 val spawn : t -> Ixp.Chip.t -> unit
 (** Start the Pentium's packet loop fiber. *)
 
+val set_faults : t -> Fault.Injector.t -> unit
+(** Enable crash-and-restart injection: with probability [pe_crash] per
+    scheduler-loop iteration the host stalls for [pe_restart_us];
+    queued packets survive in memory. *)
+
+val crashes : t -> int
+(** Injected crashes taken so far. *)
+
 val add_flow_client : t -> fid:int -> name:string -> share:float -> unit
 (** Register a proportional-share client for an installed Pentium
     forwarder (driven by {!Iface}). *)

@@ -35,6 +35,7 @@ type config = {
   divert_on_cache_miss : bool;
   selective_invalidation : bool;
   circular_buffers : bool;
+  faults : Fault.Scenario.t;
 }
 
 let default_config =
@@ -57,6 +58,7 @@ let default_config =
     divert_on_cache_miss = true;
     selective_invalidation = false;
     circular_buffers = true;
+    faults = Fault.Scenario.zero;
   }
 
 type t = {
@@ -76,11 +78,25 @@ type t = {
   telemetry : Telemetry.Registry.t;
   input_scope : Telemetry.Scope.t;
   output_scope : Telemetry.Scope.t;
+  injector : Fault.Injector.t option;
+  invariants : Fault.Invariant.t;
+  invalid_escapes : int ref;
+  vrp_detected : int ref;
 }
 
 let mes_used ~n = (n + 3) / 4
 
 let total_ports config = config.n_ports + config.uplink_ports
+
+(* Would a downstream host accept this frame?  The no-invalid-escape
+   invariant: damage injected at the MACs or FIFOs may drop packets, but a
+   frame that leaves an output port must still be well-formed. *)
+let frame_escapable f =
+  Packet.Frame.len f >= 14
+  &&
+  let et = Packet.Ethernet.get_ethertype f in
+  if et = Packet.Ethernet.ethertype_ipv4 then Packet.Ipv4.valid f
+  else et = Packet.Mpls.ethertype
 
 let create ?(config = default_config) ?engine () =
   let engine =
@@ -92,13 +108,39 @@ let create ?(config = default_config) ?engine () =
         Sim.Stats.Counter.create (Printf.sprintf "port%d.delivered" i))
   in
   let latency = Sim.Stats.Histogram.create "latency_ps" in
+  (* Telemetry: every level registers its instruments once; the registry
+     snapshots on demand (--metrics, robustness benches).  Created before
+     the chip so the fault plane, when enabled, can register its scope. *)
+  let telemetry = Telemetry.Registry.create () in
+  Telemetry.Registry.set_clock telemetry (fun () -> Sim.Engine.time engine);
+  (* The fault plane: nothing is built for the zero scenario, so the
+     fault-free router is byte-identical to one compiled without this
+     subsystem — same timing, same RNG draws, same telemetry snapshot. *)
+  let injector =
+    if Fault.Scenario.is_zero config.faults then None
+    else
+      Some
+        (Fault.Injector.create
+           ~scope:(Telemetry.Registry.scope telemetry "fault")
+           config.faults)
+  in
+  let invalid_escapes = ref 0 in
+  let vrp_detected = ref 0 in
+  let deliver_to i =
+    match injector with
+    | None -> fun _ -> Sim.Stats.Counter.incr delivered.(i)
+    | Some _ ->
+        fun f ->
+          if not (frame_escapable f) then incr invalid_escapes;
+          Sim.Stats.Counter.incr delivered.(i)
+  in
   let ports =
     List.init n_all (fun i ->
         {
           Ixp.Chip.mbps =
             (if i < config.n_ports then config.port_mbps
              else config.uplink_mbps);
-          sink = Some (fun _ -> Sim.Stats.Counter.incr delivered.(i));
+          sink = Some (deliver_to i);
         })
   in
   let chip =
@@ -152,10 +194,102 @@ let create ?(config = default_config) ?engine () =
     ~remove:(fun ~fid -> Pentium.remove_flow_client pe ~fid);
   let istats = Input_loop.make_stats () in
   let ostats = Output_loop.make_stats () in
-  (* Telemetry: every level registers its instruments once, here; the
-     registry snapshots on demand (--metrics, robustness benches). *)
-  let telemetry = Telemetry.Registry.create () in
-  Telemetry.Registry.set_clock telemetry (fun () -> Sim.Engine.time engine);
+  (match injector with
+  | None -> ()
+  | Some inj ->
+      Ixp.Chip.set_faults chip inj;
+      Strongarm.set_faults sa inj;
+      Pentium.set_faults pe inj);
+  (* The invariant registry audits all three levels at simulation
+     barriers; its telemetry scope exists only alongside an injector so
+     zero-fault snapshots are unchanged. *)
+  let invariants =
+    Fault.Invariant.create
+      ?scope:
+        (match injector with
+        | None -> None
+        | Some _ -> Some (Telemetry.Registry.scope telemetry "invariant"))
+      ~clock:(fun () -> Sim.Engine.time engine)
+      ()
+  in
+  Fault.Invariant.register invariants "buffer-pool-conservation" (fun () ->
+      Ixp.Buffer_pool.check chip.Ixp.Chip.buffers);
+  Fault.Invariant.register invariants "queue-accounting" (fun () ->
+      let first_bad acc q =
+        match acc with Some _ -> acc | None -> Squeue.check q
+      in
+      match Array.fold_left first_bad None out_queues with
+      | Some v -> Some v
+      | None ->
+          Array.fold_left first_bad
+            (Squeue.check sa.Strongarm.local_q)
+            sa.Strongarm.pe_qs);
+  Fault.Invariant.register invariants "no-invalid-escape"
+    (let seen = ref 0 in
+     fun () ->
+       let n = !invalid_escapes in
+       if n > !seen then begin
+         let fresh = n - !seen in
+         seen := n;
+         Some
+           (Printf.sprintf "%d malformed frame(s) escaped an output port"
+              fresh)
+       end
+       else None);
+  Fault.Invariant.register invariants "input-accounting" (fun () ->
+      let v = Sim.Stats.Counter.value in
+      let arrived = v istats.Input_loop.pkts_in in
+      let settled =
+        v istats.Input_loop.enq_ok
+        + v istats.Input_loop.enq_drop
+        + v istats.Input_loop.drop_by_process
+      in
+      if settled > arrived then
+        Some (Printf.sprintf "settled %d packets but only %d arrived" settled
+                arrived)
+      else if arrived - settled > config.n_input_contexts then
+        Some
+          (Printf.sprintf
+             "%d packets in flight with only %d input contexts"
+             (arrived - settled) config.n_input_contexts)
+      else None);
+  Fault.Invariant.register invariants "forwarding-progress"
+    (let last_in = ref 0 and last_settled = ref 0 in
+     fun () ->
+       let v = Sim.Stats.Counter.value in
+       let arrived = v istats.Input_loop.pkts_in in
+       let settled =
+         v istats.Input_loop.enq_ok
+         + v istats.Input_loop.enq_drop
+         + v istats.Input_loop.drop_by_process
+       in
+       let stalled =
+         arrived - !last_in >= 200 && settled = !last_settled
+       in
+       last_in := arrived;
+       let r =
+         if stalled then
+           Some
+             (Printf.sprintf
+                "input advanced to %d packets but none settled since the \
+                 last barrier (%d)"
+                arrived settled)
+         else None
+       in
+       last_settled := settled;
+       r);
+  (match injector with
+  | None -> ()
+  | Some inj ->
+      Fault.Invariant.register invariants "vrp-budget" (fun () ->
+          let injected = Fault.Injector.count inj Vrp_overrun in
+          if !vrp_detected <> injected then
+            Some
+              (Printf.sprintf
+                 "admission control caught %d of %d injected budget \
+                  overruns"
+                 !vrp_detected injected)
+          else None));
   Array.iteri
     (fun i me ->
       Ixp.Microengine.register_telemetry
@@ -205,6 +339,10 @@ let create ?(config = default_config) ?engine () =
     telemetry;
     input_scope;
     output_scope;
+    injector;
+    invariants;
+    invalid_escapes;
+    vrp_detected;
   }
 
 let qid_sa_local t = total_ports t.config
@@ -287,8 +425,13 @@ let default_process t ctx frame ~in_port =
             | Forwarder.Continue -> k ()
             | Forwarder.Drop -> Input_loop.Drop_it
             | Forwarder.Forward p ->
-                Input_loop.To_queue
-                  { qid = p mod total_ports t.config; out_port = p; fid = -1 }
+                (* A verdict naming a non-existent port is forwarder
+                   misbehavior (OCaml's [mod] is negative for negative
+                   [p], so indexing with it would crash the context);
+                   contain it as a drop. *)
+                if p >= 0 && p < total_ports t.config then
+                  Input_loop.To_queue { qid = p; out_port = p; fid = -1 }
+                else Input_loop.Drop_it
             | Forwarder.Forward_routed -> (
                 match route with
                 | Some nh -> finish_ip t ctx frame nh
@@ -323,6 +466,33 @@ let start ?process t =
   let process =
     match process with Some p -> p t | None -> default_process t
   in
+  let process =
+    match t.injector with
+    | None -> process
+    | Some inj ->
+        fun ctx frame ~in_port ->
+          if Fault.Injector.fires inj Vrp_overrun then begin
+            (* A forwarder blowing its cycle and SRAM budget.  Admission
+               control must flag the same code it is about to run
+               (detection counted before the charged execution, so a
+               barrier landing mid-execution sees consistent counts). *)
+            let code = [ Vrp.Instr 300; Vrp.Sram_read 128 ] in
+            (match
+               Vrp.check Vrp.prototype_budget (Vrp.static_cost code)
+                 ~state_bytes:0 ~slots:(Vrp.istore_slots code)
+             with
+            | Error _ -> incr t.vrp_detected
+            | Ok () -> ());
+            Vrp.execute ctx code
+          end;
+          if Fault.Injector.fires inj Rogue_forwarder then
+            (* A misbehaving forwarder's garbage verdict: a queue id and
+               port drawn from well outside the valid range, possibly
+               negative.  The static queue discipline must contain it. *)
+            let p = Fault.Injector.draw_int inj 64 - 16 in
+            Input_loop.To_queue { qid = p; out_port = p; fid = -1 }
+          else process ctx frame ~in_port
+  in
   (* Input contexts: two per port, maximally separated in the rotation
      (context i serves port i mod n_ports). *)
   let input_ring =
@@ -334,12 +504,17 @@ let start ?process t =
   in
   let n_in_me = mes_used ~n:cfg.n_input_contexts in
   let n_all = total_ports cfg in
+  let n_pe_qs = Array.length t.sa.Strongarm.pe_qs in
   let queue_of ~ctx_id:_ qid =
-    if qid < n_all then t.out_queues.(qid)
-    else if qid = n_all then t.sa.Strongarm.local_q
-    else t.sa.Strongarm.pe_qs.(qid - n_all - 1)
+    if qid >= 0 && qid < n_all then t.out_queues.(qid)
+    else if qid > n_all && qid <= n_all + n_pe_qs then
+      t.sa.Strongarm.pe_qs.(qid - n_all - 1)
+    else
+      (* [qid = n_all] plus anything out of range: a garbage queue id
+         must not crash the context, and the slow path validates. *)
+      t.sa.Strongarm.local_q
   in
-  let notify qid = if qid >= n_all then Strongarm.notify t.sa in
+  let notify qid = if qid < 0 || qid >= n_all then Strongarm.notify t.sa in
   let il =
     {
       Input_loop.cm;
@@ -475,15 +650,27 @@ let inject t ~port frame = Ixp.Mac_port.offer t.chip.Ixp.Chip.ports.(port) frame
 
 let connect t ~port deliver =
   let counter = t.delivered.(port) in
+  let audit =
+    match t.injector with
+    | None -> fun _ -> ()
+    | Some _ ->
+        fun f -> if not (frame_escapable f) then incr t.invalid_escapes
+  in
   Ixp.Mac_port.set_sink t.chip.Ixp.Chip.ports.(port) (fun f ->
+      audit f;
       Sim.Stats.Counter.incr counter;
       deliver f)
+
+let check_invariants t = Fault.Invariant.check t.invariants
 
 let run_for t ~us =
   let target =
     Int64.add (Sim.Engine.time t.engine) (Sim.Engine.of_seconds (us *. 1e-6))
   in
-  Sim.Engine.run t.engine ~until:target
+  Sim.Engine.run t.engine ~until:target;
+  (* Every pause is a barrier: quiescent enough for the cross-component
+     accounting invariants to be meaningful. *)
+  ignore (check_invariants t : int)
 
 let telemetry_snapshot t = Telemetry.Registry.snapshot t.telemetry
 
@@ -513,4 +700,9 @@ let pp_summary ppf t =
   Format.fprintf ppf "  pe: processed=%d dropped=%d@,"
     (Sim.Stats.Counter.value (Pentium.stats t.pe).Pentium.processed)
     (Sim.Stats.Counter.value (Pentium.stats t.pe).Pentium.dropped);
+  (match t.injector with
+  | None -> ()
+  | Some inj ->
+      Format.fprintf ppf "  faults: %a@," Fault.Injector.pp_counts inj;
+      Format.fprintf ppf "  %a@," Fault.Invariant.pp_report t.invariants);
   Format.fprintf ppf "  %a@]" Sim.Stats.Histogram.pp t.latency

@@ -69,6 +69,10 @@ type config = {
   circular_buffers : bool;
       (** the paper's single-pass circular DRAM buffer pool (true) vs the
           per-buffer stack pool it declined to build (section 3.2.3) *)
+  faults : Fault.Scenario.t;
+      (** fault-injection scenario; {!Fault.Scenario.zero} (the default)
+          builds no injector at all, so the fault-free router is
+          unchanged in timing, randomness, and telemetry *)
 }
 
 val default_config : config
@@ -94,6 +98,15 @@ type t = {
           the router's engine *)
   input_scope : Telemetry.Scope.t;  (** receives input-stage drop events *)
   output_scope : Telemetry.Scope.t;  (** receives stale-buffer events *)
+  injector : Fault.Injector.t option;
+      (** the armed fault plane; [None] when [config.faults] is zero *)
+  invariants : Fault.Invariant.t;
+      (** router-wide invariants, audited at every {!run_for} barrier:
+          buffer-pool conservation, queue accounting, no malformed frame
+          escaping an output port, input-stage accounting, forwarding
+          progress, and (under injection) VRP budget detection *)
+  invalid_escapes : int ref;  (** malformed frames seen leaving a port *)
+  vrp_detected : int ref;  (** injected budget overruns admission caught *)
 }
 
 val create : ?config:config -> ?engine:Sim.Engine.t -> unit -> t
@@ -123,7 +136,12 @@ val connect : t -> port:int -> (Packet.Frame.t -> unit) -> unit
     port 0, the multi-chassis configuration of the paper's section 6. *)
 
 val run_for : t -> us:float -> unit
-(** Advance the simulation. *)
+(** Advance the simulation, then audit the invariant registry (every
+    pause is a barrier). *)
+
+val check_invariants : t -> int
+(** Audit the invariant registry now; the number of new violations.
+    {!run_for} calls this automatically. *)
 
 val qid_sa_local : t -> int
 val qid_sa_pe : t -> int -> int

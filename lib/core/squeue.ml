@@ -54,6 +54,17 @@ let dequeued q = q.dequeued
 let dropped q = q.dropped
 let peak_length q = q.peak
 
+let check q =
+  let len = Queue.length q.items in
+  if len > q.capacity then
+    Some (Printf.sprintf "%s: depth %d exceeds capacity %d" q.name len
+            q.capacity)
+  else if q.enqueued <> q.dequeued + len then
+    Some
+      (Printf.sprintf "%s: enqueued %d <> dequeued %d + depth %d" q.name
+         q.enqueued q.dequeued len)
+  else None
+
 let register_telemetry scope q =
   let g = Telemetry.Scope.gauge_int scope in
   g "depth" (fun () -> Queue.length q.items);

@@ -34,6 +34,10 @@ val dropped : t -> int
 val peak_length : t -> int
 (** High-water mark, for sizing and robustness reports. *)
 
+val check : t -> string option
+(** Accounting audit: depth never exceeds capacity, and
+    [enqueued = dequeued + depth].  [Some detail] on violation. *)
+
 val register_telemetry : Telemetry.Scope.t -> t -> unit
 (** Register depth/peak/enqueued/dequeued/dropped gauges plus the
     hardware mutex's contention count under a telemetry scope. *)

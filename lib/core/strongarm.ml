@@ -43,6 +43,8 @@ type t = {
   mutable spare_probe : int;
   mutable busy_ps : int64;
   mutable pe_rr : int; (* round-robin cursor over the Pentium-bound queues *)
+  mutable faults : Fault.Injector.t option;
+  mutable crashes : int;
 }
 
 let create chip cm ?(wakeup = Polling) ?(pe_flow_queues = 4)
@@ -70,7 +72,12 @@ let create chip cm ?(wakeup = Polling) ?(pe_flow_queues = 4)
     spare_probe = 0;
     busy_ps = 0L;
     pe_rr = 0;
+    faults = None;
+    crashes = 0;
   }
+
+let set_faults t inj = t.faults <- Some inj
+let crashes t = t.crashes
 
 let register_telemetry scope t =
   let r = Telemetry.Scope.register_counter scope in
@@ -172,18 +179,23 @@ let process_local t desc =
             let reply = make ~router:(addr_of desc.Desc.in_port) frame in
             match routed_port t reply with
             | None -> Sim.Stats.Counter.incr t.stats.dropped
-            | Some port ->
-                let buf =
+            | Some port -> (
+                match
                   Ixp.Buffer_pool.alloc t.ctx.Chip_ctx.chip.Ixp.Chip.buffers
                     reply
-                in
-                let d =
-                  Desc.make ~buf ~len:(Packet.Frame.len reply)
-                    ~in_port:desc.Desc.in_port ~out_port:port
-                    ~arrival:(Sim.Engine.now ()) ()
-                in
-                Sim.Stats.Counter.incr t.stats.icmp_sent;
-                finish t d
+                with
+                | exception Failure _ ->
+                    (* No buffer for the error report; the original is
+                       already gone, so just count the drop. *)
+                    Sim.Stats.Counter.incr t.stats.dropped
+                | buf ->
+                    let d =
+                      Desc.make ~buf ~len:(Packet.Frame.len reply)
+                        ~in_port:desc.Desc.in_port ~out_port:port
+                        ~arrival:(Sim.Engine.now ()) ()
+                    in
+                    Sim.Stats.Counter.incr t.stats.icmp_sent;
+                    finish t d)
           end
       in
       match t.lookup_fid desc.Desc.fid with
@@ -230,6 +242,17 @@ let bridge_up t desc =
 let spawn t chip =
   Sim.Engine.spawn chip.Ixp.Chip.engine "strongarm" (fun () ->
       let rec loop backoff =
+        (match t.faults with
+        | Some inj when Fault.Injector.fires inj Sa_crash ->
+            (* Crash-and-restart: the CPU goes dark for the reboot time.
+               Queues live in SRAM and survive; in-flight state does not
+               accumulate because the loop head is a quiescent point. *)
+            t.crashes <- t.crashes + 1;
+            Sim.Engine.wait
+              (Sim.Engine.of_seconds
+                 ((Fault.Injector.scenario inj).Fault.Scenario.sa_restart_us
+                 *. 1e-6))
+        | _ -> ());
         (* Highest priority: packets coming back down from the Pentium sit
            in a descriptor ring in IXP memory (posted writes by the host);
            draining one is cheap. *)

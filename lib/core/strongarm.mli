@@ -60,6 +60,8 @@ type t = {
   mutable busy_ps : int64;  (** time spent working (excludes idle and
                                 backpressure waits) *)
   mutable pe_rr : int;  (** round-robin cursor over [pe_qs] *)
+  mutable faults : Fault.Injector.t option;
+  mutable crashes : int;  (** injected crash-and-restart events taken *)
 }
 
 val create :
@@ -78,6 +80,14 @@ val create :
 
 val spawn : t -> Ixp.Chip.t -> unit
 (** Start the StrongARM's main loop fiber. *)
+
+val set_faults : t -> Fault.Injector.t -> unit
+(** Enable crash-and-restart injection: with probability [sa_crash] per
+    service-loop iteration the CPU stalls for [sa_restart_us].  Queues
+    are in SRAM and survive the reboot. *)
+
+val crashes : t -> int
+(** Injected crashes taken so far. *)
 
 val notify : t -> unit
 (** A MicroEngine context signalling that a packet was queued (one-cycle

@@ -1,0 +1,74 @@
+type violation = { name : string; detail : string; at : int64 }
+
+type t = {
+  mutable invariants : (string * (unit -> string option)) list; (* reversed *)
+  mutable violations : violation list; (* reversed *)
+  mutable checks : int;
+  scope : Telemetry.Scope.t option;
+  clock : unit -> int64;
+}
+
+let create ?scope ?(clock = fun () -> 0L) () =
+  let t = { invariants = []; violations = []; checks = 0; scope; clock } in
+  (match scope with
+  | None -> ()
+  | Some scope ->
+      Telemetry.Scope.gauge_int scope "violations" (fun () ->
+          List.length t.violations);
+      Telemetry.Scope.gauge_int scope "checks" (fun () -> t.checks));
+  t
+
+let register t name check = t.invariants <- (name, check) :: t.invariants
+
+let check t =
+  t.checks <- t.checks + 1;
+  let fresh = ref 0 in
+  List.iter
+    (fun (name, check) ->
+      match check () with
+      | None -> ()
+      | Some detail ->
+          incr fresh;
+          t.violations <- { name; detail; at = t.clock () } :: t.violations;
+          (match t.scope with
+          | None -> ()
+          | Some scope ->
+              Telemetry.Scope.event scope
+                (Printf.sprintf "violation: %s: %s" name detail)))
+    (List.rev t.invariants);
+  !fresh
+
+let checks t = t.checks
+let violations t = List.rev t.violations
+let ok t = t.violations = []
+
+let pp_report ppf t =
+  match violations t with
+  | [] ->
+      Format.fprintf ppf "invariants: %d registered, %d barriers, all held"
+        (List.length t.invariants) t.checks
+  | vs ->
+      Format.fprintf ppf "invariants: %d violation(s):" (List.length vs);
+      List.iter
+        (fun v ->
+          Format.fprintf ppf "@\n  [%Ld] %s: %s" v.at v.name v.detail)
+        vs
+
+let to_json t =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("registered", Int (List.length t.invariants));
+      ("checks", Int t.checks);
+      ( "violations",
+        List
+          (List.map
+             (fun v ->
+               Obj
+                 [
+                   ("name", String v.name);
+                   ("detail", String v.detail);
+                   ("at", Int (Int64.to_int v.at));
+                 ])
+             (violations t)) );
+    ]

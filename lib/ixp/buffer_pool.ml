@@ -14,7 +14,10 @@ type t = {
   mutable overwrites : int;
   mutable stale_reads : int;
   mutable in_use : int;
+  mutable faults : Fault.Injector.t option;
 }
+
+let set_faults t inj = t.faults <- Some inj
 
 let make_slots count =
   Array.init count (fun _ -> { frame = None; generation = 0; live = false })
@@ -27,6 +30,7 @@ let create_circular ~count () =
     overwrites = 0;
     stale_reads = 0;
     in_use = 0;
+    faults = None;
   }
 
 let create_stack ~count () =
@@ -41,9 +45,14 @@ let create_stack ~count () =
     overwrites = 0;
     stale_reads = 0;
     in_use = 0;
+    faults = None;
   }
 
 let alloc t frame =
+  (match t.faults with
+  | Some inj when Fault.Injector.fires inj Pool_fail ->
+      failwith "Buffer_pool: injected allocation failure"
+  | _ -> ());
   match t.mode with
   | Circular c ->
       let index = c.next in
@@ -86,3 +95,24 @@ let free t h =
 let overwrites t = t.overwrites
 let stale_reads t = t.stale_reads
 let in_use t = t.in_use
+let count t = Array.length t.slots
+
+let check t =
+  match t.mode with
+  | Circular c ->
+      if c.next < 0 || c.next >= Array.length t.slots then
+        Some (Printf.sprintf "circular cursor %d outside pool of %d" c.next
+                (Array.length t.slots))
+      else None
+  | Stack free ->
+      let n = Array.length t.slots in
+      let live = ref 0 in
+      Array.iter (fun s -> if s.live then incr live) t.slots;
+      if !live <> t.in_use then
+        Some
+          (Printf.sprintf "live slots %d <> in_use %d" !live t.in_use)
+      else if Stack.length free + t.in_use <> n then
+        Some
+          (Printf.sprintf "free %d + in_use %d <> count %d"
+             (Stack.length free) t.in_use n)
+      else None

@@ -43,3 +43,16 @@ val stale_reads : t -> int
 
 val in_use : t -> int
 (** Stack mode: buffers currently allocated. *)
+
+val count : t -> int
+(** Total buffers in the pool. *)
+
+val set_faults : t -> Fault.Injector.t -> unit
+(** Enable injected allocation failures: {!alloc} raises [Failure] with
+    probability [pool_fail], in either mode — exercising every caller's
+    out-of-buffers path. *)
+
+val check : t -> string option
+(** Conservation audit: in stack mode, live slots must equal {!in_use}
+    and free + in-use must equal {!count}; in circular mode the cursor
+    must lie inside the pool.  [Some detail] on violation. *)

@@ -53,6 +53,15 @@ let create ?(cfg = Config.default) ?(ports = eval_board_ports)
         ~count:cfg.buffer_count ();
   }
 
+let set_faults t inj =
+  Mem.set_faults t.dram inj;
+  Mem.set_faults t.sram inj;
+  Mem.set_faults t.scratch inj;
+  Fifo.set_faults t.in_fifo inj;
+  Fifo.set_faults t.out_fifo inj;
+  Array.iter (fun p -> Mac_port.set_faults p inj) t.ports;
+  Buffer_pool.set_faults t.buffers inj
+
 let context_me t ctx = t.mes.(ctx / t.cfg.contexts_per_me)
 
 let elapsed t = Sim.Engine.time t.engine

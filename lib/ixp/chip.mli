@@ -36,6 +36,10 @@ val create :
     [circular_buffers] (default true) selects the paper's single-pass
     circular buffer pool; false selects the stack-pool alternative. *)
 
+val set_faults : t -> Fault.Injector.t -> unit
+(** Arm every fault point on the chip — memory channels, transfer FIFOs,
+    MAC ports, and the buffer pool — with one shared injector. *)
+
 val context_me : t -> int -> Microengine.t
 (** [context_me chip ctx] is the MicroEngine hosting global context number
     [ctx] (contexts are numbered ME-major: context 0..3 on ME 0, ...). *)

@@ -1,15 +1,39 @@
-type t = { slots : Packet.Mp.t option array; mutable transfers : int }
+type t = {
+  slots : Packet.Mp.t option array;
+  mutable transfers : int;
+  mutable faults : Fault.Injector.t option;
+}
 
 let create ~slots () =
   if slots <= 0 then invalid_arg "Fifo.create";
-  { slots = Array.make slots None; transfers = 0 }
+  { slots = Array.make slots None; transfers = 0; faults = None }
+
+let set_faults t inj = t.faults <- Some inj
 
 let slots t = Array.length t.slots
+
+let flip_mp inj (mp : Packet.Mp.t) =
+  (* Flip one bit in a copy: the FIFO slot is damaged, not the DRAM
+     frame the MP was cut from. *)
+  let data = Bytes.copy mp.Packet.Mp.data in
+  let len = Bytes.length data in
+  if len > 0 then begin
+    let i = Fault.Injector.draw_int inj len in
+    let bit = Fault.Injector.draw_int inj 8 in
+    Bytes.set data i
+      (Char.chr (Char.code (Bytes.get data i) lxor (1 lsl bit)))
+  end;
+  { mp with Packet.Mp.data }
 
 let load t i mp =
   match t.slots.(i) with
   | Some _ -> invalid_arg "Fifo.load: slot occupied"
   | None ->
+      let mp =
+        match t.faults with
+        | Some inj when Fault.Injector.fires inj Fifo_flip -> flip_mp inj mp
+        | _ -> mp
+      in
       t.slots.(i) <- Some mp;
       t.transfers <- t.transfers + 1
 

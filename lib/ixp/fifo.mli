@@ -9,6 +9,10 @@ type t
 
 val create : slots:int -> unit -> t
 
+val set_faults : t -> Fault.Injector.t -> unit
+(** Enable per-load single-bit flips ([fifo_flip] rate): the slot
+    receives a damaged copy of the MP. *)
+
 val slots : t -> int
 
 val load : t -> int -> Packet.Mp.t -> unit

@@ -10,8 +10,10 @@ type t = {
   mutable tx_horizon : int64; (* when the wire finishes what it has *)
   mutable rx_frames : int;
   mutable rx_dropped : int;
+  mutable rx_lost : int;
   mutable tx_frames : int;
   mutable tx_errors : int;
+  mutable faults : Fault.Injector.t option;
 }
 
 let create _engine ~id ~mbps ~rx_slots ?(sink = fun _ -> ()) () =
@@ -25,15 +27,33 @@ let create _engine ~id ~mbps ~rx_slots ?(sink = fun _ -> ()) () =
     tx_horizon = 0L;
     rx_frames = 0;
     rx_dropped = 0;
+    rx_lost = 0;
     tx_frames = 0;
     tx_errors = 0;
+    faults = None;
   }
 
 let id t = t.id
 let mbps t = t.mbps
 let set_sink t f = t.sink <- f
+let set_faults t inj = t.faults <- Some inj
 
-let offer t f =
+(* What the wire actually delivered, faults applied: [None] means the
+   frame was lost outright. *)
+let wire_damage t f =
+  match t.faults with
+  | None -> Some f
+  | Some inj ->
+      if Fault.Injector.mac_frame_lost inj then None
+      else if Fault.Injector.fires inj Mac_garbage then
+        Some (Fault.Injector.garbage_frame inj f)
+      else if Fault.Injector.fires inj Mac_truncate then
+        Some (Fault.Injector.truncate_frame inj f)
+      else if Fault.Injector.fires inj Mac_corrupt then
+        Some (Fault.Injector.corrupt_frame inj f)
+      else Some f
+
+let offer_clean t f =
   let n = Packet.Mp.count (Packet.Frame.len f) in
   if Queue.length t.rx + n > t.rx_slots then begin
     t.rx_dropped <- t.rx_dropped + 1;
@@ -53,6 +73,13 @@ let offer t f =
     t.rx_frames <- t.rx_frames + 1;
     true
   end
+
+let offer t f =
+  match wire_damage t f with
+  | None ->
+      t.rx_lost <- t.rx_lost + 1;
+      false
+  | Some f -> offer_clean t f
 
 let rdy t = not (Queue.is_empty t.rx)
 
@@ -108,6 +135,7 @@ let transmit_mp t mp ~len_hint =
 
 let rx_frames t = t.rx_frames
 let rx_dropped t = t.rx_dropped
+let rx_lost t = t.rx_lost
 let tx_frames t = t.tx_frames
 let tx_errors t = t.tx_errors
 let occupancy t = Queue.length t.rx

@@ -27,6 +27,13 @@ val set_sink : t -> (Packet.Frame.t -> unit) -> unit
 (** Replace where transmitted frames are delivered — e.g. wire this port
     to another router's receive side to build multi-router topologies. *)
 
+val set_faults : t -> Fault.Injector.t -> unit
+(** Enable wire-level fault injection on this port's receive side: burst
+    frame loss, whole-frame garbage, truncation, and byte corruption,
+    applied (in that precedence) to each offered frame before it enters
+    port memory.  Mangled frames are copies; the source's frame is never
+    written. *)
+
 (** {1 Receive (wire to router)} *)
 
 val offer : t -> Packet.Frame.t -> bool
@@ -78,6 +85,9 @@ val rx_frames : t -> int
 
 val rx_dropped : t -> int
 (** Frames lost to port-memory overflow. *)
+
+val rx_lost : t -> int
+(** Frames lost to injected wire faults (never entered port memory). *)
 
 val tx_frames : t -> int
 (** Frames fully transmitted. *)

@@ -3,10 +3,13 @@ type t = {
   timing : Config.mem_timing;
   server : Sim.Server.t;
   mutable ops : int;
+  mutable faults : Fault.Injector.t option;
 }
 
 let create clock ~name timing =
-  { clock; timing; server = Sim.Server.create ~name (); ops = 0 }
+  { clock; timing; server = Sim.Server.create ~name (); ops = 0; faults = None }
+
+let set_faults t inj = t.faults <- Some inj
 
 let read_ops t ~bytes =
   if bytes <= 0 then 0 else (bytes + t.timing.unit_bytes - 1) / t.timing.unit_bytes
@@ -18,8 +21,29 @@ let transfer t ~bytes ~cycles =
   in
   let latency = Sim.Engine.Clock.ps_of_cycles t.clock cycles in
   for _ = 1 to n do
-    Sim.Server.access t.server ~occupancy ~latency;
-    t.ops <- t.ops + 1
+    match t.faults with
+    | None ->
+        Sim.Server.access t.server ~occupancy ~latency;
+        t.ops <- t.ops + 1
+    | Some inj ->
+        if Fault.Injector.fires inj Mem_drop then
+          (* The operation vanishes: no bus time, no completion. *)
+          ()
+        else begin
+          let latency =
+            if Fault.Injector.fires inj Mem_delay then
+              Int64.add latency
+                (Sim.Engine.Clock.ps_of_cycles t.clock
+                   (Fault.Injector.scenario inj).Fault.Scenario.mem_delay_cycles)
+            else latency
+          in
+          (* Data corruption is timing-invisible here (this channel moves
+             only accounting, not payload); the flip is counted so the
+             invariant layer can correlate it with downstream damage. *)
+          ignore (Fault.Injector.fires inj Mem_flip : bool);
+          Sim.Server.access t.server ~occupancy ~latency;
+          t.ops <- t.ops + 1
+        end
   done
 
 let read t ~bytes = transfer t ~bytes ~cycles:t.timing.read_cycles

@@ -13,6 +13,11 @@ val create :
   Sim.Engine.Clock.clock -> name:string -> Config.mem_timing -> t
 (** [create clock ~name timing] is an idle channel. *)
 
+val set_faults : t -> Fault.Injector.t -> unit
+(** Enable fault injection on this channel: per-operation drops (the
+    operation consumes no bus time), stalls ([mem_delay_cycles] extra
+    latency), and counted bit flips. *)
+
 val read : t -> bytes:int -> unit
 (** [read ch ~bytes] (inside a fiber) performs [ceil (bytes/unit)] read
     operations, blocking for their cumulative latency. *)

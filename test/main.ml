@@ -6,6 +6,7 @@ let () =
       ("packet", Test_packet.tests);
       ("iproute", Test_iproute.tests);
       ("ixp", Test_ixp.tests);
+      ("fault", Test_fault.tests);
       ("router", Test_router.tests);
       ("forwarders", Test_forwarders.tests);
       ("workload", Test_workload.tests);

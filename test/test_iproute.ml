@@ -288,6 +288,87 @@ let patricia_add_remove =
           done;
           !ok)
 
+(* Differential check of all engines against the linear specification on
+   one table, over [n_addrs] addresses biased toward actual table hits
+   (uniform random addresses mostly exercise only the default route). *)
+let check_engines_on ~what ~rng ~n_addrs bindings =
+  let bt =
+    List.fold_left
+      (fun t (p, v) -> Iproute.Btrie.add t p v)
+      Iproute.Btrie.empty bindings
+  in
+  let pat =
+    List.fold_left
+      (fun t (p, v) -> Iproute.Patricia.add t p v)
+      Iproute.Patricia.empty bindings
+  in
+  let cpe = Iproute.Cpe.build bindings in
+  for i = 1 to n_addrs do
+    let a =
+      if i mod 2 = 0 || bindings = [] then Sim.Rng.int32 rng
+      else Iproute.Gen.matching_addr ~rng bindings
+    in
+    let expect = Option.map snd (linear_lookup bindings a) in
+    let say engine got =
+      Alcotest.(check (option int))
+        (Format.asprintf "%s: %s on %a" what engine Packet.Ipv4.pp_addr a)
+        expect got
+    in
+    say "btrie" (Option.map snd (Iproute.Btrie.lookup bt a));
+    say "patricia" (Option.map snd (Iproute.Patricia.lookup pat a));
+    say "cpe" (Option.map snd (Iproute.Cpe.lookup cpe a))
+  done
+
+let engines_agree_realistic () =
+  (* Generated /24-heavy tables of ~1000 routes, each with a default route
+     and a deliberately overlapping chain of nested prefixes, checked over
+     thousands of addresses per seed.  A failure names the seed. *)
+  List.iter
+    (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let base = Iproute.Gen.table ~rng ~n:1000 ~n_ports:8 in
+      let overlapping =
+        List.map
+          (fun s -> (pfx_of s, 1000 + String.length s))
+          [
+            "10.0.0.0/8"; "10.64.0.0/10"; "10.64.0.0/16"; "10.64.32.0/20";
+            "10.64.32.0/24"; "10.64.32.128/25"; "10.64.32.129/32";
+          ]
+      in
+      let bindings =
+        dedup ((Iproute.Prefix.default, 999) :: (overlapping @ base))
+      in
+      check_engines_on
+        ~what:(Printf.sprintf "seed %Ld" seed)
+        ~rng ~n_addrs:2000 bindings;
+      (* The nested chain specifically: walk addresses at each nesting
+         depth so every length on the chain wins at least once. *)
+      List.iter
+        (fun (a, expect) ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "seed %Ld: chain depth %s" seed a)
+            (Some expect)
+            (Option.map snd (linear_lookup bindings (addr a))))
+        [
+          ("10.200.0.1", 1000 + String.length "10.0.0.0/8");
+          ("10.65.0.1", 1000 + String.length "10.64.0.0/10");
+          ("10.64.200.1", 1000 + String.length "10.64.0.0/16");
+          ("10.64.40.1", 1000 + String.length "10.64.32.0/20");
+          ("10.64.32.1", 1000 + String.length "10.64.32.0/24");
+          ("10.64.32.200", 1000 + String.length "10.64.32.128/25");
+          ("10.64.32.129", 1000 + String.length "10.64.32.129/32");
+        ])
+    [ 5L; 17L ]
+
+let engines_agree_default_only () =
+  (* Degenerate tables: only a default route, and entirely empty — the
+     edges where a longest-prefix walk is most likely to mishandle
+     length-0 matches. *)
+  let rng = Sim.Rng.create 3L in
+  check_engines_on ~what:"default-only" ~rng ~n_addrs:200
+    [ (Iproute.Prefix.default, 7) ];
+  check_engines_on ~what:"empty" ~rng ~n_addrs:200 []
+
 let generated_table_shape () =
   let rng = Sim.Rng.create 99L in
   let bindings = Iproute.Gen.table ~rng ~n:1000 ~n_ports:8 in
@@ -341,5 +422,9 @@ let tests =
       selective_invalidation_scope;
     Alcotest.test_case "patricia compression" `Quick patricia_compression;
     Alcotest.test_case "generated table shape" `Quick generated_table_shape;
+    Alcotest.test_case "engines agree on realistic tables" `Slow
+      engines_agree_realistic;
+    Alcotest.test_case "engines agree on degenerate tables" `Quick
+      engines_agree_default_only;
   ]
   @ qsuite

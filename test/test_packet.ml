@@ -174,6 +174,155 @@ let tcp_incremental_u32 () =
   Packet.Tcp.update_cksum_u32 f ~old_v ~new_v;
   Alcotest.(check bool) "checksum still ok" true (Packet.Tcp.cksum_ok f)
 
+(* --- codec round-trips: build -> parse -> rebuild = identity ---------- *)
+
+(* Recover the L4 payload from the lengths the headers claim, not from the
+   frame length (frames are padded to the Ethernet minimum). *)
+let parsed_payload f ~l4_header_len =
+  let data_off = Packet.Ipv4.payload_offset f + l4_header_len in
+  let data_len =
+    Packet.Ipv4.get_total_len f - Packet.Ipv4.header_len f - l4_header_len
+  in
+  String.init data_len (fun i -> Char.chr (Packet.Frame.get_u8 f (data_off + i)))
+
+let udp_codec_roundtrip =
+  QCheck.Test.make ~name:"udp build->parse->rebuild identity" ~count:200
+    QCheck.(
+      quad (pair int32 int32)
+        (pair (int_bound 65535) (int_bound 65535))
+        (int_range 1 255)
+        (string_of_size (Gen.int_range 0 40)))
+    (fun ((src, dst), (src_port, dst_port), ttl, payload) ->
+      let f =
+        Packet.Build.udp ~src ~dst ~src_port ~dst_port ~ttl ~payload ()
+      in
+      let g =
+        Packet.Build.udp ~src:(Packet.Ipv4.get_src f)
+          ~dst:(Packet.Ipv4.get_dst f)
+          ~src_port:(Packet.Udp.get_src_port f)
+          ~dst_port:(Packet.Udp.get_dst_port f)
+          ~ttl:(Packet.Ipv4.get_ttl f)
+          ~payload:(parsed_payload f ~l4_header_len:8)
+          ()
+      in
+      Packet.Frame.equal f g)
+
+let tcp_codec_roundtrip =
+  QCheck.Test.make ~name:"tcp build->parse->rebuild identity" ~count:200
+    QCheck.(
+      quad (pair int32 int32)
+        (pair (int_bound 65535) (int_bound 65535))
+        (pair int32 int32)
+        (pair (int_bound 0xFF) (string_of_size (Gen.int_range 0 40))))
+    (fun ((src, dst), (src_port, dst_port), (seq, ack), (flags, payload)) ->
+      let f =
+        Packet.Build.tcp ~src ~dst ~src_port ~dst_port ~seq ~ack ~flags
+          ~payload ()
+      in
+      let g =
+        Packet.Build.tcp ~src:(Packet.Ipv4.get_src f)
+          ~dst:(Packet.Ipv4.get_dst f)
+          ~src_port:(Packet.Tcp.get_src_port f)
+          ~dst_port:(Packet.Tcp.get_dst_port f)
+          ~ttl:(Packet.Ipv4.get_ttl f) ~seq:(Packet.Tcp.get_seq f)
+          ~ack:(Packet.Tcp.get_ack f)
+          ~flags:(Packet.Tcp.get_flags f)
+          ~payload:(parsed_payload f ~l4_header_len:20)
+          ()
+      in
+      Packet.Frame.equal f g)
+
+let icmp_codec_roundtrip =
+  QCheck.Test.make ~name:"icmp echo build->parse->rebuild identity" ~count:200
+    QCheck.(
+      quad int32 int32 (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (src, dst, id, seq) ->
+      let f = Packet.Icmp.echo_request ~src ~dst ~id ~seq () in
+      (* No dedicated id/seq accessors: they live at bytes 4-5 and 6-7 of
+         the ICMP message. *)
+      let base = Packet.Ipv4.payload_offset f in
+      let g =
+        Packet.Icmp.echo_request ~src:(Packet.Ipv4.get_src f)
+          ~dst:(Packet.Ipv4.get_dst f)
+          ~id:(Packet.Frame.get_u16 f (base + 4))
+          ~seq:(Packet.Frame.get_u16 f (base + 6))
+          ()
+      in
+      Packet.Icmp.get_type f = Packet.Icmp.type_echo_request
+      && Packet.Icmp.checksum_ok f
+      && Packet.Frame.equal f g)
+
+let mpls_codec_roundtrip =
+  QCheck.Test.make ~name:"mpls push->parse->rebuild identity" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 3)
+           (triple (int_bound 0xFFFFF) (int_bound 7) (int_range 0 255)))
+        (pair int32 int32))
+    (fun (entries, (src, dst)) ->
+      let inner () =
+        Packet.Build.udp ~src ~dst ~src_port:7 ~dst_port:8 ~payload:"x" ()
+      in
+      let f = inner () in
+      List.iter
+        (fun (label, tc, ttl) ->
+          Packet.Mpls.push f { Packet.Mpls.label; tc; bos = false; ttl })
+        entries;
+      Packet.Mpls.is_mpls f
+      && Packet.Mpls.stack_depth f = List.length entries
+      && Packet.Mpls.payload_is_ipv4 f
+      &&
+      (* Rebuild from the parsed stack (deepest entry pushed first). *)
+      let parsed =
+        List.init (Packet.Mpls.stack_depth f) (Packet.Mpls.read_entry f)
+      in
+      let g = inner () in
+      List.iter
+        (fun e -> Packet.Mpls.push g { e with Packet.Mpls.bos = false })
+        (List.rev parsed);
+      Packet.Frame.equal f g
+      &&
+      (* Popping the whole stack restores the original frame exactly. *)
+      (let popped = List.map (fun _ -> Packet.Mpls.pop f) parsed in
+       List.map
+         (fun (e : Packet.Mpls.entry) -> (e.label, e.tc, e.ttl))
+         popped
+       = List.rev (List.map (fun (l, tc, ttl) -> (l, tc, ttl)) entries)
+       && Packet.Frame.equal f (inner ())))
+
+let ipv4_flip_invalidates =
+  (* Damaging any single header byte without refreshing the checksum must
+     be caught: a one-byte delta can never cancel in the one's-complement
+     sum, and the escape audit leans on exactly this property. *)
+  QCheck.Test.make ~name:"ipv4 header byte flip invalidates" ~count:300
+    QCheck.(pair (int_bound 19) (int_range 1 255))
+    (fun (byte, mask) ->
+      let f = sample_udp () in
+      let i = Packet.Ipv4.offset + byte in
+      Packet.Frame.set_u8 f i (Packet.Frame.get_u8 f i lxor mask);
+      not (Packet.Ipv4.valid f))
+
+let tcp_flip_invalidates =
+  QCheck.Test.make ~name:"tcp header byte flip invalidates" ~count:300
+    QCheck.(pair (int_bound 19) (int_range 1 255))
+    (fun (byte, mask) ->
+      let f = sample_tcp () in
+      let i = Packet.Ipv4.payload_offset f + byte in
+      Packet.Frame.set_u8 f i (Packet.Frame.get_u8 f i lxor mask);
+      not (Packet.Tcp.cksum_ok f))
+
+let icmp_flip_invalidates =
+  QCheck.Test.make ~name:"icmp message byte flip invalidates" ~count:300
+    QCheck.(pair (int_bound 7) (int_range 1 255))
+    (fun (byte, mask) ->
+      let f =
+        Packet.Icmp.echo_request ~src:(addr "10.0.0.1") ~dst:(addr "10.0.0.2")
+          ~id:7 ~seq:9 ()
+      in
+      let i = Packet.Ipv4.payload_offset f + byte in
+      Packet.Frame.set_u8 f i (Packet.Frame.get_u8 f i lxor mask);
+      not (Packet.Icmp.checksum_ok f))
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -182,6 +331,13 @@ let qsuite =
       checksum_rfc1624_update;
       checksum_verify_roundtrip;
       mp_roundtrip;
+      udp_codec_roundtrip;
+      tcp_codec_roundtrip;
+      icmp_codec_roundtrip;
+      mpls_codec_roundtrip;
+      ipv4_flip_invalidates;
+      tcp_flip_invalidates;
+      icmp_flip_invalidates;
     ]
 
 let tests =
