@@ -30,6 +30,7 @@ let experiments =
     ("cluster", "Extension: four-member cluster (section 6)", Cluster_bench.run);
     ("fault_matrix", "Extension: invariants under fault injection",
      Fault_matrix.run);
+    ("perf", "Infrastructure: simulator packets-per-wall-second", Perf.run);
   ]
 
 let usage () =

@@ -64,6 +64,7 @@ let run_case ~use_wfq =
           notify = None;
           idle_backoff_cycles = 64;
           scope = None;
+          recycle = None;
         }
       in
       (* Each class offers the full output line rate: 2x overload

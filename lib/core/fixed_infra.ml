@@ -298,6 +298,7 @@ let run ?telemetry cfg =
             notify = None;
             idle_backoff_cycles = 64;
             scope = input_scope;
+            recycle = None;
           }
         in
         Input_loop.spawn_context t chip ~ring:input_ring ~slot:seq ~ctx_id

@@ -39,7 +39,13 @@ type t = {
   notify : (int -> unit) option;
   idle_backoff_cycles : int;
   scope : Telemetry.Scope.t option;
+  recycle : (Packet.Frame.t -> unit) option;
 }
+
+(* A dropped frame never reaches the buffer pool, so its release hook
+   never fires; hand it back to the frame pool here instead. *)
+let recycle_frame t frame =
+  match t.recycle with None -> () | Some r -> r frame
 
 (* Drops are the robustness signal the telemetry layer exists for; they
    are rare on the fast path, so an event per drop is affordable. *)
@@ -137,7 +143,8 @@ let spawn_context t chip ~ring ~slot ~ctx_id ~source ~stats =
                 (match target with
                 | Drop_it ->
                     Sim.Stats.Counter.incr stats.drop_by_process;
-                    drop_event t "drop: protocol processing"
+                    drop_event t "drop: protocol processing";
+                    recycle_frame t frame
                 | To_queue { qid; out_port; fid } -> (
                     (* A stack pool can run dry (the circular pool never
                        does — it overwrites); an empty pool drops the
@@ -146,7 +153,8 @@ let spawn_context t chip ~ring ~slot ~ctx_id ~source ~stats =
                     match Buffer_pool.alloc chip.Chip.buffers frame with
                     | exception Failure _ ->
                         Sim.Stats.Counter.incr stats.enq_drop;
-                        drop_event t "drop: buffer pool dry"
+                        drop_event t "drop: buffer pool dry";
+                        recycle_frame t frame
                     | buf ->
                         let desc =
                           Desc.make ~buf ~len:(Packet.Frame.len frame)

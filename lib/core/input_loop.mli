@@ -59,6 +59,11 @@ type t = {
   scope : Telemetry.Scope.t option;
       (** telemetry scope receiving one event per dropped packet (queue
           full, pool dry, protocol drop); [None] records nothing *)
+  recycle : (Packet.Frame.t -> unit) option;
+      (** fired with frames dropped before reaching the buffer pool
+          (protocol drop, pool dry), so a {!Packet.Frame_pool} feeding
+          the sources gets every frame back; [None] for unpooled
+          traffic *)
 }
 
 val spawn_context :

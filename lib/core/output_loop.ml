@@ -30,10 +30,15 @@ type t = {
   scope : Telemetry.Scope.t option;
 }
 
+(* The frame sits assembled in its DRAM buffer the whole time it is in
+   flight; transmission walks an MP *cursor* over it rather than
+   materializing an MP list (the split/join pair allocated a full copy of
+   every forwarded packet). *)
 type in_flight = {
   desc : Desc.t;
   frame : Packet.Frame.t;
-  mutable mps : Packet.Mp.t list; (* remaining to transmit *)
+  total : int; (* MPs in the frame *)
+  mutable next : int; (* next MP index to transmit *)
 }
 
 (* Dequeue bookkeeping shared by every discipline: select_queue charges are
@@ -53,45 +58,47 @@ let take_packet t ctx chip stats desc =
       | Some scope ->
           Telemetry.Scope.event scope "stale buffer: circular pool lapped");
       None
-  | Some frame -> Some { desc; frame; mps = Packet.Mp.split frame }
+  | Some frame ->
+      Some
+        { desc; frame; total = Packet.Mp.count (Packet.Frame.len frame); next = 0 }
 
 (* Move one MP of [inflight] to its port's FIFO if the wire has room.
    Returns false when the slot is busy (caller polls again). *)
 let push_mp t ctx chip stats inflight ~on_done =
-  match inflight.mps with
-  | [] ->
-      on_done ();
+  if inflight.next >= inflight.total then begin
+    on_done ();
+    true
+  end
+  else begin
+    let port = t.port_for inflight.desc in
+    let last = inflight.next = inflight.total - 1 in
+    let ok =
+      match port with None -> true | Some p -> Ixp.Mac_port.tx_pace_ok p ~last
+    in
+    if not ok then false
+    else begin
+      (* DRAM buffer to output FIFO, then slot enable. *)
+      Chip_ctx.dram_read ctx ~bytes:Packet.Mp.size;
+      Chip_ctx.exec ctx t.cm.Cost_model.output_mp_instr;
+      inflight.next <- inflight.next + 1;
+      Sim.Stats.Counter.incr stats.mps_out;
+      if last then begin
+        (match port with
+        | Some p ->
+            Ixp.Mac_port.transmit_frame p inflight.frame
+              ~len:(Packet.Frame.len inflight.frame)
+        | None -> ());
+        on_done ();
+        (* Return the DRAM buffer (a no-op for the circular pool). *)
+        Ixp.Buffer_pool.free chip.Ixp.Chip.buffers inflight.desc.Desc.buf;
+        Sim.Stats.Counter.incr stats.pkts_out;
+        match t.on_tx with
+        | Some f -> f inflight.desc inflight.frame
+        | None -> ()
+      end;
       true
-  | mp :: rest -> (
-      let slot =
-        match t.port_for inflight.desc with
-        | None -> `Ok
-        | Some p -> Ixp.Mac_port.tx_try_pace p ~tag:mp.Packet.Mp.tag
-      in
-      match slot with
-      | `Wait _ -> false
-      | `Ok ->
-          (* DRAM buffer to output FIFO, then slot enable. *)
-          Chip_ctx.dram_read ctx ~bytes:Packet.Mp.size;
-          Chip_ctx.exec ctx t.cm.Cost_model.output_mp_instr;
-          inflight.mps <- rest;
-          Sim.Stats.Counter.incr stats.mps_out;
-          (match t.port_for inflight.desc with
-          | Some p ->
-              Ixp.Mac_port.transmit_mp p mp
-                ~len_hint:(Packet.Frame.len inflight.frame)
-          | None -> ());
-          if rest = [] then begin
-            on_done ();
-            (* Return the DRAM buffer (a no-op for the circular pool). *)
-            Ixp.Buffer_pool.free chip.Ixp.Chip.buffers
-              inflight.desc.Desc.buf;
-            Sim.Stats.Counter.incr stats.pkts_out;
-            match t.on_tx with
-            | Some f -> f inflight.desc inflight.frame
-            | None -> ()
-          end;
-          true)
+    end
+  end
 
 (* One iteration per MP, exactly Figure 6: the token section, then — when
    the previous packet finished — select_queue and dequeue, then one MP

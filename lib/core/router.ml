@@ -82,6 +82,7 @@ type t = {
   invariants : Fault.Invariant.t;
   invalid_escapes : int ref;
   vrp_detected : int ref;
+  mutable frame_pool : Packet.Frame_pool.t option;
 }
 
 let mes_used ~n = (n + 3) / 4
@@ -343,7 +344,17 @@ let create ?(config = default_config) ?engine () =
     invariants;
     invalid_escapes;
     vrp_detected;
+    frame_pool = None;
   }
+
+(* Attach a frame pool before {!start}: dropped and released frames flow
+   back to it, and its conservation becomes a checked invariant. *)
+let set_frame_pool t pool =
+  t.frame_pool <- Some pool;
+  Ixp.Buffer_pool.set_release t.chip.Ixp.Chip.buffers (fun f ->
+      Packet.Frame_pool.give pool f);
+  Fault.Invariant.register t.invariants "frame-pool-conservation" (fun () ->
+      Packet.Frame_pool.check pool)
 
 let qid_sa_local t = total_ports t.config
 
@@ -525,6 +536,10 @@ let start ?process t =
       notify = Some notify;
       idle_backoff_cycles = 128;
       scope = Some t.input_scope;
+      recycle =
+        (match t.frame_pool with
+        | None -> None
+        | Some p -> Some (fun f -> Packet.Frame_pool.give p f));
     }
   in
   (* Contexts per port in proportion to line rate (every port gets at
@@ -607,12 +622,13 @@ let start ?process t =
          if load.(j) < load.(!best) then best := j
        done;
        load.(!best) <- load.(!best) +. port_mbps_of p;
-       out_assignment.(!best) <- out_assignment.(!best) @ [ p ])
+       (* Reversed accumulation; re-reversed once at the use site. *)
+       out_assignment.(!best) <- p :: out_assignment.(!best))
      ports_by_speed);
   for j = 0 to n_out - 1 do
     let n_out_me = mes_used ~n:n_out in
     let ctx_id = ((n_in_me + (j mod n_out_me)) * 4) + (j / n_out_me) in
-    let my_ports = out_assignment.(j) in
+    let my_ports = List.rev out_assignment.(j) in
     match my_ports with
     | [] -> ()
     | _ :: extra ->

@@ -107,11 +107,22 @@ type t = {
           progress, and (under injection) VRP budget detection *)
   invalid_escapes : int ref;  (** malformed frames seen leaving a port *)
   vrp_detected : int ref;  (** injected budget overruns admission caught *)
+  mutable frame_pool : Packet.Frame_pool.t option;
+      (** attached via {!set_frame_pool}; [None] leaves every allocation
+          path exactly as before *)
 }
 
 val create : ?config:config -> ?engine:Sim.Engine.t -> unit -> t
 (** Build (does not start fibers).  Pass a shared [engine] to place
     several routers in one simulation (see {!connect}). *)
+
+val set_frame_pool : t -> Packet.Frame_pool.t -> unit
+(** Attach a {!Packet.Frame_pool} (call before {!start}).  Frames the
+    router is done with — dropped at input, or released by the DRAM
+    buffer pool — are given back to it, and its conservation invariant
+    joins the audited set.  Purely an allocation-recycling concern: the
+    simulated timing, counters, and delivered traffic are identical with
+    or without a pool. *)
 
 val add_route : t -> Iproute.Prefix.t -> port:int -> unit
 (** Convenience: route a prefix out a port via that port's peer MAC. *)

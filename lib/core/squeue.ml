@@ -1,7 +1,16 @@
+(* The paper's queues are circular arrays in SRAM; this one is a
+   circular array too, because it sits on the per-packet path of every
+   discipline — a pointer-chasing queue would allocate a cell per
+   descriptor.  The backing array is sized to the capacity (rounded to a
+   power of two for mask indexing) and allocated on the first push, when
+   a descriptor exists to seed the slots with. *)
 type t = {
   name : string;
   capacity : int;
-  items : Desc.t Queue.t;
+  mask : int;
+  mutable arr : Desc.t array; (* [||] until first push *)
+  mutable head : int;
+  mutable len : int;
   mutex : Sim.Mutex.t;
   mutable enqueued : int;
   mutable dequeued : int;
@@ -11,10 +20,20 @@ type t = {
 
 let create ?(name = "queue") ~capacity () =
   if capacity <= 0 then invalid_arg "Squeue.create: capacity";
+  let cap_pow2 =
+    let c = ref 1 in
+    while !c < capacity do
+      c := !c * 2
+    done;
+    !c
+  in
   {
     name;
     capacity;
-    items = Queue.create ();
+    mask = cap_pow2 - 1;
+    arr = [||];
+    head = 0;
+    len = 0;
     mutex = Sim.Mutex.create ~name:(name ^ ".mutex") ();
     enqueued = 0;
     dequeued = 0;
@@ -26,28 +45,32 @@ let name q = q.name
 let capacity q = q.capacity
 
 let push q d =
-  if Queue.length q.items >= q.capacity then begin
+  if q.len >= q.capacity then begin
     q.dropped <- q.dropped + 1;
     false
   end
   else begin
-    Queue.push d q.items;
+    if Array.length q.arr = 0 then q.arr <- Array.make (q.mask + 1) d;
+    Array.unsafe_set q.arr ((q.head + q.len) land q.mask) d;
+    q.len <- q.len + 1;
     q.enqueued <- q.enqueued + 1;
-    let len = Queue.length q.items in
-    if len > q.peak then q.peak <- len;
+    if q.len > q.peak then q.peak <- q.len;
     true
   end
 
 let pop q =
-  match Queue.take_opt q.items with
-  | None -> None
-  | Some d ->
-      q.dequeued <- q.dequeued + 1;
-      Some d
+  if q.len = 0 then None
+  else begin
+    let d = Array.unsafe_get q.arr q.head in
+    q.head <- (q.head + 1) land q.mask;
+    q.len <- q.len - 1;
+    q.dequeued <- q.dequeued + 1;
+    Some d
+  end
 
-let peek q = Queue.peek_opt q.items
-let length q = Queue.length q.items
-let is_empty q = Queue.is_empty q.items
+let peek q = if q.len = 0 then None else Some (Array.unsafe_get q.arr q.head)
+let length q = q.len
+let is_empty q = q.len = 0
 let mutex q = q.mutex
 let enqueued q = q.enqueued
 let dequeued q = q.dequeued
@@ -55,19 +78,19 @@ let dropped q = q.dropped
 let peak_length q = q.peak
 
 let check q =
-  let len = Queue.length q.items in
-  if len > q.capacity then
-    Some (Printf.sprintf "%s: depth %d exceeds capacity %d" q.name len
-            q.capacity)
-  else if q.enqueued <> q.dequeued + len then
+  if q.len > q.capacity then
+    Some
+      (Printf.sprintf "%s: depth %d exceeds capacity %d" q.name q.len
+         q.capacity)
+  else if q.enqueued <> q.dequeued + q.len then
     Some
       (Printf.sprintf "%s: enqueued %d <> dequeued %d + depth %d" q.name
-         q.enqueued q.dequeued len)
+         q.enqueued q.dequeued q.len)
   else None
 
 let register_telemetry scope q =
   let g = Telemetry.Scope.gauge_int scope in
-  g "depth" (fun () -> Queue.length q.items);
+  g "depth" (fun () -> q.len);
   g "peak_depth" (fun () -> q.peak);
   g "enqueued" (fun () -> q.enqueued);
   g "dequeued" (fun () -> q.dequeued);

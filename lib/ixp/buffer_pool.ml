@@ -15,9 +15,15 @@ type t = {
   mutable stale_reads : int;
   mutable in_use : int;
   mutable faults : Fault.Injector.t option;
+  (* Called with a frame the pool no longer references: a stack-mode
+     free, or a circular-mode eviction.  Lets an upstream frame pool
+     recycle the storage; gated on [Some] so the default path and its
+     counters ([overwrites] included) are untouched. *)
+  mutable on_release : (Packet.Frame.t -> unit) option;
 }
 
 let set_faults t inj = t.faults <- Some inj
+let set_release t f = t.on_release <- Some f
 
 let make_slots count =
   Array.init count (fun _ -> { frame = None; generation = 0; live = false })
@@ -31,6 +37,7 @@ let create_circular ~count () =
     stale_reads = 0;
     in_use = 0;
     faults = None;
+    on_release = None;
   }
 
 let create_stack ~count () =
@@ -46,6 +53,7 @@ let create_stack ~count () =
     stale_reads = 0;
     in_use = 0;
     faults = None;
+    on_release = None;
   }
 
 let alloc t frame =
@@ -58,7 +66,11 @@ let alloc t frame =
       let index = c.next in
       c.next <- (c.next + 1) mod Array.length t.slots;
       let slot = t.slots.(index) in
-      if slot.frame <> None then t.overwrites <- t.overwrites + 1;
+      (match slot.frame with
+      | None -> ()
+      | Some old ->
+          t.overwrites <- t.overwrites + 1;
+          (match t.on_release with Some r -> r old | None -> ()));
       slot.generation <- slot.generation + 1;
       slot.frame <- Some frame;
       { index; generation = slot.generation }
@@ -87,6 +99,9 @@ let free t h =
       let slot = t.slots.(h.index) in
       if slot.live && slot.generation = h.generation then begin
         slot.live <- false;
+        (match slot.frame, t.on_release with
+        | Some f, Some r -> r f
+        | _ -> ());
         slot.frame <- None;
         t.in_use <- t.in_use - 1;
         Stack.push h.index free

@@ -47,6 +47,13 @@ val in_use : t -> int
 val count : t -> int
 (** Total buffers in the pool. *)
 
+val set_release : t -> (Packet.Frame.t -> unit) -> unit
+(** [set_release t f] calls [f frame] whenever the pool drops its last
+    reference to a frame — a stack-mode {!free} or a circular-mode
+    eviction at {!alloc} — so an upstream {!Packet.Frame_pool} can
+    recycle the storage.  Counters ({!overwrites} included) behave
+    identically with or without a hook installed. *)
+
 val set_faults : t -> Fault.Injector.t -> unit
 (** Enable injected allocation failures: {!alloc} raises [Failure] with
     probability [pool_fail], in either mode — exercising every caller's

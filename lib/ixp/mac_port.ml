@@ -1,13 +1,27 @@
 type rx_item = { tag : Packet.Mp.tag; index : int; frame : Packet.Frame.t }
 
+(* Receive-side port memory is a preallocated ring of MP slots rather
+   than a linked queue: one frame fans out into up to rx_slots entries
+   per arrival, and the input contexts drain one entry per token
+   rotation, so this is a per-MP hot path on both sides.  Each entry is
+   an int (index lsl 2 lor tag code) plus the frame reference, held in
+   parallel arrays. *)
 type t = {
   id : int;
   mbps : float;
   rx_slots : int;
-  rx : rx_item Queue.t;
+  r_meta : int array;
+  r_fr : Packet.Frame.t array;
+  r_mask : int;
+  mutable r_head : int;
+  mutable r_len : int;
+  dummy : Packet.Frame.t;
   mutable sink : Packet.Frame.t -> unit;
+  mutable sink_present : bool;
   mutable tx_partial : Packet.Mp.t list; (* reversed *)
-  mutable tx_horizon : int64; (* when the wire finishes what it has *)
+  mutable tx_horizon : int; (* ps: when the wire finishes what it has *)
+  wire_mid : int; (* ps on the wire for a non-final MP *)
+  wire_last : int; (* ps for the final MP incl. preamble + gap *)
   mutable rx_frames : int;
   mutable rx_dropped : int;
   mutable rx_lost : int;
@@ -16,15 +30,37 @@ type t = {
   mutable faults : Fault.Injector.t option;
 }
 
-let create _engine ~id ~mbps ~rx_slots ?(sink = fun _ -> ()) () =
+let mp_wire_ps ~mbps ~bytes =
+  Int64.to_int (Int64.of_float (float_of_int (bytes * 8) /. mbps *. 1e6))
+
+let create _engine ~id ~mbps ~rx_slots ?sink () =
+  let cap =
+    let c = ref 1 in
+    while !c < rx_slots do
+      c := !c * 2
+    done;
+    !c
+  in
+  let dummy = Packet.Frame.of_bytes Bytes.empty in
+  let sink_present, sink =
+    match sink with None -> (false, fun _ -> ()) | Some s -> (true, s)
+  in
   {
     id;
     mbps;
     rx_slots;
-    rx = Queue.create ();
+    r_meta = Array.make cap 0;
+    r_fr = Array.make cap dummy;
+    r_mask = cap - 1;
+    r_head = 0;
+    r_len = 0;
+    dummy;
     sink;
+    sink_present;
     tx_partial = [];
-    tx_horizon = 0L;
+    tx_horizon = 0;
+    wire_mid = mp_wire_ps ~mbps ~bytes:Packet.Mp.size;
+    wire_last = mp_wire_ps ~mbps ~bytes:(Packet.Mp.size + 20);
     rx_frames = 0;
     rx_dropped = 0;
     rx_lost = 0;
@@ -35,7 +71,11 @@ let create _engine ~id ~mbps ~rx_slots ?(sink = fun _ -> ()) () =
 
 let id t = t.id
 let mbps t = t.mbps
-let set_sink t f = t.sink <- f
+
+let set_sink t f =
+  t.sink <- f;
+  t.sink_present <- true
+
 let set_faults t inj = t.faults <- Some inj
 
 (* What the wire actually delivered, faults applied: [None] means the
@@ -55,21 +95,25 @@ let wire_damage t f =
 
 let offer_clean t f =
   let n = Packet.Mp.count (Packet.Frame.len f) in
-  if Queue.length t.rx + n > t.rx_slots then begin
+  if t.r_len + n > t.rx_slots then begin
     t.rx_dropped <- t.rx_dropped + 1;
     false
   end
   else begin
-    let open Packet.Mp in
+    let tail = t.r_head + t.r_len in
     for index = 0 to n - 1 do
-      let tag =
-        if n = 1 then Only
-        else if index = 0 then First
-        else if index = n - 1 then Last
-        else Intermediate
+      (* Tag codes: 0 = Only, 1 = First, 2 = Intermediate, 3 = Last. *)
+      let code =
+        if n = 1 then 0
+        else if index = 0 then 1
+        else if index = n - 1 then 3
+        else 2
       in
-      Queue.push { tag; index; frame = f } t.rx
+      let p = (tail + index) land t.r_mask in
+      Array.unsafe_set t.r_meta p ((index lsl 2) lor code);
+      Array.unsafe_set t.r_fr p f
     done;
+    t.r_len <- t.r_len + n;
     t.rx_frames <- t.rx_frames + 1;
     true
   end
@@ -81,31 +125,61 @@ let offer t f =
       false
   | Some f -> offer_clean t f
 
-let rdy t = not (Queue.is_empty t.rx)
+let rdy t = t.r_len > 0
 
-let take_mp t = Queue.take_opt t.rx
+let tag_of_code =
+  [| Packet.Mp.Only; Packet.Mp.First; Packet.Mp.Intermediate; Packet.Mp.Last |]
+
+let take_mp t =
+  if t.r_len = 0 then None
+  else begin
+    let h = t.r_head in
+    let m = Array.unsafe_get t.r_meta h in
+    let f = Array.unsafe_get t.r_fr h in
+    (* Clear the slot so the ring does not pin a drained frame live. *)
+    Array.unsafe_set t.r_fr h t.dummy;
+    t.r_head <- (h + 1) land t.r_mask;
+    t.r_len <- t.r_len - 1;
+    Some { tag = Array.unsafe_get tag_of_code (m land 3); index = m lsr 2; frame = f }
+  end
 
 let frame_time_ps t ~bytes =
   (* Preamble+SFD (8) and minimum inter-frame gap (12) per IEEE 802.3. *)
   let wire_bits = float_of_int ((bytes + 20) * 8) in
   Int64.of_float (wire_bits /. t.mbps *. 1e6)
 
-let tx_try_pace t ~tag =
-  (* An MP occupies the wire for its 64 bytes; the frame's final MP also
-     carries the preamble + inter-frame-gap overhead (20 bytes). *)
-  let bytes =
-    Packet.Mp.size
-    + (match tag with Packet.Mp.Last | Packet.Mp.Only -> 20 | _ -> 0)
-  in
-  let wire = Int64.of_float (float_of_int (bytes * 8) /. t.mbps *. 1e6) in
-  let now = Sim.Engine.now () in
-  (* One MP of headroom: accept while the wire is at most one MP ahead. *)
-  if Int64.sub t.tx_horizon now > wire then
-    `Wait (Int64.sub t.tx_horizon (Int64.add now wire))
+(* An MP occupies the wire for its 64 bytes; the frame's final MP also
+   carries the preamble + inter-frame-gap overhead (20 bytes).  One MP of
+   headroom: accept while the wire is at most one MP ahead. *)
+let tx_pace_ok t ~last =
+  let wire = if last then t.wire_last else t.wire_mid in
+  let now = Sim.Engine.now_i () in
+  if t.tx_horizon - now > wire then false
   else begin
-    t.tx_horizon <- Int64.add (if t.tx_horizon > now then t.tx_horizon else now) wire;
+    t.tx_horizon <- (if t.tx_horizon > now then t.tx_horizon else now) + wire;
+    true
+  end
+
+let tx_try_pace t ~tag =
+  let last =
+    match tag with Packet.Mp.Last | Packet.Mp.Only -> true | _ -> false
+  in
+  let wire = if last then t.wire_last else t.wire_mid in
+  let now = Sim.Engine.now_i () in
+  if t.tx_horizon - now > wire then
+    `Wait (Int64.of_int (t.tx_horizon - (now + wire)))
+  else begin
+    t.tx_horizon <- (if t.tx_horizon > now then t.tx_horizon else now) + wire;
     `Ok
   end
+
+(* The whole-frame transmit path the output loop uses: the frame already
+   sits assembled in DRAM, so "reassembling" its MPs is a copy of the
+   bytes the caller still holds — performed only when someone is
+   listening on the wire. *)
+let transmit_frame t frame ~len =
+  t.tx_frames <- t.tx_frames + 1;
+  if t.sink_present then t.sink (Packet.Frame.prefix_copy frame ~len)
 
 let transmit_mp t mp ~len_hint =
   let open Packet.Mp in
@@ -138,4 +212,4 @@ let rx_dropped t = t.rx_dropped
 let rx_lost t = t.rx_lost
 let tx_frames t = t.tx_frames
 let tx_errors t = t.tx_errors
-let occupancy t = Queue.length t.rx
+let occupancy t = t.r_len

@@ -71,6 +71,20 @@ val tx_try_pace : t -> tag:Packet.Mp.tag -> [ `Ok | `Wait of int64 ]
     again (with a short backoff, not by sleeping the whole [d]: an output
     context that naps stalls the token rotation for everyone). *)
 
+val tx_pace_ok : t -> last:bool -> bool
+(** Allocation-free form of {!tx_try_pace} for the per-MP output loop:
+    [tx_pace_ok p ~last] reserves a transmit slot (returning [true]) or
+    reports the wire is full ([false]); [last] marks the frame's final MP,
+    which also pays the preamble + inter-frame-gap wire time. *)
+
+val transmit_frame : t -> Packet.Frame.t -> len:int -> unit
+(** [transmit_frame p f ~len] transmits a whole frame whose bytes already
+    sit assembled in [f] (the DRAM buffer): the MAC counts it and delivers
+    a fresh [len]-byte copy to the sink.  The per-MP wire pacing still
+    happens through {!tx_pace_ok}; this is the data movement only, so the
+    output loop never re-splits and re-joins a frame that was never
+    scattered. *)
+
 val transmit_mp : t -> Packet.Mp.t -> len_hint:int -> unit
 (** [transmit_mp p mp ~len_hint] hands one MP to the MAC.  On the packet's
     final MP the frame (of [len_hint] bytes) is reassembled and delivered

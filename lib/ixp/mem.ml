@@ -2,52 +2,68 @@ type t = {
   clock : Sim.Engine.Clock.clock;
   timing : Config.mem_timing;
   server : Sim.Server.t;
+  (* Per-operation costs in native-int picoseconds, computed once: the
+     transfer loop issues one server access per unit operation and must
+     not redo cycle conversion (or box an int64) per operation. *)
+  occupancy_ps : int;
+  read_ps : int;
+  write_ps : int;
   mutable ops : int;
   mutable faults : Fault.Injector.t option;
 }
 
 let create clock ~name timing =
-  { clock; timing; server = Sim.Server.create ~name (); ops = 0; faults = None }
+  {
+    clock;
+    timing;
+    server = Sim.Server.create ~name ();
+    occupancy_ps = Sim.Engine.Clock.ps_of_cycles_i clock timing.occupancy_cycles;
+    read_ps = Sim.Engine.Clock.ps_of_cycles_i clock timing.read_cycles;
+    write_ps = Sim.Engine.Clock.ps_of_cycles_i clock timing.write_cycles;
+    ops = 0;
+    faults = None;
+  }
 
 let set_faults t inj = t.faults <- Some inj
 
 let read_ops t ~bytes =
   if bytes <= 0 then 0 else (bytes + t.timing.unit_bytes - 1) / t.timing.unit_bytes
 
-let transfer t ~bytes ~cycles =
+let transfer t ~bytes ~latency_ps =
   let n = read_ops t ~bytes in
-  let occupancy =
-    Sim.Engine.Clock.ps_of_cycles t.clock t.timing.occupancy_cycles
-  in
-  let latency = Sim.Engine.Clock.ps_of_cycles t.clock cycles in
-  for _ = 1 to n do
-    match t.faults with
-    | None ->
-        Sim.Server.access t.server ~occupancy ~latency;
+  match t.faults with
+  | None ->
+      (* Zero-fault path: no per-operation branching at all. *)
+      for _ = 1 to n do
+        Sim.Server.access_i t.server ~occupancy:t.occupancy_ps
+          ~latency:latency_ps;
         t.ops <- t.ops + 1
-    | Some inj ->
+      done
+  | Some inj ->
+      for _ = 1 to n do
         if Fault.Injector.fires inj Mem_drop then
           (* The operation vanishes: no bus time, no completion. *)
           ()
         else begin
           let latency =
             if Fault.Injector.fires inj Mem_delay then
-              Int64.add latency
-                (Sim.Engine.Clock.ps_of_cycles t.clock
-                   (Fault.Injector.scenario inj).Fault.Scenario.mem_delay_cycles)
-            else latency
+              latency_ps
+              + Sim.Engine.Clock.ps_of_cycles_i t.clock
+                  (Fault.Injector.scenario inj).Fault.Scenario.mem_delay_cycles
+            else latency_ps
           in
           (* Data corruption is timing-invisible here (this channel moves
              only accounting, not payload); the flip is counted so the
              invariant layer can correlate it with downstream damage. *)
           ignore (Fault.Injector.fires inj Mem_flip : bool);
-          Sim.Server.access t.server ~occupancy ~latency;
+          Sim.Server.access_i t.server ~occupancy:t.occupancy_ps
+            ~latency;
           t.ops <- t.ops + 1
         end
-  done
+      done
 
-let read t ~bytes = transfer t ~bytes ~cycles:t.timing.read_cycles
-let write t ~bytes = transfer t ~bytes ~cycles:t.timing.write_cycles
+let read t ~bytes = transfer t ~bytes ~latency_ps:t.read_ps
+let write t ~bytes = transfer t ~bytes ~latency_ps:t.write_ps
 
 let server t = t.server
 let ops_completed t = t.ops

@@ -17,8 +17,8 @@ let id t = t.id
 
 let exec t n =
   if n > 0 then begin
-    let d = Sim.Engine.Clock.ps_of_cycles t.clock n in
-    Sim.Server.access t.core ~occupancy:d ~latency:d;
+    let d = Sim.Engine.Clock.ps_of_cycles_i t.clock n in
+    Sim.Server.access_i t.core ~occupancy:d ~latency:d;
     t.instructions <- t.instructions + n
   end
 

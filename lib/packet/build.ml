@@ -1,10 +1,16 @@
 let min_frame = 64
 let max_frame = 1518
 
-let base_frame ~frame_len ~src ~dst ~ttl ~proto ~l4_len =
+let base_frame ?pool ~frame_len ~src ~dst ~ttl ~proto ~l4_len () =
   (* Headroom for encapsulation (e.g. an MPLS label push at an ingress
-     LER) — the real DRAM buffer is 2 KB regardless of frame size. *)
-  let f = Frame.alloc ~headroom:16 frame_len in
+     LER) — the real DRAM buffer is 2 KB regardless of frame size.  A
+     pool mints frames at its own (fixed) capacity, so size it with the
+     headroom included. *)
+  let f =
+    match pool with
+    | Some p -> Frame_pool.take p ~len:frame_len
+    | None -> Frame.alloc ~headroom:16 frame_len
+  in
   Ethernet.set_dst f (Ethernet.mac_of_port 0);
   Ethernet.set_src f (Ethernet.mac_of_string "02:00:00:00:00:01");
   Ethernet.set_ethertype f Ethernet.ethertype_ipv4;
@@ -18,10 +24,12 @@ let base_frame ~frame_len ~src ~dst ~ttl ~proto ~l4_len =
 
 let l4_capacity ~frame_len = frame_len - Ipv4.offset - Ipv4.min_header_len
 
-let udp ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port ?(ttl = 64)
-    ?(payload = "") () =
+let udp ?pool ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port
+    ?(ttl = 64) ?(payload = "") () =
   let l4_len = min (8 + String.length payload) (l4_capacity ~frame_len) in
-  let f = base_frame ~frame_len ~src ~dst ~ttl ~proto:Ipv4.proto_udp ~l4_len in
+  let f =
+    base_frame ?pool ~frame_len ~src ~dst ~ttl ~proto:Ipv4.proto_udp ~l4_len ()
+  in
   Udp.set_src_port f src_port;
   Udp.set_dst_port f dst_port;
   Udp.set_len f l4_len;
@@ -33,10 +41,13 @@ let udp ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port ?(ttl = 64)
   Udp.fill_cksum f;
   f
 
-let tcp ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port ?(ttl = 64)
-    ?(seq = 0l) ?(ack = 0l) ?(flags = Tcp.flag_ack) ?(payload = "") () =
+let tcp ?pool ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port
+    ?(ttl = 64) ?(seq = 0l) ?(ack = 0l) ?(flags = Tcp.flag_ack)
+    ?(payload = "") () =
   let l4_len = min (20 + String.length payload) (l4_capacity ~frame_len) in
-  let f = base_frame ~frame_len ~src ~dst ~ttl ~proto:Ipv4.proto_tcp ~l4_len in
+  let f =
+    base_frame ?pool ~frame_len ~src ~dst ~ttl ~proto:Ipv4.proto_tcp ~l4_len ()
+  in
   Tcp.set_src_port f src_port;
   Tcp.set_dst_port f dst_port;
   Tcp.set_seq f seq;

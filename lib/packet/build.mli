@@ -7,6 +7,7 @@ val max_frame : int
 (** 1518 bytes: a maximal Ethernet frame (1500-byte IP packet). *)
 
 val udp :
+  ?pool:Frame_pool.t ->
   ?frame_len:int ->
   src:Ipv4.addr ->
   dst:Ipv4.addr ->
@@ -17,9 +18,12 @@ val udp :
   unit ->
   Frame.t
 (** A well-formed Ethernet/IPv4/UDP frame with valid checksums, padded to
-    [frame_len] (default {!min_frame}). *)
+    [frame_len] (default {!min_frame}).  With [pool] the frame is checked
+    out of a {!Frame_pool} instead of freshly allocated; size the pool's
+    [frame_bytes] with encapsulation headroom included. *)
 
 val tcp :
+  ?pool:Frame_pool.t ->
   ?frame_len:int ->
   src:Ipv4.addr ->
   dst:Ipv4.addr ->

@@ -1,8 +1,19 @@
-type t = { data : Bytes.t; mutable len : int }
+type t = {
+  data : Bytes.t;
+  mutable len : int;
+  (* {!Frame_pool} bookkeeping: the owning pool slot (-1 while unpooled)
+     and the recycle generation stamped at checkout.  Copies never
+     inherit pool identity — only the original checkout may be given
+     back. *)
+  mutable pool_slot : int;
+  mutable pool_gen : int;
+}
 
-let alloc ?(headroom = 0) n = { data = Bytes.make (n + headroom) '\000'; len = n }
-let of_bytes b = { data = b; len = Bytes.length b }
-let copy f = { data = Bytes.copy f.data; len = f.len }
+let alloc ?(headroom = 0) n =
+  { data = Bytes.make (n + headroom) '\000'; len = n; pool_slot = -1; pool_gen = 0 }
+
+let of_bytes b = { data = b; len = Bytes.length b; pool_slot = -1; pool_gen = 0 }
+let copy f = { data = Bytes.copy f.data; len = f.len; pool_slot = -1; pool_gen = 0 }
 let len f = f.len
 
 let get_u8 f off = Char.code (Bytes.get f.data off)
@@ -24,8 +35,20 @@ let set_u32 f off v =
 
 let blit_string s f off = Bytes.blit_string s 0 f.data off (String.length s)
 
+let prefix_copy f ~len =
+  { data = Bytes.sub f.data 0 len; len; pool_slot = -1; pool_gen = 0 }
+
 let equal a b =
-  a.len = b.len && Bytes.sub a.data 0 a.len = Bytes.sub b.data 0 b.len
+  a.len = b.len
+  &&
+  (* Compare in place: slicing both buffers just to compare them would
+     allocate two copies of every frame on a path that runs per packet. *)
+  let n = a.len in
+  let rec eq i =
+    i >= n
+    || Bytes.unsafe_get a.data i = Bytes.unsafe_get b.data i && eq (i + 1)
+  in
+  a.data == b.data || eq 0
 
 let pp_hex ppf f =
   for i = 0 to f.len - 1 do

@@ -4,7 +4,15 @@
     fields in place, mirroring how the MicroEngine code patches headers in
     FIFO registers and DRAM. *)
 
-type t = { data : Bytes.t; mutable len : int }
+type t = {
+  data : Bytes.t;
+  mutable len : int;
+  mutable pool_slot : int;
+      (** {!Frame_pool} slot owning this frame, [-1] while unpooled.
+          Maintained by {!Frame_pool}; treat as read-only elsewhere. *)
+  mutable pool_gen : int;
+      (** Recycle generation stamped by {!Frame_pool.take}. *)
+}
 
 val alloc : ?headroom:int -> int -> t
 (** [alloc n] is a zeroed frame of length [n].  [headroom] adds spare
@@ -17,6 +25,11 @@ val of_bytes : Bytes.t -> t
 
 val copy : t -> t
 (** Deep copy. *)
+
+val prefix_copy : t -> len:int -> t
+(** [prefix_copy f ~len] is a fresh frame holding the first [len] bytes of
+    [f] (no headroom) — what a MAC delivers after reassembling [len] bytes
+    off the wire. *)
 
 val len : t -> int
 (** Current frame length in bytes. *)

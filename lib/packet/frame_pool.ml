@@ -1,0 +1,138 @@
+(* Generation-tagged frame recycling pool.
+
+   The steady-state data path turns over one frame per packet; without a
+   pool every one is a fresh [Bytes.make] that lives just long enough to
+   be promoted by the minor GC under load.  The pool closes the loop:
+   generators check frames out ([take]), the router gives them back when
+   its buffer pool releases them ([give]), and in between the frame is
+   owned by exactly one stage.
+
+   Every checkout bumps the slot's generation and stamps it into the
+   frame ([Frame.pool_gen]), so a double [give] or a [give] of a frame
+   the pool no longer owns is detected exactly — counted in release
+   builds, raised in [~debug:true] pools (the use-after-free tripwire
+   the tests run under).  Conservation ([outstanding + free = minted])
+   is exported as a {!check} suitable for the fault layer's invariant
+   registry. *)
+
+type t = {
+  frame_bytes : int; (* data capacity every pooled frame is minted with *)
+  max_frames : int; (* mint cap; beyond it takes fall back to plain alloc *)
+  mutable frames : Frame.t array; (* slot -> frame, first [minted] live *)
+  mutable gens : int array; (* slot -> current generation *)
+  mutable minted : int;
+  free : int Stack.t;
+  debug : bool;
+  mutable outstanding : int;
+  mutable misses : int; (* takes served by fresh allocation *)
+  mutable recycles : int; (* takes served from the free stack *)
+  mutable bad_gives : int; (* stale/double/foreign gives (debug: raised) *)
+}
+
+let dummy = Frame.of_bytes Bytes.empty
+
+let create ?(debug = false) ?(max_frames = 4096) ~frame_bytes () =
+  if frame_bytes <= 0 then invalid_arg "Frame_pool.create: frame_bytes";
+  if max_frames <= 0 then invalid_arg "Frame_pool.create: max_frames";
+  {
+    frame_bytes;
+    max_frames;
+    frames = Array.make (min max_frames 64) dummy;
+    gens = Array.make (min max_frames 64) 0;
+    minted = 0;
+    free = Stack.create ();
+    debug;
+    outstanding = 0;
+    misses = 0;
+    recycles = 0;
+    bad_gives = 0;
+  }
+
+let mint t ~len =
+  let slot = t.minted in
+  if slot = Array.length t.frames then begin
+    let cap = min t.max_frames (2 * slot) in
+    let nf = Array.make cap dummy and ng = Array.make cap 0 in
+    Array.blit t.frames 0 nf 0 slot;
+    Array.blit t.gens 0 ng 0 slot;
+    t.frames <- nf;
+    t.gens <- ng
+  end;
+  let f = Frame.alloc t.frame_bytes in
+  f.Frame.len <- len;
+  f.Frame.pool_slot <- slot;
+  f.Frame.pool_gen <- 1;
+  t.frames.(slot) <- f;
+  t.gens.(slot) <- 1;
+  t.minted <- slot + 1;
+  t.outstanding <- t.outstanding + 1;
+  t.misses <- t.misses + 1;
+  f
+
+(* A frame of [len] live bytes, zeroed like a fresh [Frame.alloc] so a
+   recycled checkout is indistinguishable from a new one.  Falls back to
+   a plain (unpooled) allocation when [len] exceeds the pool's frame
+   size or the mint cap is reached with nothing free. *)
+let take t ~len =
+  if len > t.frame_bytes then begin
+    t.misses <- t.misses + 1;
+    Frame.alloc len
+  end
+  else
+    match Stack.pop_opt t.free with
+    | Some slot ->
+        let f = t.frames.(slot) in
+        let gen = t.gens.(slot) + 1 in
+        t.gens.(slot) <- gen;
+        f.Frame.pool_gen <- gen;
+        Bytes.fill f.Frame.data 0 (Bytes.length f.Frame.data) '\000';
+        f.Frame.len <- len;
+        t.outstanding <- t.outstanding + 1;
+        t.recycles <- t.recycles + 1;
+        f
+    | None ->
+        if t.minted < t.max_frames then mint t ~len
+        else begin
+          t.misses <- t.misses + 1;
+          Frame.alloc len
+        end
+
+let bad t what =
+  t.bad_gives <- t.bad_gives + 1;
+  if t.debug then invalid_arg ("Frame_pool.give: " ^ what)
+
+(* Return a frame to the pool.  Frames the pool never minted (copies,
+   plain allocations) are ignored — every data-path release funnels
+   here, pooled or not. *)
+let give t f =
+  let slot = f.Frame.pool_slot in
+  if slot < 0 then ()
+  else if slot >= t.minted || t.frames.(slot) != f then
+    bad t "frame from another pool"
+  else if f.Frame.pool_gen <> t.gens.(slot) then
+    bad t "stale frame (double give or give after recycle)"
+  else begin
+    (* Invalidate the outstanding tag so a second give is caught. *)
+    t.gens.(slot) <- t.gens.(slot) + 1;
+    t.outstanding <- t.outstanding - 1;
+    Stack.push slot t.free
+  end
+
+let minted t = t.minted
+let outstanding t = t.outstanding
+let misses t = t.misses
+let recycles t = t.recycles
+let bad_gives t = t.bad_gives
+
+(* Conservation: every minted frame is either checked out or on the free
+   stack.  Registered with {!Fault.Invariant} by the router when a pool
+   is attached. *)
+let check t =
+  let free = Stack.length t.free in
+  if t.outstanding + free <> t.minted then
+    Some
+      (Printf.sprintf "outstanding %d + free %d <> minted %d" t.outstanding
+         free t.minted)
+  else if t.outstanding < 0 then
+    Some (Printf.sprintf "negative outstanding %d" t.outstanding)
+  else None

@@ -1,8 +1,20 @@
+(* Time is int64 picoseconds at the API, but the hot path keeps the
+   clock and all durations in native ints: an OCaml [int64] is boxed, so
+   every add/compare on the old representation allocated, and the run
+   queue moves millions of events per wall-second.  62 usable bits of
+   picoseconds cover ~53 days of simulated time, vastly beyond any
+   run. *)
+
+type event =
+  | Thunk of (unit -> unit)
+  | Resume of (unit, unit) Effect.Deep.continuation
+
 type t = {
-  mutable clock : int64;
+  mutable clock : int; (* ps *)
   mutable seq : int;
-  queue : (unit -> unit) Heap.t;
+  queue : event Wheel.t;
   mutable live : int;
+  mutable limit : int; (* horizon of the active [run], for wait elision *)
 }
 
 type waker = unit -> unit
@@ -10,20 +22,27 @@ type waker = unit -> unit
 exception Deadlock of string
 
 type _ Effect.t +=
-  | Wait : int64 -> unit Effect.t
+  | Wait : int -> unit Effect.t
   | Suspend : (waker -> unit) -> unit Effect.t
   | Now : int64 Effect.t
   | Spawn_here : (string * (unit -> unit)) -> unit Effect.t
   | Self : t Effect.t
 
-let create () = { clock = 0L; seq = 0; queue = Heap.create (); live = 0 }
+(* The engine currently dispatching events, so [now] and the scheduler's
+   own bookkeeping can read the clock without performing an effect.
+   Saved and restored around [run]/[run_until_idle] to keep nested runs
+   (an engine driven from inside another engine's fiber) correct. *)
+let current : t option ref = ref None
 
-let time t = t.clock
+let create () =
+  { clock = 0; seq = 0; queue = Wheel.create (); live = 0; limit = 0 }
 
-let schedule t ~at thunk =
+let time t = Int64.of_int t.clock
+
+let schedule_event t ~at ev =
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.push t.queue ~time:at ~seq thunk
+  Wheel.push t.queue ~now:t.clock ~time:at ~seq ev
 
 (* Each fiber body runs under this handler; resuming a captured continuation
    re-enters the handler, so a fiber only needs wrapping once, at spawn. *)
@@ -45,11 +64,9 @@ let rec exec_fiber t name fn =
           | Wait d ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  if d < 0L then
+                  if d < 0 then
                     discontinue k (Invalid_argument "Engine.wait: negative")
-                  else
-                    schedule t ~at:(Int64.add t.clock d) (fun () ->
-                        continue k ()))
+                  else schedule_event t ~at:(t.clock + d) (Resume k))
           | Suspend f ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -59,11 +76,14 @@ let rec exec_fiber t name fn =
                       invalid_arg ("Engine: waker called twice (" ^ name ^ ")")
                     else begin
                       fired := true;
-                      schedule t ~at:t.clock (fun () -> continue k ())
+                      schedule_event t ~at:t.clock (Resume k)
                     end
                   in
                   f waker)
-          | Now -> Some (fun (k : (a, unit) continuation) -> continue k t.clock)
+          | Now ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  continue k (Int64.of_int t.clock))
           | Spawn_here (n, g) ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -73,56 +93,111 @@ let rec exec_fiber t name fn =
           | _ -> None);
     }
 
-and spawn t name fn = schedule t ~at:t.clock (fun () -> exec_fiber t name fn)
+and spawn t name fn =
+  schedule_event t ~at:t.clock (Thunk (fun () -> exec_fiber t name fn))
+
+let dispatch ev =
+  match ev with Thunk f -> f () | Resume k -> Effect.Deep.continue k ()
 
 let run t ~until =
-  let rec loop () =
-    match Heap.peek_time t.queue with
-    | None -> ()
-    | Some at when at > until -> t.clock <- until
-    | Some _ -> (
-        match Heap.pop t.queue with
-        | None -> ()
-        | Some (at, _, thunk) ->
+  let until = Int64.to_int until in
+  t.limit <- until;
+  let saved = !current in
+  current := Some t;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      let rec loop () =
+        match Wheel.pop_until t.queue ~until with
+        | Some (at, _, ev) ->
             t.clock <- at;
-            thunk ();
-            loop ())
-  in
-  loop ()
+            dispatch ev;
+            loop ()
+        | None ->
+            (* Queue drained: the clock stays at the last event.  Events
+               remain beyond [until]: the clock advances to it. *)
+            if not (Wheel.is_empty t.queue) then t.clock <- until
+      in
+      loop ())
 
 let run_until_idle t =
-  let rec loop () =
-    match Heap.pop t.queue with
-    | None ->
-        if t.live > 0 then
-          raise
-            (Deadlock
-               (Fmt.str "%d fiber(s) suspended with no pending event" t.live))
-    | Some (at, _, thunk) ->
-        t.clock <- at;
-        thunk ();
-        loop ()
-  in
-  loop ()
+  t.limit <- max_int;
+  let saved = !current in
+  current := Some t;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      let rec loop () =
+        match Wheel.pop t.queue with
+        | None ->
+            if t.live > 0 then
+              raise
+                (Deadlock
+                   (Fmt.str "%d fiber(s) suspended with no pending event"
+                      t.live))
+        | Some (at, _, ev) ->
+            t.clock <- at;
+            dispatch ev;
+            loop ()
+      in
+      loop ())
 
 let live_fibers t = t.live
+let events_scheduled t = t.seq
 
-let now () = Effect.perform Now
-let wait d = Effect.perform (Wait d)
+(* Reading the dispatching engine's clock directly skips a continuation
+   capture per call; the effect remains as the fallback so [now] still
+   fails loudly (Effect.Unhandled) outside any engine. *)
+let now_i () =
+  match !current with
+  | Some t -> t.clock
+  | None -> Int64.to_int (Effect.perform Now)
+
+let now () =
+  match !current with
+  | Some t -> Int64.of_int t.clock
+  | None -> Effect.perform Now
+
+(* Wait elision: when the dispatching engine has no pending event inside
+   the wait window (and the window stays inside the active run's
+   horizon), the fiber that called [wait_i] is exactly the event the
+   scheduler would pop next — so advance the clock in place and keep
+   running it.  No continuation capture, no queue traffic, no stack
+   switch; the executed event sequence is identical by construction.
+   Ties are excluded ([min_time] must be strictly beyond the target)
+   because a pending event at the same time holds a smaller sequence
+   number and must run first. *)
+let wait_i d =
+  match !current with
+  | Some t when d >= 0 ->
+      let target = t.clock + d in
+      if target <= t.limit && Wheel.min_time t.queue > target then
+        t.clock <- target
+      else Effect.perform (Wait d)
+  | _ -> Effect.perform (Wait d)
+
+let wait d =
+  (* Keep the negative check exact across the int conversion. *)
+  if d < 0L then Effect.perform (Wait (-1))
+  else Effect.perform (Wait (Int64.to_int d))
+
 let suspend f = Effect.perform (Suspend f)
 let spawn_here name fn = Effect.perform (Spawn_here (name, fn))
-let self_engine () = Effect.perform Self
+
+let self_engine () =
+  match !current with Some t -> t | None -> Effect.perform Self
 
 module Clock = struct
-  type clock = { ps : int64 }
+  type clock = { ps : int }
 
-  let of_mhz f = { ps = Int64.of_float (Float.round (1_000_000. /. f)) }
-  let ps_per_cycle c = c.ps
-  let ps_of_cycles c n = Int64.mul c.ps (Int64.of_int n)
+  let of_mhz f =
+    { ps = Int64.to_int (Int64.of_float (Float.round (1_000_000. /. f))) }
 
-  let cycles_of_ps c ps = Int64.to_float ps /. Int64.to_float c.ps
-
-  let wait_cycles c n = if n > 0 then wait (ps_of_cycles c n)
+  let ps_per_cycle c = Int64.of_int c.ps
+  let ps_of_cycles c n = Int64.of_int (c.ps * n)
+  let ps_of_cycles_i c n = c.ps * n
+  let cycles_of_ps c ps = Int64.to_float ps /. float_of_int c.ps
+  let wait_cycles c n = if n > 0 then wait_i (c.ps * n)
 end
 
 let ps_of_ns x = Int64.of_float (Float.round (x *. 1000.))

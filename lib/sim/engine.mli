@@ -47,14 +47,28 @@ val live_fibers : t -> int
 (** [live_fibers t] is the number of fibers that have started and not yet
     returned. *)
 
+val events_scheduled : t -> int
+(** [events_scheduled t] is the total number of events ever pushed onto
+    [t]'s run queue (timer expiries, wakeups, spawns).  Elided waits
+    (see the implementation) never reach the queue, so this undercounts
+    logical waits; it is a progress/efficiency gauge, not a semantic
+    counter. *)
+
 (** {1 Operations valid only inside a fiber} *)
 
 val now : unit -> int64
 (** [now ()] is the current simulated time, from inside a fiber. *)
 
+val now_i : unit -> int
+(** [now_i ()] is {!now} as a native int — the allocation-free form the
+    per-event path uses (an [int64] result is a fresh box per call). *)
+
 val wait : int64 -> unit
 (** [wait d] advances this fiber [d] picoseconds.  [wait 0L] yields to other
     fibers scheduled at the same instant. *)
+
+val wait_i : int -> unit
+(** [wait_i d] is {!wait} on a native-int duration, allocation-free. *)
 
 val suspend : (waker -> unit) -> unit
 (** [suspend f] parks the calling fiber and hands [f] a waker that any other
@@ -80,6 +94,10 @@ module Clock : sig
 
   val ps_of_cycles : clock -> int -> int64
   (** [ps_of_cycles c n] converts [n] cycles to picoseconds. *)
+
+  val ps_of_cycles_i : clock -> int -> int
+  (** [ps_of_cycles_i c n] is {!ps_of_cycles} unboxed: pure int
+      multiply, no allocation.  The hot-path form. *)
 
   val cycles_of_ps : clock -> int64 -> float
   (** [cycles_of_ps c ps] converts a duration back to (fractional) cycles. *)

@@ -63,3 +63,6 @@ let pop h =
   end
 
 let peek_time h = if h.len = 0 then None else Some h.arr.(0).time
+
+let peek h =
+  if h.len = 0 then None else Some (h.arr.(0).time, h.arr.(0).seq)

@@ -24,3 +24,6 @@ val pop : 'a t -> (int64 * int * 'a) option
 
 val peek_time : 'a t -> int64 option
 (** [peek_time h] is the key time of the next event without removing it. *)
+
+val peek : 'a t -> (int64 * int) option
+(** [peek h] is the full [(time, seq)] key of the next event. *)

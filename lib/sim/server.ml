@@ -1,35 +1,43 @@
+(* Horizons and accumulators are native ints (picoseconds): this is the
+   single hottest call in the simulation — every memory-unit operation
+   and every instruction burst lands here — and int64 fields would box
+   on every update. *)
 type t = {
   name : string;
-  mutable busy_until : int64;
-  mutable busy_time : int64;
+  mutable busy_until : int;
+  mutable busy_time : int;
   mutable requests : int;
-  mutable queue_delay_total : int64;
+  mutable queue_delay_total : int;
 }
 
 let create ?(name = "server") () =
-  { name; busy_until = 0L; busy_time = 0L; requests = 0; queue_delay_total = 0L }
+  { name; busy_until = 0; busy_time = 0; requests = 0; queue_delay_total = 0 }
 
 let name s = s.name
 
-let access s ~occupancy ~latency =
-  let t = Engine.now () in
+let access_i s ~occupancy ~latency =
+  let t = Engine.now_i () in
   let start = if s.busy_until > t then s.busy_until else t in
-  let qdelay = Int64.sub start t in
-  s.busy_until <- Int64.add start occupancy;
-  s.busy_time <- Int64.add s.busy_time occupancy;
+  let qdelay = start - t in
+  s.busy_until <- start + occupancy;
+  s.busy_time <- s.busy_time + occupancy;
   s.requests <- s.requests + 1;
-  s.queue_delay_total <- Int64.add s.queue_delay_total qdelay;
+  s.queue_delay_total <- s.queue_delay_total + qdelay;
   let visible = if latency > occupancy then latency else occupancy in
-  Engine.wait (Int64.add qdelay visible)
+  Engine.wait_i (qdelay + visible)
 
-let busy_time s = s.busy_time
+let access s ~occupancy ~latency =
+  access_i s ~occupancy:(Int64.to_int occupancy) ~latency:(Int64.to_int latency)
+
+let busy_time s = Int64.of_int s.busy_time
 let requests s = s.requests
-let queue_delay_total s = s.queue_delay_total
+let queue_delay_total s = Int64.of_int s.queue_delay_total
 
 let utilization s ~total =
-  if total = 0L then 0. else Int64.to_float s.busy_time /. Int64.to_float total
+  if total = 0L then 0.
+  else float_of_int s.busy_time /. Int64.to_float total
 
 let reset_stats s =
-  s.busy_time <- 0L;
+  s.busy_time <- 0;
   s.requests <- 0;
-  s.queue_delay_total <- 0L
+  s.queue_delay_total <- 0

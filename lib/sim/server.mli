@@ -23,6 +23,10 @@ val access : t -> occupancy:int64 -> latency:int64 -> unit
     requester-visible [latency] has elapsed from service start.  The total
     delay observed by the caller is [queueing + max latency occupancy]. *)
 
+val access_i : t -> occupancy:int -> latency:int -> unit
+(** {!access} on native-int picosecond durations — the allocation-free
+    form the per-operation memory path uses. *)
+
 val busy_time : t -> int64
 (** [busy_time s] is the cumulative occupancy served, for utilization. *)
 

@@ -1,31 +1,34 @@
+(* Timestamps and accumulators are native-int picoseconds: two acquires
+   and two releases run per forwarded packet, and int64 arithmetic here
+   would allocate on each. *)
 type t = {
   name : string;
-  pass_ps : int64;
+  pass_ps : int;
   n : int;
   claimed : bool array;
   waiters : Engine.waker option array;
   mutable pos : int; (* slot the token is parked at / travelling to *)
   mutable held : bool;
-  mutable available_at : int64; (* pass-in-flight horizon *)
-  mutable hold_start : int64;
+  mutable available_at : int; (* pass-in-flight horizon *)
+  mutable hold_start : int;
   mutable rotations : int;
-  mutable hold_time : int64;
+  mutable hold_time : int;
 }
 
 let create ?(name = "ring") ?(pass_ps = 0L) ~members () =
   if members <= 0 then invalid_arg "Token_ring.create: members <= 0";
   {
     name;
-    pass_ps;
+    pass_ps = Int64.to_int pass_ps;
     n = members;
     claimed = Array.make members false;
     waiters = Array.make members None;
     pos = 0;
     held = false;
-    available_at = 0L;
-    hold_start = 0L;
+    available_at = 0;
+    hold_start = 0;
     rotations = 0;
-    hold_time = 0L;
+    hold_time = 0;
   }
 
 let members t = t.n
@@ -37,10 +40,10 @@ let join t idx =
 
 let take t =
   (* The token may still be in flight from the previous holder. *)
-  let now = Engine.now () in
-  if t.available_at > now then Engine.wait (Int64.sub t.available_at now);
+  let now = Engine.now_i () in
+  if t.available_at > now then Engine.wait_i (t.available_at - now);
   t.held <- true;
-  t.hold_start <- Engine.now ();
+  t.hold_start <- Engine.now_i ();
   t.rotations
 
 let acquire t idx =
@@ -57,12 +60,12 @@ let acquire t idx =
 let release t idx =
   if not t.held then invalid_arg (t.name ^ ": release without hold");
   if t.pos <> idx then invalid_arg (t.name ^ ": release from wrong slot");
-  let now = Engine.now () in
-  t.hold_time <- Int64.add t.hold_time (Int64.sub now t.hold_start);
+  let now = Engine.now_i () in
+  t.hold_time <- t.hold_time + (now - t.hold_start);
   t.held <- false;
   t.pos <- (t.pos + 1) mod t.n;
   if t.pos = 0 then t.rotations <- t.rotations + 1;
-  t.available_at <- Int64.add now t.pass_ps;
+  t.available_at <- now + t.pass_ps;
   match t.waiters.(t.pos) with
   | Some w ->
       t.waiters.(t.pos) <- None;
@@ -80,4 +83,4 @@ let with_token t idx f =
       raise e
 
 let rotations t = t.rotations
-let hold_time_total t = t.hold_time
+let hold_time_total t = Int64.of_int t.hold_time

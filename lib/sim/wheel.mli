@@ -1,0 +1,43 @@
+(** Two-tier event queue: timing wheel over a binary-heap far tier.
+
+    Drop-in ordering-compatible replacement for using {!Heap} directly as
+    the engine run queue.  Events within ~8.4 us of the last popped time
+    hash into one of 1024 wheel buckets (8192 ps each) and are pushed and
+    popped without allocating; events beyond that horizon fall back to
+    the heap.  Every pop returns the [(time, seq)]-minimal event across
+    both tiers, so the global pop order is {e identical} to a single
+    heap — the simulation stays bit-for-bit deterministic.
+
+    The one contract beyond {!Heap}: [push] takes the current clock
+    [~now], and no event may be scheduled in the past ([time >= now]),
+    which the engine guarantees by construction. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Number of queued events across both tiers. *)
+
+val push : 'a t -> now:int -> time:int -> seq:int -> 'a -> unit
+(** [push t ~now ~time ~seq v] queues [v] at key [(time, seq)].
+    Requires [time >= now] and [now] at or after the last popped time.
+    Times are native-int picoseconds, matching the engine's clock. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** [pop t] removes and returns the event with the smallest key. *)
+
+val pop_until : 'a t -> until:int -> (int * int * 'a) option
+(** [pop_until t ~until] is [pop t] if the smallest key time is at most
+    [until], else [None] with the queue untouched.  One scan instead of
+    a peek-then-pop pair — the engine's inner loop. *)
+
+val peek_time : 'a t -> int option
+(** [peek_time t] is the key time of the next event without removing it. *)
+
+val min_time : 'a t -> int
+(** Earliest pending event time across both tiers, or [max_int] when the
+    queue is empty.  Amortized O(1): cached across pushes, recomputed
+    with one bucket scan after a pop. *)

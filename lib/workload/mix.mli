@@ -6,6 +6,7 @@ val subnet_addr : subnet:int -> host:int -> Packet.Ipv4.addr
     default test topology routes as one /16 per port. *)
 
 val udp_uniform :
+  ?pool:Packet.Frame_pool.t ->
   rng:Sim.Rng.t ->
   n_subnets:int ->
   ?frame_len:int ->
@@ -13,7 +14,8 @@ val udp_uniform :
   int ->
   Packet.Frame.t
 (** Minimum-size UDP frames with destinations uniform over the routed
-    subnets (spreads load over all output ports). *)
+    subnets (spreads load over all output ports).  [pool] recycles frame
+    storage through a {!Packet.Frame_pool}. *)
 
 val udp_fixed :
   dst:Packet.Ipv4.addr -> ?frame_len:int -> unit -> int -> Packet.Frame.t

@@ -447,6 +447,7 @@ let wfq_fairness_under_stalled_class () =
           notify = None;
           idle_backoff_cycles = 64;
           scope = None;
+          recycle = None;
         }
       in
       let in_port = chip.Ixp.Chip.ports.(cls) in

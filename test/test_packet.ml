@@ -340,9 +340,71 @@ let qsuite =
       icmp_flip_invalidates;
     ]
 
+(* Frame pool: recycling identity, generation-tag tripwires, and the
+   conservation invariant the router registers with the fault layer. *)
+
+let pool_recycles_and_zeroes () =
+  let p = Packet.Frame_pool.create ~frame_bytes:64 () in
+  let f = Packet.Frame_pool.take p ~len:64 in
+  Alcotest.(check int) "minted" 1 (Packet.Frame_pool.minted p);
+  Packet.Frame.set_u8 f 10 0xAB;
+  Packet.Frame_pool.give p f;
+  let g = Packet.Frame_pool.take p ~len:32 in
+  Alcotest.(check bool) "same storage" true (f == g);
+  Alcotest.(check int) "recycles" 1 (Packet.Frame_pool.recycles p);
+  Alcotest.(check int) "zeroed like fresh alloc" 0 (Packet.Frame.get_u8 g 10);
+  Alcotest.(check int) "len reset" 32 (Packet.Frame.len g)
+
+let pool_generation_tags () =
+  let p = Packet.Frame_pool.create ~debug:true ~frame_bytes:64 () in
+  let f = Packet.Frame_pool.take p ~len:64 in
+  let gen0 = f.Packet.Frame.pool_gen in
+  Packet.Frame_pool.give p f;
+  (* Double give: the tag was invalidated by the first give. *)
+  Alcotest.check_raises "double give raises in debug"
+    (Invalid_argument
+       "Frame_pool.give: stale frame (double give or give after recycle)")
+    (fun () -> Packet.Frame_pool.give p f);
+  let g = Packet.Frame_pool.take p ~len:64 in
+  Alcotest.(check bool) "recycle bumps generation" true
+    (g.Packet.Frame.pool_gen > gen0);
+  (* A frame from some other pool is refused by identity. *)
+  let q = Packet.Frame_pool.create ~debug:true ~frame_bytes:64 () in
+  let foreign = Packet.Frame_pool.take q ~len:64 in
+  Alcotest.check_raises "foreign frame raises in debug"
+    (Invalid_argument "Frame_pool.give: frame from another pool") (fun () ->
+      Packet.Frame_pool.give p foreign);
+  (* Unpooled frames are silently ignored so every path can funnel in. *)
+  Packet.Frame_pool.give p (Packet.Frame.alloc 64);
+  Alcotest.(check int) "bad gives counted" 2 (Packet.Frame_pool.bad_gives p)
+
+let pool_conservation () =
+  let p = Packet.Frame_pool.create ~frame_bytes:80 () in
+  let frames = List.init 10 (fun _ -> Packet.Frame_pool.take p ~len:64) in
+  Alcotest.(check int) "outstanding" 10 (Packet.Frame_pool.outstanding p);
+  Alcotest.(check (option string)) "holds checked out" None
+    (Packet.Frame_pool.check p);
+  List.iteri
+    (fun i f -> if i mod 2 = 0 then Packet.Frame_pool.give p f)
+    frames;
+  Alcotest.(check int) "half returned" 5 (Packet.Frame_pool.outstanding p);
+  Alcotest.(check (option string)) "holds after gives" None
+    (Packet.Frame_pool.check p);
+  (* Oversize and over-cap takes fall back to plain allocation and stay
+     out of the books. *)
+  let big = Packet.Frame_pool.take p ~len:200 in
+  Alcotest.(check int) "oversize is unpooled" (-1) big.Packet.Frame.pool_slot;
+  Alcotest.(check (option string)) "holds with fallbacks" None
+    (Packet.Frame_pool.check p)
+
 let tests =
   [
     Alcotest.test_case "frame field roundtrip" `Quick frame_field_roundtrip;
+    Alcotest.test_case "frame pool: recycle zeroes" `Quick
+      pool_recycles_and_zeroes;
+    Alcotest.test_case "frame pool: generation tripwires" `Quick
+      pool_generation_tags;
+    Alcotest.test_case "frame pool: conservation" `Quick pool_conservation;
     Alcotest.test_case "mac roundtrip" `Quick mac_roundtrip;
     Alcotest.test_case "built packets validate" `Quick built_packets_validate;
     Alcotest.test_case "corrupt header detected" `Quick corrupt_header_detected;

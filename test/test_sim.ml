@@ -355,9 +355,87 @@ let server_utilization_bound =
       let total = Sim.Engine.time e in
       total = 0L || Sim.Server.utilization s ~total <= 1.0 +. 1e-9)
 
+(* The engine's run queue (timing wheel over a far heap) must pop in
+   exactly the order a plain heap would — (time, seq) across both tiers
+   — under any interleaving of pushes, bounded pops, and peeks.  The
+   peeks matter: the wheel caches its minimum and advances a cursor, and
+   historically the regressions live in peek-then-pop interleavings and
+   near/far tie-breaks, so the schedule mixes same-time ties, in-horizon
+   deltas, and far-tier deltas. *)
+let wheel_matches_heap =
+  QCheck.Test.make ~name:"wheel pops in exact heap order" ~count:150
+    QCheck.(pair int64 (int_range 1 300))
+    (fun (seed, nops) ->
+      let rng = Sim.Rng.create seed in
+      let w = Sim.Wheel.create () in
+      let h = Sim.Heap.create () in
+      let now = ref 0 in
+      let seq = ref 0 in
+      let ok = ref true in
+      let expect cond = if not cond then ok := false in
+      let pop_pair () =
+        match (Sim.Wheel.pop w, Sim.Heap.pop h) with
+        | None, None -> false
+        | Some (t, s, _), Some (t', s', _) ->
+            expect (Int64.of_int t = t' && s = s');
+            now := t;
+            true
+        | _ -> expect false; false
+      in
+      let push_batch () =
+        for _ = 1 to 1 + Sim.Rng.int rng 5 do
+          let delta =
+            match Sim.Rng.int rng 4 with
+            | 0 -> Sim.Rng.int rng 3 (* exact ties and near-ties *)
+            | 1 -> Sim.Rng.int rng 10_000 (* in-horizon *)
+            | 2 -> Sim.Rng.int rng 30_000 (* straddles the horizon *)
+            | _ -> Sim.Rng.int rng 100_000_000 (* far tier *)
+          in
+          let t = !now + delta in
+          Sim.Wheel.push w ~now:!now ~time:t ~seq:!seq !seq;
+          Sim.Heap.push h ~time:(Int64.of_int t) ~seq:!seq !seq;
+          incr seq
+        done
+      in
+      for _ = 1 to nops do
+        match Sim.Rng.int rng 4 with
+        | 0 | 1 -> push_batch ()
+        | 2 -> (
+            (* Bounded pop, exactly the engine's inner loop. *)
+            let until = !now + Sim.Rng.int rng 20_000 in
+            match Sim.Wheel.pop_until w ~until with
+            | Some (t, s, _) ->
+                expect (t <= until);
+                (match Sim.Heap.pop h with
+                | Some (t', s', _) ->
+                    expect (Int64.of_int t = t' && s = s');
+                    now := t
+                | None -> expect false)
+            | None -> (
+                match Sim.Heap.peek_time h with
+                | Some t' -> expect (t' > Int64.of_int until)
+                | None -> ()))
+        | _ ->
+            (* Peeks must agree and must not disturb later pops. *)
+            expect
+              (match (Sim.Wheel.peek_time w, Sim.Heap.peek_time h) with
+              | Some t, Some t' -> Int64.of_int t = t'
+              | None, None -> true
+              | _ -> false);
+            expect
+              (Sim.Wheel.min_time w = max_int
+              || Some (Int64.of_int (Sim.Wheel.min_time w))
+                 = Sim.Heap.peek_time h)
+      done;
+      while pop_pair () do
+        ()
+      done;
+      expect (Sim.Wheel.is_empty w && Sim.Heap.is_empty h);
+      !ok)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ heap_qcheck; rng_bounds; server_utilization_bound ]
+    [ heap_qcheck; wheel_matches_heap; rng_bounds; server_utilization_bound ]
 
 let tests =
   [
