@@ -1,0 +1,175 @@
+(* Cluster fault matrix: drive the section 6 multi-member cluster through
+   link-damage and member-crash scenarios across seeds, auditing the
+   cluster-level invariants (fabric conservation, no escape to a crashed
+   member, membership state/convergence, no invalid escape) and every
+   member's own registry at each barrier.  Paper value for every row is 0
+   violations: cluster faults cost packets, never consistency.  Violating
+   combos print a repro command, and [failures] makes the harness exit
+   nonzero so CI gates on it. *)
+
+let failures = ref 0
+
+let seeds = [ 11; 42 ]
+
+let scenarios =
+  [
+    ("none", "baseline, no faults");
+    ("link_drop:1:300:900:0.5", "member 1 fabric link dropping half");
+    ("link_corrupt:0:200:1200:0.3", "member 0 fabric link corrupting bytes");
+    ("link_stall:2:200:1500:40", "member 2 fabric link +40 us stalls");
+    ("crash:3:600:800", "member 3 fail-stop, rejoins at 1.4 ms");
+    ("crash:2:800:0", "member 2 fail-stop, never restarts");
+    ( "link_drop:0:200:700:0.4;link_stall:1:300:900:30;crash:3:500:600",
+      "combined: drops + stalls + a crash" );
+  ]
+
+let members = 4
+let ports_per_member = 4
+
+type outcome = {
+  counts : Cluster.fabric_counts;
+  crash_epochs : int;
+  violations : (string * Fault.Invariant.violation) list;
+  delivered : int;
+  metrics_md5 : string;
+  json : Telemetry.Json.t;
+}
+
+let attempt spec ~seed =
+  let faults =
+    match Fault.Cluster_scenario.parse spec with
+    | Ok s -> Fault.Cluster_scenario.with_seed s (Int64.of_int seed)
+    | Error msg ->
+        failwith ("cluster_fault_matrix: bad spec " ^ spec ^ ": " ^ msg)
+  in
+  let c =
+    Cluster.create ~members ~ports_per_member ~faults ~frame_pool:true ()
+  in
+  let n_global = members * ports_per_member in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  for g = 0 to n_global - 1 do
+    let m, _ = Cluster.member_of_global_port c g in
+    let pool = Option.get (Cluster.frame_pool c m) in
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_line_rate c.Cluster.engine
+         ~name:(Printf.sprintf "gen%d" g)
+         ~mbps:100. ~frame_len:64
+         ~gen:(Workload.Mix.udp_uniform ~pool ~rng ~n_subnets:n_global
+                 ~frame_len:64 ())
+         ~offer:(fun f ->
+           let ok = Cluster.inject c ~global_port:g f in
+           if not ok then Packet.Frame_pool.give pool f;
+           ok)
+         ())
+  done;
+  (* Six barriers across 3 ms: damage windows are audited while in force
+     and after they end, not only once the cluster has settled. *)
+  for _ = 1 to 6 do
+    Cluster.run_for c ~us:500.
+  done;
+  let epochs = ref 0 in
+  for m = 0 to members - 1 do
+    epochs := !epochs + Cluster.crash_epochs c m
+  done;
+  let metrics =
+    Telemetry.Json.to_string (Cluster.telemetry_snapshot c)
+  in
+  let md5 = Digest.to_hex (Digest.string metrics) in
+  {
+    counts = Cluster.fabric_counts c;
+    crash_epochs = !epochs;
+    violations = Cluster.violations c;
+    delivered = Cluster.delivered_total c;
+    metrics_md5 = md5;
+    json =
+      Telemetry.Json.Obj
+        [
+          ("scenario", Fault.Cluster_scenario.to_json faults);
+          ("invariants", Fault.Invariant.to_json c.Cluster.invariants);
+          ( "fabric",
+            Telemetry.Json.Obj
+              (let fc = Cluster.fabric_counts c in
+               [
+                 ("offered", Telemetry.Json.Int fc.Cluster.offered);
+                 ("delivered", Telemetry.Json.Int fc.Cluster.delivered);
+                 ("dropped_link", Telemetry.Json.Int fc.Cluster.dropped_link);
+                 ("dropped_down", Telemetry.Json.Int fc.Cluster.dropped_down);
+                 ( "dropped_unknown",
+                   Telemetry.Json.Int fc.Cluster.dropped_unknown );
+                 ("rx_refused", Telemetry.Json.Int fc.Cluster.rx_refused);
+                 ("corrupted", Telemetry.Json.Int fc.Cluster.corrupted);
+                 ("stalled", Telemetry.Json.Int fc.Cluster.stalled);
+                 ("in_flight", Telemetry.Json.Int fc.Cluster.in_flight);
+               ]) );
+          ("crash_epochs", Telemetry.Json.Int !epochs);
+          ( "recovery_latency_us",
+            Telemetry.Json.List
+              (List.init members (fun m ->
+                   match Cluster.recovery_latency_us c m with
+                   | None -> Telemetry.Json.Null
+                   | Some l -> Telemetry.Json.Float l)) );
+          ("metrics_md5", Telemetry.Json.String md5);
+        ];
+  }
+
+let run () =
+  Report.section
+    "Cluster fault matrix: member-link damage and crashes vs cluster \
+     invariants (seed-replayable)";
+  let attachments = ref [] in
+  List.iter
+    (fun (spec, what) ->
+      List.iter
+        (fun seed ->
+          let o = attempt spec ~seed in
+          let n_viol = List.length o.violations in
+          let fc = o.counts in
+          Report.info
+            "%-38s seed %2d: %4d ext, fabric %4d/%4d, drops \
+             link/down/unk %d/%d/%d, %d corrupted, %d stalled, %d \
+             epoch(s), %d violation(s)"
+            what seed o.delivered fc.Cluster.delivered fc.Cluster.offered
+            fc.Cluster.dropped_link fc.Cluster.dropped_down
+            fc.Cluster.dropped_unknown fc.Cluster.corrupted
+            fc.Cluster.stalled o.crash_epochs n_viol;
+          let effects =
+            fc.Cluster.dropped_link + fc.Cluster.dropped_down
+            + fc.Cluster.corrupted + fc.Cluster.stalled + o.crash_epochs
+          in
+          if spec <> "none" && effects = 0 then begin
+            (* A scenario with no observable effect proves nothing: treat
+               it as a matrix failure so an unwired fault path cannot
+               pass. *)
+            incr failures;
+            Report.info "  CLUSTER MATRIX FAILURE: scenario injected nothing"
+          end;
+          if spec = "none" && effects > 0 then begin
+            incr failures;
+            Report.info
+              "  CLUSTER MATRIX FAILURE: baseline shows fault effects"
+          end;
+          if n_viol > 0 then begin
+            failures := !failures + n_viol;
+            List.iter
+              (fun (src, (v : Fault.Invariant.violation)) ->
+                Report.info "  VIOLATION [%s @ %Ld] %s: %s" src
+                  v.Fault.Invariant.at v.Fault.Invariant.name
+                  v.Fault.Invariant.detail)
+              o.violations;
+            Report.info
+              "  repro: router_cli cluster --cluster-faults '%s' --seed %d \
+               -d 3 --members %d --ports-per-member %d"
+              spec seed members ports_per_member
+          end;
+          Report.row ~unit_:"violations"
+            ~name:(Printf.sprintf "violations [%s seed=%d]" spec seed)
+            ~paper:0. ~measured:(float_of_int n_viol);
+          attachments :=
+            (Printf.sprintf "%s seed=%d" spec seed, o.json) :: !attachments)
+        seeds)
+    scenarios;
+  Report.attach "cluster_fault_matrix"
+    (Telemetry.Json.Obj (List.rev !attachments));
+  Report.row ~unit_:"violations" ~name:"total cluster violations" ~paper:0.
+    ~measured:(float_of_int !failures)

@@ -30,6 +30,9 @@ let experiments =
     ("cluster", "Extension: four-member cluster (section 6)", Cluster_bench.run);
     ("fault_matrix", "Extension: invariants under fault injection",
      Fault_matrix.run);
+    ("cluster_fault_matrix",
+     "Extension: cluster invariants under link damage and member crashes",
+     Cluster_fault_matrix.run);
     ("perf", "Infrastructure: simulator packets-per-wall-second", Perf.run);
   ]
 
@@ -102,5 +105,10 @@ let () =
   if !Fault_matrix.failures > 0 then begin
     Printf.eprintf "fault_matrix: %d invariant violation(s)\n"
       !Fault_matrix.failures;
+    exit 1
+  end;
+  if !Cluster_fault_matrix.failures > 0 then begin
+    Printf.eprintf "cluster_fault_matrix: %d invariant violation(s)\n"
+      !Cluster_fault_matrix.failures;
     exit 1
   end

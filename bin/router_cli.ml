@@ -244,6 +244,110 @@ let budget_cmd =
        ~doc:"VRP budget available at a line rate (section 4.3).")
     Term.(const run $ pps $ contexts)
 
+(* --- cluster --------------------------------------------------------- *)
+
+let cluster_cmd =
+  let duration =
+    Arg.(value & opt float 3.0 & info [ "d"; "duration" ] ~docv:"MS"
+           ~doc:"Simulated milliseconds to run.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let members =
+    Arg.(value & opt int 4 & info [ "members" ] ~docv:"N"
+           ~doc:"Pentium/IXP pairs behind the switch.")
+  in
+  let ports_per_member =
+    Arg.(value & opt int 4 & info [ "ports-per-member" ] ~docv:"N"
+           ~doc:"External 100 Mbps ports per member.")
+  in
+  let frame_len =
+    Arg.(value & opt int 64 & info [ "frame" ] ~docv:"BYTES"
+           ~doc:"Frame length (64..1518).")
+  in
+  let cluster_faults =
+    Arg.(value & opt string "none" & info [ "cluster-faults" ] ~docv:"SPEC"
+           ~doc:"Cluster fault scenario: semicolon-separated events, each \
+                 kind:member:start_us:dur_us[:param] with kinds link_drop, \
+                 link_corrupt, link_stall, crash — e.g. \
+                 'link_drop:1:200:600:0.5;crash:3:500:400' (see \
+                 lib/fault/cluster_scenario.mli).  Seeded from --seed, so \
+                 a failing run replays exactly.")
+  in
+  let run duration seed members ports_per_member frame_len cluster_faults
+      metrics =
+    let faults =
+      match Fault.Cluster_scenario.parse cluster_faults with
+      | Ok s -> Fault.Cluster_scenario.with_seed s (Int64.of_int seed)
+      | Error msg ->
+          Format.eprintf "bad --cluster-faults spec: %s@." msg;
+          exit 2
+    in
+    let c = Cluster.create ~members ~ports_per_member ~faults () in
+    let n_global = members * ports_per_member in
+    let rng = Sim.Rng.create (Int64.of_int seed) in
+    for g = 0 to n_global - 1 do
+      let rng = Sim.Rng.split rng in
+      let gen = Workload.Mix.udp_uniform ~rng ~n_subnets:n_global ~frame_len () in
+      ignore
+        (Workload.Source.spawn_line_rate c.Cluster.engine
+           ~name:(Printf.sprintf "gen%d" g)
+           ~mbps:100. ~frame_len ~gen
+           ~offer:(fun f -> Cluster.inject c ~global_port:g f)
+           ())
+    done;
+    (* Several barriers, so windowed damage is audited while in force,
+       not only after everything has settled. *)
+    let slices = 6 in
+    for _ = 1 to slices do
+      Cluster.run_for c ~us:(duration *. 1000. /. float_of_int slices)
+    done;
+    let fc = Cluster.fabric_counts c in
+    Format.printf
+      "cluster after %.3f ms: %d members, %d delivered externally@,"
+      (Sim.Engine.seconds (Sim.Engine.time c.Cluster.engine) *. 1e3)
+      members (Cluster.delivered_total c);
+    Format.printf
+      "fabric: %d offered = %d delivered + %d link + %d down + %d unknown + \
+       %d refused + %d in flight (%d corrupted, %d stalled)@."
+      fc.Cluster.offered fc.Cluster.delivered fc.Cluster.dropped_link
+      fc.Cluster.dropped_down fc.Cluster.dropped_unknown fc.Cluster.rx_refused
+      fc.Cluster.in_flight fc.Cluster.corrupted fc.Cluster.stalled;
+    for m = 0 to members - 1 do
+      Format.printf "member %d: %s, %d crash epoch(s)%s@." m
+        (if Cluster.member_up c m then "up" else "down")
+        (Cluster.crash_epochs c m)
+        (match Cluster.recovery_latency_us c m with
+        | None -> ""
+        | Some l -> Printf.sprintf ", recovered in %.1f us" l)
+    done;
+    dump_metrics metrics (Cluster.telemetry_snapshot c);
+    let violations = Cluster.violations c in
+    if violations <> [] then begin
+      List.iter
+        (fun (src, v) ->
+          Format.eprintf "FAULT [%s] %s: %s (at %.3f us)@." src
+            v.Fault.Invariant.name v.Fault.Invariant.detail
+            (Sim.Engine.seconds v.Fault.Invariant.at *. 1e6))
+        violations;
+      Format.eprintf
+        "repro: router_cli cluster --cluster-faults '%s' --seed %d -d %g \
+         --members %d --ports-per-member %d@."
+        (Fault.Cluster_scenario.to_spec faults)
+        seed duration members ports_per_member;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Drive the section 6 multi-member cluster, optionally under a \
+          cluster fault scenario, and audit the cluster invariants.")
+    Term.(
+      const run $ duration $ seed $ members $ ports_per_member $ frame_len
+      $ cluster_faults $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "router_cli" ~version:"1.0"
@@ -251,4 +355,4 @@ let () =
         "Simulated IXP1200 software router (Spalink et al., SOSP 2001 \
          reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; peak_cmd; budget_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; peak_cmd; budget_cmd; cluster_cmd ]))

@@ -1,8 +1,53 @@
+type member_health = {
+  mutable up : bool;
+  mutable crash_epochs : int;
+  mutable up_since_us : float;
+  mutable quiet_since_us : float;
+  mutable uplink_rx_at_crash : int;
+  mutable attempts_at_quiet : int;
+  mutable delivered_at_quiet : int;
+  mutable refused_at_quiet : int;
+  mutable awaiting_recovery : bool;
+  mutable recovery_latency_us : float; (* negative until first measured *)
+}
+
+type fabric_counts = {
+  offered : int;
+  delivered : int;
+  dropped_link : int;
+  dropped_down : int;
+  dropped_unknown : int;
+  rx_refused : int;
+  corrupted : int;
+  stalled : int;
+  in_flight : int;
+}
+
 type t = {
   engine : Sim.Engine.t;
   members : Router.t array;
   switch_latency_us : float;
   fabric_frames : Sim.Stats.Counter.t;
+  faults : Fault.Cluster_scenario.t;
+  fabric_rng : Sim.Rng.t;
+  fab_delivered : Sim.Stats.Counter.t;
+  fab_dropped_link : Sim.Stats.Counter.t;
+  fab_dropped_down : Sim.Stats.Counter.t;
+  fab_dropped_unknown : Sim.Stats.Counter.t;
+  fab_rx_refused : Sim.Stats.Counter.t;
+  fab_corrupted : Sim.Stats.Counter.t;
+  fab_stalled : Sim.Stats.Counter.t;
+  mutable fab_in_flight : int;
+  health : member_health array;
+  attempts_to : int array;
+  delivered_to : int array;
+  refused_to : int array;
+  invariants : Fault.Invariant.t;
+  telemetry : Telemetry.Registry.t;
+  member_scopes : Telemetry.Scope.t array;
+  frame_pools : Packet.Frame_pool.t array; (* [||] unless [~frame_pool] *)
+  invalid_escapes : int ref;
+  mutable pending_violations : string list;
 }
 
 (* Locally-administered, distinct from the per-port scheme. *)
@@ -13,9 +58,362 @@ let member_of_uplink_mac mac =
     Some (mac land 0xFF)
   else None
 
+let now_us t = Sim.Engine.seconds (Sim.Engine.time t.engine) *. 1e6
+
+(* Long enough for anything launched before the damage ended to settle:
+   both fabric hops plus slack. *)
+let grace_us t = (4. *. t.switch_latency_us) +. 100.
+
+let uplink_rx t m =
+  let r = t.members.(m) in
+  let n = r.Router.config.Router.n_ports in
+  let ports = r.Router.chip.Ixp.Chip.ports in
+  Ixp.Mac_port.rx_frames ports.(n) + Ixp.Mac_port.rx_frames ports.(n + 1)
+
+let set_member_links t m up =
+  Array.iter
+    (fun p -> Ixp.Mac_port.set_link_up p up)
+    t.members.(m).Router.chip.Ixp.Chip.ports
+
+(* A crash is fail-stop at the PHYs: every port (external and uplink)
+   refuses arrivals and transmits into the void, so the member emits
+   nothing and accepts nothing — frames still queued inside it at the
+   crash are lost at the dead MACs, counted per port as tx_link_down. *)
+let do_crash t m =
+  let h = t.health.(m) in
+  h.up <- false;
+  h.crash_epochs <- h.crash_epochs + 1;
+  h.uplink_rx_at_crash <- uplink_rx t m;
+  set_member_links t m false;
+  Telemetry.Scope.event t.member_scopes.(m) "crash"
+
+let snapshot_quiet t m =
+  let h = t.health.(m) in
+  h.quiet_since_us <- now_us t;
+  h.attempts_at_quiet <- t.attempts_to.(m);
+  h.delivered_at_quiet <- t.delivered_to.(m);
+  h.refused_at_quiet <- t.refused_to.(m)
+
+let do_restart t m =
+  let h = t.health.(m) in
+  let rx = uplink_rx t m in
+  (* The uplink MACs must not have accepted anything while dead; audit at
+     the rejoin so a one-shot crash window cannot dodge the barrier. *)
+  if rx <> h.uplink_rx_at_crash then
+    t.pending_violations <-
+      Printf.sprintf "member %d's uplinks accepted %d frame(s) while crashed"
+        m (rx - h.uplink_rx_at_crash)
+      :: t.pending_violations;
+  set_member_links t m true;
+  h.up <- true;
+  h.up_since_us <- now_us t;
+  h.awaiting_recovery <- true;
+  snapshot_quiet t m;
+  Telemetry.Scope.event t.member_scopes.(m) "restart"
+
+(* The deterministic fault driver: one fiber walking the scenario's
+   crash/restart/window-end boundaries in time order.  Spawned only when
+   there is at least one boundary, so a zero scenario leaves the event
+   schedule untouched. *)
+let spawn_driver t =
+  let open Fault.Cluster_scenario in
+  let acts =
+    List.concat_map
+      (fun e ->
+        match e.kind with
+        | Crash ->
+            (e.start_us, `Crash e.member)
+            ::
+            (if e.dur_us > 0. then
+               [ (e.start_us +. e.dur_us, `Restart e.member) ]
+             else [])
+        | Link_drop | Link_corrupt | Link_stall ->
+            if e.dur_us > 0. then [ (e.start_us +. e.dur_us, `Quiet e.member) ]
+            else [])
+      t.faults.events
+  in
+  let acts = List.stable_sort (fun (a, _) (b, _) -> compare a b) acts in
+  if acts <> [] then
+    Sim.Engine.spawn t.engine "cluster-fault-driver" (fun () ->
+        List.iter
+          (fun (at_us, act) ->
+            let target = Sim.Engine.of_seconds (at_us *. 1e-6) in
+            let d = Int64.sub target (Sim.Engine.now ()) in
+            if Int64.compare d 0L > 0 then Sim.Engine.wait d;
+            match act with
+            | `Crash m -> do_crash t m
+            | `Restart m -> do_restart t m
+            | `Quiet m -> snapshot_quiet t m)
+          acts)
+
+let corrupt_copy t f =
+  Sim.Stats.Counter.incr t.fab_corrupted;
+  let g = Packet.Frame.copy f in
+  let len = Packet.Frame.len g in
+  if len > 0 then begin
+    let n = 1 + Sim.Rng.int t.fabric_rng 4 in
+    for _ = 1 to n do
+      let i = Sim.Rng.int t.fabric_rng len in
+      Packet.Frame.set_u8 g i (Sim.Rng.int t.fabric_rng 256)
+    done
+  end;
+  g
+
+(* Zero-rate damage draws no randomness, mirroring [Fault.Injector]:
+   enabling one member's fault never shifts another's stream, and the
+   zero scenario never touches the RNG at all. *)
+let fires t rate = rate > 0. && Sim.Rng.float t.fabric_rng 1.0 < rate
+
+(* A frame arrives at the destination member's uplink after the switch
+   latency (plus any stall).  Every exit decrements [fab_in_flight] in
+   the same step it books the outcome, so fabric conservation holds at
+   any barrier, including one landing mid-stall. *)
+let deliver_fabric t ~dst ~port f =
+  let settle c =
+    Sim.Stats.Counter.incr c;
+    t.fab_in_flight <- t.fab_in_flight - 1
+  in
+  let at_us = now_us t in
+  let h = t.health.(dst) in
+  if not h.up then settle t.fab_dropped_down
+  else if fires t (Fault.Cluster_scenario.drop_rate t.faults ~member:dst ~at_us)
+  then settle t.fab_dropped_link
+  else begin
+    let f =
+      if
+        fires t
+          (Fault.Cluster_scenario.corrupt_rate t.faults ~member:dst ~at_us)
+      then corrupt_copy t f
+      else f
+    in
+    let stall = Fault.Cluster_scenario.stall_us t.faults ~member:dst ~at_us in
+    if stall > 0. then begin
+      Sim.Stats.Counter.incr t.fab_stalled;
+      Sim.Engine.wait (Sim.Engine.of_seconds (stall *. 1e-6))
+    end;
+    if not h.up then settle t.fab_dropped_down
+    else begin
+      t.attempts_to.(dst) <- t.attempts_to.(dst) + 1;
+      if Router.inject t.members.(dst) ~port f then begin
+        t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
+        if h.awaiting_recovery then begin
+          h.recovery_latency_us <- now_us t -. h.up_since_us;
+          h.awaiting_recovery <- false
+        end;
+        settle t.fab_delivered
+      end
+      else if
+        Ixp.Mac_port.link_up t.members.(dst).Router.chip.Ixp.Chip.ports.(port)
+      then begin
+        t.refused_to.(dst) <- t.refused_to.(dst) + 1;
+        settle t.fab_rx_refused
+      end
+      else settle t.fab_dropped_down
+    end
+  end
+
+(* The learning switch: deliver by destination MAC after a small
+   store-and-forward latency, onto the same-numbered uplink of the
+   destination member.  Link damage applies on both crossings of a
+   member's fabric link: egress here (source side), ingress in
+   [deliver_fabric]. *)
+let wire_switch t =
+  let members = Array.length t.members in
+  let uplink_local = t.members.(0).Router.config.Router.n_ports in
+  Array.iteri
+    (fun m r ->
+      List.iter
+        (fun up ->
+          Router.connect r ~port:up (fun f ->
+              Sim.Stats.Counter.incr t.fabric_frames;
+              let at_us = now_us t in
+              if
+                fires t
+                  (Fault.Cluster_scenario.drop_rate t.faults ~member:m ~at_us)
+              then Sim.Stats.Counter.incr t.fab_dropped_link
+              else begin
+                let f =
+                  if
+                    fires t
+                      (Fault.Cluster_scenario.corrupt_rate t.faults ~member:m
+                         ~at_us)
+                  then corrupt_copy t f
+                  else f
+                in
+                match member_of_uplink_mac (Packet.Ethernet.get_dst f) with
+                | None -> Sim.Stats.Counter.incr t.fab_dropped_unknown
+                | Some m' when m' >= members ->
+                    Sim.Stats.Counter.incr t.fab_dropped_unknown
+                | Some m' ->
+                    t.fab_in_flight <- t.fab_in_flight + 1;
+                    let stall =
+                      Fault.Cluster_scenario.stall_us t.faults ~member:m ~at_us
+                    in
+                    if stall > 0. then Sim.Stats.Counter.incr t.fab_stalled;
+                    Sim.Engine.spawn t.engine "switch" (fun () ->
+                        Sim.Engine.wait
+                          (Sim.Engine.of_seconds
+                             ((t.switch_latency_us +. stall) *. 1e-6));
+                        deliver_fabric t ~dst:m' ~port:up f)
+              end))
+        [ uplink_local; uplink_local + 1 ])
+    t.members
+
+let register_invariants t =
+  let reg = Fault.Invariant.register t.invariants in
+  let v = Sim.Stats.Counter.value in
+  reg "fabric-conservation" (fun () ->
+      let offered = v t.fabric_frames in
+      let settled =
+        v t.fab_delivered + v t.fab_dropped_link + v t.fab_dropped_down
+        + v t.fab_dropped_unknown + v t.fab_rx_refused
+      in
+      if settled + t.fab_in_flight <> offered then
+        Some
+          (Printf.sprintf
+             "fabric offered %d frames but %d settled + %d in flight" offered
+             settled t.fab_in_flight)
+      else None);
+  reg "no-escape-to-crashed" (fun () ->
+      match t.pending_violations with
+      | msgs when msgs <> [] ->
+          t.pending_violations <- [];
+          Some (String.concat "; " (List.rev msgs))
+      | _ ->
+          let bad = ref None in
+          Array.iteri
+            (fun m h ->
+              if (not h.up) && !bad = None then begin
+                let rx = uplink_rx t m in
+                if rx <> h.uplink_rx_at_crash then
+                  bad :=
+                    Some
+                      (Printf.sprintf
+                         "member %d's uplinks accepted %d frame(s) while \
+                          crashed"
+                         m
+                         (rx - h.uplink_rx_at_crash))
+              end)
+            t.health;
+          !bad);
+  reg "membership-state" (fun () ->
+      let at_us = now_us t in
+      let bad = ref None in
+      Array.iteri
+        (fun m h ->
+          (* A barrier can land exactly on a crash/restart edge, where
+             float rounding of the picosecond clock puts [at_us] an
+             epsilon on either side of the scheduled instant: only flag a
+             member whose state disagrees with the schedule on BOTH sides
+             of the edge. *)
+          let crashed_at at_us =
+            Fault.Cluster_scenario.crashed t.faults ~member:m ~at_us
+          in
+          let should = not (crashed_at at_us) in
+          let unambiguous =
+            crashed_at (at_us -. 1e-3) = crashed_at (at_us +. 1e-3)
+          in
+          if !bad = None && unambiguous && h.up <> should then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "member %d is %s but the schedule says %s at %.0f us" m
+                   (if h.up then "up" else "down")
+                   (if should then "up" else "down")
+                   at_us))
+        t.health;
+      !bad);
+  (* Convergence: once a member is back up and its damage windows are
+     over (plus a settling grace), fabric frames addressed to it must be
+     reaching its uplink again — delivered, or at worst refused by port
+     memory, but not vanishing.  Catches a restart that forgets to
+     re-raise the links, or stuck health state. *)
+  reg "membership-convergence" (fun () ->
+      let at_us = now_us t in
+      let bad = ref None in
+      Array.iteri
+        (fun m h ->
+          if
+            !bad = None && h.up
+            && not (Fault.Cluster_scenario.member_active t.faults ~member:m ~at_us)
+            && at_us -. Float.max h.up_since_us h.quiet_since_us >= grace_us t
+          then begin
+            let attempts = t.attempts_to.(m) - h.attempts_at_quiet in
+            let progressed =
+              t.delivered_to.(m) - h.delivered_at_quiet
+              + (t.refused_to.(m) - h.refused_at_quiet)
+            in
+            if attempts >= 20 && progressed = 0 then
+              bad :=
+                Some
+                  (Printf.sprintf
+                     "member %d: %d fabric frames addressed since \
+                      rejoin/quiet but none reached its uplink"
+                     m attempts)
+          end)
+        t.health;
+      !bad);
+  reg "no-invalid-escape"
+    (let seen = ref 0 in
+     fun () ->
+       let n = !(t.invalid_escapes) in
+       if n > !seen then begin
+         let fresh = n - !seen in
+         seen := n;
+         Some
+           (Printf.sprintf
+              "%d malformed frame(s) escaped member external ports" fresh)
+       end
+       else None)
+
+let register_telemetry t =
+  let fab = Telemetry.Registry.scope t.telemetry "fabric" in
+  let rc name c = Telemetry.Scope.register_counter fab ~name c in
+  rc "frames" t.fabric_frames;
+  rc "delivered" t.fab_delivered;
+  rc "dropped_link" t.fab_dropped_link;
+  rc "dropped_down" t.fab_dropped_down;
+  rc "dropped_unknown" t.fab_dropped_unknown;
+  rc "rx_refused" t.fab_rx_refused;
+  rc "corrupted" t.fab_corrupted;
+  rc "stalled" t.fab_stalled;
+  Telemetry.Scope.gauge_int fab "in_flight" (fun () -> t.fab_in_flight);
+  Array.iteri
+    (fun m scope ->
+      let h = t.health.(m) in
+      let r = t.members.(m) in
+      let n = r.Router.config.Router.n_ports in
+      let ports = r.Router.chip.Ixp.Chip.ports in
+      Telemetry.Scope.gauge_int scope "up" (fun () -> if h.up then 1 else 0);
+      Telemetry.Scope.gauge_int scope "crash_epochs" (fun () -> h.crash_epochs);
+      Telemetry.Scope.gauge scope "recovery_latency_us" (fun () ->
+          h.recovery_latency_us);
+      Telemetry.Scope.gauge_int scope "fabric_attempts" (fun () ->
+          t.attempts_to.(m));
+      Telemetry.Scope.gauge_int scope "fabric_delivered" (fun () ->
+          t.delivered_to.(m));
+      Telemetry.Scope.gauge_int scope "fabric_refused" (fun () ->
+          t.refused_to.(m));
+      Telemetry.Scope.gauge_int scope "uplink_rx_link_down" (fun () ->
+          Ixp.Mac_port.rx_link_down ports.(n)
+          + Ixp.Mac_port.rx_link_down ports.(n + 1));
+      Telemetry.Scope.gauge_int scope "tx_link_down" (fun () ->
+          Array.fold_left
+            (fun acc p -> acc + Ixp.Mac_port.tx_link_down p)
+            0 ports))
+    t.member_scopes
+
 let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
-    ?(config = Router.default_config) () =
+    ?(config = Router.default_config) ?(faults = Fault.Cluster_scenario.zero)
+    ?(frame_pool = false) () =
   if members < 2 then invalid_arg "Cluster.create: members < 2";
+  let named = Fault.Cluster_scenario.max_member faults in
+  if named >= members then
+    invalid_arg
+      (Printf.sprintf
+         "Cluster.create: fault scenario names member %d but the cluster has \
+          %d members"
+         named members);
   let engine = Sim.Engine.create () in
   (* Two 1 Gbps uplinks per member (the evaluation board's pair): cross
      traffic is spread across them by destination subnet so each stays
@@ -29,6 +427,18 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
     }
   in
   let rs = Array.init members (fun _ -> Router.create ~config ~engine ()) in
+  let frame_pools =
+    if not frame_pool then [||]
+    else
+      Array.map
+        (fun r ->
+          let pool =
+            Packet.Frame_pool.create ~max_frames:4096 ~frame_bytes:512 ()
+          in
+          Router.set_frame_pool r pool;
+          pool)
+        rs
+  in
   let uplink_local = ports_per_member in
   (* Routes: every member knows every global subnet; remote ones point at
      the owner's uplink MAC across the fabric. *)
@@ -39,7 +449,8 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
         let prefix =
           Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" g)
         in
-        if owner = m then Router.add_route r prefix ~port:(g mod ports_per_member)
+        if owner = m then
+          Router.add_route r prefix ~port:(g mod ports_per_member)
         else
           Iproute.Table.add r.Router.routes prefix
             {
@@ -48,27 +459,75 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
             }
       done)
     rs;
-  let fabric_frames = Sim.Stats.Counter.create "fabric.frames" in
-  let t = { engine; members = rs; switch_latency_us; fabric_frames } in
-  (* The learning switch: deliver by destination MAC after a small
-     store-and-forward latency, onto the same-numbered uplink of the
-     destination member. *)
-  Array.iter
-    (fun r ->
-      List.iter
-        (fun up ->
-          Router.connect r ~port:up (fun f ->
-              match member_of_uplink_mac (Packet.Ethernet.get_dst f) with
-              | None -> () (* unknown fabric MAC: flooded nowhere, dropped *)
-              | Some m' when m' >= members -> ()
-              | Some m' ->
-                  Sim.Stats.Counter.incr fabric_frames;
-                  Sim.Engine.spawn engine "switch" (fun () ->
-                      Sim.Engine.wait
-                        (Sim.Engine.of_seconds (switch_latency_us *. 1e-6));
-                      ignore (Router.inject rs.(m') ~port:up f))))
-        [ uplink_local; uplink_local + 1 ])
-    rs;
+  let telemetry = Telemetry.Registry.create () in
+  Telemetry.Registry.set_clock telemetry (fun () -> Sim.Engine.time engine);
+  let member_scopes =
+    Array.init members (fun m ->
+        Telemetry.Registry.scope telemetry "member"
+          ~labels:[ ("id", string_of_int m) ])
+  in
+  let invariants =
+    Fault.Invariant.create
+      ~scope:(Telemetry.Registry.scope telemetry "invariant")
+      ~clock:(fun () -> Sim.Engine.time engine)
+      ()
+  in
+  let t =
+    {
+      engine;
+      members = rs;
+      switch_latency_us;
+      fabric_frames = Sim.Stats.Counter.create "fabric.frames";
+      faults;
+      fabric_rng = Sim.Rng.create faults.Fault.Cluster_scenario.seed;
+      fab_delivered = Sim.Stats.Counter.create "fabric.delivered";
+      fab_dropped_link = Sim.Stats.Counter.create "fabric.dropped_link";
+      fab_dropped_down = Sim.Stats.Counter.create "fabric.dropped_down";
+      fab_dropped_unknown = Sim.Stats.Counter.create "fabric.dropped_unknown";
+      fab_rx_refused = Sim.Stats.Counter.create "fabric.rx_refused";
+      fab_corrupted = Sim.Stats.Counter.create "fabric.corrupted";
+      fab_stalled = Sim.Stats.Counter.create "fabric.stalled";
+      fab_in_flight = 0;
+      health =
+        Array.init members (fun _ ->
+            {
+              up = true;
+              crash_epochs = 0;
+              up_since_us = 0.;
+              quiet_since_us = 0.;
+              uplink_rx_at_crash = 0;
+              attempts_at_quiet = 0;
+              delivered_at_quiet = 0;
+              refused_at_quiet = 0;
+              awaiting_recovery = false;
+              recovery_latency_us = -1.;
+            });
+      attempts_to = Array.make members 0;
+      delivered_to = Array.make members 0;
+      refused_to = Array.make members 0;
+      invariants;
+      telemetry;
+      member_scopes;
+      frame_pools;
+      invalid_escapes = ref 0;
+      pending_violations = [];
+    }
+  in
+  register_telemetry t;
+  register_invariants t;
+  wire_switch t;
+  (* Members run fault-free routers, so their own sinks do not audit
+     escapes; under a cluster fault scenario the fabric can corrupt
+     frames, so audit member egress here. *)
+  if not (Fault.Cluster_scenario.is_zero faults) then
+    Array.iter
+      (fun r ->
+        for p = 0 to ports_per_member - 1 do
+          Router.connect r ~port:p (fun f ->
+              if not (Router.frame_escapable f) then incr t.invalid_escapes)
+        done)
+      rs;
+  spawn_driver t;
   Array.iter (fun r -> Router.start r) rs;
   t
 
@@ -108,8 +567,65 @@ let vrp_budget_with_internal_link t ~line_rate_pps =
   Router.Capacity.vrp_budget Router.Capacity.default ~contexts:16
     ~line_rate_pps:per_member ~hashes:3
 
+let fabric_counts t =
+  let v = Sim.Stats.Counter.value in
+  {
+    offered = v t.fabric_frames;
+    delivered = v t.fab_delivered;
+    dropped_link = v t.fab_dropped_link;
+    dropped_down = v t.fab_dropped_down;
+    dropped_unknown = v t.fab_dropped_unknown;
+    rx_refused = v t.fab_rx_refused;
+    corrupted = v t.fab_corrupted;
+    stalled = v t.fab_stalled;
+    in_flight = t.fab_in_flight;
+  }
+
+let member_up t m = t.health.(m).up
+let crash_epochs t m = t.health.(m).crash_epochs
+
+let recovery_latency_us t m =
+  let l = t.health.(m).recovery_latency_us in
+  if l < 0. then None else Some l
+
+let frame_pool t m =
+  if Array.length t.frame_pools = 0 then None else Some t.frame_pools.(m)
+
+let check_invariants t =
+  let fresh = Fault.Invariant.check t.invariants in
+  Array.fold_left (fun acc r -> acc + Router.check_invariants r) fresh t.members
+
+let violations t =
+  let tag name vs = List.map (fun v -> (name, v)) vs in
+  let cluster = tag "cluster" (Fault.Invariant.violations t.invariants) in
+  let members =
+    List.concat
+      (List.mapi
+         (fun m r ->
+           tag
+             (Printf.sprintf "member%d" m)
+             (Fault.Invariant.violations r.Router.invariants))
+         (Array.to_list t.members))
+  in
+  cluster @ members
+
+let invariants_ok t = violations t = []
+
 let run_for t ~us =
   let target =
     Int64.add (Sim.Engine.time t.engine) (Sim.Engine.of_seconds (us *. 1e-6))
   in
-  Sim.Engine.run t.engine ~until:target
+  Sim.Engine.run t.engine ~until:target;
+  (* Every pause is a barrier: audit the cluster registry and every
+     member's own registry (pure reads, so the zero-fault schedule is
+     untouched). *)
+  ignore (check_invariants t : int)
+
+let telemetry_snapshot t =
+  Telemetry.Json.Obj
+    [
+      ("cluster", Telemetry.Registry.snapshot t.telemetry);
+      ( "members",
+        Telemetry.Json.List
+          (Array.to_list (Array.map Router.telemetry_snapshot t.members)) );
+    ]

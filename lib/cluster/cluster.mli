@@ -13,13 +13,70 @@
     whose uplink MAC the route's gateway field names — so the internal hop
     is ordinary IP forwarding plus a MAC-switched fabric, and a
     cross-member packet pays classification (and TTL) twice, exactly the
-    structural cost the paper anticipates. *)
+    structural cost the paper anticipates.
+
+    The cluster extends the PR-2 fault plane across members: a
+    {!Fault.Cluster_scenario} can damage a member's fabric link
+    (drop/corrupt/stall, seeded and windowed) or fail-stop a whole member
+    and later restart it.  Cluster-level invariants — fabric-frame
+    conservation by cause, no frame accepted by a crashed member's
+    uplinks, membership state matching the schedule, convergence after
+    damage ends, and no malformed frame escaping an external port — are
+    audited at every {!run_for} barrier together with each member's own
+    registry. *)
+
+type member_health = {
+  mutable up : bool;
+  mutable crash_epochs : int;
+  mutable up_since_us : float;
+  mutable quiet_since_us : float;
+  mutable uplink_rx_at_crash : int;
+  mutable attempts_at_quiet : int;
+  mutable delivered_at_quiet : int;
+  mutable refused_at_quiet : int;
+  mutable awaiting_recovery : bool;
+  mutable recovery_latency_us : float;
+      (** us from rejoin to the first fabric delivery; negative until
+          measured *)
+}
+
+type fabric_counts = {
+  offered : int;  (** frames leaving any member's uplink into the switch *)
+  delivered : int;  (** accepted by the destination member's uplink *)
+  dropped_link : int;  (** lost to injected link damage *)
+  dropped_down : int;  (** destination member was crashed *)
+  dropped_unknown : int;  (** destination MAC not a member uplink *)
+  rx_refused : int;  (** destination uplink port memory overflowed *)
+  corrupted : int;  (** frames byte-damaged in transit (still forwarded) *)
+  stalled : int;  (** frames that paid extra injected latency *)
+  in_flight : int;  (** inside the switch right now *)
+}
 
 type t = {
   engine : Sim.Engine.t;
   members : Router.t array;
   switch_latency_us : float;
   fabric_frames : Sim.Stats.Counter.t;  (** frames crossing the switch *)
+  faults : Fault.Cluster_scenario.t;
+  fabric_rng : Sim.Rng.t;
+  fab_delivered : Sim.Stats.Counter.t;
+  fab_dropped_link : Sim.Stats.Counter.t;
+  fab_dropped_down : Sim.Stats.Counter.t;
+  fab_dropped_unknown : Sim.Stats.Counter.t;
+  fab_rx_refused : Sim.Stats.Counter.t;
+  fab_corrupted : Sim.Stats.Counter.t;
+  fab_stalled : Sim.Stats.Counter.t;
+  mutable fab_in_flight : int;
+  health : member_health array;
+  attempts_to : int array;
+  delivered_to : int array;
+  refused_to : int array;
+  invariants : Fault.Invariant.t;
+  telemetry : Telemetry.Registry.t;
+  member_scopes : Telemetry.Scope.t array;
+  frame_pools : Packet.Frame_pool.t array;
+  invalid_escapes : int ref;
+  mutable pending_violations : string list;
 }
 
 val create :
@@ -27,12 +84,20 @@ val create :
   ?ports_per_member:int ->
   ?switch_latency_us:float ->
   ?config:Router.config ->
+  ?faults:Fault.Cluster_scenario.t ->
+  ?frame_pool:bool ->
   unit ->
   t
 (** [create ()] builds a 4-member cluster (8 external ports each), routes
     subnet 10.[g].0.0/16 to global external port [g], wires the uplinks
     through the switch, and starts every member.  [config] overrides the
-    per-member router configuration (the uplink port is added to it). *)
+    per-member router configuration (the uplink ports are added to it).
+
+    [faults] injects the cluster scenario; the default [zero] builds no
+    driver fiber and draws no randomness, so a faultless cluster is
+    byte-identical to one created without the argument.  [frame_pool]
+    gives each member a recycling frame pool (with its conservation
+    invariant), for pool-accounting audits across crash/restart. *)
 
 val uplink_mac : int -> Packet.Ethernet.mac
 (** The MAC identifying member [m]'s uplink on the fabric. *)
@@ -41,7 +106,8 @@ val member_of_global_port : t -> int -> int * int
 (** [member_of_global_port t g] is [(member, local_port)]. *)
 
 val inject : t -> global_port:int -> Packet.Frame.t -> bool
-(** Offer a frame to a global external port. *)
+(** Offer a frame to a global external port.  False if port memory is
+    full — or the owning member is crashed. *)
 
 val delivered : t -> global_port:int -> int
 (** Frames transmitted out a global external port. *)
@@ -57,4 +123,36 @@ val vrp_budget_with_internal_link : t -> line_rate_pps:float -> Router.Vrp.budge
     the input contexts must also service the internal link's share
     ([line_rate_pps] external aggregate plus the measured internal rate). *)
 
+val fabric_counts : t -> fabric_counts
+(** Fabric accounting by cause; conservation ([offered] equals the other
+    buckets plus [in_flight]) is audited at every barrier. *)
+
+val member_up : t -> int -> bool
+val crash_epochs : t -> int -> int
+
+val recovery_latency_us : t -> int -> float option
+(** Time from member [m]'s latest rejoin to the first fabric frame its
+    uplink accepted afterwards; [None] until a restart completes the
+    measurement. *)
+
+val frame_pool : t -> int -> Packet.Frame_pool.t option
+(** Member [m]'s recycling pool when [create ~frame_pool:true]. *)
+
 val run_for : t -> us:float -> unit
+(** Advance the simulation, then audit the cluster invariant registry and
+    every member's own registry (every pause is a barrier). *)
+
+val check_invariants : t -> int
+(** Audit now; the number of new violations across cluster and members.
+    {!run_for} calls this automatically. *)
+
+val invariants_ok : t -> bool
+
+val violations : t -> (string * Fault.Invariant.violation) list
+(** All violations recorded so far, tagged ["cluster"] or ["member<i>"]. *)
+
+val telemetry_snapshot : t -> Telemetry.Json.t
+(** Deterministic JSON of the cluster registry (fabric counters, per-member
+    health gauges, crash/restart events, invariant events) plus every
+    member's own snapshot — equal runs yield equal JSON, the seed-replay
+    property. *)

@@ -154,6 +154,12 @@ val check_invariants : t -> int
 (** Audit the invariant registry now; the number of new violations.
     {!run_for} calls this automatically. *)
 
+val frame_escapable : Packet.Frame.t -> bool
+(** Would a downstream host accept this frame?  The no-invalid-escape
+    check: a frame leaving an output port must be well-formed (Ethernet
+    header, and a valid IPv4 header or an MPLS ethertype).  Exposed so
+    the cluster fabric can run the same audit on member egress. *)
+
 val qid_sa_local : t -> int
 val qid_sa_pe : t -> int -> int
 (** [qid_sa_pe t h] picks a Pentium-bound queue by flow hash [h]. *)

@@ -28,6 +28,9 @@ type t = {
   mutable tx_frames : int;
   mutable tx_errors : int;
   mutable faults : Fault.Injector.t option;
+  mutable link_up : bool;
+  mutable rx_link_down : int;
+  mutable tx_link_down : int;
 }
 
 let mp_wire_ps ~mbps ~bytes =
@@ -67,6 +70,9 @@ let create _engine ~id ~mbps ~rx_slots ?sink () =
     tx_frames = 0;
     tx_errors = 0;
     faults = None;
+    link_up = true;
+    rx_link_down = 0;
+    tx_link_down = 0;
   }
 
 let id t = t.id
@@ -77,6 +83,8 @@ let set_sink t f =
   t.sink_present <- true
 
 let set_faults t inj = t.faults <- Some inj
+let link_up t = t.link_up
+let set_link_up t up = t.link_up <- up
 
 (* What the wire actually delivered, faults applied: [None] means the
    frame was lost outright. *)
@@ -119,11 +127,16 @@ let offer_clean t f =
   end
 
 let offer t f =
-  match wire_damage t f with
-  | None ->
-      t.rx_lost <- t.rx_lost + 1;
-      false
-  | Some f -> offer_clean t f
+  if not t.link_up then begin
+    t.rx_link_down <- t.rx_link_down + 1;
+    false
+  end
+  else
+    match wire_damage t f with
+    | None ->
+        t.rx_lost <- t.rx_lost + 1;
+        false
+    | Some f -> offer_clean t f
 
 let rdy t = t.r_len > 0
 
@@ -178,18 +191,27 @@ let tx_try_pace t ~tag =
    bytes the caller still holds — performed only when someone is
    listening on the wire. *)
 let transmit_frame t frame ~len =
-  t.tx_frames <- t.tx_frames + 1;
-  if t.sink_present then t.sink (Packet.Frame.prefix_copy frame ~len)
+  if not t.link_up then t.tx_link_down <- t.tx_link_down + 1
+  else begin
+    t.tx_frames <- t.tx_frames + 1;
+    if t.sink_present then t.sink (Packet.Frame.prefix_copy frame ~len)
+  end
 
 let transmit_mp t mp ~len_hint =
   let open Packet.Mp in
   let finish mps =
-    t.tx_partial <- [];
-    match join mps ~len:len_hint with
-    | f ->
-        t.tx_frames <- t.tx_frames + 1;
-        t.sink f
-    | exception Invalid_argument _ -> t.tx_errors <- t.tx_errors + 1
+    if not t.link_up then begin
+      t.tx_partial <- [];
+      t.tx_link_down <- t.tx_link_down + 1
+    end
+    else begin
+      t.tx_partial <- [];
+      match join mps ~len:len_hint with
+      | f ->
+          t.tx_frames <- t.tx_frames + 1;
+          t.sink f
+      | exception Invalid_argument _ -> t.tx_errors <- t.tx_errors + 1
+    end
   in
   match mp.tag with
   | Only ->
@@ -208,6 +230,8 @@ let transmit_mp t mp ~len_hint =
   | Last -> finish (List.rev (mp :: t.tx_partial))
 
 let rx_frames t = t.rx_frames
+let rx_link_down t = t.rx_link_down
+let tx_link_down t = t.tx_link_down
 let rx_dropped t = t.rx_dropped
 let rx_lost t = t.rx_lost
 let tx_frames t = t.tx_frames

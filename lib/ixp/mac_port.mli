@@ -34,6 +34,14 @@ val set_faults : t -> Fault.Injector.t -> unit
     port memory.  Mangled frames are copies; the source's frame is never
     written. *)
 
+val link_up : t -> bool
+
+val set_link_up : t -> bool -> unit
+(** Raise or cut the physical link.  While down, offered frames are
+    refused (counted in {!rx_link_down}) and transmitted frames vanish at
+    the dead PHY (counted in {!tx_link_down}, never reaching the sink) —
+    the fail-stop behaviour of a crashed cluster member's ports. *)
+
 (** {1 Receive (wire to router)} *)
 
 val offer : t -> Packet.Frame.t -> bool
@@ -102,6 +110,12 @@ val rx_dropped : t -> int
 
 val rx_lost : t -> int
 (** Frames lost to injected wire faults (never entered port memory). *)
+
+val rx_link_down : t -> int
+(** Frames refused because the link was administratively down. *)
+
+val tx_link_down : t -> int
+(** Frames discarded at the PHY because the link was down. *)
 
 val tx_frames : t -> int
 (** Frames fully transmitted. *)

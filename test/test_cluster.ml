@@ -90,6 +90,275 @@ let internal_link_shrinks_budget () =
     true
     (loaded.Router.Vrp.b_cycles < quiet.Router.Vrp.b_cycles)
 
+(* --- global-port mapping boundaries ---------------------------------- *)
+
+let member_of_global_port_boundaries () =
+  let c = Cluster.create ~members:3 ~ports_per_member:4 () in
+  let check g expect =
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "global port %d" g)
+      expect
+      (Cluster.member_of_global_port c g)
+  in
+  check 0 (0, 0);
+  check 3 (0, 3);
+  check 4 (1, 0);
+  check 7 (1, 3);
+  check 8 (2, 0);
+  check 11 (2, 3)
+
+(* --- hand-computed VRP budget ----------------------------------------- *)
+
+let vrp_budget_hand_computed () =
+  (* A quiet cluster has zero internal pps, so the documented formula
+     reduces to per_member = line_rate / members: the cluster's answer
+     must equal a direct Capacity.vrp_budget call at that rate. *)
+  List.iter
+    (fun members ->
+      let c = Cluster.create ~members () in
+      let line = 1.128e6 in
+      let expected =
+        Router.Capacity.vrp_budget Router.Capacity.default ~contexts:16
+          ~line_rate_pps:(line /. float_of_int members)
+          ~hashes:3
+      in
+      let got = Cluster.vrp_budget_with_internal_link c ~line_rate_pps:line in
+      Alcotest.(check int)
+        (Printf.sprintf "%d members: b_cycles matches per-member formula"
+           members)
+        expected.Router.Vrp.b_cycles got.Router.Vrp.b_cycles)
+    [ 2; 4 ];
+  (* Boundary: halving the member count doubles each member's share, so
+     the 2-member budget cannot exceed the 4-member one. *)
+  let b n =
+    (Cluster.vrp_budget_with_internal_link
+       (Cluster.create ~members:n ())
+       ~line_rate_pps:1.128e6)
+      .Router.Vrp.b_cycles
+  in
+  Alcotest.(check bool) "2-member budget <= 4-member budget" true (b 2 <= b 4)
+
+(* --- fault plane ------------------------------------------------------- *)
+
+let parse_faults spec ~seed =
+  match Fault.Cluster_scenario.parse spec with
+  | Ok s -> Fault.Cluster_scenario.with_seed s seed
+  | Error msg -> Alcotest.failf "bad cluster spec %S: %s" spec msg
+
+let scenario_roundtrip () =
+  List.iter
+    (fun spec ->
+      let s = parse_faults spec ~seed:0L in
+      let printed = Fault.Cluster_scenario.to_spec s in
+      let s' = parse_faults printed ~seed:0L in
+      Alcotest.(check string)
+        (Printf.sprintf "round-trip %s" spec)
+        printed
+        (Fault.Cluster_scenario.to_spec s'))
+    [
+      "none";
+      "link_drop:1:200:600:0.5";
+      "link_corrupt:0:100:400:0.3";
+      "link_stall:2:100:500:40";
+      "crash:3:500:400";
+      "crash:1:400:0";
+      "link_drop:0:200:700:0.4;link_stall:1:300:900:30;crash:1:500:600";
+    ];
+  List.iter
+    (fun bad ->
+      match Fault.Cluster_scenario.parse bad with
+      | Ok _ -> Alcotest.failf "spec %S should not parse" bad
+      | Error _ -> ())
+    [
+      "link_drop:1:200:600:1.5" (* rate out of range *);
+      "crash:1:200:600:0.5" (* crash takes no param *);
+      "link_drop:x:200:600" (* bad member *);
+      "meteor:1:200:600" (* unknown kind *);
+      "link_drop:1:200" (* missing field *);
+    ]
+
+(* Drive a deterministic line-rate all-to-all workload and return the
+   per-port delivery schedule plus the full telemetry digest. *)
+let drive_cluster ?faults () =
+  let c =
+    match faults with
+    | None -> Cluster.create ~members:2 ~ports_per_member:4 ()
+    | Some f -> Cluster.create ~members:2 ~ports_per_member:4 ~faults:f ()
+  in
+  let rng = Sim.Rng.create 23L in
+  for g = 0 to 7 do
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_line_rate c.Cluster.engine
+         ~name:(Printf.sprintf "g%d" g)
+         ~mbps:100. ~frame_len:64
+         ~gen:(Workload.Mix.udp_uniform ~rng ~n_subnets:8 ~frame_len:64 ())
+         ~offer:(fun f -> Cluster.inject c ~global_port:g f)
+         ())
+  done;
+  for _ = 1 to 4 do
+    Cluster.run_for c ~us:400.
+  done;
+  let per_port = List.init 8 (fun g -> Cluster.delivered c ~global_port:g) in
+  let md5 =
+    Digest.to_hex
+      (Digest.string (Telemetry.Json.to_string (Cluster.telemetry_snapshot c)))
+  in
+  (c, per_port, md5)
+
+let zero_fault_identity () =
+  (* An explicit empty scenario — even with a nonzero seed — must be
+     byte-identical to a cluster built with no fault argument at all: no
+     extra fibers, no RNG draws, the same per-port schedule and the same
+     telemetry snapshot. *)
+  let _, plain_ports, plain_md5 = drive_cluster () in
+  let zero =
+    Fault.Cluster_scenario.with_seed Fault.Cluster_scenario.zero 99L
+  in
+  let c, zero_ports, zero_md5 = drive_cluster ~faults:zero () in
+  Alcotest.(check (list int)) "identical per-port schedule" plain_ports
+    zero_ports;
+  Alcotest.(check string) "identical telemetry snapshot" plain_md5 zero_md5;
+  Alcotest.(check bool) "no violations" true (Cluster.invariants_ok c)
+
+let seed_replay_identity () =
+  (* Acceptance: replaying any scenario kind with the same seed yields the
+     identical metrics JSON. *)
+  List.iter
+    (fun spec ->
+      let run () =
+        let faults = parse_faults spec ~seed:5L in
+        let c, _, md5 = drive_cluster ~faults () in
+        (match Cluster.violations c with
+        | [] -> ()
+        | (src, v) :: _ as vs ->
+            Alcotest.failf
+              "spec %s: %d violation(s), first [%s] %s: %s (repro: \
+               router_cli cluster --cluster-faults '%s' --seed 5 -d 2)"
+              spec (List.length vs) src v.Fault.Invariant.name
+              v.Fault.Invariant.detail spec);
+        md5
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "replay identical [%s]" spec)
+        (run ()) (run ()))
+    [
+      "link_drop:1:200:600:0.5" (* link damage *);
+      "link_corrupt:0:150:700:0.4";
+      "link_stall:1:100:800:30";
+      "crash:1:400:0" (* member crash, no restart *);
+      "crash:1:300:500" (* crash + restart *);
+    ]
+
+(* Negative test: frames addressed to a crashed member are dropped with
+   an accounted cause — never silently lost, never accepted. *)
+let crashed_member_drops_accounted () =
+  let faults = parse_faults "crash:1:200:0" ~seed:8L in
+  let c = Cluster.create ~members:2 ~ports_per_member:4 ~faults () in
+  let rng = Sim.Rng.create 8L in
+  (* All of member 0's ports fire cross traffic at member 1's subnets. *)
+  for g = 0 to 3 do
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_constant c.Cluster.engine
+         ~name:(Printf.sprintf "cross%d" g)
+         ~pps:40_000.
+         ~gen:(fun _ ->
+           Packet.Build.udp
+             ~src:(Workload.Mix.subnet_addr ~subnet:(200 + g) ~host:1)
+             ~dst:
+               (Workload.Mix.subnet_addr
+                  ~subnet:(4 + Sim.Rng.int rng 4)
+                  ~host:2)
+             ~src_port:1000 ~dst_port:2000 ())
+         ~offer:(fun f -> Cluster.inject c ~global_port:g f)
+         ())
+  done;
+  Cluster.run_for c ~us:600.;
+  let mid = List.init 4 (fun p -> Cluster.delivered c ~global_port:(4 + p)) in
+  Cluster.run_for c ~us:600.;
+  Cluster.run_for c ~us:600.;
+  let fin = List.init 4 (fun p -> Cluster.delivered c ~global_port:(4 + p)) in
+  Alcotest.(check bool) "member 1 is down" false (Cluster.member_up c 1);
+  Alcotest.(check int) "one crash epoch" 1 (Cluster.crash_epochs c 1);
+  Alcotest.(check (list int))
+    "no deliveries out of the crashed member after the first barrier" mid fin;
+  let fc = Cluster.fabric_counts c in
+  Alcotest.(check bool)
+    (Printf.sprintf "fabric drops carry the down cause (%d)"
+       fc.Cluster.dropped_down)
+    true
+    (fc.Cluster.dropped_down > 50);
+  Alcotest.(check int)
+    "every offered frame is accounted (delivered + drops + in flight)"
+    fc.Cluster.offered
+    (fc.Cluster.delivered + fc.Cluster.dropped_link + fc.Cluster.dropped_down
+   + fc.Cluster.dropped_unknown + fc.Cluster.rx_refused
+   + fc.Cluster.in_flight);
+  (* The dead member's ports refuse offers outright. *)
+  let f =
+    Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "10.0.0.1")
+      ~src_port:1 ~dst_port:2 ()
+  in
+  Alcotest.(check bool) "offer to a crashed member refused" false
+    (Cluster.inject c ~global_port:4 f);
+  match Cluster.violations c with
+  | [] -> ()
+  | (src, v) :: _ ->
+      Alcotest.failf "unexpected violation [%s] %s: %s" src
+        v.Fault.Invariant.name v.Fault.Invariant.detail
+
+let crash_restart_recovers () =
+  let faults = parse_faults "crash:1:300:400" ~seed:3L in
+  (* Frame pools on: per-member pool conservation must also hold across
+     the crash/restart epoch (each member audits it at every barrier). *)
+  let c =
+    Cluster.create ~members:2 ~ports_per_member:4 ~faults ~frame_pool:true ()
+  in
+  let rng = Sim.Rng.create 3L in
+  for g = 0 to 7 do
+    let m, _ = Cluster.member_of_global_port c g in
+    let pool = Option.get (Cluster.frame_pool c m) in
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_line_rate c.Cluster.engine
+         ~name:(Printf.sprintf "g%d" g)
+         ~mbps:100. ~frame_len:64
+         ~gen:(Workload.Mix.udp_uniform ~pool ~rng ~n_subnets:8 ~frame_len:64
+                 ())
+         ~offer:(fun f ->
+           let ok = Cluster.inject c ~global_port:g f in
+           if not ok then Packet.Frame_pool.give pool f;
+           ok)
+         ())
+  done;
+  Cluster.run_for c ~us:700.;
+  let mid = Cluster.delivered c ~global_port:4 + Cluster.delivered c ~global_port:5 in
+  for _ = 1 to 4 do
+    Cluster.run_for c ~us:400.
+  done;
+  let fin = Cluster.delivered c ~global_port:4 + Cluster.delivered c ~global_port:5 in
+  Alcotest.(check bool) "member 1 is back up" true (Cluster.member_up c 1);
+  Alcotest.(check int) "one crash epoch" 1 (Cluster.crash_epochs c 1);
+  Alcotest.(check bool) "deliveries resumed after the restart" true (fin > mid);
+  (match Cluster.recovery_latency_us c 1 with
+  | None -> Alcotest.fail "recovery latency never measured"
+  | Some l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "recovery latency sane (%.1f us)" l)
+        true
+        (l >= 0. && l < 1000.));
+  let fc = Cluster.fabric_counts c in
+  Alcotest.(check bool) "down-window drops accounted" true
+    (fc.Cluster.dropped_down > 0);
+  match Cluster.violations c with
+  | [] -> ()
+  | (src, v) :: _ ->
+      Alcotest.failf
+        "unexpected violation [%s] %s: %s (repro: router_cli cluster \
+         --cluster-faults 'crash:1:300:400' --seed 3 -d 2)"
+        src v.Fault.Invariant.name v.Fault.Invariant.detail
+
 let tests =
   [
     Alcotest.test_case "local stays local" `Quick local_forwarding_stays_local;
@@ -97,4 +366,17 @@ let tests =
     Alcotest.test_case "all-to-all no loss" `Slow all_to_all_no_loss;
     Alcotest.test_case "internal link shrinks budget" `Quick
       internal_link_shrinks_budget;
+    Alcotest.test_case "global-port mapping boundaries" `Quick
+      member_of_global_port_boundaries;
+    Alcotest.test_case "VRP budget matches hand-computed formula" `Quick
+      vrp_budget_hand_computed;
+    Alcotest.test_case "cluster scenario spec round-trip" `Quick
+      scenario_roundtrip;
+    Alcotest.test_case "zero-fault identity" `Slow zero_fault_identity;
+    Alcotest.test_case "seed-replay identity per scenario kind" `Slow
+      seed_replay_identity;
+    Alcotest.test_case "crashed member drops accounted" `Quick
+      crashed_member_drops_accounted;
+    Alcotest.test_case "crash + restart recovers (pooled)" `Slow
+      crash_restart_recovers;
   ]

@@ -191,10 +191,84 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ fuzz_classifier_never_raises; fuzz_decoders_total ]
 
+(* --- cluster fabric under random link-damage schedules ----------------- *)
+
+(* Build a random (but seed-determined) cluster link-damage spec: 3-5
+   overlapping drop/corrupt/stall windows spread over both members. *)
+let random_cluster_spec rng =
+  let n = 3 + Sim.Rng.int rng 3 in
+  let event _ =
+    let member = Sim.Rng.int rng 2 in
+    let start = 100 + Sim.Rng.int rng 1200 in
+    let dur = 200 + Sim.Rng.int rng 700 in
+    match Sim.Rng.int rng 3 with
+    | 0 ->
+        Printf.sprintf "link_drop:%d:%d:%d:0.%d" member start dur
+          (1 + Sim.Rng.int rng 7)
+    | 1 ->
+        Printf.sprintf "link_corrupt:%d:%d:%d:0.%d" member start dur
+          (1 + Sim.Rng.int rng 7)
+    | _ ->
+        Printf.sprintf "link_stall:%d:%d:%d:%d" member start dur
+          (10 + Sim.Rng.int rng 50)
+  in
+  String.concat ";" (List.init n event)
+
+let cluster_link_damage_fuzz () =
+  (* Random all-to-all traffic through the fabric while random damage
+     windows open and close: whatever the schedule, the cluster-level
+     invariants must never fire (damage costs packets, not consistency),
+     and traffic must still flow. *)
+  List.iter
+    (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let spec = random_cluster_spec rng in
+      let faults =
+        match Fault.Cluster_scenario.parse spec with
+        | Ok s -> Fault.Cluster_scenario.with_seed s seed
+        | Error msg -> Alcotest.failf "generated bad spec %S: %s" spec msg
+      in
+      let c = Cluster.create ~members:2 ~ports_per_member:4 ~faults () in
+      for g = 0 to 7 do
+        let rng = Sim.Rng.split rng in
+        ignore
+          (Workload.Source.spawn_constant c.Cluster.engine
+             ~name:(Printf.sprintf "fz%d" g)
+             ~pps:30_000.
+             ~gen:(fun _ ->
+               Packet.Build.udp
+                 ~src:(Workload.Mix.subnet_addr ~subnet:(200 + g) ~host:1)
+                 ~dst:
+                   (Workload.Mix.subnet_addr ~subnet:(Sim.Rng.int rng 8)
+                      ~host:(1 + Sim.Rng.int rng 50))
+                 ~src_port:1000 ~dst_port:2000 ())
+             ~offer:(fun f -> Cluster.inject c ~global_port:g f)
+             ())
+      done;
+      for _ = 1 to 6 do
+        Cluster.run_for c ~us:400.
+      done;
+      (match Cluster.violations c with
+      | [] -> ()
+      | (src, v) :: _ as vs ->
+          Alcotest.failf
+            "seed %Ld spec %s: %d spurious violation(s), first [%s] %s: %s \
+             (repro: router_cli cluster --cluster-faults '%s' --seed %Ld)"
+            seed spec (List.length vs) src v.Fault.Invariant.name
+            v.Fault.Invariant.detail spec seed);
+      let delivered = Cluster.delivered_total c in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld spec %s: traffic still flows (%d)" seed
+           spec delivered)
+        true (delivered > 100))
+    [ 3L; 9L; 77L; 2024L ]
+
 let tests =
   [
     Alcotest.test_case "wire damage survival (seed sweep)" `Slow
       wire_damage_survival;
     Alcotest.test_case "per-port damage kinds" `Slow per_port_damage;
+    Alcotest.test_case "cluster fabric under random damage" `Slow
+      cluster_link_damage_fuzz;
   ]
   @ qsuite
