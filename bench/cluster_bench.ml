@@ -15,7 +15,7 @@ let run () =
   for g = 0 to n_global - 1 do
     let rng = Sim.Rng.split rng in
     ignore
-      (Workload.Source.spawn_line_rate c.Cluster.engine
+      (Workload.Source.spawn_line_rate (Cluster.engine_of_global_port c g)
          ~name:(Printf.sprintf "ext%d" g)
          ~mbps:100. ~frame_len:64
          ~gen:(fun i ->
@@ -32,7 +32,7 @@ let run () =
          ())
   done;
   Cluster.run_for c ~us:15_000.;
-  let secs = Sim.Engine.seconds (Sim.Engine.time c.Cluster.engine) in
+  let secs = Sim.Engine.seconds (Cluster.time c) in
   let offered_mpps =
     float_of_int (Sim.Stats.Counter.value offered) /. secs /. 1e6
   in

@@ -11,17 +11,7 @@ let failures = ref 0
 
 let seeds = [ 11; 42 ]
 
-let scenarios =
-  [
-    ("none", "baseline, no faults");
-    ("link_drop:1:300:900:0.5", "member 1 fabric link dropping half");
-    ("link_corrupt:0:200:1200:0.3", "member 0 fabric link corrupting bytes");
-    ("link_stall:2:200:1500:40", "member 2 fabric link +40 us stalls");
-    ("crash:3:600:800", "member 3 fail-stop, rejoins at 1.4 ms");
-    ("crash:2:800:0", "member 2 fail-stop, never restarts");
-    ( "link_drop:0:200:700:0.4;link_stall:1:300:900:30;crash:3:500:600",
-      "combined: drops + stalls + a crash" );
-  ]
+let scenarios = Fault.Cluster_scenario.matrix
 
 let members = 4
 let ports_per_member = 4
@@ -52,7 +42,7 @@ let attempt spec ~seed =
     let pool = Option.get (Cluster.frame_pool c m) in
     let rng = Sim.Rng.split rng in
     ignore
-      (Workload.Source.spawn_line_rate c.Cluster.engine
+      (Workload.Source.spawn_line_rate (Cluster.engine_of_global_port c g)
          ~name:(Printf.sprintf "gen%d" g)
          ~mbps:100. ~frame_len:64
          ~gen:(Workload.Mix.udp_uniform ~pool ~rng ~n_subnets:n_global

@@ -34,6 +34,9 @@ let experiments =
      "Extension: cluster invariants under link damage and member crashes",
      Cluster_fault_matrix.run);
     ("perf", "Infrastructure: simulator packets-per-wall-second", Perf.run);
+    ("cluster_perf",
+     "Infrastructure: domain-parallel cluster throughput and identity",
+     Cluster_perf.run);
   ]
 
 let usage () =
@@ -110,5 +113,11 @@ let () =
   if !Cluster_fault_matrix.failures > 0 then begin
     Printf.eprintf "cluster_fault_matrix: %d invariant violation(s)\n"
       !Cluster_fault_matrix.failures;
+    exit 1
+  end;
+  if !Cluster_perf.failures > 0 then begin
+    Printf.eprintf
+      "cluster_perf: %d parallel-vs-sequential identity failure(s)\n"
+      !Cluster_perf.failures;
     exit 1
   end

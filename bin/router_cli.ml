@@ -266,6 +266,12 @@ let cluster_cmd =
     Arg.(value & opt int 64 & info [ "frame" ] ~docv:"BYTES"
            ~doc:"Frame length (64..1518).")
   in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"OCaml domains to spread the members over (conservative \
+                 lookahead execution).  Any value produces the bit-identical \
+                 simulation; N > 1 only changes wall-clock time.")
+  in
   let cluster_faults =
     Arg.(value & opt string "none" & info [ "cluster-faults" ] ~docv:"SPEC"
            ~doc:"Cluster fault scenario: semicolon-separated events, each \
@@ -275,8 +281,8 @@ let cluster_cmd =
                  lib/fault/cluster_scenario.mli).  Seeded from --seed, so \
                  a failing run replays exactly.")
   in
-  let run duration seed members ports_per_member frame_len cluster_faults
-      metrics =
+  let run duration seed members ports_per_member frame_len domains
+      cluster_faults metrics =
     let faults =
       match Fault.Cluster_scenario.parse cluster_faults with
       | Ok s -> Fault.Cluster_scenario.with_seed s (Int64.of_int seed)
@@ -284,14 +290,14 @@ let cluster_cmd =
           Format.eprintf "bad --cluster-faults spec: %s@." msg;
           exit 2
     in
-    let c = Cluster.create ~members ~ports_per_member ~faults () in
+    let c = Cluster.create ~members ~ports_per_member ~domains ~faults () in
     let n_global = members * ports_per_member in
     let rng = Sim.Rng.create (Int64.of_int seed) in
     for g = 0 to n_global - 1 do
       let rng = Sim.Rng.split rng in
       let gen = Workload.Mix.udp_uniform ~rng ~n_subnets:n_global ~frame_len () in
       ignore
-        (Workload.Source.spawn_line_rate c.Cluster.engine
+        (Workload.Source.spawn_line_rate (Cluster.engine_of_global_port c g)
            ~name:(Printf.sprintf "gen%d" g)
            ~mbps:100. ~frame_len ~gen
            ~offer:(fun f -> Cluster.inject c ~global_port:g f)
@@ -306,7 +312,7 @@ let cluster_cmd =
     let fc = Cluster.fabric_counts c in
     Format.printf
       "cluster after %.3f ms: %d members, %d delivered externally@,"
-      (Sim.Engine.seconds (Sim.Engine.time c.Cluster.engine) *. 1e3)
+      (Sim.Engine.seconds (Cluster.time c) *. 1e3)
       members (Cluster.delivered_total c);
     Format.printf
       "fabric: %d offered = %d delivered + %d link + %d down + %d unknown + \
@@ -333,9 +339,9 @@ let cluster_cmd =
         violations;
       Format.eprintf
         "repro: router_cli cluster --cluster-faults '%s' --seed %d -d %g \
-         --members %d --ports-per-member %d@."
+         --members %d --ports-per-member %d --domains %d@."
         (Fault.Cluster_scenario.to_spec faults)
-        seed duration members ports_per_member;
+        seed duration members ports_per_member domains;
       exit 1
     end
   in
@@ -346,7 +352,7 @@ let cluster_cmd =
           cluster fault scenario, and audit the cluster invariants.")
     Term.(
       const run $ duration $ seed $ members $ ports_per_member $ frame_len
-      $ cluster_faults $ metrics_arg)
+      $ domains $ cluster_faults $ metrics_arg)
 
 let () =
   let info =

@@ -40,7 +40,7 @@ let () =
   for g = 0 to 31 do
     let rng = Sim.Rng.split rng in
     ignore
-      (Workload.Source.spawn_line_rate c.Cluster.engine
+      (Workload.Source.spawn_line_rate (Cluster.engine_of_global_port c g)
          ~name:(Printf.sprintf "ext%d" g)
          ~mbps:100. ~frame_len:64
          ~gen:(fun i ->
@@ -56,7 +56,7 @@ let () =
          ())
   done;
   Cluster.run_for c ~us:8000.;
-  let secs = Sim.Engine.seconds (Sim.Engine.time c.Cluster.engine) in
+  let secs = Sim.Engine.seconds (Cluster.time c) in
   Format.printf
     "all-to-all at line rate: %.2f Mpps delivered across 32 ports, %.2f Mpps \
      over the fabric@."

@@ -23,31 +23,71 @@ type fabric_counts = {
   in_flight : int;
 }
 
+(* A frame crossing the fabric, parked in the destination member's
+   mailbox until that member's next epoch begins.  [src_seq] is the
+   sender's monotonic fabric-send counter: together with [arrival_ps]
+   and [src] it gives every message a unique, execution-order-free key,
+   so the drain can sort arrivals into one canonical order no matter
+   which domain appended first. *)
+type fabric_msg = {
+  arrival_ps : int;
+  src : int;
+  src_seq : int;
+  dst_port : int;
+  frame : Packet.Frame.t;
+}
+
+(* Per-member mailbox, double-buffered by epoch parity: during an epoch
+   of parity [p] every sender appends to [pending.(p)], while the owner
+   drained [pending.(1-p)] (everything sent during the previous epoch)
+   at the epoch's start.  One barrier per epoch keeps the two buffers
+   disjointly owned; the mutex only orders concurrent appenders. *)
+type inbox = { ilock : Mutex.t; pending : fabric_msg list array }
+
 type t = {
-  engine : Sim.Engine.t;
+  engines : Sim.Engine.t array;
   members : Router.t array;
   switch_latency_us : float;
-  fabric_frames : Sim.Stats.Counter.t;
+  lookahead_us : float;
+  domains : int;
   faults : Fault.Cluster_scenario.t;
-  fabric_rng : Sim.Rng.t;
-  fab_delivered : Sim.Stats.Counter.t;
-  fab_dropped_link : Sim.Stats.Counter.t;
-  fab_dropped_down : Sim.Stats.Counter.t;
-  fab_dropped_unknown : Sim.Stats.Counter.t;
-  fab_rx_refused : Sim.Stats.Counter.t;
-  fab_corrupted : Sim.Stats.Counter.t;
-  fab_stalled : Sim.Stats.Counter.t;
-  mutable fab_in_flight : int;
-  health : member_health array;
+  latency_ps : int; (* switch_latency_us, integer picoseconds *)
+  lookahead_ps : int; (* epoch length, integer picoseconds *)
+  clock_ps : int ref; (* cluster barrier clock *)
+  mutable epoch : int; (* epochs completed since create *)
+  (* Deterministic per-member damage streams: egress draws on the
+     sending side, ingress draws on the receiving side.  Never shared
+     across members, so the draw order is independent of event
+     interleaving between engines. *)
+  egress_rng : Sim.Rng.t array;
+  ingress_rng : Sim.Rng.t array;
+  (* Fabric accounting, sharded by the member whose domain mutates it:
+     egress counters index the sender, ingress counters the receiver.
+     Cluster totals are sums, read only at barriers. *)
+  offered_by : int array;
+  launched_by : int array;
+  eg_dropped_link : int array;
+  eg_dropped_unknown : int array;
+  eg_corrupted : int array;
+  eg_stalled : int array;
+  settled_to : int array;
+  in_dropped_link : int array;
+  in_dropped_down : int array;
+  in_corrupted : int array;
+  in_stalled : int array;
   attempts_to : int array;
   delivered_to : int array;
   refused_to : int array;
+  inboxes : inbox array;
+  send_seq : int array;
+  cur_parity : int array; (* per member: parity of the epoch it is in *)
+  health : member_health array;
   invariants : Fault.Invariant.t;
   telemetry : Telemetry.Registry.t;
   member_scopes : Telemetry.Scope.t array;
   frame_pools : Packet.Frame_pool.t array; (* [||] unless [~frame_pool] *)
-  invalid_escapes : int ref;
-  mutable pending_violations : string list;
+  invalid_escapes : int array;
+  pending_violations : string list array;
 }
 
 (* Locally-administered, distinct from the per-port scheme. *)
@@ -58,7 +98,17 @@ let member_of_uplink_mac mac =
     Some (mac land 0xFF)
   else None
 
-let now_us t = Sim.Engine.seconds (Sim.Engine.time t.engine) *. 1e6
+let time t = Int64.of_int !(t.clock_ps)
+
+(* Inside a fiber this is the acting member's engine clock (identical in
+   sequential and parallel runs — the member executes the same events at
+   the same times); at a barrier it is the cluster clock. *)
+let cluster_clock t () =
+  match Sim.Engine.current_engine () with
+  | Some e -> Sim.Engine.time e
+  | None -> time t
+
+let now_us t = Sim.Engine.seconds (cluster_clock t ()) *. 1e6
 
 (* Long enough for anything launched before the damage ended to settle:
    both fabric hops plus slack. *)
@@ -100,10 +150,10 @@ let do_restart t m =
   (* The uplink MACs must not have accepted anything while dead; audit at
      the rejoin so a one-shot crash window cannot dodge the barrier. *)
   if rx <> h.uplink_rx_at_crash then
-    t.pending_violations <-
-      Printf.sprintf "member %d's uplinks accepted %d frame(s) while crashed"
-        m (rx - h.uplink_rx_at_crash)
-      :: t.pending_violations;
+    t.pending_violations.(m) <-
+      Printf.sprintf "member %d's uplinks accepted %d frame(s) while crashed" m
+        (rx - h.uplink_rx_at_crash)
+      :: t.pending_violations.(m);
   set_member_links t m true;
   h.up <- true;
   h.up_since_us <- now_us t;
@@ -111,50 +161,56 @@ let do_restart t m =
   snapshot_quiet t m;
   Telemetry.Scope.event t.member_scopes.(m) "restart"
 
-(* The deterministic fault driver: one fiber walking the scenario's
-   crash/restart/window-end boundaries in time order.  Spawned only when
-   there is at least one boundary, so a zero scenario leaves the event
-   schedule untouched. *)
-let spawn_driver t =
+(* The deterministic fault drivers: per member, one fiber walking that
+   member's crash/restart/window-end boundaries in time order on the
+   member's own engine (a driver only ever touches its own member's
+   state, so it is domain-confined by construction).  Spawned only when
+   the member has at least one boundary, so a zero scenario leaves every
+   event schedule untouched. *)
+let spawn_drivers t =
   let open Fault.Cluster_scenario in
-  let acts =
-    List.concat_map
-      (fun e ->
-        match e.kind with
-        | Crash ->
-            (e.start_us, `Crash e.member)
-            ::
-            (if e.dur_us > 0. then
-               [ (e.start_us +. e.dur_us, `Restart e.member) ]
-             else [])
-        | Link_drop | Link_corrupt | Link_stall ->
-            if e.dur_us > 0. then [ (e.start_us +. e.dur_us, `Quiet e.member) ]
-            else [])
-      t.faults.events
-  in
-  let acts = List.stable_sort (fun (a, _) (b, _) -> compare a b) acts in
-  if acts <> [] then
-    Sim.Engine.spawn t.engine "cluster-fault-driver" (fun () ->
-        List.iter
-          (fun (at_us, act) ->
-            let target = Sim.Engine.of_seconds (at_us *. 1e-6) in
-            let d = Int64.sub target (Sim.Engine.now ()) in
-            if Int64.compare d 0L > 0 then Sim.Engine.wait d;
-            match act with
-            | `Crash m -> do_crash t m
-            | `Restart m -> do_restart t m
-            | `Quiet m -> snapshot_quiet t m)
-          acts)
+  Array.iteri
+    (fun m engine ->
+      let acts =
+        List.concat_map
+          (fun e ->
+            if e.member <> m then []
+            else
+              match e.kind with
+              | Crash ->
+                  (e.start_us, `Crash)
+                  ::
+                  (if e.dur_us > 0. then
+                     [ (e.start_us +. e.dur_us, `Restart) ]
+                   else [])
+              | Link_drop | Link_corrupt | Link_stall ->
+                  if e.dur_us > 0. then [ (e.start_us +. e.dur_us, `Quiet) ]
+                  else [])
+          t.faults.events
+      in
+      let acts = List.stable_sort (fun (a, _) (b, _) -> compare a b) acts in
+      if acts <> [] then
+        Sim.Engine.spawn engine "cluster-fault-driver" (fun () ->
+            List.iter
+              (fun (at_us, act) ->
+                let target = Sim.Engine.of_seconds (at_us *. 1e-6) in
+                let d = Int64.sub target (Sim.Engine.now ()) in
+                if Int64.compare d 0L > 0 then Sim.Engine.wait d;
+                match act with
+                | `Crash -> do_crash t m
+                | `Restart -> do_restart t m
+                | `Quiet -> snapshot_quiet t m)
+              acts))
+    t.engines
 
-let corrupt_copy t f =
-  Sim.Stats.Counter.incr t.fab_corrupted;
+let corrupt_copy rng f =
   let g = Packet.Frame.copy f in
   let len = Packet.Frame.len g in
   if len > 0 then begin
-    let n = 1 + Sim.Rng.int t.fabric_rng 4 in
+    let n = 1 + Sim.Rng.int rng 4 in
     for _ = 1 to n do
-      let i = Sim.Rng.int t.fabric_rng len in
-      Packet.Frame.set_u8 g i (Sim.Rng.int t.fabric_rng 256)
+      let i = Sim.Rng.int rng len in
+      Packet.Frame.set_u8 g i (Sim.Rng.int rng 256)
     done
   end;
   g
@@ -162,140 +218,314 @@ let corrupt_copy t f =
 (* Zero-rate damage draws no randomness, mirroring [Fault.Injector]:
    enabling one member's fault never shifts another's stream, and the
    zero scenario never touches the RNG at all. *)
-let fires t rate = rate > 0. && Sim.Rng.float t.fabric_rng 1.0 < rate
+let fires rng rate = rate > 0. && Sim.Rng.float rng 1.0 < rate
 
 (* A frame arrives at the destination member's uplink after the switch
-   latency (plus any stall).  Every exit decrements [fab_in_flight] in
-   the same step it books the outcome, so fabric conservation holds at
-   any barrier, including one landing mid-stall. *)
+   latency (plus any stall).  Runs as a fiber on the destination's
+   engine, so every counter it touches is destination-sharded.  Every
+   exit increments [settled_to] in the same step it books the outcome,
+   so fabric conservation holds at any barrier, including one landing
+   mid-stall. *)
 let deliver_fabric t ~dst ~port f =
-  let settle c =
-    Sim.Stats.Counter.incr c;
-    t.fab_in_flight <- t.fab_in_flight - 1
+  let settle bucket =
+    bucket.(dst) <- bucket.(dst) + 1;
+    t.settled_to.(dst) <- t.settled_to.(dst) + 1
   in
   let at_us = now_us t in
   let h = t.health.(dst) in
-  if not h.up then settle t.fab_dropped_down
-  else if fires t (Fault.Cluster_scenario.drop_rate t.faults ~member:dst ~at_us)
-  then settle t.fab_dropped_link
+  let rng = t.ingress_rng.(dst) in
+  if not h.up then settle t.in_dropped_down
+  else if
+    fires rng (Fault.Cluster_scenario.drop_rate t.faults ~member:dst ~at_us)
+  then settle t.in_dropped_link
   else begin
     let f =
       if
-        fires t
+        fires rng
           (Fault.Cluster_scenario.corrupt_rate t.faults ~member:dst ~at_us)
-      then corrupt_copy t f
+      then begin
+        t.in_corrupted.(dst) <- t.in_corrupted.(dst) + 1;
+        corrupt_copy rng f
+      end
       else f
     in
     let stall = Fault.Cluster_scenario.stall_us t.faults ~member:dst ~at_us in
     if stall > 0. then begin
-      Sim.Stats.Counter.incr t.fab_stalled;
+      t.in_stalled.(dst) <- t.in_stalled.(dst) + 1;
       Sim.Engine.wait (Sim.Engine.of_seconds (stall *. 1e-6))
     end;
-    if not h.up then settle t.fab_dropped_down
+    if not h.up then settle t.in_dropped_down
     else begin
       t.attempts_to.(dst) <- t.attempts_to.(dst) + 1;
       if Router.inject t.members.(dst) ~port f then begin
-        t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
         if h.awaiting_recovery then begin
           h.recovery_latency_us <- now_us t -. h.up_since_us;
           h.awaiting_recovery <- false
         end;
-        settle t.fab_delivered
+        settle t.delivered_to
       end
       else if
         Ixp.Mac_port.link_up t.members.(dst).Router.chip.Ixp.Chip.ports.(port)
-      then begin
-        t.refused_to.(dst) <- t.refused_to.(dst) + 1;
-        settle t.fab_rx_refused
-      end
-      else settle t.fab_dropped_down
+      then settle t.refused_to
+      else settle t.in_dropped_down
     end
   end
 
-(* The learning switch: deliver by destination MAC after a small
-   store-and-forward latency, onto the same-numbered uplink of the
-   destination member.  Link damage applies on both crossings of a
-   member's fabric link: egress here (source side), ingress in
-   [deliver_fabric]. *)
+(* Drain everything sent to member [m] during the previous epoch and
+   schedule each arrival on [m]'s engine at its absolute timestamp.  The
+   sort gives a canonical order independent of which sender appended
+   first, so the receiver assigns the same event sequence numbers in
+   sequential and parallel runs — the heart of the bit-for-bit
+   identity. *)
+let drain_inbox t m ~parity =
+  let ib = t.inboxes.(m) in
+  Mutex.lock ib.ilock;
+  let msgs = ib.pending.(1 - parity) in
+  ib.pending.(1 - parity) <- [];
+  Mutex.unlock ib.ilock;
+  match msgs with
+  | [] -> ()
+  | msgs ->
+      let msgs =
+        List.stable_sort
+          (fun a b ->
+            if a.arrival_ps <> b.arrival_ps then
+              compare a.arrival_ps b.arrival_ps
+            else if a.src <> b.src then compare a.src b.src
+            else compare a.src_seq b.src_seq)
+          msgs
+      in
+      List.iter
+        (fun msg ->
+          Sim.Engine.spawn_at t.engines.(m)
+            ~at:(Int64.of_int msg.arrival_ps)
+            "fabric-rx"
+            (fun () -> deliver_fabric t ~dst:m ~port:msg.dst_port msg.frame))
+        msgs
+
+(* The learning switch, egress side: runs inside the sending member's
+   fiber.  Damage draws use the sender's stream; the frame is copied at
+   the switch ingress (store-and-forward — the fabric owns its own
+   bytes), which also keeps the sender's recycling buffer pool from
+   reusing a frame the receiving domain still holds.  The copy is
+   unpooled, so the receiver's recycler ignores it. *)
+let send_fabric t ~src ~port f =
+  t.offered_by.(src) <- t.offered_by.(src) + 1;
+  let at_us = now_us t in
+  let rng = t.egress_rng.(src) in
+  if fires rng (Fault.Cluster_scenario.drop_rate t.faults ~member:src ~at_us)
+  then t.eg_dropped_link.(src) <- t.eg_dropped_link.(src) + 1
+  else begin
+    let f =
+      if
+        fires rng
+          (Fault.Cluster_scenario.corrupt_rate t.faults ~member:src ~at_us)
+      then begin
+        t.eg_corrupted.(src) <- t.eg_corrupted.(src) + 1;
+        corrupt_copy rng f
+      end
+      else Packet.Frame.copy f
+    in
+    let unknown () =
+      t.eg_dropped_unknown.(src) <- t.eg_dropped_unknown.(src) + 1
+    in
+    match member_of_uplink_mac (Packet.Ethernet.get_dst f) with
+    | None -> unknown ()
+    | Some d when d >= Array.length t.members -> unknown ()
+    | Some d ->
+        t.launched_by.(src) <- t.launched_by.(src) + 1;
+        let stall =
+          Fault.Cluster_scenario.stall_us t.faults ~member:src ~at_us
+        in
+        let stall_ps =
+          if stall > 0. then begin
+            t.eg_stalled.(src) <- t.eg_stalled.(src) + 1;
+            Int64.to_int (Sim.Engine.of_seconds (stall *. 1e-6))
+          end
+          else 0
+        in
+        (* Integer arithmetic keeps the conservative bound exact:
+           arrival - send >= latency_ps >= lookahead_ps. *)
+        let arrival = Sim.Engine.now_i () + t.latency_ps + stall_ps in
+        let seq = t.send_seq.(src) in
+        t.send_seq.(src) <- seq + 1;
+        let msg =
+          { arrival_ps = arrival; src; src_seq = seq; dst_port = port; frame = f }
+        in
+        let ib = t.inboxes.(d) in
+        Mutex.lock ib.ilock;
+        ib.pending.(t.cur_parity.(src)) <-
+          msg :: ib.pending.(t.cur_parity.(src));
+        Mutex.unlock ib.ilock
+  end
+
 let wire_switch t =
-  let members = Array.length t.members in
   let uplink_local = t.members.(0).Router.config.Router.n_ports in
   Array.iteri
     (fun m r ->
       List.iter
-        (fun up ->
-          Router.connect r ~port:up (fun f ->
-              Sim.Stats.Counter.incr t.fabric_frames;
-              let at_us = now_us t in
-              if
-                fires t
-                  (Fault.Cluster_scenario.drop_rate t.faults ~member:m ~at_us)
-              then Sim.Stats.Counter.incr t.fab_dropped_link
-              else begin
-                let f =
-                  if
-                    fires t
-                      (Fault.Cluster_scenario.corrupt_rate t.faults ~member:m
-                         ~at_us)
-                  then corrupt_copy t f
-                  else f
-                in
-                match member_of_uplink_mac (Packet.Ethernet.get_dst f) with
-                | None -> Sim.Stats.Counter.incr t.fab_dropped_unknown
-                | Some m' when m' >= members ->
-                    Sim.Stats.Counter.incr t.fab_dropped_unknown
-                | Some m' ->
-                    t.fab_in_flight <- t.fab_in_flight + 1;
-                    let stall =
-                      Fault.Cluster_scenario.stall_us t.faults ~member:m ~at_us
-                    in
-                    if stall > 0. then Sim.Stats.Counter.incr t.fab_stalled;
-                    Sim.Engine.spawn t.engine "switch" (fun () ->
-                        Sim.Engine.wait
-                          (Sim.Engine.of_seconds
-                             ((t.switch_latency_us +. stall) *. 1e-6));
-                        deliver_fabric t ~dst:m' ~port:up f)
-              end))
+        (fun up -> Router.connect r ~port:up (fun f -> send_fabric t ~src:m ~port:up f))
         [ uplink_local; uplink_local + 1 ])
     t.members
 
+(* --- conservative epoch scheduler ------------------------------------- *)
+
+(* Sense-reversing barrier: brief spin (cheap when domains outnumber
+   cores zero times over), then block on a condition variable (cheap
+   when they don't — this container may have a single core, where
+   spinning a full timeslice per epoch would be pathological). *)
+module Barrier = struct
+  type b = {
+    n : int;
+    count : int Atomic.t;
+    gen : int Atomic.t;
+    lock : Mutex.t;
+    cond : Condition.t;
+  }
+
+  let create n =
+    {
+      n;
+      count = Atomic.make 0;
+      gen = Atomic.make 0;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+    }
+
+  let wait b =
+    let g = Atomic.get b.gen in
+    if Atomic.fetch_and_add b.count 1 = b.n - 1 then begin
+      (* Last arrival: reset for the next generation, then release.  The
+         count reset is safe before the generation bump — nobody can
+         re-enter this barrier until [gen] moves. *)
+      Atomic.set b.count 0;
+      Mutex.lock b.lock;
+      Atomic.incr b.gen;
+      Condition.broadcast b.cond;
+      Mutex.unlock b.lock
+    end
+    else begin
+      let spins = ref 0 in
+      while Atomic.get b.gen = g && !spins < 4096 do
+        incr spins;
+        Domain.cpu_relax ()
+      done;
+      if Atomic.get b.gen = g then begin
+        Mutex.lock b.lock;
+        while Atomic.get b.gen = g do
+          Condition.wait b.cond b.lock
+        done;
+        Mutex.unlock b.lock
+      end
+    end
+end
+
+(* Advance every member to [target_ps] in lookahead-sized epochs.
+
+   Conservative-lookahead argument: a frame sent at time s pays at least
+   [latency_ps >= lookahead_ps], so its arrival satisfies
+   arrival = s + latency + stall > e_{k-1} + lookahead = e_k for any
+   send inside epoch k = (e_{k-1}, e_k].  Hence nothing sent during an
+   epoch can arrive within that same epoch, and draining each mailbox at
+   the *next* epoch's start schedules every arrival before its receiver
+   can pass its timestamp.  Members never interact except through the
+   mailboxes, so each epoch's events are independent across members and
+   may run on concurrent domains.
+
+   Sequential ([domains = 1]) runs the identical epoch machinery on one
+   domain, so parallel and sequential runs execute the same per-member
+   event sequences by construction — same metrics, same audits. *)
+let run_epochs t ~target_ps =
+  let start = !(t.clock_ps) in
+  if target_ps > start then begin
+    let members = Array.length t.members in
+    let nd = t.domains in
+    let l = t.lookahead_ps in
+    let n_epochs = (target_ps - start + l - 1) / l in
+    let barrier = if nd > 1 then Some (Barrier.create nd) else None in
+    let stop = Atomic.make false in
+    let errors = Array.make nd None in
+    let epoch0 = t.epoch in
+    let body did k =
+      let e = min target_ps (start + ((k + 1) * l)) in
+      let parity = (epoch0 + k) land 1 in
+      let m = ref did in
+      while !m < members do
+        drain_inbox t !m ~parity;
+        t.cur_parity.(!m) <- parity;
+        Sim.Engine.run t.engines.(!m) ~until:(Int64.of_int e);
+        m := !m + nd
+      done
+    in
+    (* A worker that fails still visits every barrier (it just stops
+       simulating), so its peers cannot hang; the first error re-raises
+       after the join, with its original backtrace. *)
+    let worker did () =
+      for k = 0 to n_epochs - 1 do
+        (if not (Atomic.get stop) then
+           try body did k
+           with ex ->
+             errors.(did) <- Some (ex, Printexc.get_raw_backtrace ());
+             Atomic.set stop true);
+        match barrier with Some b -> Barrier.wait b | None -> ()
+      done
+    in
+    let spawned = List.init (nd - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    t.epoch <- t.epoch + n_epochs;
+    t.clock_ps := target_ps;
+    Array.iter
+      (function
+        | Some (ex, bt) -> Printexc.raise_with_backtrace ex bt | None -> ())
+      errors
+  end
+
+(* --- invariants and telemetry ------------------------------------------ *)
+
+let sum = Array.fold_left ( + ) 0
+
 let register_invariants t =
   let reg = Fault.Invariant.register t.invariants in
-  let v = Sim.Stats.Counter.value in
   reg "fabric-conservation" (fun () ->
-      let offered = v t.fabric_frames in
+      let offered = sum t.offered_by in
+      let in_flight = sum t.launched_by - sum t.settled_to in
       let settled =
-        v t.fab_delivered + v t.fab_dropped_link + v t.fab_dropped_down
-        + v t.fab_dropped_unknown + v t.fab_rx_refused
+        sum t.delivered_to
+        + (sum t.eg_dropped_link + sum t.in_dropped_link)
+        + sum t.in_dropped_down + sum t.eg_dropped_unknown + sum t.refused_to
       in
-      if settled + t.fab_in_flight <> offered then
+      if settled + in_flight <> offered then
         Some
           (Printf.sprintf
              "fabric offered %d frames but %d settled + %d in flight" offered
-             settled t.fab_in_flight)
+             settled in_flight)
       else None);
   reg "no-escape-to-crashed" (fun () ->
-      match t.pending_violations with
-      | msgs when msgs <> [] ->
-          t.pending_violations <- [];
-          Some (String.concat "; " (List.rev msgs))
-      | _ ->
-          let bad = ref None in
-          Array.iteri
-            (fun m h ->
-              if (not h.up) && !bad = None then begin
-                let rx = uplink_rx t m in
-                if rx <> h.uplink_rx_at_crash then
-                  bad :=
-                    Some
-                      (Printf.sprintf
-                         "member %d's uplinks accepted %d frame(s) while \
-                          crashed"
-                         m
-                         (rx - h.uplink_rx_at_crash))
-              end)
-            t.health;
-          !bad);
+      let msgs =
+        List.concat (Array.to_list (Array.map List.rev t.pending_violations))
+      in
+      if msgs <> [] then begin
+        Array.fill t.pending_violations 0 (Array.length t.pending_violations) [];
+        Some (String.concat "; " msgs)
+      end
+      else begin
+        let bad = ref None in
+        Array.iteri
+          (fun m h ->
+            if (not h.up) && !bad = None then begin
+              let rx = uplink_rx t m in
+              if rx <> h.uplink_rx_at_crash then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "member %d's uplinks accepted %d frame(s) while crashed"
+                       m
+                       (rx - h.uplink_rx_at_crash))
+            end)
+          t.health;
+        !bad
+      end);
   reg "membership-state" (fun () ->
       let at_us = now_us t in
       let bad = ref None in
@@ -335,7 +565,9 @@ let register_invariants t =
         (fun m h ->
           if
             !bad = None && h.up
-            && not (Fault.Cluster_scenario.member_active t.faults ~member:m ~at_us)
+            && not
+                 (Fault.Cluster_scenario.member_active t.faults ~member:m
+                    ~at_us)
             && at_us -. Float.max h.up_since_us h.quiet_since_us >= grace_us t
           then begin
             let attempts = t.attempts_to.(m) - h.attempts_at_quiet in
@@ -356,7 +588,7 @@ let register_invariants t =
   reg "no-invalid-escape"
     (let seen = ref 0 in
      fun () ->
-       let n = !(t.invalid_escapes) in
+       let n = sum t.invalid_escapes in
        if n > !seen then begin
          let fresh = n - !seen in
          seen := n;
@@ -368,16 +600,16 @@ let register_invariants t =
 
 let register_telemetry t =
   let fab = Telemetry.Registry.scope t.telemetry "fabric" in
-  let rc name c = Telemetry.Scope.register_counter fab ~name c in
-  rc "frames" t.fabric_frames;
-  rc "delivered" t.fab_delivered;
-  rc "dropped_link" t.fab_dropped_link;
-  rc "dropped_down" t.fab_dropped_down;
-  rc "dropped_unknown" t.fab_dropped_unknown;
-  rc "rx_refused" t.fab_rx_refused;
-  rc "corrupted" t.fab_corrupted;
-  rc "stalled" t.fab_stalled;
-  Telemetry.Scope.gauge_int fab "in_flight" (fun () -> t.fab_in_flight);
+  let g name f = Telemetry.Scope.gauge_int fab name f in
+  g "frames" (fun () -> sum t.offered_by);
+  g "delivered" (fun () -> sum t.delivered_to);
+  g "dropped_link" (fun () -> sum t.eg_dropped_link + sum t.in_dropped_link);
+  g "dropped_down" (fun () -> sum t.in_dropped_down);
+  g "dropped_unknown" (fun () -> sum t.eg_dropped_unknown);
+  g "rx_refused" (fun () -> sum t.refused_to);
+  g "corrupted" (fun () -> sum t.eg_corrupted + sum t.in_corrupted);
+  g "stalled" (fun () -> sum t.eg_stalled + sum t.in_stalled);
+  g "in_flight" (fun () -> sum t.launched_by - sum t.settled_to);
   Array.iteri
     (fun m scope ->
       let h = t.health.(m) in
@@ -404,8 +636,8 @@ let register_telemetry t =
     t.member_scopes
 
 let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
-    ?(config = Router.default_config) ?(faults = Fault.Cluster_scenario.zero)
-    ?(frame_pool = false) () =
+    ?lookahead_us ?(domains = 1) ?(config = Router.default_config)
+    ?(faults = Fault.Cluster_scenario.zero) ?(frame_pool = false) () =
   if members < 2 then invalid_arg "Cluster.create: members < 2";
   let named = Fault.Cluster_scenario.max_member faults in
   if named >= members then
@@ -414,7 +646,33 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
          "Cluster.create: fault scenario names member %d but the cluster has \
           %d members"
          named members);
-  let engine = Sim.Engine.create () in
+  if domains < 1 then invalid_arg "Cluster.create: domains < 1";
+  let lookahead_us =
+    match lookahead_us with None -> switch_latency_us | Some l -> l
+  in
+  (* The conservative bound: the fabric's minimum latency is the switch
+     latency (stalls only add), so a member may run at most that far
+     ahead of its peers.  A larger lookahead would let a frame arrive in
+     the past of a receiver that already simulated beyond it. *)
+  if lookahead_us <= 0. then
+    invalid_arg "Cluster.create: lookahead_us must be positive";
+  if lookahead_us > switch_latency_us then
+    invalid_arg
+      (Printf.sprintf
+         "Cluster.create: lookahead_us (%g) exceeds the minimum fabric \
+          latency (switch_latency_us = %g): members could outrun in-flight \
+          frames"
+         lookahead_us switch_latency_us);
+  let latency_ps =
+    Int64.to_int (Sim.Engine.of_seconds (switch_latency_us *. 1e-6))
+  in
+  let lookahead_ps =
+    Int64.to_int (Sim.Engine.of_seconds (lookahead_us *. 1e-6))
+  in
+  if lookahead_ps <= 0 then
+    invalid_arg "Cluster.create: lookahead_us rounds to zero picoseconds";
+  let domains = min domains members in
+  let engines = Array.init members (fun _ -> Sim.Engine.create ()) in
   (* Two 1 Gbps uplinks per member (the evaluation board's pair): cross
      traffic is spread across them by destination subnet so each stays
      within a single output context's reach. *)
@@ -426,7 +684,9 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
       uplink_mbps = 1000.;
     }
   in
-  let rs = Array.init members (fun _ -> Router.create ~config ~engine ()) in
+  let rs =
+    Array.init members (fun m -> Router.create ~config ~engine:engines.(m) ())
+  in
   let frame_pools =
     if not frame_pool then [||]
     else
@@ -459,35 +719,65 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
             }
       done)
     rs;
+  let clock_ps = ref 0 in
   let telemetry = Telemetry.Registry.create () in
-  Telemetry.Registry.set_clock telemetry (fun () -> Sim.Engine.time engine);
   let member_scopes =
     Array.init members (fun m ->
         Telemetry.Registry.scope telemetry "member"
           ~labels:[ ("id", string_of_int m) ])
   in
+  (* Per-member deterministic damage streams, split off one master in
+     fixed member order; creation draws nothing downstream, so the zero
+     scenario still never consumes randomness. *)
+  let master = Sim.Rng.create faults.Fault.Cluster_scenario.seed in
+  let egress_rng = Array.make members master in
+  let ingress_rng = Array.make members master in
+  for m = 0 to members - 1 do
+    egress_rng.(m) <- Sim.Rng.split master;
+    ingress_rng.(m) <- Sim.Rng.split master
+  done;
   let invariants =
     Fault.Invariant.create
       ~scope:(Telemetry.Registry.scope telemetry "invariant")
-      ~clock:(fun () -> Sim.Engine.time engine)
+      ~clock:(fun () ->
+        match Sim.Engine.current_engine () with
+        | Some e -> Sim.Engine.time e
+        | None -> Int64.of_int !clock_ps)
       ()
   in
   let t =
     {
-      engine;
+      engines;
       members = rs;
       switch_latency_us;
-      fabric_frames = Sim.Stats.Counter.create "fabric.frames";
+      lookahead_us;
+      domains;
       faults;
-      fabric_rng = Sim.Rng.create faults.Fault.Cluster_scenario.seed;
-      fab_delivered = Sim.Stats.Counter.create "fabric.delivered";
-      fab_dropped_link = Sim.Stats.Counter.create "fabric.dropped_link";
-      fab_dropped_down = Sim.Stats.Counter.create "fabric.dropped_down";
-      fab_dropped_unknown = Sim.Stats.Counter.create "fabric.dropped_unknown";
-      fab_rx_refused = Sim.Stats.Counter.create "fabric.rx_refused";
-      fab_corrupted = Sim.Stats.Counter.create "fabric.corrupted";
-      fab_stalled = Sim.Stats.Counter.create "fabric.stalled";
-      fab_in_flight = 0;
+      latency_ps;
+      lookahead_ps;
+      clock_ps;
+      epoch = 0;
+      egress_rng;
+      ingress_rng;
+      offered_by = Array.make members 0;
+      launched_by = Array.make members 0;
+      eg_dropped_link = Array.make members 0;
+      eg_dropped_unknown = Array.make members 0;
+      eg_corrupted = Array.make members 0;
+      eg_stalled = Array.make members 0;
+      settled_to = Array.make members 0;
+      in_dropped_link = Array.make members 0;
+      in_dropped_down = Array.make members 0;
+      in_corrupted = Array.make members 0;
+      in_stalled = Array.make members 0;
+      attempts_to = Array.make members 0;
+      delivered_to = Array.make members 0;
+      refused_to = Array.make members 0;
+      inboxes =
+        Array.init members (fun _ ->
+            { ilock = Mutex.create (); pending = Array.make 2 [] });
+      send_seq = Array.make members 0;
+      cur_parity = Array.make members 0;
       health =
         Array.init members (fun _ ->
             {
@@ -502,17 +792,15 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
               awaiting_recovery = false;
               recovery_latency_us = -1.;
             });
-      attempts_to = Array.make members 0;
-      delivered_to = Array.make members 0;
-      refused_to = Array.make members 0;
       invariants;
       telemetry;
       member_scopes;
       frame_pools;
-      invalid_escapes = ref 0;
-      pending_violations = [];
+      invalid_escapes = Array.make members 0;
+      pending_violations = Array.make members [];
     }
   in
+  Telemetry.Registry.set_clock telemetry (cluster_clock t);
   register_telemetry t;
   register_invariants t;
   wire_switch t;
@@ -520,20 +808,25 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
      escapes; under a cluster fault scenario the fabric can corrupt
      frames, so audit member egress here. *)
   if not (Fault.Cluster_scenario.is_zero faults) then
-    Array.iter
-      (fun r ->
+    Array.iteri
+      (fun m r ->
         for p = 0 to ports_per_member - 1 do
           Router.connect r ~port:p (fun f ->
-              if not (Router.frame_escapable f) then incr t.invalid_escapes)
+              if not (Router.frame_escapable f) then
+                t.invalid_escapes.(m) <- t.invalid_escapes.(m) + 1)
         done)
       rs;
-  spawn_driver t;
+  spawn_drivers t;
   Array.iter (fun r -> Router.start r) rs;
   t
 
 let member_of_global_port t g =
   let ppm = t.members.(0).Router.config.Router.n_ports in
   (g / ppm, g mod ppm)
+
+let engine_of_global_port t g =
+  let m, _ = member_of_global_port t g in
+  t.engines.(m)
 
 let inject t ~global_port f =
   let m, p = member_of_global_port t global_port in
@@ -554,10 +847,11 @@ let delivered_total t =
       acc + !sum)
     0 t.members
 
+let fabric_frames t = sum t.offered_by
+
 let internal_pps t =
-  let secs = Sim.Engine.seconds (Sim.Engine.time t.engine) in
-  if secs <= 0. then 0.
-  else float_of_int (Sim.Stats.Counter.value t.fabric_frames) /. secs
+  let secs = Sim.Engine.seconds (time t) in
+  if secs <= 0. then 0. else float_of_int (fabric_frames t) /. secs
 
 let vrp_budget_with_internal_link t ~line_rate_pps =
   let members = float_of_int (Array.length t.members) in
@@ -568,17 +862,16 @@ let vrp_budget_with_internal_link t ~line_rate_pps =
     ~line_rate_pps:per_member ~hashes:3
 
 let fabric_counts t =
-  let v = Sim.Stats.Counter.value in
   {
-    offered = v t.fabric_frames;
-    delivered = v t.fab_delivered;
-    dropped_link = v t.fab_dropped_link;
-    dropped_down = v t.fab_dropped_down;
-    dropped_unknown = v t.fab_dropped_unknown;
-    rx_refused = v t.fab_rx_refused;
-    corrupted = v t.fab_corrupted;
-    stalled = v t.fab_stalled;
-    in_flight = t.fab_in_flight;
+    offered = sum t.offered_by;
+    delivered = sum t.delivered_to;
+    dropped_link = sum t.eg_dropped_link + sum t.in_dropped_link;
+    dropped_down = sum t.in_dropped_down;
+    dropped_unknown = sum t.eg_dropped_unknown;
+    rx_refused = sum t.refused_to;
+    corrupted = sum t.eg_corrupted + sum t.in_corrupted;
+    stalled = sum t.eg_stalled + sum t.in_stalled;
+    in_flight = sum t.launched_by - sum t.settled_to;
   }
 
 let member_up t m = t.health.(m).up
@@ -613,12 +906,12 @@ let invariants_ok t = violations t = []
 
 let run_for t ~us =
   let target =
-    Int64.add (Sim.Engine.time t.engine) (Sim.Engine.of_seconds (us *. 1e-6))
+    !(t.clock_ps) + Int64.to_int (Sim.Engine.of_seconds (us *. 1e-6))
   in
-  Sim.Engine.run t.engine ~until:target;
-  (* Every pause is a barrier: audit the cluster registry and every
-     member's own registry (pure reads, so the zero-fault schedule is
-     untouched). *)
+  run_epochs t ~target_ps:target;
+  (* Every pause is a barrier: the worker domains are joined, so the
+     audit reads every member's state race-free (pure reads — the
+     zero-fault schedule is untouched). *)
   ignore (check_invariants t : int)
 
 let telemetry_snapshot t =
@@ -629,3 +922,8 @@ let telemetry_snapshot t =
         Telemetry.Json.List
           (Array.to_list (Array.map Router.telemetry_snapshot t.members)) );
     ]
+
+let member_metrics_md5 t m =
+  Digest.to_hex
+    (Digest.string
+       (Telemetry.Json.to_string (Router.telemetry_snapshot t.members.(m))))

@@ -15,6 +15,20 @@
     cross-member packet pays classification (and TTL) twice, exactly the
     structural cost the paper anticipates.
 
+    {b Parallel execution.}  Every member runs its own {!Sim.Engine};
+    members interact only through the fabric, whose minimum latency
+    ([switch_latency_us]) bounds how far one member may simulate ahead of
+    its peers.  {!run_for} therefore advances the cluster in {e epochs}
+    of that lookahead: frames sent during one epoch are parked in the
+    destination's mailbox and scheduled — in a canonical
+    [(arrival, sender, sender-sequence)] order — at the start of the
+    next, before the receiver can pass their timestamps.  With
+    [~domains:n > 1] the per-epoch member work is spread across [n]
+    OCaml domains with a barrier per epoch; with the default
+    [~domains:1] the identical epoch machinery runs on one domain, so a
+    parallel run is bit-for-bit identical to a sequential one (same
+    per-member telemetry, same invariant audits) by construction.
+
     The cluster extends the PR-2 fault plane across members: a
     {!Fault.Cluster_scenario} can damage a member's fabric link
     (drop/corrupt/stall, seeded and windowed) or fail-stop a whole member
@@ -52,37 +66,66 @@ type fabric_counts = {
   in_flight : int;  (** inside the switch right now *)
 }
 
+type fabric_msg = {
+  arrival_ps : int;
+  src : int;
+  src_seq : int;
+  dst_port : int;
+  frame : Packet.Frame.t;
+}
+(** A frame in flight across the fabric, parked in the destination's
+    mailbox until its next epoch drains it. *)
+
+type inbox = { ilock : Mutex.t; pending : fabric_msg list array }
+(** Per-member mailbox, double-buffered by epoch parity: senders append
+    to the current epoch's buffer while the owner drains the previous
+    epoch's at each epoch start. *)
+
 type t = {
-  engine : Sim.Engine.t;
+  engines : Sim.Engine.t array;  (** one engine per member *)
   members : Router.t array;
   switch_latency_us : float;
-  fabric_frames : Sim.Stats.Counter.t;  (** frames crossing the switch *)
+  lookahead_us : float;  (** epoch length; <= [switch_latency_us] *)
+  domains : int;  (** worker domains used by {!run_for} *)
   faults : Fault.Cluster_scenario.t;
-  fabric_rng : Sim.Rng.t;
-  fab_delivered : Sim.Stats.Counter.t;
-  fab_dropped_link : Sim.Stats.Counter.t;
-  fab_dropped_down : Sim.Stats.Counter.t;
-  fab_dropped_unknown : Sim.Stats.Counter.t;
-  fab_rx_refused : Sim.Stats.Counter.t;
-  fab_corrupted : Sim.Stats.Counter.t;
-  fab_stalled : Sim.Stats.Counter.t;
-  mutable fab_in_flight : int;
-  health : member_health array;
+  latency_ps : int;
+  lookahead_ps : int;
+  clock_ps : int ref;  (** cluster barrier clock *)
+  mutable epoch : int;
+  egress_rng : Sim.Rng.t array;
+  ingress_rng : Sim.Rng.t array;
+  offered_by : int array;  (** fabric accounting, sharded by acting member: *)
+  launched_by : int array;  (** egress counters index the sender, ... *)
+  eg_dropped_link : int array;
+  eg_dropped_unknown : int array;
+  eg_corrupted : int array;
+  eg_stalled : int array;
+  settled_to : int array;  (** ... ingress counters the receiver *)
+  in_dropped_link : int array;
+  in_dropped_down : int array;
+  in_corrupted : int array;
+  in_stalled : int array;
   attempts_to : int array;
   delivered_to : int array;
   refused_to : int array;
+  inboxes : inbox array;
+  send_seq : int array;
+  cur_parity : int array;
+  health : member_health array;
   invariants : Fault.Invariant.t;
   telemetry : Telemetry.Registry.t;
   member_scopes : Telemetry.Scope.t array;
   frame_pools : Packet.Frame_pool.t array;
-  invalid_escapes : int ref;
-  mutable pending_violations : string list;
+  invalid_escapes : int array;
+  pending_violations : string list array;
 }
 
 val create :
   ?members:int ->
   ?ports_per_member:int ->
   ?switch_latency_us:float ->
+  ?lookahead_us:float ->
+  ?domains:int ->
   ?config:Router.config ->
   ?faults:Fault.Cluster_scenario.t ->
   ?frame_pool:bool ->
@@ -90,11 +133,22 @@ val create :
   t
 (** [create ()] builds a 4-member cluster (8 external ports each), routes
     subnet 10.[g].0.0/16 to global external port [g], wires the uplinks
-    through the switch, and starts every member.  [config] overrides the
-    per-member router configuration (the uplink ports are added to it).
+    through the switch, and starts every member on its own engine.
+    [config] overrides the per-member router configuration (the uplink
+    ports are added to it).
+
+    [lookahead_us] (default [switch_latency_us]) is the epoch length of
+    the conservative scheduler.  Raises [Invalid_argument] if it is not
+    positive or exceeds [switch_latency_us], the fabric's minimum
+    latency — a larger lookahead would let a member simulate past a
+    frame still in flight towards it.
+
+    [domains] (default 1, clamped to [members]) spreads each epoch's
+    member work across that many OCaml domains.  Any value yields the
+    identical simulation; [> 1] only changes wall-clock time.
 
     [faults] injects the cluster scenario; the default [zero] builds no
-    driver fiber and draws no randomness, so a faultless cluster is
+    driver fibers and draws no randomness, so a faultless cluster is
     byte-identical to one created without the argument.  [frame_pool]
     gives each member a recycling frame pool (with its conservation
     invariant), for pool-accounting audits across crash/restart. *)
@@ -105,6 +159,14 @@ val uplink_mac : int -> Packet.Ethernet.mac
 val member_of_global_port : t -> int -> int * int
 (** [member_of_global_port t g] is [(member, local_port)]. *)
 
+val engine_of_global_port : t -> int -> Sim.Engine.t
+(** The engine of the member owning global port [g] — where a traffic
+    source feeding that port must be spawned. *)
+
+val time : t -> int64
+(** The cluster barrier clock in picoseconds: the target of the last
+    {!run_for} (0 before the first). *)
+
 val inject : t -> global_port:int -> Packet.Frame.t -> bool
 (** Offer a frame to a global external port.  False if port memory is
     full — or the owning member is crashed. *)
@@ -114,6 +176,10 @@ val delivered : t -> global_port:int -> int
 
 val delivered_total : t -> int
 (** Across all external ports (uplinks excluded). *)
+
+val fabric_frames : t -> int
+(** Frames offered to the switch so far (equals
+    [(fabric_counts t).offered]). *)
 
 val internal_pps : t -> float
 (** Fabric crossings per second so far. *)
@@ -139,8 +205,10 @@ val frame_pool : t -> int -> Packet.Frame_pool.t option
 (** Member [m]'s recycling pool when [create ~frame_pool:true]. *)
 
 val run_for : t -> us:float -> unit
-(** Advance the simulation, then audit the cluster invariant registry and
-    every member's own registry (every pause is a barrier). *)
+(** Advance the simulation by [us] in lookahead-bounded epochs (across
+    [domains] OCaml domains when [> 1]), then audit the cluster
+    invariant registry and every member's own registry (every pause is a
+    barrier; worker domains are joined first, so audits read race-free). *)
 
 val check_invariants : t -> int
 (** Audit now; the number of new violations across cluster and members.
@@ -155,4 +223,9 @@ val telemetry_snapshot : t -> Telemetry.Json.t
 (** Deterministic JSON of the cluster registry (fabric counters, per-member
     health gauges, crash/restart events, invariant events) plus every
     member's own snapshot — equal runs yield equal JSON, the seed-replay
-    property. *)
+    property, and parallel runs yield the same JSON as sequential ones,
+    the lookahead-identity property. *)
+
+val member_metrics_md5 : t -> int -> string
+(** MD5 of member [m]'s own telemetry snapshot — the per-member identity
+    digest compared between sequential and parallel runs. *)

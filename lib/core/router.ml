@@ -323,6 +323,17 @@ let create ?(config = default_config) ?engine () =
   Pentium.register_telemetry
     (Telemetry.Registry.scope telemetry "pentium")
     pe;
+  (* Scheduler-efficiency gauges: where this router's engine spends its
+     event budget.  [events_scheduled + elided_waits] approximates the
+     logical event count; [wheel_far_hits] counts pushes that overflowed
+     the timing wheel's horizon into the heap tier. *)
+  let sim_scope = Telemetry.Registry.scope telemetry "sim" in
+  Telemetry.Scope.gauge_int sim_scope "events_scheduled" (fun () ->
+      Sim.Engine.events_scheduled engine);
+  Telemetry.Scope.gauge_int sim_scope "elided_waits" (fun () ->
+      Sim.Engine.elided_waits engine);
+  Telemetry.Scope.gauge_int sim_scope "wheel_far_hits" (fun () ->
+      Sim.Engine.far_hits engine);
   {
     config;
     engine;

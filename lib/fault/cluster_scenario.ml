@@ -160,3 +160,19 @@ let to_json t =
                  ])
              t.events) );
     ]
+
+(* The canonical scenario matrix: one spec per damage kind plus a
+   combined run, shared by the cluster fault-matrix bench, the
+   parallel-vs-sequential identity sweep, and the test suite so they
+   cannot drift apart. *)
+let matrix =
+  [
+    ("none", "baseline, no faults");
+    ("link_drop:1:300:900:0.5", "member 1 fabric link dropping half");
+    ("link_corrupt:0:200:1200:0.3", "member 0 fabric link corrupting bytes");
+    ("link_stall:2:200:1500:40", "member 2 fabric link +40 us stalls");
+    ("crash:3:600:800", "member 3 fail-stop, rejoins at 1.4 ms");
+    ("crash:2:800:0", "member 2 fail-stop, never restarts");
+    ( "link_drop:0:200:700:0.4;link_stall:1:300:900:30;crash:3:500:600",
+      "combined: drops + stalls + a crash" );
+  ]

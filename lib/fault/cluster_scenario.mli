@@ -70,3 +70,9 @@ val member_active : t -> member:int -> at_us:float -> bool
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Telemetry.Json.t
+
+val matrix : (string * string) list
+(** The canonical [(spec, description)] scenario matrix (one entry per
+    damage kind plus a combined run, all naming members < 4).  Shared by
+    the cluster fault-matrix bench, the parallel-vs-sequential identity
+    sweep, and the test suite. *)

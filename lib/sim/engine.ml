@@ -15,6 +15,8 @@ type t = {
   queue : event Wheel.t;
   mutable live : int;
   mutable limit : int; (* horizon of the active [run], for wait elision *)
+  mutable elided : int; (* waits satisfied in place, never queued *)
+  mutable running : bool; (* ownership: set while [run]/[run_until_idle] *)
 }
 
 type waker = unit -> unit
@@ -28,14 +30,27 @@ type _ Effect.t +=
   | Spawn_here : (string * (unit -> unit)) -> unit Effect.t
   | Self : t Effect.t
 
-(* The engine currently dispatching events, so [now] and the scheduler's
-   own bookkeeping can read the clock without performing an effect.
-   Saved and restored around [run]/[run_until_idle] to keep nested runs
-   (an engine driven from inside another engine's fiber) correct. *)
-let current : t option ref = ref None
+(* The engine currently dispatching events on THIS domain, so [now] and
+   the scheduler's own bookkeeping can read the clock without performing
+   an effect.  Domain-local (not a process-global ref): engines on
+   sibling domains must never alias each other's dispatch state.  Saved
+   and restored around [run]/[run_until_idle] to keep nested runs (an
+   engine driven from inside another engine's fiber) correct. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get current_key
+let current_engine = current
 
 let create () =
-  { clock = 0; seq = 0; queue = Wheel.create (); live = 0; limit = 0 }
+  {
+    clock = 0;
+    seq = 0;
+    queue = Wheel.create ();
+    live = 0;
+    limit = 0;
+    elided = 0;
+    running = false;
+  }
 
 let time t = Int64.of_int t.clock
 
@@ -96,16 +111,36 @@ let rec exec_fiber t name fn =
 and spawn t name fn =
   schedule_event t ~at:t.clock (Thunk (fun () -> exec_fiber t name fn))
 
+let spawn_at t ~at name fn =
+  let at = Int64.to_int at in
+  if at < t.clock then
+    invalid_arg
+      (Fmt.str "Engine.spawn_at: %S at %d ps is before the clock (%d ps)" name
+         at t.clock);
+  schedule_event t ~at (Thunk (fun () -> exec_fiber t name fn))
+
 let dispatch ev =
   match ev with Thunk f -> f () | Resume k -> Effect.Deep.continue k ()
 
+(* Ownership assertion: an engine is single-owner while it dispatches.
+   Catches both a re-entrant [run] of the same engine (a fiber driving
+   its own engine) and two domains racing to drive one engine — either
+   would corrupt the clock/queue silently. *)
+let acquire t who =
+  if t.running then
+    invalid_arg (Fmt.str "Engine.%s: engine is already running" who);
+  t.running <- true
+
 let run t ~until =
   let until = Int64.to_int until in
+  acquire t "run";
   t.limit <- until;
-  let saved = !current in
-  current := Some t;
+  let saved = current () in
+  Domain.DLS.set current_key (Some t);
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () ->
+      t.running <- false;
+      Domain.DLS.set current_key saved)
     (fun () ->
       let rec loop () =
         match Wheel.pop_until t.queue ~until with
@@ -121,11 +156,14 @@ let run t ~until =
       loop ())
 
 let run_until_idle t =
+  acquire t "run_until_idle";
   t.limit <- max_int;
-  let saved = !current in
-  current := Some t;
+  let saved = current () in
+  Domain.DLS.set current_key (Some t);
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () ->
+      t.running <- false;
+      Domain.DLS.set current_key saved)
     (fun () ->
       let rec loop () =
         match Wheel.pop t.queue with
@@ -144,17 +182,19 @@ let run_until_idle t =
 
 let live_fibers t = t.live
 let events_scheduled t = t.seq
+let elided_waits t = t.elided
+let far_hits t = Wheel.far_hits t.queue
 
 (* Reading the dispatching engine's clock directly skips a continuation
    capture per call; the effect remains as the fallback so [now] still
    fails loudly (Effect.Unhandled) outside any engine. *)
 let now_i () =
-  match !current with
+  match current () with
   | Some t -> t.clock
   | None -> Int64.to_int (Effect.perform Now)
 
 let now () =
-  match !current with
+  match current () with
   | Some t -> Int64.of_int t.clock
   | None -> Effect.perform Now
 
@@ -168,11 +208,13 @@ let now () =
    because a pending event at the same time holds a smaller sequence
    number and must run first. *)
 let wait_i d =
-  match !current with
+  match current () with
   | Some t when d >= 0 ->
       let target = t.clock + d in
-      if target <= t.limit && Wheel.min_time t.queue > target then
+      if target <= t.limit && Wheel.min_time t.queue > target then begin
+        t.elided <- t.elided + 1;
         t.clock <- target
+      end
       else Effect.perform (Wait d)
   | _ -> Effect.perform (Wait d)
 
@@ -185,7 +227,7 @@ let suspend f = Effect.perform (Suspend f)
 let spawn_here name fn = Effect.perform (Spawn_here (name, fn))
 
 let self_engine () =
-  match !current with Some t -> t | None -> Effect.perform Self
+  match current () with Some t -> t | None -> Effect.perform Self
 
 module Clock = struct
   type clock = { ps : int }

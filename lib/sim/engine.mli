@@ -32,11 +32,27 @@ val spawn : t -> string -> (unit -> unit) -> unit
 (** [spawn t name fn] registers fiber [fn], to start at the current
     simulated time.  [name] appears in crash reports. *)
 
+val spawn_at : t -> at:int64 -> string -> (unit -> unit) -> unit
+(** [spawn_at t ~at name fn] registers fiber [fn] to start at absolute
+    simulated time [at] (picoseconds).  Raises [Invalid_argument] if
+    [at] is before [t]'s clock.  This is how the cluster fabric hands a
+    frame arrival to a receiving member's engine: the sender computes
+    the arrival timestamp and the receiver's engine starts the delivery
+    fiber exactly then. *)
+
 val run : t -> until:int64 -> unit
 (** [run t ~until] executes queued events in order until the queue drains or
     the next event lies strictly after [until]; the clock ends at [until] if
     events remain, else at the last event time.  Raises {!Deadlock} only via
-    {!run_until_idle}. *)
+    {!run_until_idle}.
+
+    An engine is single-owner while dispatching: re-entering [run] on an
+    engine that is already running (from one of its own fibers, or from
+    a sibling domain) raises [Invalid_argument].  Driving a {e
+    different} engine from inside a fiber remains legal — the
+    dispatching-engine pointer is saved and restored, and is
+    domain-local, so engines running concurrently on separate domains
+    never alias. *)
 
 val run_until_idle : t -> unit
 (** [run_until_idle t] executes events until none remain.  Raises
@@ -53,6 +69,24 @@ val events_scheduled : t -> int
     (see the implementation) never reach the queue, so this undercounts
     logical waits; it is a progress/efficiency gauge, not a semantic
     counter. *)
+
+val elided_waits : t -> int
+(** [elided_waits t] is the number of [wait]s satisfied in place by the
+    elision fast path (clock advanced without queueing an event).
+    [events_scheduled t + elided_waits t] approximates the logical event
+    count. *)
+
+val far_hits : t -> int
+(** [far_hits t] is the number of events pushed beyond the timing
+    wheel's horizon into its far-tier heap — each such event pays a heap
+    push/pop instead of an O(1) bucket insert. *)
+
+val current_engine : unit -> t option
+(** [current_engine ()] is the engine currently dispatching events on
+    the calling domain, if any.  Unlike {!self_engine} it never performs
+    an effect, so it is safe to call from plain (non-fiber) code — e.g.
+    a telemetry clock that wants engine time inside a fiber and falls
+    back to another clock outside. *)
 
 (** {1 Operations valid only inside a fiber} *)
 

@@ -83,6 +83,7 @@ type 'a t = {
      per-pop tier comparison costs no [Int64] unboxing. *)
   mutable far_min : int;
   far : 'a Heap.t;
+  mutable far_hits : int; (* pushes that overflowed the horizon *)
 }
 
 let create () =
@@ -101,10 +102,12 @@ let create () =
     min_ok = true;
     far_min = max_int;
     far = Heap.create ();
+    far_hits = 0;
   }
 
 let size t = t.near + Heap.size t.far
 let is_empty t = t.near = 0 && Heap.is_empty t.far
+let far_hits t = t.far_hits
 
 let push t ~now ~time ~seq v =
   let ti = time in
@@ -115,6 +118,7 @@ let push t ~now ~time ~seq v =
     t.cursor <- (now lsr res_bits) land slot_mask
   end;
   if ti - t.floor >= horizon then begin
+    t.far_hits <- t.far_hits + 1;
     if ti < t.far_min then begin
       t.far_min <- ti;
       (* The far root changed; a same-time cached wheel entry still wins

@@ -21,6 +21,11 @@ val is_empty : 'a t -> bool
 val size : 'a t -> int
 (** Number of queued events across both tiers. *)
 
+val far_hits : 'a t -> int
+(** Cumulative count of pushes that landed beyond the wheel horizon in
+    the far-tier heap — each one pays a heap push/pop instead of an O(1)
+    bucket insert.  An efficiency gauge for telemetry. *)
+
 val push : 'a t -> now:int -> time:int -> seq:int -> 'a -> unit
 (** [push t ~now ~time ~seq v] queues [v] at key [(time, seq)].
     Requires [time >= now] and [now] at or after the last popped time.

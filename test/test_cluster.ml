@@ -14,7 +14,7 @@ let local_forwarding_stays_local () =
   Cluster.run_for c ~us:300.;
   Alcotest.(check int) "delivered locally" 1 (Cluster.delivered c ~global_port:3);
   Alcotest.(check int) "no fabric crossing" 0
-    (Sim.Stats.Counter.value c.Cluster.fabric_frames)
+    (Cluster.fabric_frames c)
 
 let cross_member_forwarding () =
   let c = Cluster.create ~members:2 () in
@@ -28,7 +28,7 @@ let cross_member_forwarding () =
   Alcotest.(check bool) "inject" true (Cluster.inject c ~global_port:0 f);
   Cluster.run_for c ~us:500.;
   Alcotest.(check int) "crossed the fabric" 1
-    (Sim.Stats.Counter.value c.Cluster.fabric_frames);
+    (Cluster.fabric_frames c);
   Alcotest.(check int) "delivered on the owner" 1
     (Cluster.delivered c ~global_port:11);
   match !final with
@@ -45,7 +45,7 @@ let all_to_all_no_loss () =
   for g = 0 to n_global - 1 do
     let rng = Sim.Rng.split rng in
     ignore
-      (Workload.Source.spawn_constant c.Cluster.engine
+      (Workload.Source.spawn_constant (Cluster.engine_of_global_port c g)
          ~name:(Printf.sprintf "g%d" g)
          ~pps:30_000.
          ~gen:(fun i ->
@@ -66,7 +66,7 @@ let all_to_all_no_loss () =
     true
     (float_of_int delivered >= 0.93 *. offered);
   Alcotest.(check bool) "substantial fabric traffic" true
-    (Sim.Stats.Counter.value c.Cluster.fabric_frames > 1000)
+    (Cluster.fabric_frames c > 1000)
 
 let internal_link_shrinks_budget () =
   let c = Cluster.create ~members:4 () in
@@ -74,7 +74,9 @@ let internal_link_shrinks_budget () =
      share; fabric load must shrink it. *)
   let quiet = Cluster.vrp_budget_with_internal_link c ~line_rate_pps:1.128e6 in
   ignore
-    (Workload.Source.spawn_constant c.Cluster.engine ~name:"cross"
+    (Workload.Source.spawn_constant
+       (Cluster.engine_of_global_port c 0)
+       ~name:"cross"
        ~pps:100_000.
        ~gen:(fun i ->
          ignore i;
@@ -189,7 +191,7 @@ let drive_cluster ?faults () =
   for g = 0 to 7 do
     let rng = Sim.Rng.split rng in
     ignore
-      (Workload.Source.spawn_line_rate c.Cluster.engine
+      (Workload.Source.spawn_line_rate (Cluster.engine_of_global_port c g)
          ~name:(Printf.sprintf "g%d" g)
          ~mbps:100. ~frame_len:64
          ~gen:(Workload.Mix.udp_uniform ~rng ~n_subnets:8 ~frame_len:64 ())
@@ -260,7 +262,7 @@ let crashed_member_drops_accounted () =
   for g = 0 to 3 do
     let rng = Sim.Rng.split rng in
     ignore
-      (Workload.Source.spawn_constant c.Cluster.engine
+      (Workload.Source.spawn_constant (Cluster.engine_of_global_port c g)
          ~name:(Printf.sprintf "cross%d" g)
          ~pps:40_000.
          ~gen:(fun _ ->
@@ -321,7 +323,7 @@ let crash_restart_recovers () =
     let pool = Option.get (Cluster.frame_pool c m) in
     let rng = Sim.Rng.split rng in
     ignore
-      (Workload.Source.spawn_line_rate c.Cluster.engine
+      (Workload.Source.spawn_line_rate (Cluster.engine_of_global_port c g)
          ~name:(Printf.sprintf "g%d" g)
          ~mbps:100. ~frame_len:64
          ~gen:(Workload.Mix.udp_uniform ~pool ~rng ~n_subnets:8 ~frame_len:64
@@ -359,6 +361,93 @@ let crash_restart_recovers () =
          --cluster-faults 'crash:1:300:400' --seed 3 -d 2)"
         src v.Fault.Invariant.name v.Fault.Invariant.detail
 
+(* Drive the canonical fault matrix's 4-member workload at a given
+   domain count and return the per-member telemetry digests — the
+   quantity the conservative-lookahead scheduler promises is independent
+   of [domains]. *)
+let matrix_digests spec ~seed ~domains =
+  let faults = parse_faults spec ~seed:(Int64.of_int seed) in
+  let c =
+    Cluster.create ~members:4 ~ports_per_member:4 ~domains ~faults
+      ~frame_pool:true ()
+  in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  for g = 0 to 15 do
+    let m, _ = Cluster.member_of_global_port c g in
+    let pool = Option.get (Cluster.frame_pool c m) in
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_line_rate (Cluster.engine_of_global_port c g)
+         ~name:(Printf.sprintf "g%d" g)
+         ~mbps:100. ~frame_len:64
+         ~gen:(Workload.Mix.udp_uniform ~pool ~rng ~n_subnets:16 ~frame_len:64
+                 ())
+         ~offer:(fun f ->
+           let ok = Cluster.inject c ~global_port:g f in
+           if not ok then Packet.Frame_pool.give pool f;
+           ok)
+         ())
+  done;
+  (* Several barriers so damage windows, crash epochs and their audits
+     all land mid-run, as in the fault-matrix bench. *)
+  for _ = 1 to 3 do
+    Cluster.run_for c ~us:500.
+  done;
+  (match Cluster.violations c with
+  | [] -> ()
+  | (src, v) :: _ as vs ->
+      Alcotest.failf
+        "spec %s domains=%d: %d violation(s), first [%s] %s: %s" spec domains
+        (List.length vs) src v.Fault.Invariant.name v.Fault.Invariant.detail);
+  Array.to_list (Array.init 4 (fun m -> Cluster.member_metrics_md5 c m))
+
+let parallel_identity_matrix () =
+  (* Acceptance: for every scenario x seed of the canonical matrix, a
+     parallel run's per-member digests equal the sequential run's,
+     bit for bit. *)
+  List.iter
+    (fun (spec, _) ->
+      List.iter
+        (fun seed ->
+          let reference = matrix_digests spec ~seed ~domains:1 in
+          List.iter
+            (fun domains ->
+              Alcotest.(check (list string))
+                (Printf.sprintf "digests identical [%s seed=%d domains=%d]"
+                   spec seed domains)
+                reference
+                (matrix_digests spec ~seed ~domains))
+            [ 2; 4 ])
+        [ 11; 42 ])
+    Fault.Cluster_scenario.matrix
+
+let parallel_smoke () =
+  (* A 2-domain zero-fault run forwards traffic and audits clean — the
+     quick-tier check that the worker-domain machinery works at all. *)
+  let reference = matrix_digests "none" ~seed:7 ~domains:1 in
+  Alcotest.(check (list string))
+    "2-domain digests match sequential" reference
+    (matrix_digests "none" ~seed:7 ~domains:2)
+
+let lookahead_validated () =
+  (* A lookahead beyond the fabric's minimum latency would let a member
+     simulate past a frame still in flight towards it; [create] must
+     refuse rather than silently lose determinism. *)
+  let expect_invalid what fn =
+    match fn () with
+    | (_ : Cluster.t) -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "lookahead above fabric latency" (fun () ->
+      Cluster.create ~switch_latency_us:5. ~lookahead_us:5.5 ());
+  expect_invalid "zero lookahead" (fun () ->
+      Cluster.create ~lookahead_us:0. ());
+  expect_invalid "negative lookahead" (fun () ->
+      Cluster.create ~lookahead_us:(-1.) ());
+  expect_invalid "zero domains" (fun () -> Cluster.create ~domains:0 ());
+  (* The boundary itself is legal: lookahead = fabric latency. *)
+  ignore (Cluster.create ~switch_latency_us:5. ~lookahead_us:5. () : Cluster.t)
+
 let tests =
   [
     Alcotest.test_case "local stays local" `Quick local_forwarding_stays_local;
@@ -379,4 +468,10 @@ let tests =
       crashed_member_drops_accounted;
     Alcotest.test_case "crash + restart recovers (pooled)" `Slow
       crash_restart_recovers;
+    Alcotest.test_case "lookahead and domain bounds validated" `Quick
+      lookahead_validated;
+    Alcotest.test_case "2-domain run matches sequential (smoke)" `Quick
+      parallel_smoke;
+    Alcotest.test_case "parallel identity across the fault matrix" `Slow
+      parallel_identity_matrix;
   ]

@@ -232,7 +232,7 @@ let cluster_link_damage_fuzz () =
       for g = 0 to 7 do
         let rng = Sim.Rng.split rng in
         ignore
-          (Workload.Source.spawn_constant c.Cluster.engine
+          (Workload.Source.spawn_constant (Cluster.engine_of_global_port c g)
              ~name:(Printf.sprintf "fz%d" g)
              ~pps:30_000.
              ~gen:(fun _ ->
