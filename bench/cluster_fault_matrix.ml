@@ -87,10 +87,14 @@ let attempt spec ~seed =
                  ("dropped_down", Telemetry.Json.Int fc.Cluster.dropped_down);
                  ( "dropped_unknown",
                    Telemetry.Json.Int fc.Cluster.dropped_unknown );
+                 ( "dropped_queue",
+                   Telemetry.Json.Int fc.Cluster.dropped_queue );
                  ("rx_refused", Telemetry.Json.Int fc.Cluster.rx_refused);
                  ("corrupted", Telemetry.Json.Int fc.Cluster.corrupted);
                  ("stalled", Telemetry.Json.Int fc.Cluster.stalled);
                  ("in_flight", Telemetry.Json.Int fc.Cluster.in_flight);
+                 ("queued", Telemetry.Json.Int fc.Cluster.queued);
+                 ("bp_refused", Telemetry.Json.Int fc.Cluster.bp_refused);
                ]) );
           ("crash_epochs", Telemetry.Json.Int !epochs);
           ( "recovery_latency_us",

@@ -1,0 +1,236 @@
+(* Fabric contention (paper section 6 sizing): sweep offered load into
+   one switch egress port for every queue discipline and record the
+   drop/latency curves, the paper's question being how much buffering
+   and service rate the internal link needs once several members
+   converge on one destination.
+
+   Twelve external ports (members 1-3) aim all their traffic at member
+   0's subnets, so member 0's switch egress queue — drained at 300 Mbps
+   — sees offered loads of 0.4x to 1.6x its service rate as the
+   per-port rate sweeps 10..40 Mbps.  Everything is simulated time, so
+   every number here is deterministic: the committed BENCH_fabric.json
+   gates regressions at 15% in CI even though the curves replay
+   exactly.
+
+   A queued parallel-identity spot check rides along: the congestion
+   chaser scenario replayed at 1, 2 and 4 domains with queueing enabled
+   must produce bit-identical per-member digests.  Mismatches (or any
+   invariant violation during the sweep) increment [failures], which
+   makes the harness exit nonzero. *)
+
+let failures = ref 0
+
+let members = 4
+let ports_per_member = 4
+let seed = 11
+let frame_len = 64
+let wire_bits = float_of_int ((frame_len + 20) * 8)
+let drain_mbps = 300.
+let slices = 3
+let slice_us = 400.
+
+let disciplines =
+  [
+    "taildrop:64@300";
+    "red:64:8:32:0.3@300";
+    "prio:64:4@300";
+    "wrr:64:4,2,1@300";
+  ]
+
+let loads = [ 0.1; 0.2; 0.3; 0.4 ]
+
+let queue_cfg spec =
+  match Cluster.Fabric_queue.parse spec with
+  | Ok c -> c
+  | Error m -> failwith ("fabric_contention: bad queue spec " ^ spec ^ ": " ^ m)
+
+(* Members 1..3 fire at member 0's subnets at [load] of line rate; the
+   IP precedence field spreads frames across service classes so the
+   per-class disciplines have classes to arbitrate. *)
+let spawn_converging c ~load =
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  for g = ports_per_member to (members * ports_per_member) - 1 do
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_line_rate (Cluster.engine_of_global_port c g)
+         ~name:(Printf.sprintf "conv%d" g)
+         ~mbps:(load *. 100.) ~frame_len
+         ~gen:(fun _ ->
+           let f =
+             Packet.Build.udp
+               ~src:(Workload.Mix.subnet_addr ~subnet:(100 + g) ~host:1)
+               ~dst:
+                 (Workload.Mix.subnet_addr
+                    ~subnet:(Sim.Rng.int rng ports_per_member)
+                    ~host:2)
+               ~src_port:1000 ~dst_port:2000 ()
+           in
+           Packet.Ipv4.set_tos f (Sim.Rng.int rng 4 lsl 5);
+           Packet.Ipv4.fill_cksum f;
+           f)
+         ~offer:(fun f -> Cluster.inject c ~global_port:g f)
+         ())
+  done
+
+type sample = {
+  served : int;
+  drop_frac : float;
+  delay_us : float;
+  hwm : int;
+  pauses : int;
+  red_drops : int;
+  bp_refused : int;
+}
+
+let contention_run spec ~load =
+  let fabric_queue = queue_cfg spec in
+  let c = Cluster.create ~members ~ports_per_member ~fabric_queue () in
+  spawn_converging c ~load;
+  for _ = 1 to slices do
+    Cluster.run_for c ~us:slice_us
+  done;
+  if not (Cluster.invariants_ok c) then begin
+    incr failures;
+    Report.info "  VIOLATION under [%s load=%.1f]; repro: router_cli cluster \
+                 --fabric-queue '%s' --seed %d -d %g"
+      spec load spec seed
+      (float_of_int slices *. slice_us /. 1000.)
+  end;
+  let q = c.Cluster.in_queues.(0) in
+  let module Fq = Cluster.Fabric_queue in
+  let offered_q = Fq.enqueued q + Fq.dropped q in
+  let served = Fq.serviced q in
+  let fc = Cluster.fabric_counts c in
+  {
+    served;
+    drop_frac =
+      (if offered_q = 0 then 0.
+       else float_of_int (Fq.dropped q) /. float_of_int offered_q);
+    delay_us =
+      (if served = 0 then 0.
+       else float_of_int (Fq.delay_ps_total q) /. float_of_int served /. 1e6);
+    hwm = Fq.hwm q;
+    pauses = Fq.pauses q;
+    red_drops = Fq.dropped_red q;
+    bp_refused = fc.Cluster.bp_refused;
+  }
+
+(* The queued parallel-identity spot check, mirroring the test-suite
+   sweep on the scenario built for it. *)
+let identity_spec = "link_stall:1:200:500:40;link_drop:1:700:600:0.6"
+
+let digest_run ~domains =
+  let faults =
+    match Fault.Cluster_scenario.parse identity_spec with
+    | Ok s -> Fault.Cluster_scenario.with_seed s (Int64.of_int seed)
+    | Error msg -> failwith ("fabric_contention: bad spec: " ^ msg)
+  in
+  let c =
+    Cluster.create ~members ~ports_per_member ~domains ~faults
+      ~frame_pool:true
+      ~fabric_queue:(queue_cfg "red:24:6:18:0.5@300")
+      ()
+  in
+  let n_global = members * ports_per_member in
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  for g = 0 to n_global - 1 do
+    let m, _ = Cluster.member_of_global_port c g in
+    let pool = Option.get (Cluster.frame_pool c m) in
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_line_rate (Cluster.engine_of_global_port c g)
+         ~name:(Printf.sprintf "gen%d" g)
+         ~mbps:100. ~frame_len
+         ~gen:(Workload.Mix.udp_uniform ~pool ~rng ~n_subnets:n_global
+                 ~frame_len ())
+         ~offer:(fun f ->
+           let ok = Cluster.inject c ~global_port:g f in
+           if not ok then Packet.Frame_pool.give pool f;
+           ok)
+         ())
+  done;
+  for _ = 1 to 3 do
+    Cluster.run_for c ~us:500.
+  done;
+  Array.init members (fun m -> Cluster.member_metrics_md5 c m)
+
+let run () =
+  Report.section
+    "Fabric contention: offered-load sweep per queue discipline (section 6 \
+     sizing)";
+  let duration_s = float_of_int slices *. slice_us *. 1e-6 in
+  let service_us = wire_bits /. drain_mbps in
+  let attachments = ref [] in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun load ->
+          let s = contention_run spec ~load in
+          let offered_mbps =
+            float_of_int ((members - 1) * ports_per_member) *. load *. 100.
+          in
+          let u = offered_mbps /. drain_mbps in
+          let served_mbps =
+            float_of_int s.served *. wire_bits /. duration_s /. 1e6
+          in
+          Report.info
+            "%-22s load %.1f (u=%.2f): served %5.1f Mbps, drop %5.1f%%, \
+             delay %6.1f us, hwm %2d, %d pause(s), %d RED, %d refused"
+            spec load u served_mbps (100. *. s.drop_frac) s.delay_us s.hwm
+            s.pauses s.red_drops s.bp_refused;
+          Report.row ~unit_:"Mbps"
+            ~name:(Printf.sprintf "served [%s load=%.1f]" spec load)
+            ~paper:(Float.min offered_mbps drain_mbps)
+            ~measured:served_mbps;
+          Report.row ~unit_:"frac"
+            ~name:(Printf.sprintf "drop fraction [%s load=%.1f]" spec load)
+            ~paper:(Float.max 0. (1. -. (1. /. u)))
+            ~measured:s.drop_frac;
+          (* paper delay: one service time, plus M/D/1-ish queueing below
+             saturation or half the buffer above it — a rough target; the
+             CI gate compares against the committed baseline, not this. *)
+          Report.row ~unit_:"us"
+            ~name:(Printf.sprintf "mean delay [%s load=%.1f]" spec load)
+            ~paper:
+              (service_us
+              *. (1.
+                 +.
+                 if u >= 0.95 then 32. /. 2.
+                 else u /. (2. *. (1. -. u))))
+            ~measured:s.delay_us;
+          attachments :=
+            ( Printf.sprintf "%s load=%.1f" spec load,
+              Telemetry.Json.Obj
+                [
+                  ("utilization", Telemetry.Json.Float u);
+                  ("served", Telemetry.Json.Int s.served);
+                  ("drop_fraction", Telemetry.Json.Float s.drop_frac);
+                  ("mean_delay_us", Telemetry.Json.Float s.delay_us);
+                  ("queue_hwm", Telemetry.Json.Int s.hwm);
+                  ("bp_pauses", Telemetry.Json.Int s.pauses);
+                  ("red_drops", Telemetry.Json.Int s.red_drops);
+                  ("bp_refused", Telemetry.Json.Int s.bp_refused);
+                ] )
+            :: !attachments)
+        loads)
+    disciplines;
+  let reference = digest_run ~domains:1 in
+  let mismatches =
+    List.fold_left
+      (fun acc domains ->
+        let got = digest_run ~domains in
+        if got = reference then acc
+        else begin
+          incr failures;
+          Report.info
+            "  IDENTITY FAILURE [%s domains=%d]: queued digests diverge \
+             from sequential"
+            identity_spec domains;
+          acc + 1
+        end)
+      0 [ 2; 4 ]
+  in
+  Report.row ~unit_:"mismatches" ~name:"queued parallel identity mismatches"
+    ~paper:0. ~measured:(float_of_int mismatches);
+  Report.attach "fabric_contention"
+    (Telemetry.Json.Obj (List.rev !attachments))

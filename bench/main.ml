@@ -33,6 +33,9 @@ let experiments =
     ("cluster_fault_matrix",
      "Extension: cluster invariants under link damage and member crashes",
      Cluster_fault_matrix.run);
+    ("fabric_contention",
+     "Extension: fabric queue disciplines under offered-load sweeps",
+     Fabric_contention.run);
     ("perf", "Infrastructure: simulator packets-per-wall-second", Perf.run);
     ("cluster_perf",
      "Infrastructure: domain-parallel cluster throughput and identity",
@@ -113,6 +116,12 @@ let () =
   if !Cluster_fault_matrix.failures > 0 then begin
     Printf.eprintf "cluster_fault_matrix: %d invariant violation(s)\n"
       !Cluster_fault_matrix.failures;
+    exit 1
+  end;
+  if !Fabric_contention.failures > 0 then begin
+    Printf.eprintf
+      "fabric_contention: %d identity/invariant failure(s)\n"
+      !Fabric_contention.failures;
     exit 1
   end;
   if !Cluster_perf.failures > 0 then begin

@@ -281,8 +281,18 @@ let cluster_cmd =
                  lib/fault/cluster_scenario.mli).  Seeded from --seed, so \
                  a failing run replays exactly.")
   in
+  let fabric_queue_arg =
+    Arg.(value & opt string "none" & info [ "fabric-queue" ] ~docv:"SPEC"
+           ~doc:"Finite queue on every uplink and switch egress port: \
+                 none | taildrop:CAP | red:CAP:MIN:MAX:MAXP[:WQ] | \
+                 prio:CAP:CLASSES | wrr:CAP:W0,W1,... with an optional \
+                 @MBPS drain-rate suffix (default 1000), e.g. \
+                 'red:32:4:16:0.2@300' (see lib/cluster/fabric_queue.mli). \
+                 Queues exert backpressure into injection and the member \
+                 egress path; 'none' bypasses queueing entirely.")
+  in
   let run duration seed members ports_per_member frame_len domains
-      cluster_faults metrics =
+      cluster_faults fabric_queue metrics =
     let faults =
       match Fault.Cluster_scenario.parse cluster_faults with
       | Ok s -> Fault.Cluster_scenario.with_seed s (Int64.of_int seed)
@@ -290,7 +300,17 @@ let cluster_cmd =
           Format.eprintf "bad --cluster-faults spec: %s@." msg;
           exit 2
     in
-    let c = Cluster.create ~members ~ports_per_member ~domains ~faults () in
+    let fabric_queue =
+      match Cluster.Fabric_queue.parse fabric_queue with
+      | Ok q -> q
+      | Error msg ->
+          Format.eprintf "bad --fabric-queue spec: %s@." msg;
+          exit 2
+    in
+    let c =
+      Cluster.create ~members ~ports_per_member ~domains ~faults ~fabric_queue
+        ()
+    in
     let n_global = members * ports_per_member in
     let rng = Sim.Rng.create (Int64.of_int seed) in
     for g = 0 to n_global - 1 do
@@ -316,10 +336,16 @@ let cluster_cmd =
       members (Cluster.delivered_total c);
     Format.printf
       "fabric: %d offered = %d delivered + %d link + %d down + %d unknown + \
-       %d refused + %d in flight (%d corrupted, %d stalled)@."
+       %d queue + %d refused + %d in flight + %d queued (%d corrupted, %d \
+       stalled)@."
       fc.Cluster.offered fc.Cluster.delivered fc.Cluster.dropped_link
-      fc.Cluster.dropped_down fc.Cluster.dropped_unknown fc.Cluster.rx_refused
-      fc.Cluster.in_flight fc.Cluster.corrupted fc.Cluster.stalled;
+      fc.Cluster.dropped_down fc.Cluster.dropped_unknown
+      fc.Cluster.dropped_queue fc.Cluster.rx_refused fc.Cluster.in_flight
+      fc.Cluster.queued fc.Cluster.corrupted fc.Cluster.stalled;
+    if not (Cluster.Fabric_queue.is_bypass fabric_queue) then
+      Format.printf "fabric queue [%s]: %d refused by backpressure@."
+        (Cluster.Fabric_queue.to_spec fabric_queue)
+        fc.Cluster.bp_refused;
     for m = 0 to members - 1 do
       Format.printf "member %d: %s, %d crash epoch(s)%s@." m
         (if Cluster.member_up c m then "up" else "down")
@@ -338,9 +364,10 @@ let cluster_cmd =
             (Sim.Engine.seconds v.Fault.Invariant.at *. 1e6))
         violations;
       Format.eprintf
-        "repro: router_cli cluster --cluster-faults '%s' --seed %d -d %g \
-         --members %d --ports-per-member %d --domains %d@."
+        "repro: router_cli cluster --cluster-faults '%s' --fabric-queue '%s' \
+         --seed %d -d %g --members %d --ports-per-member %d --domains %d@."
         (Fault.Cluster_scenario.to_spec faults)
+        (Cluster.Fabric_queue.to_spec fabric_queue)
         seed duration members ports_per_member domains;
       exit 1
     end
@@ -352,7 +379,7 @@ let cluster_cmd =
           cluster fault scenario, and audit the cluster invariants.")
     Term.(
       const run $ duration $ seed $ members $ ports_per_member $ frame_len
-      $ domains $ cluster_faults $ metrics_arg)
+      $ domains $ cluster_faults $ fabric_queue_arg $ metrics_arg)
 
 let () =
   let info =

@@ -1,3 +1,5 @@
+module Fabric_queue = Fabric_queue
+
 type member_health = {
   mutable up : bool;
   mutable crash_epochs : int;
@@ -17,10 +19,13 @@ type fabric_counts = {
   dropped_link : int;
   dropped_down : int;
   dropped_unknown : int;
+  dropped_queue : int;
   rx_refused : int;
   corrupted : int;
   stalled : int;
   in_flight : int;
+  queued : int;
+  bp_refused : int;
 }
 
 (* A frame crossing the fabric, parked in the destination member's
@@ -78,6 +83,18 @@ type t = {
   attempts_to : int array;
   delivered_to : int array;
   refused_to : int array;
+  (* Finite fabric queues (PR 6): [eg_queues.(m)] sits between member
+     [m]'s uplinks and the switch (owned by [m]'s engine); [in_queues.(m)]
+     is the switch egress port towards [m] (owned by [m]'s engine, where
+     arrivals already run).  Mutable only because their deliver closures
+     need [t]; assigned once inside [create].  [in_q_dropped] counts
+     ingress-queue drops (settled, dst-sharded); [bp_refused] counts
+     external injects refused by egress backpressure (member-sharded). *)
+  fabric_queue : Fabric_queue.config;
+  mutable eg_queues : (int * Packet.Frame.t) Fabric_queue.t array;
+  mutable in_queues : (int * Packet.Frame.t) Fabric_queue.t array;
+  in_q_dropped : int array;
+  bp_refused : int array;
   inboxes : inbox array;
   send_seq : int array;
   cur_parity : int array; (* per member: parity of the epoch it is in *)
@@ -135,6 +152,12 @@ let do_crash t m =
   h.crash_epochs <- h.crash_epochs + 1;
   h.uplink_rx_at_crash <- uplink_rx t m;
   set_member_links t m false;
+  (* The crash cuts the uplink under the member's egress queue: frames
+     still queued (and the one in service) are stranded, counted as
+     flushed so fabric conservation still balances.  The switch egress
+     queue towards the member keeps draining — its frames die at the
+     dead PHY as dropped_down, the accounted path. *)
+  ignore (Fabric_queue.flush t.eg_queues.(m) : int);
   Telemetry.Scope.event t.member_scopes.(m) "crash"
 
 let snapshot_quiet t m =
@@ -220,24 +243,59 @@ let corrupt_copy rng f =
    zero scenario never touches the RNG at all. *)
 let fires rng rate = rate > 0. && Sim.Rng.float rng 1.0 < rate
 
-(* A frame arrives at the destination member's uplink after the switch
-   latency (plus any stall).  Runs as a fiber on the destination's
-   engine, so every counter it touches is destination-sharded.  Every
-   exit increments [settled_to] in the same step it books the outcome,
-   so fabric conservation holds at any barrier, including one landing
-   mid-stall. *)
+(* Every terminal outcome on the receiving side increments [settled_to]
+   in the same step it books the cause, so fabric conservation holds at
+   any barrier, including one landing mid-stall or mid-queue. *)
+let settle t ~dst bucket =
+  bucket.(dst) <- bucket.(dst) + 1;
+  t.settled_to.(dst) <- t.settled_to.(dst) + 1
+
+(* The service class a frame rides in on a per-class fabric queue: the
+   classic IP-precedence bits (clamped to the configured class count by
+   the queue); anything unparseable travels best-effort in class 0. *)
+let frame_class f =
+  if
+    Packet.Frame.len f >= Packet.Ipv4.offset + Packet.Ipv4.min_header_len
+    && Packet.Ethernet.get_ethertype f = Packet.Ethernet.ethertype_ipv4
+  then Packet.Ipv4.precedence f
+  else 0
+
+(* The switch egress port puts a frame on the destination member's
+   uplink wire: the back half of the old delivery path, now also the
+   ingress queue's service completion.  Runs on [dst]'s engine. *)
+let uplink_tx t ~dst (port, f) =
+  let h = t.health.(dst) in
+  if not h.up then settle t ~dst t.in_dropped_down
+  else begin
+    t.attempts_to.(dst) <- t.attempts_to.(dst) + 1;
+    if Router.inject t.members.(dst) ~port f then begin
+      if h.awaiting_recovery then begin
+        h.recovery_latency_us <- now_us t -. h.up_since_us;
+        h.awaiting_recovery <- false
+      end;
+      settle t ~dst t.delivered_to
+    end
+    else if
+      Ixp.Mac_port.link_up t.members.(dst).Router.chip.Ixp.Chip.ports.(port)
+    then settle t ~dst t.refused_to
+    else settle t ~dst t.in_dropped_down
+  end
+
+(* A frame arrives at the switch egress port towards [dst] after the
+   switch latency (plus any stall).  Runs as a fiber on the
+   destination's engine, so every counter it touches is
+   destination-sharded.  After the link-damage stage it enters the
+   egress port's finite queue; the default bypass queue hands it to
+   {!uplink_tx} synchronously, reproducing the pre-queueing fabric
+   byte for byte. *)
 let deliver_fabric t ~dst ~port f =
-  let settle bucket =
-    bucket.(dst) <- bucket.(dst) + 1;
-    t.settled_to.(dst) <- t.settled_to.(dst) + 1
-  in
   let at_us = now_us t in
   let h = t.health.(dst) in
   let rng = t.ingress_rng.(dst) in
-  if not h.up then settle t.in_dropped_down
+  if not h.up then settle t ~dst t.in_dropped_down
   else if
     fires rng (Fault.Cluster_scenario.drop_rate t.faults ~member:dst ~at_us)
-  then settle t.in_dropped_link
+  then settle t ~dst t.in_dropped_link
   else begin
     let f =
       if
@@ -254,21 +312,11 @@ let deliver_fabric t ~dst ~port f =
       t.in_stalled.(dst) <- t.in_stalled.(dst) + 1;
       Sim.Engine.wait (Sim.Engine.of_seconds (stall *. 1e-6))
     end;
-    if not h.up then settle t.in_dropped_down
-    else begin
-      t.attempts_to.(dst) <- t.attempts_to.(dst) + 1;
-      if Router.inject t.members.(dst) ~port f then begin
-        if h.awaiting_recovery then begin
-          h.recovery_latency_us <- now_us t -. h.up_since_us;
-          h.awaiting_recovery <- false
-        end;
-        settle t.delivered_to
-      end
-      else if
-        Ixp.Mac_port.link_up t.members.(dst).Router.chip.Ixp.Chip.ports.(port)
-      then settle t.refused_to
-      else settle t.in_dropped_down
-    end
+    if
+      not
+        (Fabric_queue.offer t.in_queues.(dst) ~cls:(frame_class f)
+           ~len:(Packet.Frame.len f) (port, f))
+    then settle t ~dst t.in_q_dropped
   end
 
 (* Drain everything sent to member [m] during the previous epoch and
@@ -303,14 +351,16 @@ let drain_inbox t m ~parity =
             (fun () -> deliver_fabric t ~dst:m ~port:msg.dst_port msg.frame))
         msgs
 
-(* The learning switch, egress side: runs inside the sending member's
-   fiber.  Damage draws use the sender's stream; the frame is copied at
-   the switch ingress (store-and-forward — the fabric owns its own
-   bytes), which also keeps the sender's recycling buffer pool from
-   reusing a frame the receiving domain still holds.  The copy is
-   unpooled, so the receiver's recycler ignores it. *)
-let send_fabric t ~src ~port f =
-  t.offered_by.(src) <- t.offered_by.(src) + 1;
+(* The learning switch, egress side: a frame that cleared the member's
+   uplink queue goes onto the wire into the switch.  Runs inside the
+   sending member's fiber (the uplink queue's service completion — or
+   the sender's own fiber under bypass).  Damage draws use the sender's
+   stream; the frame is copied at the switch ingress (store-and-forward
+   — the fabric owns its own bytes), which also keeps the sender's
+   recycling buffer pool from reusing a frame the receiving domain still
+   holds.  The copy is unpooled, so the receiver's recycler ignores
+   it. *)
+let launch_fabric t ~src (port, f) =
   let at_us = now_us t in
   let rng = t.egress_rng.(src) in
   if fires rng (Fault.Cluster_scenario.drop_rate t.faults ~member:src ~at_us)
@@ -359,12 +409,35 @@ let send_fabric t ~src ~port f =
         Mutex.unlock ib.ilock
   end
 
+(* A frame leaving a member's uplink MAC first enters that uplink's
+   finite queue; {!launch_fabric} is its service completion.  The frame
+   the MAC hands us is already a fresh unpooled copy
+   ({!Ixp.Mac_port.transmit_frame} sinks a [prefix_copy]), so holding it
+   across the queueing delay is safe.  The default bypass queue calls
+   {!launch_fabric} synchronously — the pre-queueing fabric, byte for
+   byte. *)
+let send_fabric t ~src ~port f =
+  t.offered_by.(src) <- t.offered_by.(src) + 1;
+  ignore
+    (Fabric_queue.offer t.eg_queues.(src) ~cls:(frame_class f)
+       ~len:(Packet.Frame.len f) (port, f)
+      : bool)
+
 let wire_switch t =
   let uplink_local = t.members.(0).Router.config.Router.n_ports in
+  let gated = not (Fabric_queue.is_bypass t.fabric_queue) in
   Array.iteri
     (fun m r ->
       List.iter
-        (fun up -> Router.connect r ~port:up (fun f -> send_fabric t ~src:m ~port:up f))
+        (fun up ->
+          Router.connect r ~port:up (fun f -> send_fabric t ~src:m ~port:up f);
+          (* Backpressure into the member's egress path: while the uplink
+             queue is past its high watermark the MAC reports the wire
+             busy, so the output loop holds frames in the router's own
+             queues (it polls with backoff — no livelock). *)
+          if gated then
+            Ixp.Mac_port.set_tx_gate r.Router.chip.Ixp.Chip.ports.(up)
+              (fun () -> not (Fabric_queue.paused t.eg_queues.(m))))
         [ uplink_local; uplink_local + 1 ])
     t.members
 
@@ -484,22 +557,39 @@ let run_epochs t ~target_ps =
 (* --- invariants and telemetry ------------------------------------------ *)
 
 let sum = Array.fold_left ( + ) 0
+let qsum f qs = Array.fold_left (fun acc q -> acc + f q) 0 qs
+
+(* Queue drops on the egress side (tail, RED, crash-flushed) never reach
+   [launched_by]/[settled_to]; ingress-queue drops settle via
+   [in_q_dropped].  Frames sitting in either queue are "queued". *)
+let eg_queue_dropped t =
+  qsum Fabric_queue.dropped t.eg_queues + qsum Fabric_queue.flushed t.eg_queues
+
+let queued_frames t =
+  qsum Fabric_queue.occupancy t.eg_queues
+  + qsum Fabric_queue.occupancy t.in_queues
 
 let register_invariants t =
   let reg = Fault.Invariant.register t.invariants in
   reg "fabric-conservation" (fun () ->
       let offered = sum t.offered_by in
-      let in_flight = sum t.launched_by - sum t.settled_to in
+      let in_occ = qsum Fabric_queue.occupancy t.in_queues in
+      let eg_occ = qsum Fabric_queue.occupancy t.eg_queues in
+      (* On the wire or paying an injected stall: launched but neither
+         settled nor parked in a switch egress queue. *)
+      let in_flight = sum t.launched_by - sum t.settled_to - in_occ in
       let settled =
         sum t.delivered_to
         + (sum t.eg_dropped_link + sum t.in_dropped_link)
         + sum t.in_dropped_down + sum t.eg_dropped_unknown + sum t.refused_to
+        + sum t.in_q_dropped + eg_queue_dropped t
       in
-      if settled + in_flight <> offered then
+      if settled + in_flight + eg_occ + in_occ <> offered then
         Some
           (Printf.sprintf
-             "fabric offered %d frames but %d settled + %d in flight" offered
-             settled in_flight)
+             "fabric offered %d frames but %d settled + %d in flight + %d \
+              queued"
+             offered settled in_flight (eg_occ + in_occ))
       else None);
   reg "no-escape-to-crashed" (fun () ->
       let msgs =
@@ -609,7 +699,38 @@ let register_telemetry t =
   g "rx_refused" (fun () -> sum t.refused_to);
   g "corrupted" (fun () -> sum t.eg_corrupted + sum t.in_corrupted);
   g "stalled" (fun () -> sum t.eg_stalled + sum t.in_stalled);
-  g "in_flight" (fun () -> sum t.launched_by - sum t.settled_to);
+  g "in_flight" (fun () ->
+      sum t.launched_by - sum t.settled_to
+      - qsum Fabric_queue.occupancy t.in_queues);
+  g "queued" (fun () -> queued_frames t);
+  g "queue_dropped_tail" (fun () ->
+      qsum Fabric_queue.dropped_tail t.eg_queues
+      + qsum Fabric_queue.dropped_tail t.in_queues);
+  g "queue_dropped_red" (fun () ->
+      qsum Fabric_queue.dropped_red t.eg_queues
+      + qsum Fabric_queue.dropped_red t.in_queues);
+  g "queue_flushed" (fun () -> qsum Fabric_queue.flushed t.eg_queues);
+  g "queue_hwm" (fun () ->
+      Array.fold_left
+        (fun acc q -> max acc (Fabric_queue.hwm q))
+        0
+        (Array.append t.eg_queues t.in_queues));
+  g "bp_pauses" (fun () ->
+      qsum Fabric_queue.pauses t.eg_queues
+      + qsum Fabric_queue.pauses t.in_queues);
+  g "bp_refused" (fun () -> sum t.bp_refused);
+  Telemetry.Scope.gauge fab "queue_delay_us_mean" (fun () ->
+      let served =
+        qsum Fabric_queue.serviced t.eg_queues
+        + qsum Fabric_queue.serviced t.in_queues
+      in
+      if served = 0 then 0.
+      else
+        Sim.Engine.seconds
+          (Int64.of_int
+             (qsum Fabric_queue.delay_ps_total t.eg_queues
+             + qsum Fabric_queue.delay_ps_total t.in_queues))
+        *. 1e6 /. float_of_int served);
   Array.iteri
     (fun m scope ->
       let h = t.health.(m) in
@@ -632,12 +753,25 @@ let register_telemetry t =
       Telemetry.Scope.gauge_int scope "tx_link_down" (fun () ->
           Array.fold_left
             (fun acc p -> acc + Ixp.Mac_port.tx_link_down p)
-            0 ports))
+            0 ports);
+      Telemetry.Scope.gauge_int scope "uplink_queue_depth" (fun () ->
+          Fabric_queue.occupancy t.eg_queues.(m));
+      Telemetry.Scope.gauge_int scope "uplink_queue_hwm" (fun () ->
+          Fabric_queue.hwm t.eg_queues.(m));
+      Telemetry.Scope.gauge_int scope "egress_queue_depth" (fun () ->
+          Fabric_queue.occupancy t.in_queues.(m));
+      Telemetry.Scope.gauge_int scope "egress_queue_hwm" (fun () ->
+          Fabric_queue.hwm t.in_queues.(m));
+      Telemetry.Scope.gauge_int scope "uplink_tx_gated" (fun () ->
+          Ixp.Mac_port.tx_gated ports.(n) + Ixp.Mac_port.tx_gated ports.(n + 1));
+      Telemetry.Scope.gauge_int scope "bp_refused" (fun () ->
+          t.bp_refused.(m)))
     t.member_scopes
 
 let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
     ?lookahead_us ?(domains = 1) ?(config = Router.default_config)
-    ?(faults = Fault.Cluster_scenario.zero) ?(frame_pool = false) () =
+    ?(faults = Fault.Cluster_scenario.zero) ?(frame_pool = false)
+    ?(fabric_queue = Fabric_queue.bypass) () =
   if members < 2 then invalid_arg "Cluster.create: members < 2";
   let named = Fault.Cluster_scenario.max_member faults in
   if named >= members then
@@ -736,6 +870,16 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
     egress_rng.(m) <- Sim.Rng.split master;
     ingress_rng.(m) <- Sim.Rng.split master
   done;
+  (* Queue streams (RED's early-drop draws) split *after* the damage
+     streams, in member order, so enabling queueing never shifts an
+     existing stream — and the bypass queue never draws, so a cluster
+     without queueing still consumes exactly the old randomness. *)
+  let eg_q_rng = Array.make members master in
+  let in_q_rng = Array.make members master in
+  for m = 0 to members - 1 do
+    eg_q_rng.(m) <- Sim.Rng.split master;
+    in_q_rng.(m) <- Sim.Rng.split master
+  done;
   let invariants =
     Fault.Invariant.create
       ~scope:(Telemetry.Registry.scope telemetry "invariant")
@@ -773,6 +917,11 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
       attempts_to = Array.make members 0;
       delivered_to = Array.make members 0;
       refused_to = Array.make members 0;
+      fabric_queue;
+      eg_queues = [||];
+      in_queues = [||];
+      in_q_dropped = Array.make members 0;
+      bp_refused = Array.make members 0;
       inboxes =
         Array.init members (fun _ ->
             { ilock = Mutex.create (); pending = Array.make 2 [] });
@@ -800,6 +949,19 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
       pending_violations = Array.make members [];
     }
   in
+  (* The deliver closures need [t], so the queues are assigned right
+     after it exists (and before anything can run).  Creation draws
+     nothing from the queue streams. *)
+  t.eg_queues <-
+    Array.init members (fun m ->
+        Fabric_queue.create ~cfg:fabric_queue ~rng:eg_q_rng.(m)
+          ~deliver:(fun item -> launch_fabric t ~src:m item)
+          ());
+  t.in_queues <-
+    Array.init members (fun m ->
+        Fabric_queue.create ~cfg:fabric_queue ~rng:in_q_rng.(m)
+          ~deliver:(fun item -> uplink_tx t ~dst:m item)
+          ());
   Telemetry.Registry.set_clock telemetry (cluster_clock t);
   register_telemetry t;
   register_invariants t;
@@ -830,7 +992,17 @@ let engine_of_global_port t g =
 
 let inject t ~global_port f =
   let m, p = member_of_global_port t global_port in
-  Router.inject t.members.(m) ~port:p f
+  (* Backpressure reaching all the way to the edge: while the member's
+     uplink queue is past its high watermark, new external arrivals are
+     refused at the port — the member cannot tell which frames would
+     cross the fabric, so a congested uplink pushes back on the whole
+     input path.  Bypass queues never pause, so the default path is
+     unchanged. *)
+  if Fabric_queue.paused t.eg_queues.(m) then begin
+    t.bp_refused.(m) <- t.bp_refused.(m) + 1;
+    false
+  end
+  else Router.inject t.members.(m) ~port:p f
 
 let delivered t ~global_port =
   let m, p = member_of_global_port t global_port in
@@ -868,10 +1040,15 @@ let fabric_counts t =
     dropped_link = sum t.eg_dropped_link + sum t.in_dropped_link;
     dropped_down = sum t.in_dropped_down;
     dropped_unknown = sum t.eg_dropped_unknown;
+    dropped_queue = eg_queue_dropped t + sum t.in_q_dropped;
     rx_refused = sum t.refused_to;
     corrupted = sum t.eg_corrupted + sum t.in_corrupted;
     stalled = sum t.eg_stalled + sum t.in_stalled;
-    in_flight = sum t.launched_by - sum t.settled_to;
+    in_flight =
+      sum t.launched_by - sum t.settled_to
+      - qsum Fabric_queue.occupancy t.in_queues;
+    queued = queued_frames t;
+    bp_refused = sum t.bp_refused;
   }
 
 let member_up t m = t.health.(m).up

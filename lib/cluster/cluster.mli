@@ -37,7 +37,20 @@
     uplinks, membership state matching the schedule, convergence after
     damage ends, and no malformed frame escaping an external port — are
     audited at every {!run_for} barrier together with each member's own
-    registry. *)
+    registry.
+
+    {b Fabric queueing (PR 6).}  Each uplink into the switch and each
+    switch egress port can carry a finite {!Fabric_queue} (tail-drop,
+    RED, strict-priority or weighted per-class service).  Queue delay
+    only ever adds to the switch latency, so the conservative-lookahead
+    bound is untouched; queue occupancy exerts backpressure into
+    {!inject} and, through the uplink MAC's transmit gate, into the
+    member's own egress path.  The conservation invariant extends to
+    offered = settled + in_flight + queued + dropped, with crash-flushed
+    queues accounted.  The default bypass configuration reproduces the
+    unqueued fabric byte for byte. *)
+
+module Fabric_queue = Fabric_queue
 
 type member_health = {
   mutable up : bool;
@@ -60,10 +73,17 @@ type fabric_counts = {
   dropped_link : int;  (** lost to injected link damage *)
   dropped_down : int;  (** destination member was crashed *)
   dropped_unknown : int;  (** destination MAC not a member uplink *)
+  dropped_queue : int;
+      (** dropped by a finite fabric queue: tail drop, RED early drop,
+          or flushed by a crash *)
   rx_refused : int;  (** destination uplink port memory overflowed *)
   corrupted : int;  (** frames byte-damaged in transit (still forwarded) *)
   stalled : int;  (** frames that paid extra injected latency *)
-  in_flight : int;  (** inside the switch right now *)
+  in_flight : int;  (** on the fabric wire (or mid-stall) right now *)
+  queued : int;  (** parked in a fabric queue right now *)
+  bp_refused : int;
+      (** external injects refused by uplink-queue backpressure (not
+          fabric frames — never part of [offered]) *)
 }
 
 type fabric_msg = {
@@ -108,6 +128,16 @@ type t = {
   attempts_to : int array;
   delivered_to : int array;
   refused_to : int array;
+  fabric_queue : Fabric_queue.config;
+      (** the per-hop queue configuration (default bypass) *)
+  mutable eg_queues : (int * Packet.Frame.t) Fabric_queue.t array;
+      (** member [m]'s uplink queue into the switch (on [m]'s engine) *)
+  mutable in_queues : (int * Packet.Frame.t) Fabric_queue.t array;
+      (** the switch egress queue towards member [m] (on [m]'s engine) *)
+  in_q_dropped : int array;
+      (** ingress-queue drops, settled and dst-sharded *)
+  bp_refused : int array;
+      (** external injects refused by backpressure, member-sharded *)
   inboxes : inbox array;
   send_seq : int array;
   cur_parity : int array;
@@ -129,6 +159,7 @@ val create :
   ?config:Router.config ->
   ?faults:Fault.Cluster_scenario.t ->
   ?frame_pool:bool ->
+  ?fabric_queue:Fabric_queue.config ->
   unit ->
   t
 (** [create ()] builds a 4-member cluster (8 external ports each), routes
@@ -151,7 +182,14 @@ val create :
     driver fibers and draws no randomness, so a faultless cluster is
     byte-identical to one created without the argument.  [frame_pool]
     gives each member a recycling frame pool (with its conservation
-    invariant), for pool-accounting audits across crash/restart. *)
+    invariant), for pool-accounting audits across crash/restart.
+
+    [fabric_queue] (default {!Fabric_queue.bypass}) puts a finite queue
+    of that configuration on every uplink and every switch egress port.
+    The bypass default delivers synchronously, draws nothing and never
+    pauses, so an unqueued cluster behaves exactly as before; RED's
+    drop draws come from dedicated per-hop streams split after the
+    damage streams, so enabling queueing never shifts existing draws. *)
 
 val uplink_mac : int -> Packet.Ethernet.mac
 (** The MAC identifying member [m]'s uplink on the fabric. *)
@@ -169,7 +207,8 @@ val time : t -> int64
 
 val inject : t -> global_port:int -> Packet.Frame.t -> bool
 (** Offer a frame to a global external port.  False if port memory is
-    full — or the owning member is crashed. *)
+    full, the owning member is crashed — or the member's uplink queue
+    has engaged backpressure (counted in [bp_refused]). *)
 
 val delivered : t -> global_port:int -> int
 (** Frames transmitted out a global external port. *)
@@ -191,7 +230,9 @@ val vrp_budget_with_internal_link : t -> line_rate_pps:float -> Router.Vrp.budge
 
 val fabric_counts : t -> fabric_counts
 (** Fabric accounting by cause; conservation ([offered] equals the other
-    buckets plus [in_flight]) is audited at every barrier. *)
+    buckets plus [in_flight] plus [queued]) is audited at every
+    barrier.  [bp_refused] stands apart: those frames never entered the
+    fabric. *)
 
 val member_up : t -> int -> bool
 val crash_epochs : t -> int -> int

@@ -175,4 +175,6 @@ let matrix =
     ("crash:2:800:0", "member 2 fail-stop, never restarts");
     ( "link_drop:0:200:700:0.4;link_stall:1:300:900:30;crash:3:500:600",
       "combined: drops + stalls + a crash" );
+    ( "link_stall:1:200:500:40;link_drop:1:700:600:0.6",
+      "member 1 uplink stalls, then drops — queue congestion chaser" );
   ]

@@ -31,6 +31,12 @@ type t = {
   mutable link_up : bool;
   mutable rx_link_down : int;
   mutable tx_link_down : int;
+  (* Upstream transmit gate (e.g. a full fabric queue behind this port):
+     while closed, pacing reports the wire busy so the output loop holds
+     frames in its own queues instead of pushing into the congested hop.
+     [None] keeps the hot path branch-predictable for ordinary ports. *)
+  mutable tx_gate : (unit -> bool) option;
+  mutable tx_gated : int;
 }
 
 let mp_wire_ps ~mbps ~bytes =
@@ -73,6 +79,8 @@ let create _engine ~id ~mbps ~rx_slots ?sink () =
     link_up = true;
     rx_link_down = 0;
     tx_link_down = 0;
+    tx_gate = None;
+    tx_gated = 0;
   }
 
 let id t = t.id
@@ -85,6 +93,15 @@ let set_sink t f =
 let set_faults t inj = t.faults <- Some inj
 let link_up t = t.link_up
 let set_link_up t up = t.link_up <- up
+let set_tx_gate t g = t.tx_gate <- Some g
+
+let tx_gate_open t =
+  match t.tx_gate with
+  | None -> true
+  | Some g ->
+      let open_ = g () in
+      if not open_ then t.tx_gated <- t.tx_gated + 1;
+      open_
 
 (* What the wire actually delivered, faults applied: [None] means the
    frame was lost outright. *)
@@ -165,25 +182,31 @@ let frame_time_ps t ~bytes =
    carries the preamble + inter-frame-gap overhead (20 bytes).  One MP of
    headroom: accept while the wire is at most one MP ahead. *)
 let tx_pace_ok t ~last =
-  let wire = if last then t.wire_last else t.wire_mid in
-  let now = Sim.Engine.now_i () in
-  if t.tx_horizon - now > wire then false
+  if not (tx_gate_open t) then false
   else begin
-    t.tx_horizon <- (if t.tx_horizon > now then t.tx_horizon else now) + wire;
-    true
+    let wire = if last then t.wire_last else t.wire_mid in
+    let now = Sim.Engine.now_i () in
+    if t.tx_horizon - now > wire then false
+    else begin
+      t.tx_horizon <- (if t.tx_horizon > now then t.tx_horizon else now) + wire;
+      true
+    end
   end
 
 let tx_try_pace t ~tag =
-  let last =
-    match tag with Packet.Mp.Last | Packet.Mp.Only -> true | _ -> false
-  in
-  let wire = if last then t.wire_last else t.wire_mid in
-  let now = Sim.Engine.now_i () in
-  if t.tx_horizon - now > wire then
-    `Wait (Int64.of_int (t.tx_horizon - (now + wire)))
+  if not (tx_gate_open t) then `Wait (Int64.of_int t.wire_last)
   else begin
-    t.tx_horizon <- (if t.tx_horizon > now then t.tx_horizon else now) + wire;
-    `Ok
+    let last =
+      match tag with Packet.Mp.Last | Packet.Mp.Only -> true | _ -> false
+    in
+    let wire = if last then t.wire_last else t.wire_mid in
+    let now = Sim.Engine.now_i () in
+    if t.tx_horizon - now > wire then
+      `Wait (Int64.of_int (t.tx_horizon - (now + wire)))
+    else begin
+      t.tx_horizon <- (if t.tx_horizon > now then t.tx_horizon else now) + wire;
+      `Ok
+    end
   end
 
 (* The whole-frame transmit path the output loop uses: the frame already
@@ -230,6 +253,7 @@ let transmit_mp t mp ~len_hint =
   | Last -> finish (List.rev (mp :: t.tx_partial))
 
 let rx_frames t = t.rx_frames
+let tx_gated t = t.tx_gated
 let rx_link_down t = t.rx_link_down
 let tx_link_down t = t.tx_link_down
 let rx_dropped t = t.rx_dropped

@@ -36,6 +36,14 @@ val set_faults : t -> Fault.Injector.t -> unit
 
 val link_up : t -> bool
 
+val set_tx_gate : t -> (unit -> bool) -> unit
+(** Install an upstream transmit gate.  While the gate returns [false],
+    {!tx_pace_ok} and {!tx_try_pace} report the wire busy (counted in
+    {!tx_gated}), so the output loop backs off and frames accumulate in
+    the router's own queues instead of a congested downstream hop — how
+    fabric-queue backpressure reaches a member's egress path.  Ports
+    without a gate pay one [None] check. *)
+
 val set_link_up : t -> bool -> unit
 (** Raise or cut the physical link.  While down, offered frames are
     refused (counted in {!rx_link_down}) and transmitted frames vanish at
@@ -121,6 +129,9 @@ val tx_frames : t -> int
 (** Frames fully transmitted. *)
 
 val tx_errors : t -> int
+
+val tx_gated : t -> int
+(** Transmit slots refused because the upstream gate was closed. *)
 
 val occupancy : t -> int
 (** MPs currently waiting in receive port memory. *)

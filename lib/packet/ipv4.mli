@@ -25,6 +25,17 @@ val get_ihl : Frame.t -> int
 val header_len : Frame.t -> int
 (** IHL in bytes. *)
 
+val get_tos : Frame.t -> int
+(** The Type-of-Service byte. *)
+
+val set_tos : Frame.t -> int -> unit
+(** Writes the TOS byte; the header checksum must be refreshed afterwards
+    (e.g. {!fill_cksum}). *)
+
+val precedence : Frame.t -> int
+(** The IP precedence bits (TOS [7:5]) — the classic class selector a
+    per-class fabric queue keys on. *)
+
 val has_options : Frame.t -> bool
 val get_total_len : Frame.t -> int
 val set_total_len : Frame.t -> int -> unit

@@ -14,6 +14,7 @@ let () =
       ("icmp", Test_icmp.tests);
       ("control", Test_control.tests);
       ("cluster", Test_cluster.tests);
+      ("fabric", Test_fabric.tests);
       ("host", Test_host.tests);
       ("integration", Test_integration.tests);
       ("fuzz", Test_fuzz.tests);

@@ -295,8 +295,8 @@ let crashed_member_drops_accounted () =
     "every offered frame is accounted (delivered + drops + in flight)"
     fc.Cluster.offered
     (fc.Cluster.delivered + fc.Cluster.dropped_link + fc.Cluster.dropped_down
-   + fc.Cluster.dropped_unknown + fc.Cluster.rx_refused
-   + fc.Cluster.in_flight);
+   + fc.Cluster.dropped_unknown + fc.Cluster.dropped_queue
+   + fc.Cluster.rx_refused + fc.Cluster.in_flight + fc.Cluster.queued);
   (* The dead member's ports refuse offers outright. *)
   let f =
     Packet.Build.udp ~src:(addr "10.250.0.1") ~dst:(addr "10.0.0.1")
@@ -365,11 +365,11 @@ let crash_restart_recovers () =
    domain count and return the per-member telemetry digests — the
    quantity the conservative-lookahead scheduler promises is independent
    of [domains]. *)
-let matrix_digests spec ~seed ~domains =
+let matrix_digests ?fabric_queue spec ~seed ~domains =
   let faults = parse_faults spec ~seed:(Int64.of_int seed) in
   let c =
     Cluster.create ~members:4 ~ports_per_member:4 ~domains ~faults
-      ~frame_pool:true ()
+      ~frame_pool:true ?fabric_queue ()
   in
   let rng = Sim.Rng.create (Int64.of_int seed) in
   for g = 0 to 15 do
@@ -419,6 +419,143 @@ let parallel_identity_matrix () =
                 (matrix_digests spec ~seed ~domains))
             [ 2; 4 ])
         [ 11; 42 ])
+    Fault.Cluster_scenario.matrix
+
+let queue_cfg spec =
+  match Cluster.Fabric_queue.parse spec with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "bad queue spec %S: %s" spec m
+
+(* Saturate member 1's uplink behind a finite RED queue, then hit the
+   congested link with the matrix's stall-then-drop chaser.  Extended
+   conservation — offered = settled + in_flight + queued — must hold
+   through congestion, backpressure and damage, audited at every
+   barrier and re-checked here from [fabric_counts]. *)
+let queue_congestion_stall_then_drop () =
+  let faults =
+    parse_faults "link_stall:1:200:500:40;link_drop:1:700:600:0.6" ~seed:9L
+  in
+  let fabric_queue = queue_cfg "red:16:4:12:0.4@200" in
+  let c =
+    Cluster.create ~members:2 ~ports_per_member:4 ~faults ~fabric_queue ()
+  in
+  let rng = Sim.Rng.create 9L in
+  (* All of member 1's ports fire cross traffic at member 0's subnets:
+     ~375 Mbps offered against a 200 Mbps uplink drain. *)
+  for g = 4 to 7 do
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_constant (Cluster.engine_of_global_port c g)
+         ~name:(Printf.sprintf "sat%d" g)
+         ~pps:140_000.
+         ~gen:(fun _ ->
+           Packet.Build.udp
+             ~src:(Workload.Mix.subnet_addr ~subnet:(200 + g) ~host:1)
+             ~dst:
+               (Workload.Mix.subnet_addr ~subnet:(Sim.Rng.int rng 4) ~host:2)
+             ~src_port:1000 ~dst_port:2000 ())
+         ~offer:(fun f -> Cluster.inject c ~global_port:g f)
+         ())
+  done;
+  for _ = 1 to 3 do
+    Cluster.run_for c ~us:500.
+  done;
+  let fc = Cluster.fabric_counts c in
+  Alcotest.(check bool)
+    (Printf.sprintf "the queue dropped under congestion (%d)"
+       fc.Cluster.dropped_queue)
+    true
+    (fc.Cluster.dropped_queue > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "backpressure refused external injects (%d)"
+       fc.Cluster.bp_refused)
+    true
+    (fc.Cluster.bp_refused > 0);
+  Alcotest.(check bool) "the stall window charged latency" true
+    (fc.Cluster.stalled > 0);
+  Alcotest.(check bool) "the drop window lost frames" true
+    (fc.Cluster.dropped_link > 0);
+  Alcotest.(check int)
+    "extended conservation: offered = settled + in_flight + queued"
+    fc.Cluster.offered
+    (fc.Cluster.delivered + fc.Cluster.dropped_link + fc.Cluster.dropped_down
+   + fc.Cluster.dropped_unknown + fc.Cluster.dropped_queue
+   + fc.Cluster.rx_refused + fc.Cluster.in_flight + fc.Cluster.queued);
+  match Cluster.violations c with
+  | [] -> ()
+  | (src, v) :: _ ->
+      Alcotest.failf
+        "unexpected violation [%s] %s: %s (repro: router_cli cluster \
+         --cluster-faults 'link_stall:1:200:500:40;link_drop:1:700:600:0.6' \
+         --fabric-queue 'red:16:4:12:0.4@200' --seed 9 -d 2)"
+        src v.Fault.Invariant.name v.Fault.Invariant.detail
+
+(* A crash flushes the dead member's uplink queue; every stranded frame
+   must land in [dropped_queue], not vanish. *)
+let queue_flushed_on_crash_accounted () =
+  let faults = parse_faults "crash:1:250:0" ~seed:4L in
+  (* 100 Mbps drain against ~375 Mbps offered keeps the uplink queue deep
+     when the crash lands. *)
+  let fabric_queue = queue_cfg "taildrop:64@100" in
+  let c =
+    Cluster.create ~members:2 ~ports_per_member:4 ~faults ~fabric_queue ()
+  in
+  let rng = Sim.Rng.create 4L in
+  for g = 4 to 7 do
+    let rng = Sim.Rng.split rng in
+    ignore
+      (Workload.Source.spawn_constant (Cluster.engine_of_global_port c g)
+         ~name:(Printf.sprintf "sat%d" g)
+         ~pps:140_000.
+         ~gen:(fun _ ->
+           Packet.Build.udp
+             ~src:(Workload.Mix.subnet_addr ~subnet:(200 + g) ~host:1)
+             ~dst:
+               (Workload.Mix.subnet_addr ~subnet:(Sim.Rng.int rng 4) ~host:2)
+             ~src_port:1000 ~dst_port:2000 ())
+         ~offer:(fun f -> Cluster.inject c ~global_port:g f)
+         ())
+  done;
+  Cluster.run_for c ~us:400.;
+  Cluster.run_for c ~us:400.;
+  Alcotest.(check bool) "member 1 is down" false (Cluster.member_up c 1);
+  let flushed = Cluster.Fabric_queue.flushed c.Cluster.eg_queues.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "the crash flushed the uplink queue (%d)" flushed)
+    true (flushed > 0);
+  Alcotest.(check int) "flushed queue fully released" 0
+    (Cluster.Fabric_queue.occupancy c.Cluster.eg_queues.(1));
+  let fc = Cluster.fabric_counts c in
+  Alcotest.(check bool) "flushed frames accounted as queue drops" true
+    (fc.Cluster.dropped_queue >= flushed);
+  Alcotest.(check int)
+    "extended conservation holds across the flush"
+    fc.Cluster.offered
+    (fc.Cluster.delivered + fc.Cluster.dropped_link + fc.Cluster.dropped_down
+   + fc.Cluster.dropped_unknown + fc.Cluster.dropped_queue
+   + fc.Cluster.rx_refused + fc.Cluster.in_flight + fc.Cluster.queued);
+  match Cluster.violations c with
+  | [] -> ()
+  | (src, v) :: _ ->
+      Alcotest.failf "unexpected violation [%s] %s: %s" src
+        v.Fault.Invariant.name v.Fault.Invariant.detail
+
+(* Acceptance: with queueing (and its backpressure) enabled, parallel
+   runs stay bit-identical to sequential ones across the whole fault
+   matrix. *)
+let parallel_identity_queued () =
+  let fabric_queue = queue_cfg "red:24:6:18:0.5@300" in
+  List.iter
+    (fun (spec, _) ->
+      let reference = matrix_digests ~fabric_queue spec ~seed:11 ~domains:1 in
+      List.iter
+        (fun domains ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "queued digests identical [%s domains=%d]" spec
+               domains)
+            reference
+            (matrix_digests ~fabric_queue spec ~seed:11 ~domains))
+        [ 2; 4 ])
     Fault.Cluster_scenario.matrix
 
 let parallel_smoke () =
@@ -474,4 +611,10 @@ let tests =
       parallel_smoke;
     Alcotest.test_case "parallel identity across the fault matrix" `Slow
       parallel_identity_matrix;
+    Alcotest.test_case "congested queue survives stall-then-drop" `Quick
+      queue_congestion_stall_then_drop;
+    Alcotest.test_case "crash flushes the uplink queue accountably" `Quick
+      queue_flushed_on_crash_accounted;
+    Alcotest.test_case "parallel identity with queueing enabled" `Slow
+      parallel_identity_queued;
   ]
