@@ -19,6 +19,7 @@ let ports_per_member = 4
 type outcome = {
   counts : Cluster.fabric_counts;
   crash_epochs : int;
+  churn_writes : int;
   violations : (string * Fault.Invariant.violation) list;
   delivered : int;
   metrics_md5 : string;
@@ -69,6 +70,7 @@ let attempt spec ~seed =
   {
     counts = Cluster.fabric_counts c;
     crash_epochs = !epochs;
+    churn_writes = Cluster.route_churn_writes c;
     violations = Cluster.violations c;
     delivered = Cluster.delivered_total c;
     metrics_md5 = md5;
@@ -97,6 +99,8 @@ let attempt spec ~seed =
                  ("bp_refused", Telemetry.Json.Int fc.Cluster.bp_refused);
                ]) );
           ("crash_epochs", Telemetry.Json.Int !epochs);
+          ( "route_churn_writes",
+            Telemetry.Json.Int (Cluster.route_churn_writes c) );
           ( "recovery_latency_us",
             Telemetry.Json.List
               (List.init members (fun m ->
@@ -122,14 +126,15 @@ let run () =
           Report.info
             "%-38s seed %2d: %4d ext, fabric %4d/%4d, drops \
              link/down/unk %d/%d/%d, %d corrupted, %d stalled, %d \
-             epoch(s), %d violation(s)"
+             epoch(s), %d churn write(s), %d violation(s)"
             what seed o.delivered fc.Cluster.delivered fc.Cluster.offered
             fc.Cluster.dropped_link fc.Cluster.dropped_down
             fc.Cluster.dropped_unknown fc.Cluster.corrupted
-            fc.Cluster.stalled o.crash_epochs n_viol;
+            fc.Cluster.stalled o.crash_epochs o.churn_writes n_viol;
           let effects =
             fc.Cluster.dropped_link + fc.Cluster.dropped_down
             + fc.Cluster.corrupted + fc.Cluster.stalled + o.crash_epochs
+            + o.churn_writes
           in
           if spec <> "none" && effects = 0 then begin
             (* A scenario with no observable effect proves nothing: treat

@@ -36,6 +36,7 @@ let experiments =
     ("fabric_contention",
      "Extension: fabric queue disciplines under offered-load sweeps",
      Fabric_contention.run);
+    ("fib", "Extension: million-route compressed FIB under churn", Fib.run);
     ("perf", "Infrastructure: simulator packets-per-wall-second", Perf.run);
     ("cluster_perf",
      "Infrastructure: domain-parallel cluster throughput and identity",
@@ -122,6 +123,11 @@ let () =
     Printf.eprintf
       "fabric_contention: %d identity/invariant failure(s)\n"
       !Fabric_contention.failures;
+    exit 1
+  end;
+  if !Fib.failures > 0 then begin
+    Printf.eprintf "fib: %d divergence/staleness/speedup failure(s)\n"
+      !Fib.failures;
     exit 1
   end;
   if !Cluster_perf.failures > 0 then begin

@@ -77,7 +77,26 @@ let run_cmd =
                  lib/fault/scenario.mli for the keys).  Seeded from \
                  --seed, so a failing run replays exactly.")
   in
-  let run duration seed mbps frame_len exceptional syn_monitor faults metrics =
+  let fib =
+    let engine =
+      Arg.enum
+        [
+          ("linear", Iproute.Table.Linear);
+          ("trie", Iproute.Table.Trie);
+          ("patricia", Iproute.Table.Patricia);
+          ("cpe", Iproute.Table.Cpe);
+          ("poptrie", Iproute.Table.Poptrie);
+        ]
+    in
+    Arg.(value & opt engine Router.default_config.Router.route_engine
+         & info [ "fib" ] ~docv:"ENGINE"
+             ~doc:"Longest-prefix-match engine behind the route cache: \
+                   $(b,linear), $(b,trie), $(b,patricia), $(b,cpe), or \
+                   $(b,poptrie) (the compressed bitmap trie sized for \
+                   million-route tables under churn).")
+  in
+  let run duration seed mbps frame_len exceptional syn_monitor faults fib
+      metrics =
     let scenario =
       match Fault.Scenario.parse faults with
       | Ok s -> Fault.Scenario.with_seed s (Int64.of_int seed)
@@ -87,7 +106,7 @@ let run_cmd =
     in
     let config =
       { Router.default_config with Router.port_mbps = mbps;
-        Router.faults = scenario }
+        Router.faults = scenario; Router.route_engine = fib }
     in
     let r = Router.create ~config () in
     subnet_routes r config.Router.n_ports;
@@ -145,7 +164,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Drive the full three-level router at line rate.")
     Term.(
       const run $ duration $ seed $ mbps $ frame_len $ exceptional
-      $ syn_monitor $ faults $ metrics_arg)
+      $ syn_monitor $ faults $ fib $ metrics_arg)
 
 (* --- peak ------------------------------------------------------------ *)
 
@@ -276,7 +295,9 @@ let cluster_cmd =
     Arg.(value & opt string "none" & info [ "cluster-faults" ] ~docv:"SPEC"
            ~doc:"Cluster fault scenario: semicolon-separated events, each \
                  kind:member:start_us:dur_us[:param] with kinds link_drop, \
-                 link_corrupt, link_stall, crash — e.g. \
+                 link_corrupt, link_stall, crash, route_churn (param = \
+                 route updates per simulated second against the member's \
+                 live table) — e.g. \
                  'link_drop:1:200:600:0.5;crash:3:500:400' (see \
                  lib/fault/cluster_scenario.mli).  Seeded from --seed, so \
                  a failing run replays exactly.")

@@ -66,6 +66,12 @@ type t = {
      interleaving between engines. *)
   egress_rng : Sim.Rng.t array;
   ingress_rng : Sim.Rng.t array;
+  (* Control-plane churn: per-member streams (split after the queue
+     streams, so enabling churn never shifts an existing draw) and a
+     member-sharded count of routing-table writes the churn driver
+     performed — its "damage injected" measure. *)
+  churn_rng : Sim.Rng.t array;
+  churn_writes : int array;
   (* Fabric accounting, sharded by the member whose domain mutates it:
      egress counters index the sender, ingress counters the receiver.
      Cluster totals are sums, read only at barriers. *)
@@ -206,7 +212,7 @@ let spawn_drivers t =
                   (if e.dur_us > 0. then
                      [ (e.start_us +. e.dur_us, `Restart) ]
                    else [])
-              | Link_drop | Link_corrupt | Link_stall ->
+              | Link_drop | Link_corrupt | Link_stall | Route_churn ->
                   if e.dur_us > 0. then [ (e.start_us +. e.dur_us, `Quiet) ]
                   else [])
           t.faults.events
@@ -224,6 +230,66 @@ let spawn_drivers t =
                 | `Restart -> do_restart t m
                 | `Quiet -> snapshot_quiet t m)
               acts))
+    t.engines
+
+(* Control-plane route churn: one fiber per [route_churn] window on the
+   member's own engine, announcing and withdrawing /24s against the
+   member's live table at the scheduled rate — real FIB writes and
+   route-cache invalidations while the data plane forwards.  The churned
+   prefixes live in 172.16/12, disjoint from the cluster's 10/8 member
+   subnets, so forwarding of fabric traffic is untouched while the
+   update path takes the hits.  A fiber only touches its own member's
+   table, RNG stream and counter, so it is domain-confined like the
+   fault drivers. *)
+let spawn_churn_fibers t =
+  let open Fault.Cluster_scenario in
+  Array.iteri
+    (fun m engine ->
+      List.iter
+        (fun e ->
+          Sim.Engine.spawn engine "cluster-route-churn" (fun () ->
+              let start_ps = Sim.Engine.of_seconds (e.start_us *. 1e-6) in
+              let d = Int64.sub start_ps (Sim.Engine.now ()) in
+              if Int64.compare d 0L > 0 then Sim.Engine.wait d;
+              let period_ps =
+                Int64.of_float (Float.max 1. (1e12 /. e.param))
+              in
+              let end_ps =
+                if e.dur_us <= 0. then Int64.max_int
+                else Sim.Engine.of_seconds ((e.start_us +. e.dur_us) *. 1e-6)
+              in
+              let rng = t.churn_rng.(m) in
+              let routes = t.members.(m).Router.routes in
+              let ppm = t.members.(m).Router.config.Router.n_ports in
+              let installed = ref [] in
+              while Int64.compare (Sim.Engine.now ()) end_ps < 0 do
+                (* A crashed member's control plane is down with it: no
+                   writes and no draws until it rejoins, so the stream
+                   stays aligned with the deterministic health
+                   schedule. *)
+                if t.health.(m).up then begin
+                  (match !installed with
+                  | p :: rest when Sim.Rng.bool rng ->
+                      Iproute.Table.remove routes p;
+                      installed := rest
+                  | _ ->
+                      let s = 16 + Sim.Rng.int rng 16 in
+                      let x = Sim.Rng.int rng 256 in
+                      let p =
+                        Iproute.Prefix.of_string
+                          (Printf.sprintf "172.%d.%d.0/24" s x)
+                      in
+                      Iproute.Table.add routes p
+                        {
+                          Iproute.Table.out_port = Sim.Rng.int rng ppm;
+                          gateway_mac = Packet.Ethernet.mac_of_port 250;
+                        };
+                      installed := p :: !installed);
+                  t.churn_writes.(m) <- t.churn_writes.(m) + 1
+                end;
+                Sim.Engine.wait period_ps
+              done))
+        (churn_events t.faults ~member:m))
     t.engines
 
 let corrupt_copy rng f =
@@ -765,7 +831,11 @@ let register_telemetry t =
       Telemetry.Scope.gauge_int scope "uplink_tx_gated" (fun () ->
           Ixp.Mac_port.tx_gated ports.(n) + Ixp.Mac_port.tx_gated ports.(n + 1));
       Telemetry.Scope.gauge_int scope "bp_refused" (fun () ->
-          t.bp_refused.(m)))
+          t.bp_refused.(m));
+      Telemetry.Scope.gauge_int scope "route_churn_writes" (fun () ->
+          t.churn_writes.(m));
+      Telemetry.Scope.gauge_int scope "route_count" (fun () ->
+          Iproute.Table.size r.Router.routes))
     t.member_scopes
 
 let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
@@ -880,6 +950,13 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
     eg_q_rng.(m) <- Sim.Rng.split master;
     in_q_rng.(m) <- Sim.Rng.split master
   done;
+  (* Churn streams split after the queue streams for the same reason:
+     adding route churn to a scenario never shifts damage or RED
+     draws. *)
+  let churn_rng = Array.make members master in
+  for m = 0 to members - 1 do
+    churn_rng.(m) <- Sim.Rng.split master
+  done;
   let invariants =
     Fault.Invariant.create
       ~scope:(Telemetry.Registry.scope telemetry "invariant")
@@ -903,6 +980,8 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
       epoch = 0;
       egress_rng;
       ingress_rng;
+      churn_rng;
+      churn_writes = Array.make members 0;
       offered_by = Array.make members 0;
       launched_by = Array.make members 0;
       eg_dropped_link = Array.make members 0;
@@ -979,6 +1058,7 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
         done)
       rs;
   spawn_drivers t;
+  spawn_churn_fibers t;
   Array.iter (fun r -> Router.start r) rs;
   t
 
@@ -1053,6 +1133,7 @@ let fabric_counts t =
 
 let member_up t m = t.health.(m).up
 let crash_epochs t m = t.health.(m).crash_epochs
+let route_churn_writes t = sum t.churn_writes
 
 let recovery_latency_us t m =
   let l = t.health.(m).recovery_latency_us in

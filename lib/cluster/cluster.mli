@@ -114,6 +114,10 @@ type t = {
   mutable epoch : int;
   egress_rng : Sim.Rng.t array;
   ingress_rng : Sim.Rng.t array;
+  churn_rng : Sim.Rng.t array;
+      (** per-member route-churn streams, split after the queue streams *)
+  churn_writes : int array;
+      (** routing-table writes by the churn driver, member-sharded *)
   offered_by : int array;  (** fabric accounting, sharded by acting member: *)
   launched_by : int array;  (** egress counters index the sender, ... *)
   eg_dropped_link : int array;
@@ -236,6 +240,11 @@ val fabric_counts : t -> fabric_counts
 
 val member_up : t -> int -> bool
 val crash_epochs : t -> int -> int
+
+val route_churn_writes : t -> int
+(** Total routing-table writes performed by [route_churn] drivers across
+    all members — the churn scenarios' injected-effect measure, also per
+    member as the [route_churn_writes] telemetry gauge. *)
 
 val recovery_latency_us : t -> int -> float option
 (** Time from member [m]'s latest rejoin to the first fabric frame its

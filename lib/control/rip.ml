@@ -72,22 +72,62 @@ type t = {
   router : Router.t;
   rib : (Iproute.Prefix.t, rib_entry) Hashtbl.t;
   stats : stats;
+  mutable last_change_ps : int64; (* -1 until the first table write *)
+  mutable table_changes : int;
 }
 
 let create router =
-  {
-    router;
-    rib = Hashtbl.create 64;
-    stats =
-      {
-        announcements = Sim.Stats.Counter.create "rip.announcements";
-        routes_installed = Sim.Stats.Counter.create "rip.installed";
-        routes_withdrawn = Sim.Stats.Counter.create "rip.withdrawn";
-        rejected = Sim.Stats.Counter.create "rip.rejected";
-      };
-  }
+  let t =
+    {
+      router;
+      rib = Hashtbl.create 64;
+      stats =
+        {
+          announcements = Sim.Stats.Counter.create "rip.announcements";
+          routes_installed = Sim.Stats.Counter.create "rip.installed";
+          routes_withdrawn = Sim.Stats.Counter.create "rip.withdrawn";
+          rejected = Sim.Stats.Counter.create "rip.rejected";
+        };
+      last_change_ps = -1L;
+      table_changes = 0;
+    }
+  in
+  (* Convergence scope: `quiet_us` is how long the table has been
+     stable — a telemetry snapshot taken after a churn burst reads the
+     convergence point straight off the gauge. *)
+  let scope = Telemetry.Registry.scope router.Router.telemetry "rip" in
+  Telemetry.Registry.Scope.register_counter scope ~name:"announcements"
+    t.stats.announcements;
+  Telemetry.Registry.Scope.register_counter scope ~name:"installed"
+    t.stats.routes_installed;
+  Telemetry.Registry.Scope.register_counter scope ~name:"withdrawn"
+    t.stats.routes_withdrawn;
+  Telemetry.Registry.Scope.register_counter scope ~name:"rejected"
+    t.stats.rejected;
+  Telemetry.Registry.Scope.gauge_int scope "routes" (fun () ->
+      Hashtbl.length t.rib);
+  Telemetry.Registry.Scope.gauge_int scope "table_changes" (fun () ->
+      t.table_changes);
+  Telemetry.Registry.Scope.gauge scope "quiet_us" (fun () ->
+      if t.last_change_ps < 0L then -1.
+      else
+        Int64.to_float
+          (Int64.sub (Sim.Engine.time router.Router.engine) t.last_change_ps)
+        /. 1e6);
+  t
 
 let stats t = t.stats
+
+let touch t =
+  t.last_change_ps <- Sim.Engine.time t.router.Router.engine;
+  t.table_changes <- t.table_changes + 1
+
+let last_change_ps t = t.last_change_ps
+let table_changes t = t.table_changes
+
+let quiet_ps t =
+  let now = Sim.Engine.time t.router.Router.engine in
+  if t.last_change_ps < 0L then now else Int64.sub now t.last_change_ps
 
 let router_addr p =
   Int32.of_int ((10 lsl 24) lor (254 lsl 16) lor ((p land 0xFF) lsl 8) lor 1)
@@ -101,6 +141,7 @@ let apply t ~via_port { prefix; metric } =
     | Some e when e.via_port = via_port ->
         Hashtbl.remove t.rib prefix;
         Iproute.Table.remove t.router.Router.routes prefix;
+        touch t;
         Sim.Stats.Counter.incr t.stats.routes_withdrawn
     | Some _ | None -> Sim.Stats.Counter.incr t.stats.rejected
   end
@@ -126,6 +167,7 @@ let apply t ~via_port { prefix; metric } =
           Iproute.Table.out_port = via_port;
           gateway_mac = Packet.Ethernet.mac_of_port (100 + via_port);
         };
+      touch t;
       Sim.Stats.Counter.incr t.stats.routes_installed
     end
     else Sim.Stats.Counter.incr t.stats.rejected

@@ -50,6 +50,25 @@ val router_addr : int -> Packet.Ipv4.addr
 (** The address a neighbor on port [p] sends announcements to
     (10.254.[p].1 — the router's own per-port address). *)
 
+val apply : t -> via_port:int -> announcement -> unit
+(** Process one announcement entry as if it arrived from the neighbor on
+    [via_port]: distance-vector accept/reject, RIB bookkeeping, and the
+    routing-table write (which invalidates route-cache lines).  Exposed
+    so churn tests and benchmarks can drive the update path at a chosen
+    rate without synthesizing wire frames. *)
+
+val last_change_ps : t -> int64
+(** Simulated time of the last actual routing-table write ([-1L] before
+    the first).  Refreshes and rejected entries don't count. *)
+
+val table_changes : t -> int
+(** Total routing-table writes (installs + withdrawals). *)
+
+val quiet_ps : t -> int64
+(** Picoseconds since the last table write — the convergence measure:
+    once announcements keep arriving but [quiet_ps] grows, the table has
+    converged.  Also exported as the [rip.quiet_us] telemetry gauge. *)
+
 val add_neighbor :
   t -> addr:Packet.Ipv4.addr -> via_port:int -> (int, string list) result
 (** Start accepting announcements from a configured neighbor: installs a

@@ -1,4 +1,4 @@
-type kind = Link_drop | Link_corrupt | Link_stall | Crash
+type kind = Link_drop | Link_corrupt | Link_stall | Crash | Route_churn
 
 type event = {
   kind : kind;
@@ -19,18 +19,21 @@ let kind_name = function
   | Link_corrupt -> "link_corrupt"
   | Link_stall -> "link_stall"
   | Crash -> "crash"
+  | Route_churn -> "route_churn"
 
 let kind_of_name = function
   | "link_drop" -> Some Link_drop
   | "link_corrupt" -> Some Link_corrupt
   | "link_stall" -> Some Link_stall
   | "crash" -> Some Crash
+  | "route_churn" -> Some Route_churn
   | _ -> None
 
 let default_param = function
   | Link_drop | Link_corrupt -> 1.0
   | Link_stall -> 50.
   | Crash -> 0.
+  | Route_churn -> 1000. (* route updates per second of simulated time *)
 
 let end_us e = if e.dur_us <= 0. then infinity else e.start_us +. e.dur_us
 let active e ~at_us = at_us >= e.start_us && at_us < end_us e
@@ -48,6 +51,10 @@ let rate t kind' ~member ~at_us =
 
 let drop_rate t ~member ~at_us = rate t Link_drop ~member ~at_us
 let corrupt_rate t ~member ~at_us = rate t Link_corrupt ~member ~at_us
+let churn_rate t ~member ~at_us = rate t Route_churn ~member ~at_us
+
+let churn_events t ~member =
+  List.filter (fun e -> e.kind = Route_churn && e.member = member) t.events
 
 let stall_us t ~member ~at_us =
   List.fold_left
@@ -102,6 +109,12 @@ let parse_event item =
                     (Printf.sprintf "%s: rate %g outside [0, 1]" kind_s v)
                 else Ok v
             | Link_stall -> Ok v
+            | Route_churn ->
+                if v <= 0. then
+                  Error
+                    (Printf.sprintf
+                       "route_churn: rate %g must be positive updates/s" v)
+                else Ok v
             | Crash -> Error "crash: takes no parameter")
         | _ -> Error (Printf.sprintf "too many fields in %S" item)
       in
@@ -177,4 +190,8 @@ let matrix =
       "combined: drops + stalls + a crash" );
     ( "link_stall:1:200:500:40;link_drop:1:700:600:0.6",
       "member 1 uplink stalls, then drops — queue congestion chaser" );
+    ( "route_churn:1:200:1200:20000;link_drop:1:400:600:0.5",
+      "member 1 route churn while its uplink drops half" );
+    ( "route_churn:2:100:1300:20000;crash:2:600:500",
+      "member 2 churns its table, crashes mid-churn, rejoins" );
   ]

@@ -13,13 +13,17 @@
       member 2's link during [100, 600) us.
     - [crash:3:500:400] — member 3 fail-stops at 500 us and rejoins at
       900 us.  A duration of 0 means it never restarts.
+    - [route_churn:1:200:800:20000] — member 1's control plane rewrites
+      routes (announce/withdraw churn against its live table) at 20000
+      updates per simulated second during [200, 1000) us.
 
-    Probabilities default to 1.0, stall to 50 us.  [dur_us = 0] means
-    the event lasts forever.  Like [Fault.Scenario], this module is pure
-    data: all randomness is drawn by the cluster from one stream seeded
-    with [seed], so replays are deterministic. *)
+    Probabilities default to 1.0, stall to 50 us, churn to 1000
+    updates/s.  [dur_us = 0] means the event lasts forever.  Like
+    [Fault.Scenario], this module is pure data: all randomness is drawn
+    by the cluster from one stream seeded with [seed], so replays are
+    deterministic. *)
 
-type kind = Link_drop | Link_corrupt | Link_stall | Crash
+type kind = Link_drop | Link_corrupt | Link_stall | Crash | Route_churn
 
 type event = {
   kind : kind;
@@ -60,6 +64,14 @@ val kind_name : kind -> string
 val drop_rate : t -> member:int -> at_us:float -> float
 val corrupt_rate : t -> member:int -> at_us:float -> float
 val stall_us : t -> member:int -> at_us:float -> float
+
+val churn_rate : t -> member:int -> at_us:float -> float
+(** Route updates per simulated second in force for [member] at
+    [at_us] (max over overlapping windows; 0 when idle). *)
+
+val churn_events : t -> member:int -> event list
+(** The [Route_churn] windows targeting [member], in spec order — the
+    cluster's churn driver walks these directly. *)
 
 val crashed : t -> member:int -> at_us:float -> bool
 (** Is a crash window covering [at_us]?  (The member {e should} be

@@ -17,3 +17,32 @@ val table : rng:Sim.Rng.t -> n:int -> n_ports:int -> (Prefix.t * int) list
 val matching_addr : rng:Sim.Rng.t -> (Prefix.t * 'a) list -> Packet.Ipv4.addr
 (** An address covered by a random table entry (a "hit" workload, vs
     uniformly random addresses that mostly fall to the default route). *)
+
+val bgp_table :
+  rng:Sim.Rng.t -> n:int -> n_ports:int -> (Prefix.t * int) array
+(** [bgp_table ~rng ~n ~n_ports] is a BGP-table-shaped route set sized
+    for millions of entries: ~[n]/512 short provider aggregates
+    (/8–/12) with the bulk of the table punched into them as nested
+    more-specifics following {!length_distribution}, plus flat
+    announcements and a default route at index 0.  Distinct prefixes,
+    deterministic from [rng], O(n). *)
+
+type op =
+  | Announce of Prefix.t * int  (** install/replace prefix via port *)
+  | Withdraw of Prefix.t
+
+val churn :
+  rng:Sim.Rng.t ->
+  base:(Prefix.t * int) array ->
+  n_ports:int ->
+  steps:int ->
+  op array
+(** A deterministic announce/withdraw stream over [base], shaped like
+    RIP/BGP churn: ~45% re-announcements of previously flapped routes
+    (often via a new port), ~40% withdrawals of random entries, ~15%
+    brand-new more-specifics down to /32 hosts.  Never touches the
+    default route. *)
+
+val hit_addr : rng:Sim.Rng.t -> (Prefix.t * 'a) array -> Packet.Ipv4.addr
+(** {!matching_addr} over an array — no O(n) conversion per draw, which
+    matters when sampling a million-route table. *)

@@ -1,0 +1,358 @@
+(* Stride-6 compressed multibit trie (Poptrie / Tree-Bitmap family).
+
+   Each node covers 6 address bits.  Prefixes whose length falls inside
+   the node (relative length r = 0..5) live in the internal bitmap
+   [ibm]: the prefix's top r chunk bits c give heap position
+   pos = 2^r + (c >> (6-r)), numbered 1..63 and stored at bit (pos-1),
+   so the whole internal set fits one 63-bit OCaml int.  Children hang
+   off the external bitmap, one bit per 6-bit chunk value; 64 bits do
+   not fit a native int, so it is split into [elo] (chunks 0..31) and
+   [ehi] (chunks 32..63).  Values and children are packed into dense
+   arrays ordered by bitmap rank — popcount of the bits below the one of
+   interest indexes straight into the array, which is what keeps a
+   million-route table at a few words per route.
+
+   A lookup walks at most ceil(32/6) = 6 nodes.  At each node one
+   precomputed mask ANDed with [ibm] yields every internal prefix
+   matching the address at once; the most significant surviving bit is
+   the longest.  The walk remembers the deepest node with a non-empty
+   intersection and only materializes the winning entry at the end.
+
+   Direct pointing: the top [jump_bits] address bits index a lazily
+   filled jump table that replays the skipped stride levels once per
+   slot, caching the node at depth [jump_bits] (if any) and the
+   resolved best match among the shallower levels.  Every add/remove
+   clears the slots its prefix covers — one slot when the prefix is at
+   least [jump_bits] long, a power-of-two range otherwise — so a slot
+   can never go stale; it refills on the next lookup through it. *)
+
+type 'a node = {
+  mutable ibm : int; (* internal prefixes, heap positions 1..63 *)
+  mutable ivals : 'a array; (* rank-ordered values for ibm's bits *)
+  mutable elo : int; (* children bitmap, chunks 0..31 *)
+  mutable ehi : int; (* children bitmap, chunks 32..63 *)
+  mutable children : 'a node array; (* rank-ordered *)
+}
+
+type 'a jslot =
+  | Unset
+  | Jump of { jnode : 'a node option; jbest : (Prefix.t * 'a) option }
+
+type 'a t = {
+  root : 'a node;
+  mutable count : int;
+  jump : 'a jslot array;
+}
+
+(* Must sit on the stride grid: the cached node lives at this depth. *)
+let jump_bits = 18
+
+(* 16-bit-table popcount: OCaml has no popcnt primitive and a 64-bit
+   SWAR constant overflows the 63-bit native int. *)
+let pc16 =
+  let b = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec cnt x acc = if x = 0 then acc else cnt (x lsr 1) (acc + (x land 1)) in
+    Bytes.unsafe_set b i (Char.unsafe_chr (cnt i 0))
+  done;
+  b
+
+let pc x =
+  Char.code (Bytes.unsafe_get pc16 (x land 0xFFFF))
+  + Char.code (Bytes.unsafe_get pc16 ((x lsr 16) land 0xFFFF))
+  + Char.code (Bytes.unsafe_get pc16 ((x lsr 32) land 0xFFFF))
+  + Char.code (Bytes.unsafe_get pc16 (x lsr 48))
+
+(* The child bitmaps are 32 bits wide, so two table probes suffice. *)
+let pc32 x =
+  Char.code (Bytes.unsafe_get pc16 (x land 0xFFFF))
+  + Char.code (Bytes.unsafe_get pc16 (x lsr 16))
+
+(* Index of the highest set bit; requires x > 0. *)
+let msb x =
+  let r = ref 0 and x = ref x in
+  if !x lsr 32 <> 0 then (
+    r := !r + 32;
+    x := !x lsr 32);
+  if !x lsr 16 <> 0 then (
+    r := !r + 16;
+    x := !x lsr 16);
+  if !x lsr 8 <> 0 then (
+    r := !r + 8;
+    x := !x lsr 8);
+  if !x lsr 4 <> 0 then (
+    r := !r + 4;
+    x := !x lsr 4);
+  if !x lsr 2 <> 0 then (
+    r := !r + 2;
+    x := !x lsr 2);
+  if !x lsr 1 <> 0 then incr r;
+  !r
+
+(* match_masks.(c) has a bit at every heap position whose prefix covers
+   chunk value c: positions 2^r + (c >> (6-r)) for r = 0..5. *)
+let match_masks =
+  Array.init 64 (fun c ->
+      let m = ref 0 in
+      for r = 0 to 5 do
+        let pos = (1 lsl r) lor (c lsr (6 - r)) in
+        m := !m lor (1 lsl (pos - 1))
+      done;
+      !m)
+
+let u32 a = Int32.to_int a land 0xFFFFFFFF
+
+(* The 6 address bits starting at depth d, MSB-first.  Depths past 26
+   shift the address up so the final partial chunk is left-aligned with
+   zero fill, matching how canonical prefixes clear host bits. *)
+let chunk u d = if d <= 26 then (u lsr (26 - d)) land 63 else (u lsl (d - 26)) land 63
+
+let empty_node () = { ibm = 0; ivals = [||]; elo = 0; ehi = 0; children = [||] }
+
+let create () =
+  {
+    root = empty_node ();
+    count = 0;
+    jump = Array.make (1 lsl jump_bits) Unset;
+  }
+
+let is_empty t = t.count = 0
+let size t = t.count
+
+let has_child n i =
+  if i < 32 then n.elo land (1 lsl i) <> 0 else n.ehi land (1 lsl (i - 32)) <> 0
+
+(* Rank of child i: how many children precede it in the packed array. *)
+let child_rank n i =
+  if i < 32 then pc32 (n.elo land ((1 lsl i) - 1))
+  else pc32 n.elo + pc32 (n.ehi land ((1 lsl (i - 32)) - 1))
+
+(* Drop every jump slot the prefix covers.  Canonical prefixes have
+   zero host bits, so the first covered slot is just the shifted
+   address. *)
+let invalidate t p =
+  let len = Prefix.length p in
+  let base = u32 (Prefix.addr p) lsr (32 - jump_bits) in
+  if len >= jump_bits then t.jump.(base) <- Unset
+  else
+    for i = base to base + (1 lsl (jump_bits - len)) - 1 do
+      t.jump.(i) <- Unset
+    done
+
+let arr_insert a i v =
+  let n = Array.length a in
+  let b = Array.make (n + 1) v in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let arr_remove a i =
+  let n = Array.length a in
+  if n = 1 then [||]
+  else begin
+    let b = Array.make (n - 1) a.(0) in
+    Array.blit a 0 b 0 i;
+    Array.blit a (i + 1) b i (n - 1 - i);
+    b
+  end
+
+let add t p v =
+  invalidate t p;
+  let u = u32 (Prefix.addr p) and len = Prefix.length p in
+  let rec go node d =
+    if len - d < 6 then begin
+      let r = len - d in
+      let pos = (1 lsl r) lor (chunk u d lsr (6 - r)) in
+      let bit = 1 lsl (pos - 1) in
+      let rank = pc (node.ibm land (bit - 1)) in
+      if node.ibm land bit <> 0 then node.ivals.(rank) <- v
+      else begin
+        node.ibm <- node.ibm lor bit;
+        node.ivals <- arr_insert node.ivals rank v;
+        t.count <- t.count + 1
+      end
+    end
+    else begin
+      let i = chunk u d in
+      let child =
+        if has_child node i then node.children.(child_rank node i)
+        else begin
+          let ch = empty_node () in
+          node.children <- arr_insert node.children (child_rank node i) ch;
+          if i < 32 then node.elo <- node.elo lor (1 lsl i)
+          else node.ehi <- node.ehi lor (1 lsl (i - 32));
+          ch
+        end
+      in
+      go child (d + 6)
+    end
+  in
+  go t.root 0
+
+let remove t p =
+  invalidate t p;
+  let u = u32 (Prefix.addr p) and len = Prefix.length p in
+  let rec go node d =
+    if len - d < 6 then begin
+      let r = len - d in
+      let pos = (1 lsl r) lor (chunk u d lsr (6 - r)) in
+      let bit = 1 lsl (pos - 1) in
+      if node.ibm land bit = 0 then false
+      else begin
+        let rank = pc (node.ibm land (bit - 1)) in
+        node.ibm <- node.ibm lxor bit;
+        node.ivals <- arr_remove node.ivals rank;
+        t.count <- t.count - 1;
+        true
+      end
+    end
+    else begin
+      let i = chunk u d in
+      if not (has_child node i) then false
+      else begin
+        let rank = child_rank node i in
+        let ch = node.children.(rank) in
+        let removed = go ch (d + 6) in
+        (if removed && ch.ibm = 0 && ch.elo = 0 && ch.ehi = 0 then begin
+           node.children <- arr_remove node.children rank;
+           if i < 32 then node.elo <- node.elo lxor (1 lsl i)
+           else node.ehi <- node.ehi lxor (1 lsl (i - 32))
+         end);
+        removed
+      end
+    end
+  in
+  ignore (go t.root 0)
+
+let find t p =
+  let u = u32 (Prefix.addr p) and len = Prefix.length p in
+  let rec go node d =
+    if len - d < 6 then begin
+      let r = len - d in
+      let pos = (1 lsl r) lor (chunk u d lsr (6 - r)) in
+      let bit = 1 lsl (pos - 1) in
+      if node.ibm land bit = 0 then None
+      else Some node.ivals.(pc (node.ibm land (bit - 1)))
+    end
+    else
+      let i = chunk u d in
+      if has_child node i then go node.children.(child_rank node i) (d + 6)
+      else None
+  in
+  go t.root 0
+
+(* Heap positions grow with relative length, so the most significant
+   surviving bit of the intersection is the longest match in the node. *)
+let resolve a best_node best_hits best_d =
+  let pos = 1 + msb best_hits in
+  let r = msb pos in
+  let rank = pc (best_node.ibm land ((1 lsl (pos - 1)) - 1)) in
+  Some (Prefix.make a (best_d + r), Array.unsafe_get best_node.ivals rank)
+
+(* Replay the levels above [jump_bits] for one slot.  The cached best
+   match has length < jump_bits, so it only depends on address bits the
+   whole slot shares. *)
+let fill t a u =
+  let rec go node d best_node best_hits best_d =
+    let c = chunk u d in
+    let hits = node.ibm land Array.unsafe_get match_masks c in
+    let best_node, best_hits, best_d =
+      if hits <> 0 then (node, hits, d) else (best_node, best_hits, best_d)
+    in
+    let jbest () =
+      if best_hits = 0 then None else resolve a best_node best_hits best_d
+    in
+    if d + 6 = jump_bits then
+      let jnode =
+        if has_child node c then
+          Some (Array.unsafe_get node.children (child_rank node c))
+        else None
+      in
+      Jump { jnode; jbest = jbest () }
+    else if has_child node c then
+      go
+        (Array.unsafe_get node.children (child_rank node c))
+        (d + 6) best_node best_hits best_d
+    else Jump { jnode = None; jbest = jbest () }
+  in
+  go t.root 0 t.root 0 0
+
+let lookup t a =
+  let u = u32 a in
+  let j = u lsr (32 - jump_bits) in
+  let s =
+    match Array.unsafe_get t.jump j with
+    | Unset ->
+        let s = fill t a u in
+        Array.unsafe_set t.jump j s;
+        s
+    | s -> s
+  in
+  match s with
+  | Unset -> None (* unreachable: fill never returns Unset *)
+  | Jump { jnode = None; jbest } -> jbest
+  | Jump { jnode = Some n; jbest } ->
+      let rec go node d best_node best_hits best_d =
+        let c = chunk u d in
+        let hits = node.ibm land Array.unsafe_get match_masks c in
+        (* Deeper matches beat shallower ones, so any non-empty
+           intersection supersedes the best seen so far. *)
+        let best_node, best_hits, best_d =
+          if hits <> 0 then (node, hits, d) else (best_node, best_hits, best_d)
+        in
+        if has_child node c then
+          go
+            (Array.unsafe_get node.children (child_rank node c))
+            (d + 6) best_node best_hits best_d
+        else if best_hits = 0 then jbest
+        else resolve a best_node best_hits best_d
+      in
+      go n jump_bits n 0 0
+
+let bindings t =
+  let acc = ref [] in
+  let rec go node d path =
+    let ib = ref node.ibm in
+    while !ib <> 0 do
+      let bitpos = msb !ib in
+      ib := !ib lxor (1 lsl bitpos);
+      let pos = bitpos + 1 in
+      let r = msb pos in
+      let bits = pos - (1 lsl r) in
+      let len = d + r in
+      let addr = if len = 0 then 0 else path lor (bits lsl (32 - len)) in
+      let rank = pc (node.ibm land ((1 lsl bitpos) - 1)) in
+      acc := (Prefix.make (Int32.of_int addr) len, node.ivals.(rank)) :: !acc
+    done;
+    for i = 0 to 63 do
+      if has_child node i then
+        go node.children.(child_rank node i) (d + 6) (path lor (i lsl (26 - d)))
+    done
+  in
+  go t.root 0 0;
+  !acc
+
+let node_count t =
+  let rec go n = Array.fold_left (fun a c -> a + go c) 1 n.children in
+  go t.root
+
+let memory_words t =
+  (* 5 fields + header per node, plus the two packed arrays, plus the
+     direct-pointing jump table (its lazily-built slot records are
+     bounded by the table length and counted as one word each). *)
+  let rec go n =
+    Array.fold_left
+      (fun a c -> a + go c)
+      (6 + Array.length n.ivals + Array.length n.children)
+      n.children
+  in
+  go t.root + (2 * Array.length t.jump)
+
+let depth t a =
+  let u = u32 a in
+  let rec go node d steps =
+    let c = chunk u d in
+    if has_child node c then go node.children.(child_rank node c) (d + 6) (steps + 1)
+    else steps
+  in
+  go t.root 0 1

@@ -3,6 +3,7 @@ type 'a t = {
   lines : (Packet.Ipv4.addr * 'a) option array;
   mutable hits : int;
   mutable misses : int;
+  mutable scan_cost : int;
 }
 
 let default_hash a =
@@ -18,7 +19,7 @@ let default_hash a =
 
 let create ?(hash = default_hash) ~slots () =
   if slots <= 0 then invalid_arg "Route_cache.create: slots <= 0";
-  { hash; lines = Array.make slots None; hits = 0; misses = 0 }
+  { hash; lines = Array.make slots None; hits = 0; misses = 0; scan_cost = 0 }
 
 let line c a = c.hash a mod Array.length c.lines
 
@@ -36,6 +37,7 @@ let insert c a v = c.lines.(line c a) <- Some (a, v)
 let invalidate c = Array.fill c.lines 0 (Array.length c.lines) None
 
 let invalidate_matching c pred =
+  c.scan_cost <- c.scan_cost + Array.length c.lines;
   Array.iteri
     (fun i line ->
       match line with
@@ -43,6 +45,26 @@ let invalidate_matching c pred =
       | Some _ | None -> ())
     c.lines
 
+let invalidate_covered c p =
+  let host = 32 - Prefix.length p in
+  let slots = Array.length c.lines in
+  if host < Sys.int_size - 1 && 1 lsl host < slots then begin
+    (* Few covered addresses: probe each one's line directly instead of
+       scanning every slot — a /32 change touches exactly one line. *)
+    let base = Int32.to_int (Prefix.addr p) land 0xFFFFFFFF in
+    let n = 1 lsl host in
+    c.scan_cost <- c.scan_cost + n;
+    for i = 0 to n - 1 do
+      let a = Int32.of_int (base lor i) in
+      let l = line c a in
+      match c.lines.(l) with
+      | Some (key, _) when key = a -> c.lines.(l) <- None
+      | Some _ | None -> ()
+    done
+  end
+  else invalidate_matching c (Prefix.matches p)
+
+let scan_cost c = c.scan_cost
 let hits c = c.hits
 let misses c = c.misses
 

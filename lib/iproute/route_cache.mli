@@ -23,7 +23,20 @@ val invalidate : 'a t -> unit
 
 val invalidate_matching : 'a t -> (Packet.Ipv4.addr -> bool) -> unit
 (** Drop only the lines whose key satisfies the predicate — selective
-    invalidation for a single-prefix table change. *)
+    invalidation for a single-prefix table change.  Always scans every
+    line: O(slots) predicate calls per route change. *)
+
+val invalidate_covered : 'a t -> Prefix.t -> unit
+(** Drop the lines whose key falls inside the prefix.  When the prefix
+    covers fewer addresses than the cache has slots (any prefix longer
+    than /[32 - log2 slots]), each covered address's line is probed
+    directly — a /32 change costs one probe instead of a full scan.
+    Wide prefixes fall back to {!invalidate_matching}. *)
+
+val scan_cost : 'a t -> int
+(** Cumulative invalidation work: slots visited by predicate scans plus
+    addresses probed by covered-prefix invalidation.  The regression
+    tests pin that host-route churn stays O(1) per change. *)
 
 val hits : 'a t -> int
 val misses : 'a t -> int

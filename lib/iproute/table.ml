@@ -1,12 +1,13 @@
 type nexthop = { out_port : int; gateway_mac : Packet.Ethernet.mac }
 
-type engine = Linear | Trie | Patricia | Cpe
+type engine = Linear | Trie | Patricia | Cpe | Poptrie
 
 type backend =
   | B_linear of (Prefix.t * nexthop) list ref
   | B_trie of nexthop Btrie.t ref
   | B_pat of nexthop Patricia.t ref
   | B_cpe of nexthop Cpe.t
+  | B_pop of nexthop Poptrie.t
 
 type t = {
   backend : backend;
@@ -23,6 +24,7 @@ let create ?(engine = Cpe) ?(cache_slots = 1024)
     | Trie -> B_trie (ref Btrie.empty)
     | Patricia -> B_pat (ref Patricia.empty)
     | Cpe -> B_cpe (Cpe.build ~strides:[ 16; 8; 8 ] [])
+    | Poptrie -> B_pop (Poptrie.create ())
   in
   {
     backend;
@@ -32,9 +34,15 @@ let create ?(engine = Cpe) ?(cache_slots = 1024)
   }
 
 let on_change t p =
-  if t.selective then
-    Route_cache.invalidate_matching t.cache (Prefix.matches p)
+  if t.selective then Route_cache.invalidate_covered t.cache p
   else Route_cache.invalidate t.cache
+
+let backend_size = function
+  | B_linear l -> List.length !l
+  | B_trie r -> Btrie.size !r
+  | B_pat r -> Patricia.size !r
+  | B_cpe c -> Cpe.size c
+  | B_pop pt -> Poptrie.size pt
 
 let add t p nh =
   (match t.backend with
@@ -42,28 +50,20 @@ let add t p nh =
       l := (p, nh) :: List.filter (fun (q, _) -> not (Prefix.equal p q)) !l
   | B_trie r -> r := Btrie.add !r p nh
   | B_pat r -> r := Patricia.add !r p nh
-  | B_cpe c -> Cpe.add c p nh);
+  | B_cpe c -> Cpe.add c p nh
+  | B_pop pt -> Poptrie.add pt p nh);
   on_change t p;
-  t.n <-
-    (match t.backend with
-    | B_linear l -> List.length !l
-    | B_trie r -> Btrie.size !r
-    | B_pat r -> Patricia.size !r
-    | B_cpe c -> Cpe.size c)
+  t.n <- backend_size t.backend
 
 let remove t p =
   (match t.backend with
   | B_linear l -> l := List.filter (fun (q, _) -> not (Prefix.equal p q)) !l
   | B_trie r -> r := Btrie.remove !r p
   | B_pat r -> r := Patricia.remove !r p
-  | B_cpe c -> Cpe.remove c p);
+  | B_cpe c -> Cpe.remove c p
+  | B_pop pt -> Poptrie.remove pt p);
   on_change t p;
-  t.n <-
-    (match t.backend with
-    | B_linear l -> List.length !l
-    | B_trie r -> Btrie.size !r
-    | B_pat r -> Patricia.size !r
-    | B_cpe c -> Cpe.size c)
+  t.n <- backend_size t.backend
 
 let lookup t a =
   match t.backend with
@@ -82,6 +82,7 @@ let lookup t a =
   | B_trie r -> Option.map snd (Btrie.lookup !r a)
   | B_pat r -> Option.map snd (Patricia.lookup !r a)
   | B_cpe c -> Option.map snd (Cpe.lookup c a)
+  | B_pop pt -> Option.map snd (Poptrie.lookup pt a)
 
 let lookup_cached t a =
   match Route_cache.find t.cache a with
@@ -95,7 +96,24 @@ let lookup_cached t a =
 
 let size t = t.n
 
+let bindings t =
+  match t.backend with
+  | B_linear l -> !l
+  | B_trie r -> Btrie.bindings !r
+  | B_pat r -> Patricia.bindings !r
+  | B_cpe c -> Cpe.bindings c
+  | B_pop pt -> Poptrie.bindings pt
+
+let node_count t =
+  match t.backend with
+  | B_linear l -> List.length !l
+  | B_trie r -> Btrie.node_count !r
+  | B_pat r -> Patricia.node_count !r
+  | B_cpe c -> Cpe.memory_entries c
+  | B_pop pt -> Poptrie.node_count pt
+
 let cache_hit_rate t = Route_cache.hit_rate t.cache
+let cache_scan_cost t = Route_cache.scan_cost t.cache
 
 let engine_name t =
   match t.backend with
@@ -103,6 +121,7 @@ let engine_name t =
   | B_trie _ -> "trie"
   | B_pat _ -> "patricia"
   | B_cpe _ -> "cpe"
+  | B_pop _ -> "poptrie"
 
 let pp_nexthop ppf nh =
   Format.fprintf ppf "port %d via %a" nh.out_port Packet.Ethernet.pp_mac

@@ -11,9 +11,11 @@ type nexthop = {
   gateway_mac : Packet.Ethernet.mac;  (** next hop's MAC address *)
 }
 
-type engine = Linear | Trie | Patricia | Cpe
+type engine = Linear | Trie | Patricia | Cpe | Poptrie
 (** Lookup engine: linear scan (testing baseline), unibit trie,
-    path-compressed trie, controlled prefix expansion. *)
+    path-compressed trie, controlled prefix expansion, and the
+    compressed stride-6 bitmap trie ({!Poptrie}) sized for
+    million-route tables under incremental churn. *)
 
 type t
 
@@ -41,7 +43,20 @@ val lookup_cached : t -> Packet.Ipv4.addr -> [ `Hit of nexthop | `Miss of nextho
 val size : t -> int
 (** Number of routes. *)
 
+val bindings : t -> (Prefix.t * nexthop) list
+(** Every installed route, order unspecified — the differential tests
+    rebuild a reference {!Btrie} from this set mid-churn. *)
+
+val node_count : t -> int
+(** Engine memory footprint in its native unit (trie nodes, expanded
+    CPE entries, or list length). *)
+
 val cache_hit_rate : t -> float
+
+val cache_scan_cost : t -> int
+(** Cumulative route-cache invalidation work (see
+    {!Route_cache.scan_cost}). *)
+
 val engine_name : t -> string
 
 val pp_nexthop : Format.formatter -> nexthop -> unit

@@ -128,6 +128,91 @@ let unconfigured_neighbor_ignored () =
     (counter (Control.Rip.stats daemon).Control.Rip.announcements);
   Alcotest.(check int) "no routes learned" 0 (Control.Rip.route_count daemon)
 
+(* Churn fuzz: a seeded RIP storm (>10 k updates through the daemon's
+   accept/reject path) against the poptrie-backed table with selective
+   cache invalidation, interleaved with data-plane lookups.  Every
+   cached answer must equal a fresh full lookup (no stale line survives
+   an update), and the table must stay identical to a binary-trie
+   oracle rebuilt from its own bindings at checkpoints. *)
+let rip_churn_fuzz () =
+  let config =
+    {
+      Router.default_config with
+      Router.route_engine = Iproute.Table.Poptrie;
+      Router.selective_invalidation = true;
+    }
+  in
+  let r = Router.create ~config () in
+  let daemon = Control.Rip.create r in
+  let apply p metric =
+    Control.Rip.apply daemon ~via_port:0 { Control.Rip.prefix = p; metric }
+  in
+  let rng = Sim.Rng.create 20011L in
+  let base = Iproute.Gen.bgp_table ~rng ~n:3_000 ~n_ports:8 in
+  Array.iter (fun (p, v) -> apply p (1 + (v land 1))) base;
+  let ops = Iproute.Gen.churn ~rng ~base ~n_ports:8 ~steps:10_000 in
+  (* A recurring flow population so probes re-hit warm cache lines. *)
+  let pool =
+    Array.init 128 (fun i ->
+        if i land 3 = 0 then Sim.Rng.int32 rng
+        else Iproute.Gen.hit_addr ~rng base)
+  in
+  let rebuild () =
+    List.fold_left
+      (fun t (p, nh) -> Iproute.Btrie.add t p nh)
+      Iproute.Btrie.empty
+      (Iproute.Table.bindings r.Router.routes)
+  in
+  let hits = ref 0 in
+  Array.iteri
+    (fun i op ->
+      (match op with
+      | Iproute.Gen.Announce (p, v) -> apply p (1 + (v land 1))
+      | Iproute.Gen.Withdraw p -> apply p Control.Rip.infinity_metric);
+      for k = 0 to 2 do
+        let a = pool.(((3 * i) + k) land 127) in
+        let cached =
+          match Iproute.Table.lookup_cached r.Router.routes a with
+          | `Hit nh ->
+              incr hits;
+              Some nh
+          | `Miss nh -> nh
+        in
+        if cached <> Iproute.Table.lookup r.Router.routes a then
+          Alcotest.failf "stale cached next-hop after op %d" i
+      done;
+      if i mod 1_000 = 0 then begin
+        let oracle = rebuild () in
+        Alcotest.(check int)
+          (Printf.sprintf "size vs oracle at op %d" i)
+          (Iproute.Btrie.size oracle)
+          (Iproute.Table.size r.Router.routes);
+        Array.iter
+          (fun a ->
+            let want = Option.map snd (Iproute.Btrie.lookup oracle a) in
+            if Iproute.Table.lookup r.Router.routes a <> want then
+              Alcotest.failf "diverged from btrie oracle at op %d" i)
+          pool
+      end)
+    ops;
+  Alcotest.(check bool) "cache hit path exercised" true (!hits > 0);
+  Alcotest.(check bool)
+    "storm produced over 8k table writes" true
+    (Control.Rip.table_changes daemon > 8_000);
+  (* Convergence telemetry: the storm is over, so quiet time grows with
+     simulated time while the change count stays put.  The engine clock
+     only advances over events, so park one 50 us out (the timer wheel
+     may land it a tick early, hence the 40 us floor). *)
+  let changes = Control.Rip.table_changes daemon in
+  Sim.Engine.spawn r.Router.engine "tick" (fun () ->
+      Sim.Engine.wait 50_000_000L);
+  Router.run_for r ~us:50.;
+  Alcotest.(check int) "no writes after the storm" changes
+    (Control.Rip.table_changes daemon);
+  Alcotest.(check bool)
+    "quiet_ps tracks time since last write" true
+    (Control.Rip.quiet_ps daemon >= 40_000_000L)
+
 let tests =
   [
     Alcotest.test_case "encode/decode roundtrip" `Quick encode_decode_roundtrip;
@@ -138,4 +223,5 @@ let tests =
       better_metric_wins_and_withdrawal;
     Alcotest.test_case "unconfigured neighbor ignored" `Quick
       unconfigured_neighbor_ignored;
+    Alcotest.test_case "rip churn fuzz vs btrie oracle" `Quick rip_churn_fuzz;
   ]

@@ -190,6 +190,7 @@ let table_engines_consistent () =
       mk Iproute.Table.Trie;
       mk Iproute.Table.Patricia;
       mk Iproute.Table.Cpe;
+      mk Iproute.Table.Poptrie;
     ]
   in
   List.iter
@@ -303,6 +304,8 @@ let check_engines_on ~what ~rng ~n_addrs bindings =
       Iproute.Patricia.empty bindings
   in
   let cpe = Iproute.Cpe.build bindings in
+  let pop = Iproute.Poptrie.create () in
+  List.iter (fun (p, v) -> Iproute.Poptrie.add pop p v) bindings;
   for i = 1 to n_addrs do
     let a =
       if i mod 2 = 0 || bindings = [] then Sim.Rng.int32 rng
@@ -316,7 +319,8 @@ let check_engines_on ~what ~rng ~n_addrs bindings =
     in
     say "btrie" (Option.map snd (Iproute.Btrie.lookup bt a));
     say "patricia" (Option.map snd (Iproute.Patricia.lookup pat a));
-    say "cpe" (Option.map snd (Iproute.Cpe.lookup cpe a))
+    say "cpe" (Option.map snd (Iproute.Cpe.lookup cpe a));
+    say "poptrie" (Option.map snd (Iproute.Poptrie.lookup pop a))
   done
 
 let engines_agree_realistic () =
@@ -401,9 +405,303 @@ let generated_table_shape () =
     (Printf.sprintf "mostly specific hits (%d/200)" !hits)
     true (!hits > 150)
 
+(* ---- Poptrie: the compressed FIB, differentially against Btrie ---- *)
+
+let poptrie_basic () =
+  let t = Iproute.Poptrie.create () in
+  Alcotest.(check bool) "empty" true (Iproute.Poptrie.is_empty t);
+  let chain =
+    [ ("0.0.0.0/0", 0); ("10.0.0.0/8", 1); ("10.64.0.0/10", 2);
+      ("10.64.0.0/16", 3); ("10.64.32.0/20", 4); ("10.64.32.0/24", 5);
+      ("10.64.32.128/25", 6); ("10.64.32.129/32", 7) ]
+  in
+  List.iter (fun (s, v) -> Iproute.Poptrie.add t (pfx_of s) v) chain;
+  Alcotest.(check int) "size" 8 (Iproute.Poptrie.size t);
+  let get a = Option.map snd (Iproute.Poptrie.lookup t (addr a)) in
+  Alcotest.(check (option int)) "/32 wins" (Some 7) (get "10.64.32.129");
+  Alcotest.(check (option int)) "/25" (Some 6) (get "10.64.32.200");
+  Alcotest.(check (option int)) "/24" (Some 5) (get "10.64.32.1");
+  Alcotest.(check (option int)) "/20" (Some 4) (get "10.64.40.1");
+  Alcotest.(check (option int)) "/16" (Some 3) (get "10.64.200.1");
+  Alcotest.(check (option int)) "/10" (Some 2) (get "10.65.0.1");
+  Alcotest.(check (option int)) "/8" (Some 1) (get "10.200.0.1");
+  Alcotest.(check (option int)) "default" (Some 0) (get "8.8.8.8");
+  (* the winning prefix itself comes back, not just the value *)
+  (match Iproute.Poptrie.lookup t (addr "10.64.32.200") with
+  | Some (p, _) ->
+      Alcotest.(check bool) "winning prefix" true
+        (Iproute.Prefix.equal p (pfx_of "10.64.32.128/25"))
+  | None -> Alcotest.fail "expected a match");
+  Alcotest.(check (option int)) "exact find" (Some 4)
+    (Iproute.Poptrie.find t (pfx_of "10.64.32.0/20"));
+  Alcotest.(check (option reject)) "absent find" None
+    (Iproute.Poptrie.find t (pfx_of "10.64.0.0/12"));
+  Iproute.Poptrie.remove t (pfx_of "10.64.32.129/32");
+  Alcotest.(check (option int)) "fallback after remove" (Some 6)
+    (get "10.64.32.129");
+  Iproute.Poptrie.add t (pfx_of "10.64.32.129/32") 99;
+  Alcotest.(check (option int)) "re-add" (Some 99) (get "10.64.32.129");
+  Iproute.Poptrie.add t (pfx_of "10.64.32.129/32") 100;
+  Alcotest.(check (option int)) "replace" (Some 100) (get "10.64.32.129");
+  Alcotest.(check int) "size stable under replace" 8
+    (Iproute.Poptrie.size t);
+  Alcotest.(check bool) "lookups bounded by 6 nodes" true
+    (Iproute.Poptrie.depth t (addr "10.64.32.129") <= 6)
+
+(* Shrinking-friendly op encoding: a handful of address patterns times
+   every length 0..32, so random sequences alias heavily (same prefix
+   re-added, nested chains, /0 and /32 endpoints) and QCheck can shrink
+   a failure to a minimal op list. *)
+let op_prefix key len =
+  Iproute.Prefix.make (Int32.of_int ((key * 0x91E2D3C5) land 0xFFFFFFFF)) len
+
+let apply_ops ops =
+  let pop = Iproute.Poptrie.create () in
+  let bt = ref Iproute.Btrie.empty in
+  let check_full () =
+    if Iproute.Poptrie.size pop <> Iproute.Btrie.size !bt then false
+    else begin
+      let norm l =
+        List.sort
+          (fun (p, a) (q, b) ->
+            let c = Iproute.Prefix.compare p q in
+            if c <> 0 then c else compare a b)
+          l
+      in
+      norm (Iproute.Poptrie.bindings pop) = norm (Iproute.Btrie.bindings !bt)
+      && List.for_all
+           (fun key ->
+             List.for_all
+               (fun len ->
+                 let p = op_prefix key len in
+                 Iproute.Poptrie.find pop p = Iproute.Btrie.find !bt p
+                 && Option.map snd
+                      (Iproute.Poptrie.lookup pop (Iproute.Prefix.addr p))
+                    = Option.map snd
+                        (Iproute.Btrie.lookup !bt (Iproute.Prefix.addr p)))
+               [ 0; 1; 7; 8; 20; 24; 31; 32 ])
+           [ 0; 1; 2; 3; 5; 9; 15 ]
+    end
+  in
+  let ok = ref true in
+  List.iteri
+    (fun i (is_add, key, len) ->
+      let p = op_prefix key len in
+      if is_add then begin
+        Iproute.Poptrie.add pop p i;
+        bt := Iproute.Btrie.add !bt p i
+      end
+      else begin
+        Iproute.Poptrie.remove pop p;
+        bt := Iproute.Btrie.remove !bt p
+      end;
+      if Iproute.Poptrie.size pop <> Iproute.Btrie.size !bt then ok := false;
+      if i mod 25 = 24 && not (check_full ()) then ok := false)
+    ops;
+  !ok && check_full ()
+
+let poptrie_diff_ops =
+  QCheck.Test.make ~name:"poptrie = btrie under random add/remove ops"
+    ~count:120
+    QCheck.(
+      list_of_size (Gen.int_bound 300)
+        (triple bool (int_bound 15) (int_bound 32)))
+    apply_ops
+
+let poptrie_million () =
+  (* The acceptance battery: a 1M-prefix BGP-shaped table, differential
+     against Btrie on lookup/find/size, then incremental churn
+     (withdraw + re-announce + fresh more-specifics) with the same
+     equivalences re-checked — all from one seed. *)
+  let rng = Sim.Rng.create 20010L in
+  let n = 1_000_000 in
+  let base = Iproute.Gen.bgp_table ~rng ~n ~n_ports:16 in
+  Alcotest.(check int) "generated" n (Array.length base);
+  let pop = Iproute.Poptrie.create () in
+  Array.iter (fun (p, v) -> Iproute.Poptrie.add pop p v) base;
+  let bt = ref Iproute.Btrie.empty in
+  Array.iter (fun (p, v) -> bt := Iproute.Btrie.add !bt p v) base;
+  Alcotest.(check int) "size = btrie size" (Iproute.Btrie.size !bt)
+    (Iproute.Poptrie.size pop);
+  let check_addrs what k =
+    for i = 1 to k do
+      let a =
+        if i mod 2 = 0 then Sim.Rng.int32 rng else Iproute.Gen.hit_addr ~rng base
+      in
+      Alcotest.(check (option int))
+        (Format.asprintf "%s %a" what Packet.Ipv4.pp_addr a)
+        (Option.map snd (Iproute.Btrie.lookup !bt a))
+        (Option.map snd (Iproute.Poptrie.lookup pop a))
+    done
+  in
+  check_addrs "static" 20_000;
+  (* exact-match spot checks *)
+  for _ = 1 to 2_000 do
+    let p, _ = Sim.Rng.pick rng base in
+    Alcotest.(check (option int))
+      (Format.asprintf "find %a" Iproute.Prefix.pp p)
+      (Iproute.Btrie.find !bt p)
+      (Iproute.Poptrie.find pop p)
+  done;
+  (* compression telemetry: the whole point of the bitmap encoding *)
+  let pn = Iproute.Poptrie.node_count pop in
+  let bn = Iproute.Btrie.node_count !bt in
+  Alcotest.(check bool)
+    (Printf.sprintf "compressed (%d poptrie vs %d btrie nodes)" pn bn)
+    true
+    (pn * 4 < bn);
+  (* incremental churn, no rebuild: the update path the RIP daemon takes *)
+  let ops = Iproute.Gen.churn ~rng ~base ~n_ports:16 ~steps:30_000 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Iproute.Gen.Announce (p, v) ->
+          Iproute.Poptrie.add pop p v;
+          bt := Iproute.Btrie.add !bt p v
+      | Iproute.Gen.Withdraw p ->
+          Iproute.Poptrie.remove pop p;
+          bt := Iproute.Btrie.remove !bt p)
+    ops;
+  Alcotest.(check int) "size after churn" (Iproute.Btrie.size !bt)
+    (Iproute.Poptrie.size pop);
+  check_addrs "post-churn" 20_000
+
+let covered_invalidation_unit () =
+  (* invalidate_covered takes the narrow fast path for long prefixes and
+     the full-scan fallback for short ones; both must evict exactly the
+     covered lines. *)
+  let mk () =
+    let c = Iproute.Route_cache.create ~slots:256 () in
+    List.iter
+      (fun a -> Iproute.Route_cache.insert c (addr a) a)
+      [ "10.1.2.3"; "10.1.2.4"; "10.2.0.1"; "192.168.0.1" ];
+    c
+  in
+  let c = mk () in
+  let cost0 = Iproute.Route_cache.scan_cost c in
+  Iproute.Route_cache.invalidate_covered c (pfx_of "10.1.2.3/32");
+  Alcotest.(check int) "one probe for a /32" 1
+    (Iproute.Route_cache.scan_cost c - cost0);
+  Alcotest.(check (option string)) "victim gone" None
+    (Iproute.Route_cache.find c (addr "10.1.2.3"));
+  Alcotest.(check (option string)) "sibling kept" (Some "10.1.2.4")
+    (Iproute.Route_cache.find c (addr "10.1.2.4"));
+  Alcotest.(check (option string)) "unrelated kept" (Some "192.168.0.1")
+    (Iproute.Route_cache.find c (addr "192.168.0.1"));
+  let c = mk () in
+  Iproute.Route_cache.invalidate_covered c (pfx_of "10.0.0.0/8");
+  Alcotest.(check bool) "/8 falls back to a full scan" true
+    (Iproute.Route_cache.scan_cost c >= 256);
+  Alcotest.(check (option string)) "covered gone" None
+    (Iproute.Route_cache.find c (addr "10.2.0.1"));
+  Alcotest.(check (option string)) "uncovered kept" (Some "192.168.0.1")
+    (Iproute.Route_cache.find c (addr "192.168.0.1"))
+
+let covered_equiv =
+  QCheck.Test.make
+    ~name:"invalidate_covered = invalidate_matching on random caches"
+    ~count:200
+    QCheck.(triple int64 (int_bound 32) (int_range 1 60))
+    (fun (seed, len, nkeys) ->
+      let rng = Sim.Rng.create seed in
+      let p = Iproute.Prefix.make (Sim.Rng.int32 rng) len in
+      let keys = List.init nkeys (fun _ -> Sim.Rng.int32 rng) in
+      (* bias half the keys inside the prefix so eviction actually fires *)
+      let keys =
+        keys
+        @ List.mapi
+            (fun i k ->
+              if i mod 2 = 0 then
+                Int32.logor (Iproute.Prefix.addr p)
+                  (Int32.logand k
+                     (if Iproute.Prefix.length p = 0 then -1l
+                      else
+                        Int32.of_int
+                          ((1 lsl min 30 (32 - Iproute.Prefix.length p)) - 1)))
+              else k)
+            keys
+      in
+      let fill () =
+        let c = Iproute.Route_cache.create ~slots:64 () in
+        List.iteri (fun i k -> Iproute.Route_cache.insert c k i) keys;
+        c
+      in
+      let a = fill () and b = fill () in
+      Iproute.Route_cache.invalidate_covered a p;
+      Iproute.Route_cache.invalidate_matching b (Iproute.Prefix.matches p);
+      List.for_all
+        (fun k -> Iproute.Route_cache.find a k = Iproute.Route_cache.find b k)
+        keys)
+
+let table_covered_invalidation () =
+  (* End-to-end through Table: a /32 route change costs one cache probe
+     and leaves every unrelated warm line untouched. *)
+  let t =
+    Iproute.Table.create ~engine:Iproute.Table.Poptrie ~cache_slots:4096
+      ~selective_invalidation:true ()
+  in
+  let nh p = { Iproute.Table.out_port = p; gateway_mac = 0 } in
+  Iproute.Table.add t (pfx_of "10.0.0.0/8") (nh 1);
+  for i = 0 to 99 do
+    ignore (Iproute.Table.lookup_cached t (addr (Printf.sprintf "10.7.%d.1" i)))
+  done;
+  let cost0 = Iproute.Table.cache_scan_cost t in
+  Iproute.Table.add t (pfx_of "10.9.9.9/32") (nh 2);
+  Alcotest.(check int) "a /32 change probes exactly one line" 1
+    (Iproute.Table.cache_scan_cost t - cost0);
+  let survivors = ref 0 in
+  for i = 0 to 99 do
+    match Iproute.Table.lookup_cached t (addr (Printf.sprintf "10.7.%d.1" i)) with
+    | `Hit _ -> incr survivors
+    | `Miss _ -> ()
+  done;
+  Alcotest.(check int) "no unrelated line flushed" 100 !survivors
+
+let bgp_table_shape () =
+  let rng = Sim.Rng.create 7L in
+  let n = 50_000 in
+  let base = Iproute.Gen.bgp_table ~rng ~n ~n_ports:16 in
+  Alcotest.(check int) "count" n (Array.length base);
+  let seen = Hashtbl.create (2 * n) in
+  Array.iter (fun (p, _) -> Hashtbl.replace seen p ()) base;
+  Alcotest.(check int) "distinct" n (Hashtbl.length seen);
+  Alcotest.(check bool) "default at index 0" true
+    (Iproute.Prefix.equal (fst base.(0)) Iproute.Prefix.default);
+  let n24 =
+    Array.fold_left
+      (fun acc (p, _) -> if Iproute.Prefix.length p = 24 then acc + 1 else acc)
+      0 base
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "/24-heavy (%d/%d)" n24 n)
+    true
+    (float_of_int n24 > 0.4 *. float_of_int n
+    && float_of_int n24 < 0.7 *. float_of_int n);
+  (* determinism: the same seed reproduces the same table and churn *)
+  let rng' = Sim.Rng.create 7L in
+  let base' = Iproute.Gen.bgp_table ~rng:rng' ~n ~n_ports:16 in
+  Alcotest.(check bool) "table deterministic" true (base = base');
+  let ops = Iproute.Gen.churn ~rng ~base ~n_ports:16 ~steps:1000 in
+  let ops' = Iproute.Gen.churn ~rng:rng' ~base:base' ~n_ports:16 ~steps:1000 in
+  Alcotest.(check bool) "churn deterministic" true (ops = ops');
+  let announces =
+    Array.fold_left
+      (fun acc op ->
+        match op with Iproute.Gen.Announce _ -> acc + 1 | _ -> acc)
+      0 ops
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "churn mixes announce/withdraw (%d/1000 announce)"
+       announces)
+    true
+    (announces > 200 && announces < 800)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ engines_agree; cpe_incremental_add; patricia_add_remove ]
+    [
+      engines_agree; cpe_incremental_add; patricia_add_remove;
+      poptrie_diff_ops; covered_equiv;
+    ]
 
 let tests =
   [
@@ -421,6 +719,14 @@ let tests =
     Alcotest.test_case "selective cache invalidation" `Quick
       selective_invalidation_scope;
     Alcotest.test_case "patricia compression" `Quick patricia_compression;
+    Alcotest.test_case "poptrie basics" `Quick poptrie_basic;
+    Alcotest.test_case "covered invalidation fast path" `Quick
+      covered_invalidation_unit;
+    Alcotest.test_case "table /32 change costs one probe" `Quick
+      table_covered_invalidation;
+    Alcotest.test_case "bgp table shape + determinism" `Quick bgp_table_shape;
+    Alcotest.test_case "poptrie vs btrie at one million routes" `Slow
+      poptrie_million;
     Alcotest.test_case "generated table shape" `Quick generated_table_shape;
     Alcotest.test_case "engines agree on realistic tables" `Slow
       engines_agree_realistic;
