@@ -11,6 +11,17 @@ deliberately, not silently dropped from the gate.
 
 Used by CI for the perf, cluster-perf and fabric-contention jobs so the
 threshold logic lives in one place instead of three inline scripts.
+
+A second mode, --refresh, validates a freshly measured file as a *new*
+committed baseline instead of comparing it to one: the experiment must
+carry "run spread" rows (the max-min fraction across its best-of-N
+repetitions, emitted by bench/perf.ml and bench/cluster_perf.ml), and
+the refresh is rejected when any spread exceeds --max-spread (default
+10%).  A baseline captured while the host was throttling would make
+every future gate comparison meaningless; this refuses to commit one.
+Spread rows are never ratio-gated in compare mode — the spread of a
+noisy quantity is itself noisy — but their presence is still subject to
+the row-symmetry check like any other row.
 """
 
 import argparse
@@ -41,9 +52,37 @@ def load(path, experiment):
     return out
 
 
+SPREAD_PREFIX = "run spread"
+
+
+def check_refresh(cur, path, experiment, max_spread):
+    spreads = {n: v for n, v in cur.items() if n.startswith(SPREAD_PREFIX)}
+    if not spreads:
+        sys.exit(f"{path}: experiment {experiment!r} has no "
+                 f"{SPREAD_PREFIX!r} rows — refresh it with a harness that "
+                 "reports per-run variance")
+    failures = []
+    for name, v in sorted(spreads.items()):
+        verdict = "ok   "
+        if v > max_spread:
+            verdict = "FAIL "
+            failures.append(f"{name}: spread {v:.1%} exceeds "
+                            f"{max_spread:.0%} — host too noisy to baseline")
+        print(f"{verdict} {name}: {v:.1%} (ceiling {max_spread:.0%})")
+    if failures:
+        print(f"\nrefresh rejected ({len(failures)} failure(s)):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nrefresh accepted: all {len(spreads)} spread row(s) within "
+          f"{max_spread:.0%}")
+
+
 def main():
     p = argparse.ArgumentParser(description=__doc__)
-    p.add_argument("--baseline", required=True, help="committed BENCH json")
+    p.add_argument("--baseline", help="committed BENCH json "
+                   "(required unless --refresh)")
     p.add_argument("--current", required=True, help="this run's BENCH json")
     p.add_argument("--experiment", required=True, help="experiment name")
     p.add_argument("--row", action="append", default=[],
@@ -54,10 +93,21 @@ def main():
                    help="fail when current/baseline drops below this")
     p.add_argument("--max-ratio", type=float, default=None,
                    help="also fail when current/baseline exceeds this")
+    p.add_argument("--refresh", action="store_true",
+                   help="validate --current as a new committed baseline: "
+                        "reject it when any 'run spread' row exceeds "
+                        "--max-spread")
+    p.add_argument("--max-spread", type=float, default=0.10,
+                   help="refresh rejection threshold for run-spread rows")
     args = p.parse_args()
 
-    base = load(args.baseline, args.experiment)
     cur = load(args.current, args.experiment)
+    if args.refresh:
+        check_refresh(cur, args.current, args.experiment, args.max_spread)
+        return
+    if not args.baseline:
+        p.error("--baseline is required unless --refresh")
+    base = load(args.baseline, args.experiment)
 
     if args.row or args.row_prefix:
         selected = [n for n in base
@@ -67,7 +117,9 @@ def main():
             if n not in base:
                 sys.exit(f"{args.baseline}: no row named {n!r}")
     else:
-        selected = list(base)
+        # Spread rows describe measurement noise, not performance; the
+        # ratio of two spreads gates nothing.  --refresh checks them.
+        selected = [n for n in base if not n.startswith(SPREAD_PREFIX)]
 
     failures = []
     for name in selected:

@@ -37,6 +37,9 @@ let experiments =
      "Extension: fabric queue disciplines under offered-load sweeps",
      Fabric_contention.run);
     ("fib", "Extension: million-route compressed FIB under churn", Fib.run);
+    ("batch_identity",
+     "Extension: batched vs event-granular delivery-schedule identity",
+     Batch_identity.run);
     ("perf", "Infrastructure: simulator packets-per-wall-second", Perf.run);
     ("cluster_perf",
      "Infrastructure: domain-parallel cluster throughput and identity",
@@ -128,6 +131,12 @@ let () =
   if !Fib.failures > 0 then begin
     Printf.eprintf "fib: %d divergence/staleness/speedup failure(s)\n"
       !Fib.failures;
+    exit 1
+  end;
+  if !Batch_identity.failures > 0 then begin
+    Printf.eprintf
+      "batch_identity: %d delivery-schedule identity failure(s)\n"
+      !Batch_identity.failures;
     exit 1
   end;
   if !Cluster_perf.failures > 0 then begin

@@ -1,0 +1,110 @@
+(* Parallel arrays rather than an array of records: a burst is refilled
+   on every context activation of the batched input loop, and boxing an
+   rx_item per MP would allocate on the per-MP hot path the batching
+   exists to shorten.  The meta word encoding is Mac_port's ring
+   encoding, copied verbatim by [fill_from_port]. *)
+type t = {
+  meta : int array; (* (index lsl 2) lor tag code *)
+  frames : Packet.Frame.t array;
+  mutable len : int;
+  dummy : Packet.Frame.t; (* fills vacated slots so no frame is pinned *)
+}
+
+let code_of_tag = function
+  | Packet.Mp.Only -> 0
+  | Packet.Mp.First -> 1
+  | Packet.Mp.Intermediate -> 2
+  | Packet.Mp.Last -> 3
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Batch.create: capacity";
+  let dummy = Packet.Frame.of_bytes Bytes.empty in
+  {
+    meta = Array.make capacity 0;
+    frames = Array.make capacity dummy;
+    len = 0;
+    dummy;
+  }
+
+let capacity t = Array.length t.meta
+let length t = t.len
+let is_empty t = t.len = 0
+
+let clear t =
+  for i = 0 to t.len - 1 do
+    t.frames.(i) <- t.dummy
+  done;
+  t.len <- 0
+
+let push t ~tag ~index frame =
+  if t.len >= Array.length t.meta then invalid_arg "Batch.push: full";
+  t.meta.(t.len) <- (index lsl 2) lor code_of_tag tag;
+  t.frames.(t.len) <- frame;
+  t.len <- t.len + 1
+
+let frame t i = t.frames.(i)
+let tag t i = Ixp.Mac_port.tag_of_meta t.meta.(i)
+let mp_index t i = Ixp.Mac_port.index_of_meta t.meta.(i)
+
+let is_head t i =
+  let c = t.meta.(i) land 3 in
+  c = 0 || c = 1
+
+let fill_from_port t port ~max =
+  clear t;
+  let cap = Array.length t.meta in
+  let n =
+    Ixp.Mac_port.take_burst port ~meta:t.meta ~frames:t.frames
+      ~max:(if max < cap then max else cap)
+  in
+  t.len <- n;
+  n
+
+(* In-place stable compaction: keep entries [pred] accepts, in order.
+   Returns the new length.  Dropped slots beyond the new length are
+   cleared so they don't pin frames live. *)
+let filter_in_place t pred =
+  let w = ref 0 in
+  for r = 0 to t.len - 1 do
+    if pred r then begin
+      if !w <> r then begin
+        t.meta.(!w) <- t.meta.(r);
+        t.frames.(!w) <- t.frames.(r)
+      end;
+      incr w
+    end
+  done;
+  for i = !w to t.len - 1 do
+    t.frames.(i) <- t.dummy
+  done;
+  t.len <- !w;
+  !w
+
+(* Stable in-place partition: entries [pred] accepts move (in order) to
+   the front, the rest (in order) follow.  Returns the boundary.  Uses a
+   scratch pass over rejected entries; capacity-bounded, no per-call
+   allocation beyond the closure. *)
+let partition_in_place t pred =
+  let n = t.len in
+  let rej_meta = Array.make (if n = 0 then 1 else n) 0 in
+  let rej_fr = Array.make (if n = 0 then 1 else n) t.dummy in
+  let w = ref 0 and nr = ref 0 in
+  for r = 0 to n - 1 do
+    if pred r then begin
+      if !w <> r then begin
+        t.meta.(!w) <- t.meta.(r);
+        t.frames.(!w) <- t.frames.(r)
+      end;
+      incr w
+    end
+    else begin
+      rej_meta.(!nr) <- t.meta.(r);
+      rej_fr.(!nr) <- t.frames.(r);
+      incr nr
+    end
+  done;
+  for k = 0 to !nr - 1 do
+    t.meta.(!w + k) <- rej_meta.(k);
+    t.frames.(!w + k) <- rej_fr.(k)
+  done;
+  !w

@@ -12,7 +12,16 @@
 
 type host = Me of Ixp.Microengine.t | Cpu of Sim.Engine.Clock.clock
 
-type t = { chip : Ixp.Chip.t; host : host; ctx_id : int }
+type t = {
+  chip : Ixp.Chip.t;
+  host : host;
+  ctx_id : int;
+  mutable defer : bool;
+      (** per-batch charging on: charges accumulate in [pending] instead
+          of suspending (see {!set_defer}) *)
+  mutable pending : int;
+      (** booked-but-unpaid delay in picoseconds; paid by {!commit} *)
+}
 
 val make : Ixp.Chip.t -> ctx_id:int -> t
 (** [make chip ~ctx_id] binds global MicroEngine context [ctx_id] to its
@@ -22,8 +31,44 @@ val make_cpu : Ixp.Chip.t -> Sim.Engine.Clock.clock -> t
 (** [make_cpu chip clock] is the view of a conventional processor (the
     StrongARM) sharing the chip's memories. *)
 
+val set_defer : t -> bool -> unit
+(** Enable per-batch charging ([Cost_model.charge_per_batch]): each
+    charge books its server access at the context's virtual clock
+    (engine time + delays already booked, so horizons and utilization
+    stats are exactly those of the per-operation path when uncontended)
+    and {!commit} pays the accumulated total as one engine event.  Hot
+    loops commit before every shared-state interaction — queue, token,
+    MAC, park — so cross-context interleaving is resolved at batch
+    granularity.  Only meaningful for [Me] hosts; charges on a
+    fault-injected memory channel always commit first and run
+    per-operation, preserving the injector's draw sequence. *)
+
+val commit : t -> unit
+(** Pay any pending booked delay with a single wait (no-op at zero).
+    Must be called before suspending, acquiring shared resources, or
+    acting on shared mutable state. *)
+
+val now_ps : t -> int64
+(** The context's virtual clock: engine time plus pending booked delay
+    (what arrival stamps should use under per-batch charging). *)
+
 val exec : t -> int -> unit
 (** Run register instructions on this context's processor. *)
+
+val exec_wait : t -> instr:int -> wait:int -> unit
+(** [exec_wait t ~instr ~wait] fuses [exec t instr] with a subsequent
+    [wait_cycles t wait] into a single event: the processor is occupied
+    for the instruction time only, the caller blocks for both.
+    Timing-identical to the two-call form under any contention. *)
+
+val exec_wait_serial : t -> instr:int -> wait:int -> unit
+(** {!exec_wait} for the token-held serial sections.  Under per-batch
+    charging the charge is accumulated as pure duration (instructions
+    and busy time still accounted) without queueing on the core's busy
+    horizon: sibling contexts book whole bursts there, and inheriting a
+    burst-sized queue delay while holding the token would serialize the
+    whole ring behind it.  Identical to {!exec_wait} when per-batch
+    charging is off. *)
 
 val wait_cycles : t -> int -> unit
 (** Stall without occupying the processor's issue pipeline (e.g. a CSR

@@ -37,6 +37,10 @@ type t = {
   dyn_sched_scratch_reads : int;
   dyn_sched_scratch_writes : int;
   dyn_sched_instr : int;
+  input_serial_per_burst : bool;
+  output_serial_per_burst : bool;
+  charge_per_batch : bool;
+  sa_poll_backoff_cycles : int;
 }
 
 let default =
@@ -79,6 +83,10 @@ let default =
     dyn_sched_scratch_reads = 2;
     dyn_sched_scratch_writes = 2;
     dyn_sched_instr = 20;
+    input_serial_per_burst = true;
+    output_serial_per_burst = true;
+    charge_per_batch = true;
+    sa_poll_backoff_cycles = 512;
   }
 
 let input_reg_total c =

@@ -28,6 +28,8 @@ type stats = {
   enq_ok : Sim.Stats.Counter.t;
   enq_drop : Sim.Stats.Counter.t;
   drop_by_process : Sim.Stats.Counter.t;
+  batch_mps : Sim.Stats.Histogram.t;
+      (** realized burst sizes (MPs per context activation) *)
 }
 
 val make_stats : unit -> stats
@@ -67,6 +69,7 @@ type t = {
 }
 
 val spawn_context :
+  ?burst_mps:int ->
   t ->
   Ixp.Chip.t ->
   ring:Sim.Token_ring.t ->
@@ -77,7 +80,11 @@ val spawn_context :
   unit
 (** Start one input context as a fiber.  [slot] is both the context's token
     ring position and its FIFO slot; [ctx_id] selects the hosting
-    MicroEngine. *)
+    MicroEngine.  [burst_mps] (default 16, one transfer FIFO's worth)
+    bounds how many MPs one token acquisition may drain; it is forced to
+    1 when the cost model charges the serial section per MP
+    ([input_serial_per_burst = false]), which reproduces the classic
+    one-MP-per-rotation loop exactly. *)
 
 val enqueue_private : Cost_model.t -> Chip_ctx.t -> Squeue.t -> Desc.t -> bool
 (** I.1: tail pointer in registers, no synchronization. *)

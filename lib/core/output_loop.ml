@@ -39,6 +39,7 @@ type in_flight = {
   frame : Packet.Frame.t;
   total : int; (* MPs in the frame *)
   mutable next : int; (* next MP index to transmit *)
+  mutable charged : bool; (* current MP's data movement already paid *)
 }
 
 (* Dequeue bookkeeping shared by every discipline: select_queue charges are
@@ -60,69 +61,118 @@ let take_packet t ctx chip stats desc =
       None
   | Some frame ->
       Some
-        { desc; frame; total = Packet.Mp.count (Packet.Frame.len frame); next = 0 }
+        {
+          desc;
+          frame;
+          total = Packet.Mp.count (Packet.Frame.len frame);
+          next = 0;
+          charged = false;
+        }
 
-(* Move one MP of [inflight] to its port's FIFO if the wire has room.
-   Returns false when the slot is busy (caller polls again). *)
-let push_mp t ctx chip stats inflight ~on_done =
-  if inflight.next >= inflight.total then begin
+(* One MP's transmission is split around the wire-pacing check: the data
+   movement (DRAM buffer to output FIFO, then slot enable) is charged
+   once and committed *before* the MAC is asked for a slot, so the frame
+   hits the wire only after its bytes have really moved — and the pace
+   retry loop never recharges. *)
+let charge_mp t ctx inflight =
+  if not inflight.charged then begin
+    Chip_ctx.dram_read ctx ~bytes:Packet.Mp.size;
+    Chip_ctx.exec ctx t.cm.Cost_model.output_mp_instr;
+    inflight.charged <- true
+  end;
+  Chip_ctx.commit ctx
+
+(* Finish the already-charged MP whose transmit slot is reserved,
+   completing the frame on its last MP. *)
+let finish_mp t chip stats inflight ~port ~on_done =
+  let last = inflight.next = inflight.total - 1 in
+  inflight.next <- inflight.next + 1;
+  inflight.charged <- false;
+  Sim.Stats.Counter.incr stats.mps_out;
+  if last then begin
+    (match port with
+    | Some p ->
+        Ixp.Mac_port.transmit_frame p inflight.frame
+          ~len:(Packet.Frame.len inflight.frame)
+    | None -> ());
     on_done ();
-    true
-  end
-  else begin
-    let port = t.port_for inflight.desc in
-    let last = inflight.next = inflight.total - 1 in
-    let ok =
-      match port with None -> true | Some p -> Ixp.Mac_port.tx_pace_ok p ~last
-    in
-    if not ok then false
-    else begin
-      (* DRAM buffer to output FIFO, then slot enable. *)
-      Chip_ctx.dram_read ctx ~bytes:Packet.Mp.size;
-      Chip_ctx.exec ctx t.cm.Cost_model.output_mp_instr;
-      inflight.next <- inflight.next + 1;
-      Sim.Stats.Counter.incr stats.mps_out;
-      if last then begin
-        (match port with
-        | Some p ->
-            Ixp.Mac_port.transmit_frame p inflight.frame
-              ~len:(Packet.Frame.len inflight.frame)
-        | None -> ());
-        on_done ();
-        (* Return the DRAM buffer (a no-op for the circular pool). *)
-        Ixp.Buffer_pool.free chip.Ixp.Chip.buffers inflight.desc.Desc.buf;
-        Sim.Stats.Counter.incr stats.pkts_out;
-        match t.on_tx with
-        | Some f -> f inflight.desc inflight.frame
-        | None -> ()
-      end;
-      true
-    end
+    (* Return the DRAM buffer (a no-op for the circular pool). *)
+    Ixp.Buffer_pool.free chip.Ixp.Chip.buffers inflight.desc.Desc.buf;
+    Sim.Stats.Counter.incr stats.pkts_out;
+    match t.on_tx with
+    | Some f -> f inflight.desc inflight.frame
+    | None -> ()
   end
 
-(* One iteration per MP, exactly Figure 6: the token section, then — when
-   the previous packet finished — select_queue and dequeue, then one MP
-   from DRAM to the FIFO.  The single-queue disciplines (O.1/O.2) keep one
-   packet in flight; a context servicing several ports (O.3) holds one
-   FIFO slot per queue so a saturated port cannot head-of-line block the
-   others. *)
-let spawn_context t chip ~ring ~slot ~ctx_id ~stats =
+(* Batched transmit loop.  One token acquisition (the serialized FIFO
+   slot-activation section) covers a whole burst of MPs — gated by
+   [output_serial_per_burst]; off forces burst size 1, the classic
+   one-MP-per-rotation Figure 6 loop.  Wire pacing uses the MAC's exact
+   slot-free time ([tx_try_pace]'s [`Wait d]) instead of exponential
+   polling, and an idle context parks on its queues' push waiters
+   instead of spinning. *)
+let spawn_context ?(burst_mps = 16) t chip ~ring ~slot ~ctx_id ~stats =
   let open Ixp in
   let ctx = Chip_ctx.make chip ~ctx_id in
   let cm = t.cm in
+  Chip_ctx.set_defer ctx cm.Cost_model.charge_per_batch;
+  let burst_mps =
+    if cm.Cost_model.output_serial_per_burst then max 1 burst_mps else 1
+  in
   Sim.Token_ring.join ring slot;
   let batch = ref 0 in
   let name = Printf.sprintf "output.ctx%d" ctx_id in
   let serial_section () =
+    (* The previous burst's tail charges ride in [pending] into this
+       burst and are paid at the next MP's pre-pace commit; the token
+       hold is unaffected (the serial charge is horizon-light and the
+       release precedes any commit). *)
     ignore (Sim.Token_ring.acquire ring slot);
-    Chip_ctx.exec ctx cm.Cost_model.output_serial_instr;
-    Chip_ctx.wait_cycles ctx cm.Cost_model.output_serial_wait;
+    Chip_ctx.exec_wait_serial ctx ~instr:cm.Cost_model.output_serial_instr
+      ~wait:cm.Cost_model.output_serial_wait;
+    (* Under per-batch charging the slot-activation time rides in
+       [pending] until the MP's pre-pace commit; classic mode has
+       already waited, so the token hold covers the full section. *)
     Sim.Token_ring.release ring slot
   in
-  let poll_wait backoff =
-    Chip_ctx.exec ctx 4;
-    Chip_ctx.wait_cycles ctx backoff;
-    min (backoff * 2) t.idle_backoff_cycles
+  (* Queue parking shared by both loop shapes.  Each owned queue gets at
+     most one registered wrapper at a time ([registered] tracks which);
+     wrappers route through [waker] so the engine's one-shot waker fires
+     exactly once however many queues push in the same instant, and a
+     wrapper left behind on queue B after a wake via queue A is a
+     harmless no-op that also clears B's registration. *)
+  let nq = Array.length t.queues in
+  let registered = Array.make nq false in
+  let waker = ref (fun () -> ()) in
+  let wrappers =
+    Array.init nq (fun i () ->
+        registered.(i) <- false;
+        let w = !waker in
+        waker := (fun () -> ());
+        w ())
+  in
+  let park () =
+    Chip_ctx.commit ctx;
+    Sim.Engine.suspend (fun w ->
+        waker := w;
+        for i = 0 to nq - 1 do
+          if not registered.(i) then begin
+            registered.(i) <- true;
+            Squeue.add_waiter t.queues.(i) wrappers.(i)
+          end
+        done;
+        (* Work may have arrived between the caller's empty check and
+           this registration (memory charges suspend); never sleep past
+           it. *)
+        let any = ref false in
+        for i = 0 to nq - 1 do
+          if not (Squeue.is_empty t.queues.(i)) then any := true
+        done;
+        if !any then begin
+          let w' = !waker in
+          waker := (fun () -> ());
+          w' ()
+        end)
   in
   let single_queue_loop () =
     let q = t.queues.(0) in
@@ -152,45 +202,123 @@ let spawn_context t chip ~ring ~slot ~ctx_id ~stats =
           Squeue.pop q
     in
     let current = ref None in
-    let rec loop backoff =
-      serial_section ();
-      (if !current = None then
-         match select () with
-         | None -> ()
-         | Some desc -> current := take_packet t ctx chip stats desc);
-      match !current with
-      | None -> loop (poll_wait backoff)
-      | Some inflight ->
-          if push_mp t ctx chip stats inflight ~on_done:(fun () -> current := None)
-          then loop 1
-          else loop (poll_wait backoff)
+    let rec next_packet () =
+      match select () with
+      | None -> false
+      | Some desc -> (
+          match take_packet t ctx chip stats desc with
+          | Some inflight ->
+              current := Some inflight;
+              true
+          | None -> next_packet () (* stale buffer: try the next *))
     in
-    loop 1
+    let rec activation () =
+      serial_section ();
+      if !current <> None || next_packet () then begin
+        let engine = Sim.Engine.self_engine () in
+        let span = Sim.Engine.batch_begin engine in
+        let frames = ref 0 in
+        let mps = ref 0 in
+        let rec step () =
+          if !mps >= burst_mps then
+            Sim.Engine.batch_end engine span ~frames:!frames
+          else
+            match !current with
+            | None ->
+                if next_packet () then step ()
+                else Sim.Engine.batch_end engine span ~frames:!frames
+            | Some inflight -> advance inflight
+        and advance inflight =
+          if inflight.next >= inflight.total then begin
+            (* Zero-MP frame (never on real traffic): just retire it. *)
+            current := None;
+            incr frames;
+            step ()
+          end
+          else begin
+            charge_mp t ctx inflight;
+            let port = t.port_for inflight.desc in
+            let pace =
+              match port with
+              | None -> `Ok
+              | Some p ->
+                  let last = inflight.next = inflight.total - 1 in
+                  Mac_port.tx_try_pace p
+                    ~tag:(if last then Packet.Mp.Last else Packet.Mp.First)
+            in
+            match pace with
+            | `Ok ->
+                let done_ = inflight.next = inflight.total - 1 in
+                finish_mp t chip stats inflight ~port ~on_done:(fun () ->
+                    current := None);
+                incr mps;
+                if done_ then incr frames;
+                step ()
+            | `Wait d ->
+                (* Sleep exactly until the wire frees the slot. *)
+                Sim.Engine.wait_i (Int64.to_int d);
+                advance inflight
+          end
+        in
+        step ();
+        activation ()
+      end
+      else begin
+        park ();
+        activation ()
+      end
+    in
+    activation ()
   in
   let multi_queue_loop () =
     let n = Array.length t.queues in
     let currents = Array.make n None in
-    let rec loop backoff =
+    let engine_of () = Sim.Engine.self_engine () in
+    let rec activation () =
       serial_section ();
-      (* Advance the highest-priority slot whose wire has room. *)
-      let progressed = ref false in
-      let i = ref 0 in
-      while (not !progressed) && !i < n do
-        (match currents.(!i) with
-        | Some inflight ->
-            let idx = !i in
-            if
-              push_mp t ctx chip stats inflight ~on_done:(fun () ->
-                  currents.(idx) <- None)
-            then progressed := true
-        | None -> ());
-        incr i
-      done;
-      if !progressed then loop 1
-      else begin
-        (* Start a packet on an idle slot: one readiness bit-array read
-           summarizes every queue (section 3.4.3), then the chosen queue
-           pays its own head read. *)
+      let engine = engine_of () in
+      let span = Sim.Engine.batch_begin engine in
+      let frames = ref 0 in
+      let mps = ref 0 in
+      let close () = Sim.Engine.batch_end engine span ~frames:!frames in
+      (* Advance the highest-priority in-flight packet whose wire has
+         room; [`Wait] is the soonest any blocked wire frees. *)
+      let try_advance () =
+        let soonest = ref Int64.max_int in
+        let rec go i =
+          if i >= n then if !soonest = Int64.max_int then `Idle else `Wait !soonest
+          else
+            match currents.(i) with
+            | None -> go (i + 1)
+            | Some inflight -> (
+                charge_mp t ctx inflight;
+                let port = t.port_for inflight.desc in
+                let pace =
+                  match port with
+                  | None -> `Ok
+                  | Some p ->
+                      let last = inflight.next = inflight.total - 1 in
+                      Mac_port.tx_try_pace p
+                        ~tag:(if last then Packet.Mp.Last else Packet.Mp.First)
+                in
+                match pace with
+                | `Ok ->
+                    let done_ = inflight.next = inflight.total - 1 in
+                    finish_mp t chip stats inflight ~port
+                      ~on_done:(fun () -> currents.(i) <- None);
+                    incr mps;
+                    if done_ then incr frames;
+                    `Sent
+                | `Wait d ->
+                    if d < !soonest then soonest := d;
+                    go (i + 1))
+        in
+        go 0
+      in
+      (* Start a packet on an idle slot: one readiness bit-array read
+         summarizes every queue (section 3.4.3), then the chosen queue
+         pays its own head read. *)
+      let try_start () =
         Chip_ctx.scratch_read ctx ~bytes:(4 * cm.Cost_model.o3_scratch_reads);
         Chip_ctx.exec ctx cm.Cost_model.o3_select_instr;
         let rec scan i =
@@ -208,18 +336,32 @@ let spawn_context t chip ~ring ~slot ~ctx_id ~stats =
         | Some (i, desc) ->
             (match take_packet t ctx chip stats desc with
             | None -> ()
-            | Some inflight ->
-                currents.(i) <- Some inflight;
-                (* Figure 6 moves the first MP in the same iteration as
-                   the dequeue. *)
-                ignore
-                  (push_mp t ctx chip stats inflight ~on_done:(fun () ->
-                       currents.(i) <- None)));
-            loop 1
-        | None -> loop (poll_wait backoff)
-      end
+            | Some inflight -> currents.(i) <- Some inflight);
+            true
+        | None -> false
+      in
+      let rec step () =
+        if !mps >= burst_mps then close ()
+        else
+          match try_advance () with
+          | `Sent -> step ()
+          | `Idle -> if try_start () then step () else close ()
+          | `Wait d ->
+              if try_start () then step ()
+              else begin
+                Sim.Engine.wait_i (Int64.to_int d);
+                step ()
+              end
+      in
+      step ();
+      let any_inflight = Array.exists (fun c -> c <> None) currents in
+      let any_queued =
+        Array.exists (fun q -> not (Squeue.is_empty q)) t.queues
+      in
+      if (not any_inflight) && not any_queued then park ();
+      activation ()
     in
-    loop 1
+    activation ()
   in
   Sim.Engine.spawn chip.Chip.engine name (fun () ->
       match t.discipline with

@@ -46,6 +46,7 @@ type t = {
 }
 
 val spawn_context :
+  ?burst_mps:int ->
   t ->
   Ixp.Chip.t ->
   ring:Sim.Token_ring.t ->
@@ -53,4 +54,9 @@ val spawn_context :
   ctx_id:int ->
   stats:stats ->
   unit
-(** Start one output context as a fiber. *)
+(** Start one output context as a fiber.  [burst_mps] (default 16)
+    bounds how many MPs one token acquisition may stream to the wire;
+    forced to 1 when [output_serial_per_burst = false], which reproduces
+    the classic one-MP-per-rotation Figure 6 loop exactly.  Idle
+    contexts park on their queues' push waiters; wire pacing sleeps for
+    the MAC's exact slot-free time. *)

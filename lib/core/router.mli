@@ -69,6 +69,10 @@ type config = {
   circular_buffers : bool;
       (** the paper's single-pass circular DRAM buffer pool (true) vs the
           per-buffer stack pool it declined to build (section 3.2.3) *)
+  batch_mps : int;
+      (** MPs one context activation may cover per token acquisition
+          (default 16, one transfer FIFO's worth); forced to 1 when the
+          cost model's per-burst serial charging is off *)
   faults : Fault.Scenario.t;
       (** fault-injection scenario; {!Fault.Scenario.zero} (the default)
           builds no injector at all, so the fault-free router is
@@ -107,6 +111,9 @@ type t = {
           progress, and (under injection) VRP budget detection *)
   invalid_escapes : int ref;  (** malformed frames seen leaving a port *)
   vrp_detected : int ref;  (** injected budget overruns admission caught *)
+  delivery_digests : string array option ref;
+      (** per-port chained delivery digests; [None] until
+          {!enable_delivery_digest} *)
   mutable frame_pool : Packet.Frame_pool.t option;
       (** attached via {!set_frame_pool}; [None] leaves every allocation
           path exactly as before *)
@@ -145,6 +152,23 @@ val connect : t -> port:int -> (Packet.Frame.t -> unit) -> unit
     the per-port counter) — e.g. [connect a ~port:6 (fun f -> ignore
     (inject b ~port:0 f))] cables router [a]'s port 6 to router [b]'s
     port 0, the multi-chassis configuration of the paper's section 6. *)
+
+val enable_delivery_digest : t -> unit
+(** Arm the per-port delivery-schedule digest (idempotent; call before
+    traffic).  Every frame delivered out port [i] — through the default
+    sink or a {!connect} callback — folds [(time ‖ frame bytes)] into
+    port [i]'s chained MD5.  This is the batching equivalence gate's
+    observable: two executions are equivalent iff every port's digest
+    matches, regardless of how activations were coalesced internally.
+    Disabled (the default) it costs one ref read per delivery. *)
+
+val port_delivery_digests : t -> string array
+(** Per-port digests (hex).  Raises [Invalid_argument] unless
+    {!enable_delivery_digest} was called. *)
+
+val delivery_digest : t -> string
+(** All ports folded into a single hex digest (also snapshotted as
+    [sim.delivery_digest] in telemetry when enabled). *)
 
 val run_for : t -> us:float -> unit
 (** Advance the simulation, then audit the invariant registry (every

@@ -16,6 +16,12 @@ type t = {
   mutable dequeued : int;
   mutable dropped : int;
   mutable peak : int;
+  (* Parked consumers, all fired (and cleared) on the next successful
+     push.  Lets output contexts sleep on an empty queue instead of
+     polling; producers need no wiring — [push] fires them internally.
+     Wake-all with consumer-side re-check: several contexts may share a
+     queue, and a single overwritable cell would lose wakeups. *)
+  mutable waiters : (unit -> unit) list;
 }
 
 let create ?(name = "queue") ~capacity () =
@@ -39,6 +45,7 @@ let create ?(name = "queue") ~capacity () =
     dequeued = 0;
     dropped = 0;
     peak = 0;
+    waiters = [];
   }
 
 let name q = q.name
@@ -55,8 +62,15 @@ let push q d =
     q.len <- q.len + 1;
     q.enqueued <- q.enqueued + 1;
     if q.len > q.peak then q.peak <- q.len;
+    (match q.waiters with
+    | [] -> ()
+    | ws ->
+        q.waiters <- [];
+        List.iter (fun w -> w ()) ws);
     true
   end
+
+let add_waiter q w = q.waiters <- w :: q.waiters
 
 let pop q =
   if q.len = 0 then None

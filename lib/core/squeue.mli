@@ -24,6 +24,14 @@ val peek : t -> Desc.t option
 val length : t -> int
 val is_empty : t -> bool
 
+val add_waiter : t -> (unit -> unit) -> unit
+(** [add_waiter q w] registers [w] to be called by the next successful
+    {!push}; all registered waiters fire once and are cleared together.
+    Lets consumers park on an empty queue instead of polling — producers
+    need no cooperation.  Callbacks must tolerate spurious invocation
+    (re-check the queue on wake) and must be idempotent per
+    registration. *)
+
 val mutex : t -> Sim.Mutex.t
 (** The hardware mutex protecting this queue under I.2/I.3. *)
 

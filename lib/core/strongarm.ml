@@ -299,7 +299,9 @@ let spawn t chip =
                         (* The paper's delay-loop spare-cycle probe. *)
                         t.spare_probe <- t.spare_probe + backoff;
                         Chip_ctx.wait_cycles t.ctx backoff;
-                        loop (min (backoff * 2) 64)
+                        loop
+                          (min (backoff * 2)
+                             t.cm.Cost_model.sa_poll_backoff_cycles)
                     | Interrupts ->
                         Sim.Semaphore.acquire t.work_signal;
                         Chip_ctx.exec t.ctx t.cm.Cost_model.sa_interrupt_cycles;

@@ -66,9 +66,17 @@ let sram_transfers (cfg : Ixp.Config.t) c =
   + ops_for c.sram_write_bytes cfg.sram.unit_bytes
 
 let cycles_estimate (cfg : Ixp.Config.t) c =
+  (* Memory bursts pipeline on the channel: the first unit pays full
+     latency, each further unit lands one occupancy slot later (the
+     charging model of [Ixp.Mem.transfer]).  Aggregating a code block's
+     bytes into one burst per direction keeps this a lower bound of the
+     charged execution time — splitting a burst only adds latency. *)
   let mem (t : Ixp.Config.mem_timing) rb wb =
-    (ops_for rb t.unit_bytes * t.read_cycles)
-    + (ops_for wb t.unit_bytes * t.write_cycles)
+    let burst first n =
+      if n = 0 then 0 else first + ((n - 1) * t.occupancy_cycles)
+    in
+    burst t.read_cycles (ops_for rb t.unit_bytes)
+    + burst t.write_cycles (ops_for wb t.unit_bytes)
   in
   c.instr
   + mem cfg.sram c.sram_read_bytes c.sram_write_bytes

@@ -43,7 +43,10 @@ val sram_transfers : Ixp.Config.t -> cost -> int
 
 val cycles_estimate : Ixp.Config.t -> cost -> int
 (** Requester-visible cycles: instructions plus uncontended memory
-    latencies.  What admission control compares against the budget. *)
+    latencies, with each direction's bytes charged as one pipelined
+    burst (first unit pays full latency, subsequent units one occupancy
+    slot each — a lower bound on the charged execution).  What admission
+    control compares against the budget. *)
 
 val istore_slots : code -> int
 (** Instruction-store footprint: register instructions plus one issue slot

@@ -84,6 +84,13 @@ let alloc t frame =
       t.in_use <- t.in_use + 1;
       { index; generation = slot.generation }
 
+(* Non-raising form for the batched hot loop: allocation failure (an
+   injected Pool_fail or a dry stack) is an expected per-frame outcome
+   there, and raising would tear the whole batch down through the
+   exception handler instead of dropping one frame. *)
+let alloc_opt t frame =
+  match alloc t frame with h -> Some h | exception Failure _ -> None
+
 let read t h =
   let slot = t.slots.(h.index) in
   if slot.generation <> h.generation then begin

@@ -27,6 +27,11 @@ val alloc : t -> Packet.Frame.t -> handle
     mode this may silently overwrite the oldest in-flight buffer (counted
     in {!overwrites}).  In stack mode it raises [Failure] when empty. *)
 
+val alloc_opt : t -> Packet.Frame.t -> handle option
+(** {!alloc} returning [None] instead of raising [Failure] (injected
+    allocation failure, or a dry stack pool) — the batched input loop's
+    drop-one-frame path. *)
+
 val read : t -> handle -> Packet.Frame.t option
 (** [read pool h] is the stored frame, or [None] if the buffer was reused
     since [h] was created (a lost packet). *)

@@ -46,4 +46,23 @@ let take t i =
 
 let peek t i = t.slots.(i)
 
+(* Burst forms: one DMA programs a run of consecutive slots.  Loads go
+   through [load] slot by slot so per-MP fault draws (Fifo_flip) keep
+   exactly the sequence the one-at-a-time path would produce. *)
+let load_burst t ~start mps =
+  let n = Array.length mps in
+  if start < 0 || start + n > Array.length t.slots then
+    invalid_arg "Fifo.load_burst: slot range";
+  for k = 0 to n - 1 do
+    load t (start + k) mps.(k)
+  done
+
+let take_burst t ~start ~into =
+  let n = Array.length into in
+  if start < 0 || start + n > Array.length t.slots then
+    invalid_arg "Fifo.take_burst: slot range";
+  for k = 0 to n - 1 do
+    into.(k) <- take t (start + k)
+  done
+
 let transfers t = t.transfers

@@ -26,5 +26,16 @@ val take : t -> int -> Packet.Mp.t
 
 val peek : t -> int -> Packet.Mp.t option
 
+val load_burst : t -> start:int -> Packet.Mp.t array -> unit
+(** [load_burst f ~start mps] fills the consecutive slots
+    [start .. start + length mps - 1] in one programmed DMA burst.
+    Fault draws are per MP, identical to loading one at a time.  Raises
+    [Invalid_argument] on a bad range or an occupied slot. *)
+
+val take_burst : t -> start:int -> into:Packet.Mp.t array -> unit
+(** [take_burst f ~start ~into] empties [length into] consecutive slots
+    beginning at [start] into [into].  Raises on a bad range or an empty
+    slot. *)
+
 val transfers : t -> int
 (** Total slot loads (DMA traffic accounting). *)

@@ -20,4 +20,10 @@ let hash t v =
   Sim.Engine.Clock.wait_cycles t.clock t.cycles;
   hash_free t v
 
+(* Booked form: count the use and return the charge in picoseconds for
+   the caller to accumulate instead of waiting here. *)
+let hash_booked t v =
+  t.uses <- t.uses + 1;
+  (Sim.Engine.Clock.ps_of_cycles_i t.clock t.cycles, hash_free t v)
+
 let uses t = t.uses

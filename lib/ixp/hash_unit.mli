@@ -13,6 +13,11 @@ val hash : t -> int64 -> int
 (** [hash u v] (inside a fiber) charges the unit's latency and returns a
     well-mixed non-negative hash of [v]. *)
 
+val hash_booked : t -> int64 -> int * int
+(** [hash_booked u v] counts the use and returns
+    [(charge_ps, hash)] for the per-batch charging path to accumulate
+    instead of waiting. *)
+
 val hash_free : t -> int64 -> int
 (** The same mixing function without the cycle charge (for code that
     accounts costs in aggregate, e.g. the VRP interpreter). *)

@@ -37,6 +37,11 @@ type t = {
      [None] keeps the hot path branch-predictable for ordinary ports. *)
   mutable tx_gate : (unit -> bool) option;
   mutable tx_gated : int;
+  (* Parked input contexts waiting for this port to become non-empty.
+     One waiter is woken per accepted frame (not per MP): a frame is the
+     unit of new work, and waking every parked context per MP would
+     thundering-herd the token ring. *)
+  mutable rx_waiters : (unit -> unit) list;
 }
 
 let mp_wire_ps ~mbps ~bytes =
@@ -81,6 +86,7 @@ let create _engine ~id ~mbps ~rx_slots ?sink () =
     tx_link_down = 0;
     tx_gate = None;
     tx_gated = 0;
+    rx_waiters = [];
   }
 
 let id t = t.id
@@ -140,6 +146,11 @@ let offer_clean t f =
     done;
     t.r_len <- t.r_len + n;
     t.rx_frames <- t.rx_frames + 1;
+    (match t.rx_waiters with
+    | [] -> ()
+    | w :: rest ->
+        t.rx_waiters <- rest;
+        w ());
     true
   end
 
@@ -157,6 +168,12 @@ let offer t f =
 
 let rdy t = t.r_len > 0
 
+(* Park a context until this port has receive work.  Fires immediately
+   when MPs are already queued, so the usual pattern
+   [Engine.suspend (fun w -> park_rx port w)] never misses work that
+   arrived between the caller's check and the suspension. *)
+let park_rx t w = if t.r_len > 0 then w () else t.rx_waiters <- w :: t.rx_waiters
+
 let tag_of_code =
   [| Packet.Mp.Only; Packet.Mp.First; Packet.Mp.Intermediate; Packet.Mp.Last |]
 
@@ -172,6 +189,32 @@ let take_mp t =
     t.r_len <- t.r_len - 1;
     Some { tag = Array.unsafe_get tag_of_code (m land 3); index = m lsr 2; frame = f }
   end
+
+(* Burst drain into caller-provided parallel arrays (the carrier is a
+   Batch.t upstream; taking raw arrays here keeps this library free of
+   core types).  Copies raw meta words — (index lsl 2) lor tag code —
+   straight out of the ring: no per-MP option/record allocation.  MPs of
+   one frame are contiguous in the ring, so a burst takes whole frames
+   in order, possibly splitting the last frame's tail MPs into the next
+   burst (exactly as the per-MP path could interleave them). *)
+let take_burst t ~meta ~frames ~max:max_mps =
+  let cap = min (Array.length meta) (Array.length frames) in
+  let n = min t.r_len (min max_mps cap) in
+  if n > 0 then begin
+    let h = ref t.r_head in
+    for i = 0 to n - 1 do
+      Array.unsafe_set meta i (Array.unsafe_get t.r_meta !h);
+      Array.unsafe_set frames i (Array.unsafe_get t.r_fr !h);
+      Array.unsafe_set t.r_fr !h t.dummy;
+      h := (!h + 1) land t.r_mask
+    done;
+    t.r_head <- !h;
+    t.r_len <- t.r_len - n
+  end;
+  n
+
+let tag_of_meta m = Array.unsafe_get tag_of_code (m land 3)
+let index_of_meta m = m lsr 2
 
 let frame_time_ps t ~bytes =
   (* Preamble+SFD (8) and minimum inter-frame gap (12) per IEEE 802.3. *)

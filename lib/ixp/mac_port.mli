@@ -72,6 +72,26 @@ val rdy : t -> bool
 val take_mp : t -> rx_item option
 (** Remove the next received MP (the receive DMA's read side). *)
 
+val take_burst : t -> meta:int array -> frames:Packet.Frame.t array -> max:int -> int
+(** [take_burst p ~meta ~frames ~max] drains up to [max] received MPs
+    into the parallel arrays (raw meta word + frame reference per MP),
+    returning how many were taken.  Decode the meta words with
+    {!tag_of_meta} / {!index_of_meta}.  Allocation-free: no per-MP
+    {!rx_item} is built.  MPs arrive in ring order, whole frames
+    contiguous. *)
+
+val tag_of_meta : int -> Packet.Mp.tag
+(** Decode a {!take_burst} meta word's MP tag. *)
+
+val index_of_meta : int -> int
+(** Decode a {!take_burst} meta word's MP index within its frame. *)
+
+val park_rx : t -> (unit -> unit) -> unit
+(** [park_rx p w] registers [w] to be called when this port next accepts
+    a frame — or immediately, if MPs are already waiting.  One parked
+    waiter is woken per accepted frame.  Used with [Engine.suspend] so
+    an idle input context sleeps instead of polling. *)
+
 val frame_time_ps : t -> bytes:int -> int64
 (** Wire time of a [bytes]-byte frame including preamble and inter-frame
     gap (IEEE 802.3: 8 + 12 overhead bytes) — what a line-rate source

@@ -4,8 +4,16 @@
     Each operation moves at most [unit_bytes]; larger requests issue
     multiple back-to-back operations (that is what Table 2's "2 DRAM
     writes" for a 64-byte MP means).  The requester observes the Table 3
-    latency per operation plus any queueing behind other contexts — the
-    contention that the paper's design works so hard to avoid. *)
+    latency plus any queueing behind other contexts — the contention
+    that the paper's design works so hard to avoid.
+
+    On the zero-fault path a multi-unit transfer is charged as one
+    pipelined burst: the channel is occupied for [n * occupancy] and the
+    requester blocks for [latency + (n-1) * occupancy] — unit fills
+    stream back to back, as the IXP's burst-capable SDRAM/SRAM
+    interfaces do.  With an injector installed the units are issued one
+    by one so per-operation fault draws (drop/delay/flip) keep their
+    exact seeded sequence. *)
 
 type t
 
@@ -24,6 +32,19 @@ val read : t -> bytes:int -> unit
 
 val write : t -> bytes:int -> unit
 (** Like {!read} for writes. *)
+
+val bookable : t -> bool
+(** Whether this channel's charges may be booked without waiting: true
+    on the zero-fault path, false once an injector is installed (the
+    per-operation fault draws need the one-by-one issue sequence). *)
+
+val read_booked : t -> now:int -> bytes:int -> int
+(** [read_booked ch ~now ~bytes] books the burst as of virtual time
+    [now] and returns the requester's delay instead of waiting.  Only
+    valid when {!bookable}. *)
+
+val write_booked : t -> now:int -> bytes:int -> int
+(** Like {!read_booked} for writes. *)
 
 val read_ops : t -> bytes:int -> int
 (** Number of operations a [bytes]-sized access issues (cost accounting). *)

@@ -17,6 +17,29 @@ val id : t -> int
 val exec : t -> int -> unit
 (** [exec me n] (inside a context fiber) runs [n] register instructions. *)
 
+val exec_wait : t -> instr:int -> wait:int -> unit
+(** [exec_wait me ~instr ~wait] runs [instr] register instructions and
+    then sleeps [wait] cycles with the core released, as a single fused
+    access — timing-identical to [exec me instr; wait_cycles wait] under
+    any core contention, in one event instead of two. *)
+
+val exec_booked : t -> now:int -> int -> int
+(** [exec_booked me ~now n] books {!exec}'s core charge as of virtual
+    time [now] and returns the requester's delay instead of waiting (the
+    per-batch charging path; see {!Sim.Server.book_i}). *)
+
+val exec_wait_booked : t -> now:int -> instr:int -> wait:int -> int
+(** Booked form of {!exec_wait}. *)
+
+val exec_wait_light : t -> instr:int -> wait:int -> int
+(** [exec_wait_light me ~instr ~wait] accounts {!exec_wait}'s work in the
+    instruction and busy-time counters and returns its duration in
+    picoseconds without queueing on the core's busy horizon.  For short
+    serial sections executed while holding the token under per-batch
+    charging: queueing them behind sibling contexts' whole-burst
+    bookings would stretch the token hold by foreign bursts and collapse
+    ring rotation (see {!Sim.Server.record_i}). *)
+
 val instructions : t -> int
 (** Total instructions issued. *)
 

@@ -17,6 +17,19 @@ type t = {
   mutable limit : int; (* horizon of the active [run], for wait elision *)
   mutable elided : int; (* waits satisfied in place, never queued *)
   mutable running : bool; (* ownership: set while [run]/[run_until_idle] *)
+  (* Activation coalescing.  [coalescing] gates the in-place wait fast
+     path as a whole: with it off, every wait becomes a queued event and
+     the run is fully event-granular — the "unbatched" arm of the
+     delivery-schedule equivalence gate.  [batch_depth] > 0 marks a
+     declared batch span (one context activation working through a burst
+     of frames); waits satisfied in place inside a span are counted in
+     [absorbed] instead of [elided], so the two gauges stay disjoint. *)
+  mutable coalescing : bool;
+  mutable span_ctr : int; (* batch span ids; 0 is reserved for "none" *)
+  mutable cur_span : int; (* open span id, 0 when outside any span *)
+  mutable absorbed : int; (* waits absorbed into batch activations *)
+  mutable batched_activations : int; (* spans completed without queueing *)
+  mutable batch_frames : int; (* frames processed through batch spans *)
 }
 
 type waker = unit -> unit
@@ -50,6 +63,12 @@ let create () =
     limit = 0;
     elided = 0;
     running = false;
+    coalescing = true;
+    span_ctr = 0;
+    cur_span = 0;
+    absorbed = 0;
+    batched_activations = 0;
+    batch_frames = 0;
   }
 
 let time t = Int64.of_int t.clock
@@ -79,12 +98,17 @@ let rec exec_fiber t name fn =
           | Wait d ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  (* A real suspension: any open batch span is broken —
+                     other fibers may interleave before this one resumes,
+                     so the activation no longer covers the batch. *)
+                  t.cur_span <- 0;
                   if d < 0 then
                     discontinue k (Invalid_argument "Engine.wait: negative")
                   else schedule_event t ~at:(t.clock + d) (Resume k))
           | Suspend f ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  t.cur_span <- 0;
                   let fired = ref false in
                   let waker () =
                     if !fired then
@@ -185,6 +209,34 @@ let events_scheduled t = t.seq
 let elided_waits t = t.elided
 let far_hits t = Wheel.far_hits t.queue
 
+(* Activation coalescing control + batch-span accounting.  A span is
+   opened by a context about to work through a burst of frames; it
+   survives only as long as the fiber never truly suspends (every wait
+   inside it is absorbed in place).  Span ids — rather than a depth
+   counter — keep the accounting correct when a span IS broken: the
+   handler clears [cur_span] at suspension, so a later [batch_end] from
+   the interrupted fiber can't steal credit from a span some other
+   context opened in the meantime. *)
+let set_coalescing t on = t.coalescing <- on
+let coalescing t = t.coalescing
+
+let batch_begin t =
+  t.span_ctr <- t.span_ctr + 1;
+  t.cur_span <- t.span_ctr;
+  t.span_ctr
+
+let batch_end t span ~frames =
+  t.batch_frames <- t.batch_frames + frames;
+  (* An activation that moved frames counts whether or not the span
+     survived unbroken — the span check only guards the absorbed/elided
+     gauge split, which needs to know a *currently open* span. *)
+  if frames > 0 then t.batched_activations <- t.batched_activations + 1;
+  if t.cur_span = span then t.cur_span <- 0
+
+let absorbed_waits t = t.absorbed
+let batched_activations t = t.batched_activations
+let batch_frames_total t = t.batch_frames
+
 (* Reading the dispatching engine's clock directly skips a continuation
    capture per call; the effect remains as the fallback so [now] still
    fails loudly (Effect.Unhandled) outside any engine. *)
@@ -209,10 +261,14 @@ let now () =
    number and must run first. *)
 let wait_i d =
   match current () with
-  | Some t when d >= 0 ->
+  | Some t when d >= 0 && t.coalescing ->
       let target = t.clock + d in
       if target <= t.limit && Wheel.min_time t.queue > target then begin
-        t.elided <- t.elided + 1;
+        (* Inside a batch span the wait is part of one coalesced
+           activation, not an independently elided event: keep the two
+           gauges disjoint so their sum stays meaningful. *)
+        if t.cur_span <> 0 then t.absorbed <- t.absorbed + 1
+        else t.elided <- t.elided + 1;
         t.clock <- target
       end
       else Effect.perform (Wait d)

@@ -72,14 +72,64 @@ val events_scheduled : t -> int
 
 val elided_waits : t -> int
 (** [elided_waits t] is the number of [wait]s satisfied in place by the
-    elision fast path (clock advanced without queueing an event).
-    [events_scheduled t + elided_waits t] approximates the logical event
-    count. *)
+    elision fast path (clock advanced without queueing an event)
+    {e outside} any batch span; waits absorbed inside a span are counted
+    in {!absorbed_waits} instead.  [events_scheduled t + elided_waits t
+    + absorbed_waits t] approximates the logical event count. *)
 
 val far_hits : t -> int
 (** [far_hits t] is the number of events pushed beyond the timing
     wheel's horizon into its far-tier heap — each such event pays a heap
     push/pop instead of an O(1) bucket insert. *)
+
+(** {1 Activation coalescing and batch spans}
+
+    The wait-elision fast path, plus the batch-span accounting layered
+    on it, together form the "batched" execution mode: a context that
+    works through a burst of frames advances the clock in place and
+    never re-enters the run queue, so the whole burst costs one
+    activation.  [set_coalescing t false] turns the fast path off
+    entirely — every wait becomes a queued event — which is the
+    reference "unbatched" arm of the per-port delivery-schedule
+    equivalence gate.  Elision never reorders dispatch (it fires only
+    when no queued event falls inside the wait window), so both modes
+    produce identical delivery schedules; the gate in [test_fault]
+    witnesses this across the fault matrix. *)
+
+val set_coalescing : t -> bool -> unit
+(** [set_coalescing t on] enables ([on = true], the default) or
+    disables the in-place wait fast path — both plain elision and batch
+    absorption.  Disabled, the engine is fully event-granular. *)
+
+val coalescing : t -> bool
+(** [coalescing t] is the current coalescing setting. *)
+
+val batch_begin : t -> int
+(** [batch_begin t] opens a batch span and returns its id.  Call from a
+    fiber about to process a burst of frames in one activation.  The
+    span is implicitly broken if the fiber truly suspends (a wait that
+    cannot be absorbed, or a [suspend]). *)
+
+val batch_end : t -> int -> frames:int -> unit
+(** [batch_end t span ~frames] closes span [span], recording [frames]
+    frames processed through the batch path.  The span counts as a
+    coalesced activation only if it was never broken by a real
+    suspension. *)
+
+val absorbed_waits : t -> int
+(** [absorbed_waits t] is the number of waits satisfied in place inside
+    a batch span.  Disjoint from {!elided_waits}: a wait is counted in
+    exactly one of the two gauges. *)
+
+val batched_activations : t -> int
+(** [batched_activations t] is the number of batch spans that completed
+    without a real suspension — bursts fully coalesced into a single
+    context activation. *)
+
+val batch_frames_total : t -> int
+(** [batch_frames_total t] is the total number of frames processed
+    through batch spans ([batch_frames_total / batched_activations]
+    approximates the mean realized batch size). *)
 
 val current_engine : unit -> t option
 (** [current_engine ()] is the engine currently dispatching events on

@@ -15,16 +15,43 @@ let create ?(name = "server") () =
 
 let name s = s.name
 
-let access_i s ~occupancy ~latency =
-  let t = Engine.now_i () in
-  let start = if s.busy_until > t then s.busy_until else t in
-  let qdelay = start - t in
-  s.busy_until <- start + occupancy;
+(* Book an access issued at virtual time [now] (engine time + delays the
+   requester has already booked) without waiting: returns the delay the
+   requester experiences; callers accumulate a batch of charges and pay
+   the sum with one wait.
+
+   The busy horizon is packed by occupancy from engine time — NOT placed
+   at the requester's virtual clock.  Booking at [now] would embed the
+   requester's latency gaps (time the server is idle while the requester
+   waits on the round trip) into the horizon, and a burst of bookings
+   would then charge *other* requesters for those idle gaps as queueing:
+   whole bursts would serialize end-to-end through every shared server.
+   Packing by occupancy keeps the server work-conserving — the horizon
+   grows exactly by the work served, later bookings backfill the gaps —
+   while a requester still queues whenever the packed horizon passes its
+   own clock (the server genuinely has more work than time). *)
+let book_i s ~now ~occupancy ~latency =
+  let floor = Engine.now_i () in
+  let base = if s.busy_until > floor then s.busy_until else floor in
+  let qdelay = if base > now then base - now else 0 in
+  s.busy_until <- base + occupancy;
   s.busy_time <- s.busy_time + occupancy;
   s.requests <- s.requests + 1;
   s.queue_delay_total <- s.queue_delay_total + qdelay;
   let visible = if latency > occupancy then latency else occupancy in
-  Engine.wait_i (qdelay + visible)
+  qdelay + visible
+
+(* Stats-only booking: account the work in [busy_time]/[requests] without
+   advancing the busy horizon.  For short sections executed while holding
+   a shared token or lock, where queueing the charge behind other
+   requesters' batch-granularity bookings would stretch the hold by whole
+   foreign bursts (a convoy the per-operation path never forms). *)
+let record_i s ~occupancy =
+  s.busy_time <- s.busy_time + occupancy;
+  s.requests <- s.requests + 1
+
+let access_i s ~occupancy ~latency =
+  Engine.wait_i (book_i s ~now:(Engine.now_i ()) ~occupancy ~latency)
 
 let access s ~occupancy ~latency =
   access_i s ~occupancy:(Int64.to_int occupancy) ~latency:(Int64.to_int latency)

@@ -27,6 +27,28 @@ val access_i : t -> occupancy:int -> latency:int -> unit
 (** {!access} on native-int picosecond durations — the allocation-free
     form the per-operation memory path uses. *)
 
+val book_i : t -> now:int -> occupancy:int -> latency:int -> int
+(** [book_i s ~now ~occupancy ~latency] records an access issued at
+    virtual time [now] (engine time plus delays the requester has
+    already booked) without waiting, returning the delay the requester
+    experiences ([queueing + max latency occupancy]).  The per-batch
+    charging path books each charge at its own virtual clock and pays
+    the accumulated total with one wait at the next shared-state
+    interaction.  The busy horizon is packed by occupancy from engine
+    time (later bookings backfill the requester's latency gaps), so the
+    server stays work-conserving under batch-granularity booking;
+    queueing is charged only when the packed horizon passes the
+    requester's own clock.  With [now] equal to engine time this is
+    exactly {!access_i}'s accounting. *)
+
+val record_i : t -> occupancy:int -> unit
+(** [record_i s ~occupancy] accounts the work in the busy-time and
+    request counters without advancing the busy horizon (no queueing).
+    For short sections executed while holding a shared token or lock
+    under per-batch charging, where queueing behind other requesters'
+    batch-granularity bookings would stretch the hold by whole foreign
+    bursts — a convoy the per-operation path never forms. *)
+
 val busy_time : t -> int64
 (** [busy_time s] is the cumulative occupancy served, for utilization. *)
 

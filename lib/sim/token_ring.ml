@@ -1,6 +1,19 @@
 (* Timestamps and accumulators are native-int picoseconds: two acquires
    and two releases run per forwarded packet, and int64 arithmetic here
-   would allocate on each. *)
+   would allocate on each.
+
+   The token is granted ON DEMAND rather than rotating through every
+   slot unconditionally.  The original model required each member to
+   keep spinning acquire/release just to move the token past its slot —
+   a context parked on an empty port would stall the whole ring.  Here
+   the token either rests at the slot of its last holder or travels
+   directly to the next requester, paying [pass_ps] per slot of ring
+   distance (the same per-hop signalling cost, charged only for hops
+   actually traversed).  Grant order on release scans the ring forward
+   from the releasing slot, which preserves the rotation fairness of the
+   original order among contending members.  A virtual position still
+   advances exactly one slot per release so the [rotations] fairness
+   witness keeps its original meaning. *)
 type t = {
   name : string;
   pass_ps : int;
@@ -8,8 +21,9 @@ type t = {
   claimed : bool array;
   waiters : Engine.waker option array;
   mutable pos : int; (* slot the token is parked at / travelling to *)
-  mutable held : bool;
+  mutable held : bool; (* true from grant (incl. in-flight) to release *)
   mutable available_at : int; (* pass-in-flight horizon *)
+  mutable vpos : int; (* virtual strict-rotation position, stats only *)
   mutable hold_start : int;
   mutable rotations : int;
   mutable hold_time : int;
@@ -26,6 +40,7 @@ let create ?(name = "ring") ?(pass_ps = 0L) ~members () =
     pos = 0;
     held = false;
     available_at = 0;
+    vpos = 0;
     hold_start = 0;
     rotations = 0;
     hold_time = 0;
@@ -38,22 +53,34 @@ let join t idx =
   if t.claimed.(idx) then invalid_arg (t.name ^ ": slot already claimed");
   t.claimed.(idx) <- true
 
+(* Ring distance from [from_] forward to [to_]. *)
+let hops t from_ to_ = (to_ - from_ + t.n) mod t.n
+
 let take t =
-  (* The token may still be in flight from the previous holder. *)
+  (* The token may still be in flight toward this slot. *)
   let now = Engine.now_i () in
   if t.available_at > now then Engine.wait_i (t.available_at - now);
-  t.held <- true;
   t.hold_start <- Engine.now_i ();
   t.rotations
 
 let acquire t idx =
   if not t.claimed.(idx) then invalid_arg (t.name ^ ": acquire before join");
-  if t.pos = idx && not t.held then take t
+  if not t.held then begin
+    (* Token at rest: claim it and send it travelling here. *)
+    t.held <- true;
+    let h = hops t t.pos idx in
+    t.pos <- idx;
+    let now = Engine.now_i () in
+    let base = if t.available_at > now then t.available_at else now in
+    t.available_at <- base + (h * t.pass_ps);
+    take t
+  end
   else begin
     (match t.waiters.(idx) with
     | Some _ -> invalid_arg (t.name ^ ": slot acquired twice concurrently")
     | None -> ());
     Engine.suspend (fun w -> t.waiters.(idx) <- Some w);
+    (* Woken by a grant: [pos] and [available_at] already point here. *)
     take t
   end
 
@@ -62,15 +89,28 @@ let release t idx =
   if t.pos <> idx then invalid_arg (t.name ^ ": release from wrong slot");
   let now = Engine.now_i () in
   t.hold_time <- t.hold_time + (now - t.hold_start);
-  t.held <- false;
-  t.pos <- (t.pos + 1) mod t.n;
-  if t.pos = 0 then t.rotations <- t.rotations + 1;
-  t.available_at <- now + t.pass_ps;
-  match t.waiters.(t.pos) with
-  | Some w ->
-      t.waiters.(t.pos) <- None;
+  (* Virtual strict-rotation bookkeeping: one slot per release, exactly
+     as the original rotating token advanced, so [rotations] keeps
+     counting completed fairness rounds. *)
+  t.vpos <- (t.vpos + 1) mod t.n;
+  if t.vpos = 0 then t.rotations <- t.rotations + 1;
+  (* Grant to the nearest waiter in ring order after this slot. *)
+  let rec scan k =
+    if k >= t.n then None
+    else
+      let s = (idx + k) mod t.n in
+      match t.waiters.(s) with Some w -> Some (s, k, w) | None -> scan (k + 1)
+  in
+  match scan 1 with
+  | Some (s, h, w) ->
+      t.waiters.(s) <- None;
+      t.pos <- s;
+      t.available_at <- now + (h * t.pass_ps);
+      (* [held] stays true through the flight: the grantee owns it. *)
       w ()
-  | None -> ()
+  | None ->
+      t.held <- false;
+      t.available_at <- now
 
 let with_token t idx f =
   let _ = acquire t idx in

@@ -9,7 +9,17 @@
 
     The rotation order is the member index order, which callers arrange so
     that consecutive holders sit on different MicroEngines and the two
-    contexts serving one port are maximally far apart (section 3.2.2). *)
+    contexts serving one port are maximally far apart (section 3.2.2).
+
+    The token is granted {e on demand}: it rests at its last holder's
+    slot when nobody wants it and travels directly to the next
+    requester, paying the per-hop signalling delay only for ring
+    distance actually traversed.  Members that are parked (e.g. an input
+    context blocked on an empty port) therefore never stall the ring —
+    the original always-rotating model required every member to keep
+    spinning just to pass the token along.  Contention is still resolved
+    in ring order from the releasing slot, so fairness among active
+    members matches the original rotation. *)
 
 type t
 
@@ -31,7 +41,8 @@ val acquire : t -> int -> int
     of complete rotations the token has made so far (a fairness witness). *)
 
 val release : t -> int -> unit
-(** [release ring idx] passes the token to the next slot in index order. *)
+(** [release ring idx] hands the token to the nearest waiting slot in
+    ring order after [idx], or parks it at [idx] when nobody waits. *)
 
 val with_token : t -> int -> (unit -> 'a) -> 'a
 (** [with_token ring idx f] is [acquire; f (); release], exception-safe. *)

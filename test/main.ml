@@ -18,4 +18,5 @@ let () =
       ("host", Test_host.tests);
       ("integration", Test_integration.tests);
       ("fuzz", Test_fuzz.tests);
+      ("batch", Test_batch.tests);
     ]

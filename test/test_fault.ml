@@ -231,13 +231,20 @@ type run = {
   violations : Fault.Invariant.violation list;
   delivered : int;
   counts : (string * int) list;
+  digests : string array;
 }
 
-let drive spec =
+let drive ?(unbatched = false) ?(with_digest = false) spec =
   let config =
     { Router.default_config with Router.faults = scenario_of spec }
   in
   let r = Router.create ~config () in
+  if with_digest then Router.enable_delivery_digest r;
+  (* The unbatched arm runs fully event-granular: every wait is a real
+     scheduler event, no activation coalescing.  Everything else —
+     including the per-batch cost accounting — is identical, which is
+     exactly the equivalence the relaxed gate asserts. *)
+  if unbatched then Sim.Engine.set_coalescing r.Router.engine false;
   for p = 0 to config.Router.n_ports - 1 do
     Router.add_route r
       (Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" p))
@@ -287,6 +294,7 @@ let drive spec =
       (match r.Router.injector with
       | None -> []
       | Some inj -> Fault.Injector.counts inj);
+    digests = (if with_digest then Router.port_delivery_digests r else [||]);
   }
 
 let matrix =
@@ -327,6 +335,24 @@ let scenario_matrix () =
       Alcotest.(check bool)
         (Printf.sprintf "scenario %S still forwards" spec)
         true (o.delivered > 0))
+    matrix
+
+(* The batching gate, on the full fault matrix: a batched run and a fully
+   event-granular run must produce bit-identical per-port delivery
+   schedules — every (time, frame-bytes) pair, in order, on every port.
+   Faults exercise the paths where batches split (MAC rx loss, memory
+   injector commits, pool failures, crashes). *)
+let batched_unbatched_digests_agree () =
+  List.iter
+    (fun spec ->
+      let a = drive ~with_digest:true spec in
+      let b = drive ~with_digest:true ~unbatched:true spec in
+      Alcotest.(check int)
+        (Printf.sprintf "scenario %S: same delivery count" spec)
+        a.delivered b.delivered;
+      Alcotest.(check (array string))
+        (Printf.sprintf "scenario %S: per-port schedules identical" spec)
+        a.digests b.digests)
     matrix
 
 let replay_identical () =
@@ -509,6 +535,8 @@ let tests =
     Alcotest.test_case "invariant registry" `Quick invariant_registry;
     Alcotest.test_case "scenario matrix holds invariants" `Slow
       scenario_matrix;
+    Alcotest.test_case "batched = unbatched delivery schedules (fault matrix)"
+      `Slow batched_unbatched_digests_agree;
     Alcotest.test_case "seeded replay identical" `Slow replay_identical;
     Alcotest.test_case "zero faults match unconfigured router" `Slow
       zero_fault_matches_no_config;

@@ -19,8 +19,10 @@ let vrp_static_cost () =
   Alcotest.(check int) "sram read" 8 c.Vrp.sram_read_bytes;
   Alcotest.(check int) "hashes" 1 c.Vrp.hashes;
   Alcotest.(check int) "transfers" 3 (Vrp.sram_transfers Ixp.Config.default c);
-  (* 15 instr + 2 reads x 22 + 1 write x 22 + 1 hash = 82 *)
-  Alcotest.(check int) "cycles" 82 (Vrp.cycles_estimate Ixp.Config.default c)
+  (* 15 instr + a 2-unit read burst (22 + 2) + 1 write x 22 + 1 hash = 62:
+     memory bursts pipeline, so units past the first cost one occupancy
+     slot, not a full latency. *)
+  Alcotest.(check int) "cycles" 62 (Vrp.cycles_estimate Ixp.Config.default c)
 
 let vrp_istore_slots () =
   let code = [ Vrp.Instr 10; Vrp.Sram_read 8; Vrp.Hash ] in

@@ -189,9 +189,59 @@ let token_ring_pass_delay () =
         done)
   done;
   Sim.Engine.run_until_idle e;
-  (* Zero hold time, so acquisitions land exactly one pass delay apart. *)
-  Alcotest.(check (list int64)) "pass delays" [ 0L; 5L; 10L; 15L ]
+  (* On-demand passing: the token rests at the last holder's station
+     instead of circulating, so m0's two zero-hold acquisitions are free
+     (the token is already at its slot), then m1 pays exactly one hop
+     (5 ps) to pull it over and re-acquires for free. *)
+  Alcotest.(check (list int64)) "pass delays" [ 0L; 0L; 5L; 5L ]
     (List.rev !times)
+
+let token_ring_on_demand () =
+  let e = Sim.Engine.create () in
+  let ring = Sim.Token_ring.create ~pass_ps:5L ~members:4 () in
+  let times = ref [] in
+  (* Members 0, 1 and 3 join but never acquire; an idle station must not
+     block (or slow) the token's travel to the one member that works. *)
+  for i = 0 to 3 do
+    Sim.Engine.spawn e
+      (Printf.sprintf "m%d" i)
+      (fun () ->
+        Sim.Token_ring.join ring i;
+        if i = 2 then
+          for _ = 1 to 3 do
+            Sim.Token_ring.with_token ring i (fun () ->
+                times := Sim.Engine.now () :: !times)
+          done)
+  done;
+  Sim.Engine.run_until_idle e;
+  (* First acquisition pays the two hops from station 0; the rest find
+     the token at rest at station 2. *)
+  Alcotest.(check (list int64)) "on-demand travel" [ 10L; 10L; 10L ]
+    (List.rev !times)
+
+let token_ring_contended_handoff () =
+  let e = Sim.Engine.create () in
+  let ring = Sim.Token_ring.create ~pass_ps:5L ~members:4 () in
+  let log = ref [] in
+  (* m1 pulls the token one hop from station 0 (granted at 5) and holds
+     it for 7; m3 asks at t=1 and must wait parked (not spin) until the
+     release at 12, then pay the two hops from station 1 to station 3:
+     granted at 12 + 10 = 22. *)
+  Sim.Engine.spawn e "m1" (fun () ->
+      Sim.Token_ring.join ring 1;
+      Sim.Token_ring.with_token ring 1 (fun () ->
+          log := ("m1", Sim.Engine.now ()) :: !log;
+          Sim.Engine.wait 7L));
+  Sim.Engine.spawn e "m3" (fun () ->
+      Sim.Token_ring.join ring 3;
+      Sim.Engine.wait 1L;
+      Sim.Token_ring.with_token ring 3 (fun () ->
+          log := ("m3", Sim.Engine.now ()) :: !log));
+  Sim.Engine.run_until_idle e;
+  Alcotest.(check (list (pair string int64)))
+    "handoff times"
+    [ ("m1", 5L); ("m3", 22L) ]
+    (List.rev !log)
 
 let mutex_fifo_transfer () =
   let e = Sim.Engine.create () in
@@ -456,6 +506,10 @@ let tests =
     Alcotest.test_case "token ring: mutual exclusion" `Quick
       token_ring_mutual_exclusion;
     Alcotest.test_case "token ring: pass delay" `Quick token_ring_pass_delay;
+    Alcotest.test_case "token ring: on-demand travel" `Quick
+      token_ring_on_demand;
+    Alcotest.test_case "token ring: contended handoff" `Quick
+      token_ring_contended_handoff;
     Alcotest.test_case "mutex: FIFO transfer" `Quick mutex_fifo_transfer;
     Alcotest.test_case "semaphore: permit counting" `Quick semaphore_counts;
     Alcotest.test_case "mailbox: FIFO delivery" `Quick mailbox_fifo;
