@@ -125,6 +125,176 @@ let attempt spec =
         ];
   }
 
+(* One extra matrix combo for the multi-field classifier: rule churn
+   while bursty frame loss damages the wire, with the flows workload on
+   every port.  A churn fiber adds and removes rules against a live
+   mirror as the router forwards; at each of the four barriers every key
+   in a fixed audit set is cross-checked against an oracle over the
+   mirror.  Churn under faults may cost packets, never a stale or wrong
+   classification — and the router-wide invariants must hold at every
+   barrier exactly as in the plain scenarios. *)
+let classified_spec = "mac_loss:0.02,mac_burst:4"
+
+let classified_churn () =
+  let open Forwarders in
+  let scenario =
+    match Fault.Scenario.parse classified_spec with
+    | Ok s -> Fault.Scenario.with_seed s (Int64.of_int seed)
+    | Error msg ->
+        failwith ("fault_matrix: bad spec " ^ classified_spec ^ ": " ^ msg)
+  in
+  let config = { Router.default_config with Router.faults = scenario } in
+  let r = Router.create ~config () in
+  for p = 0 to config.Router.n_ports - 1 do
+    Router.add_route r
+      (Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" p))
+      ~port:p
+  done;
+  let cls = Classifier.create ~cache_capacity:512 () in
+  let crng = Sim.Rng.create (Int64.of_int (seed + 7)) in
+  let pool =
+    Array.of_list
+      (Classifier.Gen.rules ~rng:crng ~n:200
+         ~n_ports:config.Router.n_ports ())
+  in
+  let live = Hashtbl.create 64 in
+  Array.iteri
+    (fun i ru ->
+      if i < 64 then begin
+        Classifier.add cls ru;
+        Hashtbl.replace live ru ()
+      end)
+    pool;
+  (match
+     Router.Iface.install r.Router.iface ~key:Packet.Flow.All
+       ~fwdr:(Classifier.forwarder ~cm:config.Router.cm cls)
+       ~where:Router.Iface.ME ()
+   with
+  | Ok _ -> ()
+  | Error es ->
+      failwith ("fault_matrix: classifier admission: " ^ String.concat ";" es));
+  Router.start r;
+  let writes = ref 0 in
+  Sim.Engine.spawn r.Router.engine "classifier-churn" (fun () ->
+      let period = Sim.Engine.of_seconds 20e-6 in
+      while true do
+        Sim.Engine.wait period;
+        let ru = Sim.Rng.pick crng pool in
+        if Hashtbl.mem live ru then begin
+          ignore (Classifier.remove cls ru);
+          Hashtbl.remove live ru
+        end
+        else begin
+          Classifier.add cls ru;
+          Hashtbl.replace live ru ()
+        end;
+        incr writes
+      done);
+  let trng = Sim.Rng.create (Int64.of_int seed) in
+  for p = 0 to config.Router.n_ports - 1 do
+    let rng = Sim.Rng.split trng in
+    let fl =
+      Workload.Flows.create ~rng
+        {
+          Workload.Flows.default with
+          pps = 150_000.;
+          n_subnets = config.Router.n_ports;
+        }
+    in
+    ignore
+      (Workload.Flows.spawn fl r.Router.engine
+         ~name:(Printf.sprintf "gen%d" p)
+         ~offer:(fun f -> Router.inject r ~port:p f))
+  done;
+  let krng = Sim.Rng.create (Int64.of_int (seed + 9)) in
+  let addr () =
+    Packet.Ipv4.addr_of_string
+      (Printf.sprintf "10.%d.0.%d" (Sim.Rng.int krng 16)
+         (1 + Sim.Rng.int krng 200))
+  in
+  let keys =
+    Array.init 48 (fun _ ->
+        {
+          Packet.Flow.f_src = addr ();
+          f_src_port = 1024 + Sim.Rng.int krng 64;
+          f_dst = addr ();
+          f_dst_port = (if Sim.Rng.int krng 2 = 0 then 80 else 443);
+          f_proto = (if Sim.Rng.int krng 2 = 0 then 6 else 17);
+          f_dscp = Sim.Rng.int krng 8 lsl 3;
+        })
+  in
+  let oracle k =
+    Hashtbl.fold
+      (fun ru () best ->
+        if Classifier.matches ru k then
+          match best with
+          | None -> Some ru
+          | Some b ->
+              if Classifier.compare_rule ru b < 0 then Some ru else best
+        else best)
+      live None
+  in
+  let same a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> Classifier.compare_rule x y = 0
+    | _ -> false
+  in
+  let stale = ref 0 and audited = ref 0 in
+  for _ = 1 to 4 do
+    Router.run_for r ~us:500.;
+    Array.iter
+      (fun k ->
+        incr audited;
+        if not (same (Classifier.lookup cls k) (oracle k)) then incr stale)
+      keys
+  done;
+  let injected =
+    match r.Router.injector with
+    | None -> 0
+    | Some inj -> Fault.Injector.total inj
+  in
+  let violations = Fault.Invariant.violations r.Router.invariants in
+  let n_viol = List.length violations in
+  Report.info
+    "%-24s %5d injected, %4d delivered, %d rule writes, %d/%d audits stale, \
+     %d violation(s)"
+    "classifier churn + loss" injected (Router.delivered_total r) !writes
+    !stale !audited n_viol;
+  Report.info "  classifier: %d rules live, %d cache hits, %d flushes"
+    (Classifier.n_rules cls) (Classifier.cache_hits cls)
+    (Classifier.cache_flushes cls);
+  if injected = 0 then begin
+    incr failures;
+    Report.info "  FAULT MATRIX FAILURE: scenario injected no faults"
+  end;
+  if !writes = 0 then begin
+    (* Churn that never wrote a rule proves nothing about staleness. *)
+    incr failures;
+    Report.info "  FAULT MATRIX FAILURE: churn fiber performed no writes"
+  end;
+  if n_viol > 0 then begin
+    failures := !failures + n_viol;
+    List.iter
+      (fun (v : Fault.Invariant.violation) ->
+        Report.info "  VIOLATION [%Ld] %s: %s" v.Fault.Invariant.at
+          v.Fault.Invariant.name v.Fault.Invariant.detail)
+      violations
+  end;
+  if !stale > 0 then begin
+    failures := !failures + !stale;
+    Report.info
+      "  FAULT MATRIX FAILURE: %d stale classifier answer(s) under churn"
+      !stale
+  end;
+  Report.row ~unit_:"violations"
+    ~name:(Printf.sprintf "violations [classifier churn + %s]" classified_spec)
+    ~paper:0. ~measured:(float_of_int n_viol);
+  Report.row ~unit_:"lookups" ~name:"classifier stale answers under faults"
+    ~paper:0. ~measured:(float_of_int !stale);
+  Report.row ~unit_:"writes" ~name:"classifier rule writes under faults"
+    ~paper:100. ~measured:(float_of_int !writes)
+
 let run () =
   Report.section
     "Fault matrix: invariants under deterministic injection (seed-replayable)";
@@ -160,6 +330,7 @@ let run () =
         ~paper:0. ~measured:(float_of_int n_viol);
       attachments := (spec, o.fault_json) :: !attachments)
     scenarios;
+  classified_churn ();
   Report.attach "fault_matrix"
     (Telemetry.Json.Obj (List.rev !attachments));
   Report.row ~unit_:"violations" ~name:"total invariant violations" ~paper:0.

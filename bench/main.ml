@@ -37,6 +37,9 @@ let experiments =
      "Extension: fabric queue disciplines under offered-load sweeps",
      Fabric_contention.run);
     ("fib", "Extension: million-route compressed FIB under churn", Fib.run);
+    ("classifier",
+     "Extension: tuple-space multi-field classifier with flow cache",
+     Classifier_bench.run);
     ("batch_identity",
      "Extension: batched vs event-granular delivery-schedule identity",
      Batch_identity.run);
@@ -131,6 +134,12 @@ let () =
   if !Fib.failures > 0 then begin
     Printf.eprintf "fib: %d divergence/staleness/speedup failure(s)\n"
       !Fib.failures;
+    exit 1
+  end;
+  if !Classifier_bench.failures > 0 then begin
+    Printf.eprintf
+      "classifier: %d divergence/staleness/identity failure(s)\n"
+      !Classifier_bench.failures;
     exit 1
   end;
   if !Batch_identity.failures > 0 then begin

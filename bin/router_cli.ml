@@ -70,6 +70,23 @@ let run_cmd =
     Arg.(value & flag & info [ "syn-monitor" ]
            ~doc:"Install the SYN-monitor data forwarder at boot.")
   in
+  let workload =
+    Arg.(value & opt string "uniform" & info [ "workload" ] ~docv:"SPEC"
+           ~doc:"Traffic shape per port: $(b,uniform) (line-rate \
+                 minimum-size UDP, destinations uniform over the routed \
+                 subnets) or $(b,flows)[:key=value,...] — Internet-realistic \
+                 flows with Zipf destination popularity, heavy-tailed \
+                 (Pareto) sizes and bursty MMPP arrivals (keys: pps, hosts, \
+                 subnets, zipf, pareto, minpkts, maxpkts, conc, burst, \
+                 burst_us, idle_us, frame, udp, dscp — see \
+                 lib/workload/flows.mli).")
+  in
+  let classifier_rules =
+    Arg.(value & opt int 0 & info [ "classifier" ] ~docv:"N"
+           ~doc:"Install the tuple-space multi-field classifier with N \
+                 seeded realistic rules (5-tuple + DSCP; 0 = off).  Rules \
+                 are generated from --seed, so a run replays exactly.")
+  in
   let faults =
     Arg.(value & opt string "none" & info [ "faults" ] ~docv:"SPEC"
            ~doc:"Fault-injection scenario as comma-separated key:value \
@@ -95,14 +112,23 @@ let run_cmd =
                    $(b,poptrie) (the compressed bitmap trie sized for \
                    million-route tables under churn).")
   in
-  let run duration seed mbps frame_len exceptional syn_monitor faults fib
-      metrics =
+  let run duration seed mbps frame_len exceptional syn_monitor workload
+      classifier_rules faults fib metrics =
     let scenario =
       match Fault.Scenario.parse faults with
       | Ok s -> Fault.Scenario.with_seed s (Int64.of_int seed)
       | Error msg ->
           Format.eprintf "bad --faults spec: %s@." msg;
           exit 2
+    in
+    let flows_cfg =
+      if workload = "uniform" then None
+      else
+        match Workload.Flows.parse workload with
+        | Ok cfg -> Some cfg
+        | Error msg ->
+            Format.eprintf "bad --workload spec: %s@." msg;
+            exit 2
     in
     let config =
       { Router.default_config with Router.port_mbps = mbps;
@@ -120,26 +146,56 @@ let run_cmd =
         | Error es -> failwith (String.concat "; " es)
       else None
     in
+    let cls =
+      if classifier_rules <= 0 then None
+      else begin
+        let cls = Forwarders.Classifier.create () in
+        List.iter
+          (Forwarders.Classifier.add cls)
+          (Forwarders.Classifier.Gen.rules
+             ~rng:(Sim.Rng.create (Int64.of_int (seed + 77)))
+             ~n:classifier_rules ~n_ports:config.Router.n_ports ());
+        Forwarders.Classifier.attach cls
+          (Telemetry.Registry.scope r.Router.telemetry "classifier");
+        match
+          Router.Iface.install r.Router.iface ~key:Packet.Flow.All
+            ~fwdr:
+              (Forwarders.Classifier.forwarder
+                 ~cm:config.Router.cm cls)
+            ~where:Router.Iface.ME ()
+        with
+        | Ok _ -> Some cls
+        | Error es -> failwith (String.concat "; " es)
+      end
+    in
     Router.start r;
     let rng = Sim.Rng.create (Int64.of_int seed) in
     for p = 0 to config.Router.n_ports - 1 do
       let rng = Sim.Rng.split rng in
-      let base =
-        Workload.Mix.udp_uniform ~rng ~n_subnets:config.Router.n_ports
-          ~frame_len ()
-      in
-      let gen =
-        if exceptional > 0. then
-          Workload.Mix.with_options_share ~rng:(Sim.Rng.split rng)
-            ~share:exceptional base
-        else base
-      in
-      ignore
-        (Workload.Source.spawn_line_rate r.Router.engine
-           ~name:(Printf.sprintf "gen%d" p)
-           ~mbps ~frame_len ~gen
-           ~offer:(fun f -> Router.inject r ~port:p f)
-           ())
+      match flows_cfg with
+      | Some cfg ->
+          let fl = Workload.Flows.create ~rng cfg in
+          ignore
+            (Workload.Flows.spawn fl r.Router.engine
+               ~name:(Printf.sprintf "gen%d" p)
+               ~offer:(fun f -> Router.inject r ~port:p f))
+      | None ->
+          let base =
+            Workload.Mix.udp_uniform ~rng ~n_subnets:config.Router.n_ports
+              ~frame_len ()
+          in
+          let gen =
+            if exceptional > 0. then
+              Workload.Mix.with_options_share ~rng:(Sim.Rng.split rng)
+                ~share:exceptional base
+            else base
+          in
+          ignore
+            (Workload.Source.spawn_line_rate r.Router.engine
+               ~name:(Printf.sprintf "gen%d" p)
+               ~mbps ~frame_len ~gen
+               ~offer:(fun f -> Router.inject r ~port:p f)
+               ())
     done;
     Router.run_for r ~us:(duration *. 1000.);
     Format.printf "%a@." Router.pp_summary r;
@@ -149,6 +205,24 @@ let run_cmd =
           (Forwarders.Syn_monitor.syn_count
              (Option.get (Router.Iface.getdata r.Router.iface fid))))
       fid;
+    Option.iter
+      (fun cls ->
+        Format.printf
+          "classifier: %d rules in %d tuples, cache %d hit / %d miss \
+           (%.1f%% hit), %.2f probes/miss@."
+          (Forwarders.Classifier.n_rules cls)
+          (Forwarders.Classifier.n_tuples cls)
+          (Forwarders.Classifier.cache_hits cls)
+          (Forwarders.Classifier.cache_misses cls)
+          (100.
+          *. float_of_int (Forwarders.Classifier.cache_hits cls)
+          /. float_of_int
+               (max 1
+                  (Forwarders.Classifier.cache_hits cls
+                  + Forwarders.Classifier.cache_misses cls)))
+          (float_of_int (Forwarders.Classifier.probes cls)
+          /. float_of_int (max 1 (Forwarders.Classifier.cache_misses cls))))
+      cls;
     dump_metrics metrics (Router.telemetry_snapshot r);
     if not (Fault.Invariant.ok r.Router.invariants) then begin
       Format.eprintf "%a@." Fault.Invariant.pp_report r.Router.invariants;
@@ -164,7 +238,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Drive the full three-level router at line rate.")
     Term.(
       const run $ duration $ seed $ mbps $ frame_len $ exceptional
-      $ syn_monitor $ faults $ fib $ metrics_arg)
+      $ syn_monitor $ workload $ classifier_rules $ faults $ fib
+      $ metrics_arg)
 
 (* --- peak ------------------------------------------------------------ *)
 

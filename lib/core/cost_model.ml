@@ -34,6 +34,9 @@ type t = {
   pe_touch_cycles_per_byte : float;
   vrp_mem_op_instr : int;
   vrp_mem_op_wait : int;
+  mf_cache_instr : int;
+  mf_probe_instr : int;
+  mf_probe_sram_bytes : int;
   dyn_sched_scratch_reads : int;
   dyn_sched_scratch_writes : int;
   dyn_sched_instr : int;
@@ -80,6 +83,9 @@ let default =
     pe_touch_cycles_per_byte = 10.5;
     vrp_mem_op_instr = 8;
     vrp_mem_op_wait = 25;
+    mf_cache_instr = 12;
+    mf_probe_instr = 10;
+    mf_probe_sram_bytes = 8;
     dyn_sched_scratch_reads = 2;
     dyn_sched_scratch_writes = 2;
     dyn_sched_instr = 20;

@@ -70,6 +70,15 @@ type t = {
   vrp_mem_op_wait : int;
       (** per-memory-op stall beyond the raw Table 3 latency (context
           swap in/out around the reference) *)
+  (* Multi-field (tuple-space) classification. *)
+  mf_cache_instr : int;
+      (** flow-cache probe: hash the 5-tuple+DSCP key, compare one
+          cached entry — charged on every classified packet *)
+  mf_probe_instr : int;
+      (** per-tuple probe on a cache miss: mask the key and hash into
+          that tuple's table *)
+  mf_probe_sram_bytes : int;
+      (** rule entry fetched per tuple probe *)
   (* Dynamic-allocation ablation (section 3.2.1). *)
   dyn_sched_scratch_reads : int;
   dyn_sched_scratch_writes : int;

@@ -1,7 +1,7 @@
 let min_frame = 64
 let max_frame = 1518
 
-let base_frame ?pool ~frame_len ~src ~dst ~ttl ~proto ~l4_len () =
+let base_frame ?pool ~frame_len ~src ~dst ~ttl ~tos ~proto ~l4_len () =
   (* Headroom for encapsulation (e.g. an MPLS label push at an ingress
      LER) — the real DRAM buffer is 2 KB regardless of frame size.  A
      pool mints frames at its own (fixed) capacity, so size it with the
@@ -15,6 +15,7 @@ let base_frame ?pool ~frame_len ~src ~dst ~ttl ~proto ~l4_len () =
   Ethernet.set_src f (Ethernet.mac_of_string "02:00:00:00:00:01");
   Ethernet.set_ethertype f Ethernet.ethertype_ipv4;
   Frame.set_u8 f Ipv4.offset 0x45;
+  Ipv4.set_tos f tos;
   Ipv4.set_total_len f (Ipv4.min_header_len + l4_len);
   Ipv4.set_ttl f ttl;
   Ipv4.set_proto f proto;
@@ -25,10 +26,11 @@ let base_frame ?pool ~frame_len ~src ~dst ~ttl ~proto ~l4_len () =
 let l4_capacity ~frame_len = frame_len - Ipv4.offset - Ipv4.min_header_len
 
 let udp ?pool ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port
-    ?(ttl = 64) ?(payload = "") () =
+    ?(ttl = 64) ?(tos = 0) ?(payload = "") () =
   let l4_len = min (8 + String.length payload) (l4_capacity ~frame_len) in
   let f =
-    base_frame ?pool ~frame_len ~src ~dst ~ttl ~proto:Ipv4.proto_udp ~l4_len ()
+    base_frame ?pool ~frame_len ~src ~dst ~ttl ~tos ~proto:Ipv4.proto_udp
+      ~l4_len ()
   in
   Udp.set_src_port f src_port;
   Udp.set_dst_port f dst_port;
@@ -42,11 +44,12 @@ let udp ?pool ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port
   f
 
 let tcp ?pool ?(frame_len = min_frame) ~src ~dst ~src_port ~dst_port
-    ?(ttl = 64) ?(seq = 0l) ?(ack = 0l) ?(flags = Tcp.flag_ack)
+    ?(ttl = 64) ?(tos = 0) ?(seq = 0l) ?(ack = 0l) ?(flags = Tcp.flag_ack)
     ?(payload = "") () =
   let l4_len = min (20 + String.length payload) (l4_capacity ~frame_len) in
   let f =
-    base_frame ?pool ~frame_len ~src ~dst ~ttl ~proto:Ipv4.proto_tcp ~l4_len ()
+    base_frame ?pool ~frame_len ~src ~dst ~ttl ~tos ~proto:Ipv4.proto_tcp
+      ~l4_len ()
   in
   Tcp.set_src_port f src_port;
   Tcp.set_dst_port f dst_port;

@@ -14,13 +14,15 @@ val udp :
   src_port:int ->
   dst_port:int ->
   ?ttl:int ->
+  ?tos:int ->
   ?payload:string ->
   unit ->
   Frame.t
 (** A well-formed Ethernet/IPv4/UDP frame with valid checksums, padded to
     [frame_len] (default {!min_frame}).  With [pool] the frame is checked
     out of a {!Frame_pool} instead of freshly allocated; size the pool's
-    [frame_bytes] with encapsulation headroom included. *)
+    [frame_bytes] with encapsulation headroom included.  [tos] (default 0)
+    writes the Type-of-Service byte — DSCP in bits [7:2]. *)
 
 val tcp :
   ?pool:Frame_pool.t ->
@@ -30,6 +32,7 @@ val tcp :
   src_port:int ->
   dst_port:int ->
   ?ttl:int ->
+  ?tos:int ->
   ?seq:int32 ->
   ?ack:int32 ->
   ?flags:int ->

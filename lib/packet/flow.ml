@@ -26,6 +26,29 @@ let of_frame f =
     end
   end
 
+type five = {
+  f_src : Ipv4.addr;
+  f_src_port : int;
+  f_dst : Ipv4.addr;
+  f_dst_port : int;
+  f_proto : int;
+  f_dscp : int;
+}
+
+let five_of_frame f =
+  match of_frame f with
+  | None -> None
+  | Some t ->
+      Some
+        {
+          f_src = t.src_addr;
+          f_src_port = t.src_port;
+          f_dst = t.dst_addr;
+          f_dst_port = t.dst_port;
+          f_proto = Ipv4.get_proto f;
+          f_dscp = Ipv4.dscp f;
+        }
+
 let reverse t =
   {
     src_addr = t.dst_addr;

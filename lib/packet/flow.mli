@@ -15,6 +15,21 @@ type t = All | Tuple of tuple
 val of_frame : Frame.t -> tuple option
 (** [of_frame f] extracts the 4-tuple if [f] carries TCP or UDP. *)
 
+type five = {
+  f_src : Ipv4.addr;
+  f_src_port : int;
+  f_dst : Ipv4.addr;
+  f_dst_port : int;
+  f_proto : int;
+  f_dscp : int;  (** TOS [7:2] — see {!Ipv4.dscp} *)
+}
+(** The multi-field classifier's key: the 5-tuple plus the DiffServ code
+    point. *)
+
+val five_of_frame : Frame.t -> five option
+(** [five_of_frame f] extracts the classifier key if [f] carries TCP or
+    UDP with an intact header. *)
+
 val reverse : tuple -> tuple
 (** Swap the endpoint pair (the splicer's other connection half). *)
 

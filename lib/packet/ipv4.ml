@@ -19,6 +19,7 @@ let get_version f = Frame.get_u8 f offset lsr 4
 let get_tos f = Frame.get_u8 f (offset + 1)
 let set_tos f v = Frame.set_u8 f (offset + 1) v
 let precedence f = get_tos f lsr 5
+let dscp f = get_tos f lsr 2
 let get_ihl f = Frame.get_u8 f offset land 0xF
 let header_len f = 4 * get_ihl f
 let has_options f = get_ihl f > 5

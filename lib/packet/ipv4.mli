@@ -36,6 +36,11 @@ val precedence : Frame.t -> int
 (** The IP precedence bits (TOS [7:5]) — the classic class selector a
     per-class fabric queue keys on. *)
 
+val dscp : Frame.t -> int
+(** The DiffServ code point (TOS [7:2]) — the sixth dimension of the
+    multi-field classifier.  [dscp f lsr 3 = precedence f] for the
+    class-selector code points. *)
+
 val has_options : Frame.t -> bool
 val get_total_len : Frame.t -> int
 val set_total_len : Frame.t -> int -> unit

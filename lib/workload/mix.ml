@@ -48,6 +48,26 @@ let layered_video ~flow ~layers ?(frame_len = Packet.Build.min_frame) () i =
     ~payload:(String.make 1 (Char.chr layer))
     ()
 
+let weighted ~rng gens =
+  if gens = [] then invalid_arg "Mix.weighted: empty generator list";
+  List.iter
+    (fun (w, _) ->
+      if w < 0.0 || Float.is_nan w then
+        invalid_arg "Mix.weighted: negative weight")
+    gens;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 gens in
+  if total <= 0.0 then invalid_arg "Mix.weighted: weights sum to zero";
+  let gens = Array.of_list gens in
+  fun i ->
+    let u = Sim.Rng.float rng total in
+    let rec pick k acc =
+      if k = Array.length gens - 1 then snd gens.(k) i
+      else
+        let acc = acc +. fst gens.(k) in
+        if u < acc then snd gens.(k) i else pick (k + 1) acc
+    in
+    pick 0 0.0
+
 let with_options_share ~rng ~share base i =
   let f = base i in
   if Sim.Rng.float rng 1.0 < share then Packet.Build.with_ip_options f else f

@@ -41,6 +41,16 @@ val layered_video :
 (** The wavelet dropper's workload: UDP frames whose first payload byte
     cycles through layer numbers [0 .. layers-1]. *)
 
+val weighted :
+  rng:Sim.Rng.t ->
+  (float * (int -> Packet.Frame.t)) list ->
+  int ->
+  Packet.Frame.t
+(** [weighted ~rng gens] picks a generator per frame with probability
+    proportional to its weight.  Raises [Invalid_argument] on an empty
+    list, any negative (or NaN) weight, or an all-zero weight vector —
+    a silent all-zero mix would generate from an arbitrary component. *)
+
 val with_options_share :
   rng:Sim.Rng.t -> share:float -> (int -> Packet.Frame.t) -> int ->
   Packet.Frame.t

@@ -13,6 +13,21 @@ type stats = {
 
 val make_stats : string -> stats
 
+val spawn_with_gap :
+  Sim.Engine.t ->
+  name:string ->
+  next_gap:(unit -> int64) ->
+  gen:(int -> Packet.Frame.t) ->
+  offer:(Packet.Frame.t -> bool) ->
+  ?stats:stats ->
+  unit ->
+  stats
+(** The general source every other spawner reduces to: [next_gap ()] is
+    the next inter-arrival gap in picoseconds (an arbitrary — e.g.
+    Markov-modulated — arrival process), [gen i] builds the [i]th frame.
+    The wait is elision-capable, so an uncontended source never touches
+    the run queue. *)
+
 val spawn_constant :
   Sim.Engine.t ->
   name:string ->

@@ -9,6 +9,7 @@ let () =
       ("fault", Test_fault.tests);
       ("router", Test_router.tests);
       ("forwarders", Test_forwarders.tests);
+      ("classifier", Test_classifier.tests);
       ("workload", Test_workload.tests);
       ("mpls", Test_mpls.tests);
       ("icmp", Test_icmp.tests);

@@ -1,0 +1,316 @@
+(* The multi-field classifier's differential battery: the tuple-space
+   engine is only trusted because every answer it gives is replayed
+   against a naive linear oracle over qcheck-generated rule sets, a
+   10k-operation churn fuzz proves the flow cache can never serve a
+   stale answer, and a classified router must deliver the identical
+   schedule whether or not batching is on. *)
+
+open Forwarders
+
+let addr = Packet.Ipv4.addr_of_string
+
+let five ?(src = "10.1.0.1") ?(dst = "10.2.0.2") ?(sport = 1234)
+    ?(dport = 80) ?(proto = 17) ?(dscp = 0) () =
+  {
+    Packet.Flow.f_src = addr src;
+    f_src_port = sport;
+    f_dst = addr dst;
+    f_dst_port = dport;
+    f_proto = proto;
+    f_dscp = dscp;
+  }
+
+let of_rules rules =
+  let t = Classifier.create () in
+  List.iter (Classifier.add t) rules;
+  t
+
+(* An oracle that never touches the tuple-space structures: a plain list
+   scan with [matches] and [compare_rule]. *)
+let oracle rules k =
+  List.fold_left
+    (fun best r ->
+      if Classifier.matches r k then
+        match best with
+        | None -> Some r
+        | Some b -> if Classifier.compare_rule r b < 0 then Some r else best
+      else best)
+    None rules
+
+(* Seeded keys that actually intersect Gen's 10.0.0.0/8 rule space. *)
+let gen_key rng =
+  let a () =
+    Int32.of_int
+      ((10 lsl 24)
+      lor (Sim.Rng.int rng 8 lsl 16)
+      lor (1 + Sim.Rng.int rng 64))
+  in
+  {
+    Packet.Flow.f_src = a ();
+    f_src_port = 1024 + Sim.Rng.int rng 64;
+    f_dst = a ();
+    f_dst_port = (if Sim.Rng.int rng 2 = 0 then 80 else 443);
+    f_proto = (if Sim.Rng.int rng 2 = 0 then 6 else 17);
+    f_dscp = Sim.Rng.int rng 8 lsl 3;
+  }
+
+let pp_rule r =
+  Format.asprintf "prio=%d src=%a/%d dst=%a/%d" r.Classifier.prio
+    Packet.Ipv4.pp_addr r.Classifier.src r.Classifier.src_len
+    Packet.Ipv4.pp_addr r.Classifier.dst r.Classifier.dst_len
+
+let check_same_rule name a b =
+  let show = function None -> "no match" | Some r -> pp_rule r in
+  if
+    match (a, b) with
+    | None, None -> false
+    | Some x, Some y -> Classifier.compare_rule x y <> 0
+    | _ -> true
+  then Alcotest.failf "%s: tuple-space %s, oracle %s" name (show a) (show b)
+
+(* Basic semantics: prefixes, wildcards, priority. *)
+let match_semantics () =
+  let t = Classifier.create () in
+  let r_any = Classifier.rule ~prio:50 Classifier.Accept in
+  let r_net =
+    Classifier.rule ~prio:10 ~dst:(addr "10.2.0.0", 16) Classifier.Drop
+  in
+  let r_host =
+    Classifier.rule ~prio:10
+      ~dst:(addr "10.2.0.2", 32)
+      ~dst_port:80 (Classifier.Forward 3)
+  in
+  List.iter (Classifier.add t) [ r_any; r_net; r_host ];
+  Alcotest.(check int) "3 rules" 3 (Classifier.n_rules t);
+  check_same_rule "host+port beats net on content tie-break"
+    (Classifier.lookup t (five ()))
+    (Some r_host);
+  check_same_rule "net rule for other hosts"
+    (Classifier.lookup t (five ~dst:"10.2.0.9" ()))
+    (Some r_net);
+  check_same_rule "wildcard mops up"
+    (Classifier.lookup t (five ~dst:"10.3.0.1" ()))
+    (Some r_any);
+  ignore (Classifier.remove t r_net);
+  check_same_rule "removal exposes wildcard"
+    (Classifier.lookup t (five ~dst:"10.2.0.9" ()))
+    (Some r_any)
+
+let insertion_is_idempotent () =
+  let t = Classifier.create () in
+  let r = Classifier.rule ~prio:5 ~dst:(addr "10.1.0.0", 16) Classifier.Drop in
+  Classifier.add t r;
+  Classifier.add t r;
+  Alcotest.(check int) "one rule" 1 (Classifier.n_rules t);
+  Alcotest.(check bool) "removed" true (Classifier.remove t r);
+  Alcotest.(check bool) "second remove is false" false (Classifier.remove t r);
+  Alcotest.(check int) "empty" 0 (Classifier.n_rules t);
+  Alcotest.(check int) "no tuples" 0 (Classifier.n_tuples t)
+
+(* The headline differential property: on any generated rule set and any
+   key, the tuple-space search, the built-in linear scan, and an
+   independent list-scan oracle all agree. *)
+let differential_qcheck =
+  QCheck.Test.make ~name:"tuple-space = linear oracle on random rule sets"
+    ~count:60
+    QCheck.(pair small_nat (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let n = 1 + n in
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let rules = Classifier.Gen.rules ~rng ~n () in
+      let t = of_rules rules in
+      let keys = List.init 40 (fun _ -> gen_key rng) in
+      List.for_all
+        (fun k ->
+          let ts = Classifier.lookup t k in
+          let lin = Classifier.lookup_linear t k in
+          let orc = oracle rules k in
+          let same a b =
+            match (a, b) with
+            | None, None -> true
+            | Some x, Some y -> Classifier.compare_rule x y = 0
+            | _ -> false
+          in
+          same ts lin && same ts orc)
+        keys)
+
+(* Priority stability: the winning rule must not depend on the order the
+   rules were installed in. *)
+let permutation_qcheck =
+  QCheck.Test.make
+    ~name:"decisions invariant under rule insertion-order permutation"
+    ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let rules = Classifier.Gen.rules ~rng ~n:60 () in
+      let shuffled =
+        let arr = Array.of_list rules in
+        for i = Array.length arr - 1 downto 1 do
+          let j = Sim.Rng.int rng (i + 1) in
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(j);
+          arr.(j) <- tmp
+        done;
+        Array.to_list arr
+      in
+      let a = of_rules rules and b = of_rules shuffled in
+      List.for_all
+        (fun k ->
+          match (Classifier.lookup a k, Classifier.lookup b k) with
+          | None, None -> true
+          | Some x, Some y -> Classifier.compare_rule x y = 0
+          | _ -> false)
+        (List.init 50 (fun _ -> gen_key rng)))
+
+(* Churn fuzz: 10k interleaved add/remove/lookup operations; every
+   lookup is checked against the oracle over the live rule list, so one
+   stale cache entry surviving a generation bump fails loudly. *)
+let churn_staleness_audit () =
+  let ops = 10_000 in
+  let rng = Sim.Rng.create 2026L in
+  let pool =
+    Array.of_list (Classifier.Gen.rules ~rng ~n:300 ())
+  in
+  let t = Classifier.create ~cache_capacity:256 () in
+  let live = Hashtbl.create 64 in
+  let stale = ref 0 in
+  (* A small key pool so lookups repeat and the cache is genuinely in
+     the line of fire across generation bumps. *)
+  let key_pool = Array.init 48 (fun _ -> gen_key rng) in
+  for _ = 1 to ops do
+    match Sim.Rng.int rng 4 with
+    | 0 ->
+        let r = Sim.Rng.pick rng pool in
+        Classifier.add t r;
+        Hashtbl.replace live r ()
+    | 1 ->
+        let r = Sim.Rng.pick rng pool in
+        if Classifier.remove t r then Hashtbl.remove live r
+        else if Hashtbl.mem live r then
+          Alcotest.failf "remove lost a live rule: %s" (pp_rule r)
+    | _ ->
+        let k = Sim.Rng.pick rng key_pool in
+        let expect =
+          oracle (Hashtbl.fold (fun r () acc -> r :: acc) live []) k
+        in
+        let got = Classifier.lookup t k in
+        let same =
+          match (got, expect) with
+          | None, None -> true
+          | Some x, Some y -> Classifier.compare_rule x y = 0
+          | _ -> false
+        in
+        if not same then incr stale
+  done;
+  Alcotest.(check int) "0 stale or divergent answers in 10k ops" 0 !stale;
+  Alcotest.(check int) "rule count tracks the live set"
+    (Hashtbl.length live) (Classifier.n_rules t);
+  Alcotest.(check bool) "cache exercised" true (Classifier.cache_hits t > 0)
+
+(* The cache is an accelerator, not an oracle: repeated lookups hit it
+   and return the identical rule. *)
+let cache_transparency () =
+  let rng = Sim.Rng.create 7L in
+  let t = of_rules (Classifier.Gen.rules ~rng ~n:100 ()) in
+  let keys = Array.init 20 (fun _ -> gen_key rng) in
+  let first = Array.map (Classifier.lookup t) keys in
+  let misses = Classifier.cache_misses t in
+  Array.iteri
+    (fun i k -> check_same_rule "cached answer" (Classifier.lookup t k) first.(i))
+    keys;
+  Alcotest.(check int) "second pass all hits" misses (Classifier.cache_misses t);
+  Alcotest.(check int) "20 hits" 20 (Classifier.cache_hits t)
+
+(* Admission: the declared probe ceiling is what the budget sees. *)
+let admission_budget () =
+  let cm = Router.Cost_model.default in
+  let t = Classifier.create () in
+  let fits max_probes =
+    let f = Classifier.forwarder ~max_probes ~cm t in
+    Router.Vrp.check Router.Vrp.prototype_budget (Router.Forwarder.cost f)
+      ~state_bytes:f.Router.Forwarder.state_bytes
+      ~slots:(Router.Forwarder.istore_slots f)
+    = Ok ()
+  in
+  Alcotest.(check bool) "4-probe classifier fits the VRP budget" true (fits 4);
+  Alcotest.(check bool) "24-probe classifier is over budget" false (fits 24)
+
+(* A classified router delivers the identical schedule with activation
+   coalescing on and off, at both batch capacities — the classifier
+   cannot be a source of batch-dependent behaviour.  (The same relaxed
+   equivalence gate as test_batch, with the classifier in the chain and
+   the flows workload on the wire.) *)
+let classified_delivery_identity () =
+  let drive ~batch_mps ~coalesce =
+    let config = { Router.default_config with Router.batch_mps } in
+    let r = Router.create ~config () in
+    Router.enable_delivery_digest r;
+    if not coalesce then Sim.Engine.set_coalescing r.Router.engine false;
+    for p = 0 to config.Router.n_ports - 1 do
+      Router.add_route r
+        (Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" p))
+        ~port:p
+    done;
+    let cls = Classifier.create () in
+    List.iter (Classifier.add cls)
+      (Classifier.Gen.rules
+         ~rng:(Sim.Rng.create 99L)
+         ~n:64 ~n_ports:config.Router.n_ports ());
+    (match
+       Router.Iface.install r.Router.iface ~key:Packet.Flow.All
+         ~fwdr:(Classifier.forwarder ~cm:config.Router.cm cls)
+         ~where:Router.Iface.ME ()
+     with
+    | Ok _ -> ()
+    | Error es -> Alcotest.failf "install: %s" (String.concat "; " es));
+    Router.start r;
+    let rng = Sim.Rng.create 4242L in
+    for p = 0 to config.Router.n_ports - 1 do
+      let rng = Sim.Rng.split rng in
+      let fl =
+        Workload.Flows.create ~rng
+          { Workload.Flows.default with pps = 120_000.; n_hosts = 4096 }
+      in
+      ignore
+        (Workload.Flows.spawn fl r.Router.engine
+           ~name:(Printf.sprintf "gen%d" p)
+           ~offer:(fun f -> Router.inject r ~port:p f))
+    done;
+    Router.run_for r ~us:400.;
+    Alcotest.(check bool) "no invariant violations" true
+      (Fault.Invariant.ok r.Router.invariants);
+    (Router.delivered_total r, Router.port_delivery_digests r)
+  in
+  List.iter
+    (fun batch_mps ->
+      let d, g = drive ~batch_mps ~coalesce:true in
+      let d', g' = drive ~batch_mps ~coalesce:false in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch=%d delivered something" batch_mps)
+        true (d > 0);
+      Alcotest.(check int)
+        (Printf.sprintf "batch=%d same delivery count" batch_mps)
+        d d';
+      Alcotest.(check (array string))
+        (Printf.sprintf "batch=%d identical schedules" batch_mps)
+        g g')
+    [ 1; 16 ]
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ differential_qcheck; permutation_qcheck ]
+
+let tests =
+  [
+    Alcotest.test_case "match semantics" `Quick match_semantics;
+    Alcotest.test_case "idempotent insert/remove" `Quick
+      insertion_is_idempotent;
+    Alcotest.test_case "10k-op churn staleness audit" `Quick
+      churn_staleness_audit;
+    Alcotest.test_case "cache transparency" `Quick cache_transparency;
+    Alcotest.test_case "admission budget" `Quick admission_budget;
+    Alcotest.test_case "classified delivery identity" `Quick
+      classified_delivery_identity;
+  ]
+  @ qsuite

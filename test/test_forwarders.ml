@@ -223,6 +223,43 @@ let full_budget_suite_saturates () =
   Alcotest.(check bool) "budget exhausted" true
     (Result.is_error (Admission.admit_me adm load straw ~per_flow:false))
 
+(* DSCP sits in TOS bits 7:2 and the (legacy) precedence in bits 7:5; a
+   marked frame must expose the same class through both views, and the
+   classifier's Mark verdict must leave a frame the extractor reads
+   back exactly. *)
+let dscp_extraction_regression () =
+  List.iter
+    (fun tos ->
+      let f =
+        Packet.Build.udp ~src:(addr "1.1.1.1") ~dst:(addr "2.2.2.2")
+          ~src_port:1 ~dst_port:2 ~tos ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "tos %#x roundtrips" tos)
+        tos (Packet.Ipv4.get_tos f);
+      Alcotest.(check int)
+        (Printf.sprintf "dscp of tos %#x" tos)
+        (tos lsr 2) (Packet.Ipv4.dscp f);
+      Alcotest.(check int)
+        (Printf.sprintf "precedence of tos %#x" tos)
+        (tos lsr 5) (Packet.Ipv4.precedence f);
+      Alcotest.(check bool) "checksum valid" true (Packet.Ipv4.valid f))
+    [ 0x00; 0x04; 0x20; 0xB8 (* EF *); 0xE0 ];
+  let cls = Forwarders.Classifier.create () in
+  Forwarders.Classifier.add cls
+    (Forwarders.Classifier.rule ~prio:1 (Forwarders.Classifier.Mark 46));
+  let f =
+    Forwarders.Classifier.forwarder ~cm:Router.Cost_model.default cls
+  in
+  let frame =
+    Packet.Build.udp ~src:(addr "1.1.1.1") ~dst:(addr "2.2.2.2") ~src_port:1
+      ~dst_port:2 ()
+  in
+  Alcotest.(check bool) "mark continues" true
+    (fst (run_action f frame) = Forwarder.Continue);
+  Alcotest.(check int) "marked EF" 46 (Packet.Ipv4.dscp frame);
+  Alcotest.(check bool) "checksum refilled" true (Packet.Ipv4.valid frame)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ splicer_checksum_qcheck ]
 
 let tests =
@@ -243,5 +280,7 @@ let tests =
       heavyweight_forwarders_exceed_vrp;
     Alcotest.test_case "full-budget suite saturates" `Quick
       full_budget_suite_saturates;
+    Alcotest.test_case "dscp extraction regression" `Quick
+      dscp_extraction_regression;
   ]
   @ qsuite
