@@ -44,6 +44,7 @@ let experiments =
      "Extension: batched vs event-granular delivery-schedule identity",
      Batch_identity.run);
     ("perf", "Infrastructure: simulator packets-per-wall-second", Perf.run);
+    ("alloc", "Infrastructure: steady-state allocation budget", Alloc.run);
     ("cluster_perf",
      "Infrastructure: domain-parallel cluster throughput and identity",
      Cluster_perf.run);
@@ -152,5 +153,9 @@ let () =
     Printf.eprintf
       "cluster_perf: %d parallel-vs-sequential identity failure(s)\n"
       !Cluster_perf.failures;
+    exit 1
+  end;
+  if !Alloc.failures > 0 then begin
+    Printf.eprintf "alloc: %d allocation-budget failure(s)\n" !Alloc.failures;
     exit 1
   end

@@ -85,8 +85,8 @@ let router_tests =
   let q = Router.Squeue.create ~capacity:1024 () in
   let d =
     Router.Desc.make
-      ~buf:{ Ixp.Buffer_pool.index = 0; generation = 1 }
-      ~len:64 ~in_port:0 ~out_port:0 ~arrival:0L ()
+      ~buf:(Ixp.Buffer_pool.handle_of ~index:0 ~generation:1)
+      ~len:64 ~in_port:0 ~out_port:0 ~arrival:0 ()
   in
   let sched = Router.Psched.create () in
   let c1 = Router.Psched.add_client sched ~name:"a" ~share:2.0 in

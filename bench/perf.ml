@@ -102,14 +102,21 @@ let measure ~circular () =
   let out0 =
     Sim.Stats.Counter.value r.Router.ostats.Router.Output_loop.pkts_out
   in
+  (* Steady-state allocation: GC deltas over the measured phase only, so
+     start-up allocation (fiber spawns, table builds, pool minting) never
+     pollutes the per-packet quotient. *)
+  let gc = Sim.Gc_stats.create () in
   let t0 = Sys.time () in
   Router.run_for r ~us:measured_us;
   let dt = Sys.time () -. t0 in
   let out =
     Sim.Stats.Counter.value r.Router.ostats.Router.Output_loop.pkts_out - out0
   in
+  let per_pkt w = if out = 0 then 0. else w /. float_of_int out in
+  let minor_wpp = per_pkt (Sim.Gc_stats.minor_words gc) in
+  let promoted_w = Sim.Gc_stats.promoted_words gc in
   let pps = if dt <= 0. then infinity else float_of_int out /. dt in
-  (pps, out, pool)
+  (pps, out, pool, minor_wpp, promoted_w)
 
 (* Best of [reps]: the least CPU-throttled repetition.  The spread
    reported alongside it is (best - median) / best: how far the best
@@ -130,7 +137,8 @@ let best ~circular () =
      code and branch-predictor warmth that would otherwise show up as a
      systematic rep-1 dip — spread should measure host throttling, not
      cold starts. *)
-  ignore (measure ~circular () : float * int * Packet.Frame_pool.t);
+  ignore
+    (measure ~circular () : float * int * Packet.Frame_pool.t * float * float);
   let runs =
     List.init reps (fun _ ->
         (* Collect the previous run's dropped router and pool outside
@@ -140,21 +148,28 @@ let best ~circular () =
   in
   let b =
     List.fold_left
-      (fun ((bp, _, _) as b) ((p, _, _) as r) -> if p > bp then r else b)
+      (fun ((bp, _, _, _, _) as b) ((p, _, _, _, _) as r) ->
+        if p > bp then r else b)
       (List.hd runs) (List.tl runs)
   in
-  (b, List.map (fun (p, _, _) -> p) runs)
+  (b, List.map (fun (p, _, _, _, _) -> p) runs)
 
 let run () =
   Report.section "Simulator throughput (packets per wall-second)";
   Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   let calib = calibrate () in
-  let (pps, pkts, pool), runs = best ~circular:true () in
+  let (pps, pkts, pool, minor_wpp, promoted_w), runs = best ~circular:true () in
   Gc.compact ();
-  let (pps_stack, _, pool_stack), runs_stack = best ~circular:false () in
+  let (pps_stack, _, pool_stack, _, _), runs_stack =
+    best ~circular:false ()
+  in
   let score = pps /. calib in
   Report.info "forwarded %d packets in the best measured phase (of %d reps)"
     pkts reps;
+  Report.info
+    "allocation: %.1f minor words/packet, %.0f promoted words (measured \
+     phase)"
+    minor_wpp promoted_w;
   Report.info "calibration: %.0f checksum/s; normalized score %.4f" calib
     score;
   let spread_line tag rs =

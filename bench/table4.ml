@@ -45,7 +45,7 @@ let run_path ~frame_len =
           ignore
             (Router.Squeue.push q
                (Router.Desc.make ~buf ~len:frame_len ~in_port:0 ~out_port:0
-                  ~arrival:(Sim.Engine.now ()) ()))
+                  ~arrival:(Sim.Engine.now_i ()) ()))
         done;
         Sim.Engine.wait (Sim.Engine.of_seconds 20e-6);
         top_up ()

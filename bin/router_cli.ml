@@ -134,7 +134,7 @@ let run_cmd =
       { Router.default_config with Router.port_mbps = mbps;
         Router.faults = scenario; Router.route_engine = fib }
     in
-    let r = Router.create ~config () in
+    let r = Router.create ~config ~alloc_gauges:true () in
     subnet_routes r config.Router.n_ports;
     let fid =
       if syn_monitor then

@@ -58,6 +58,7 @@ type t = {
   faults : Fault.Cluster_scenario.t;
   latency_ps : int; (* switch_latency_us, integer picoseconds *)
   lookahead_ps : int; (* epoch length, integer picoseconds *)
+  minor_heap_words : int; (* per-domain minor arena floor *)
   clock_ps : int ref; (* cluster barrier clock *)
   mutable epoch : int; (* epochs completed since create *)
   (* Deterministic per-member damage streams: egress draws on the
@@ -585,6 +586,7 @@ let run_epochs t ~target_ps =
     let stop = Atomic.make false in
     let errors = Array.make nd None in
     let epoch0 = t.epoch in
+    let minor_words = t.minor_heap_words in
     let body did k =
       let e = min target_ps (start + ((k + 1) * l)) in
       let parity = (epoch0 + k) land 1 in
@@ -600,6 +602,16 @@ let run_epochs t ~target_ps =
        simulating), so its peers cannot hang; the first error re-raises
        after the join, with its original backtrace. *)
     let worker did () =
+      (* Freshly spawned domains start on the runtime's default minor
+         arena; size it like the creating domain's so an epoch of
+         steady-state forwarding never minor-collects mid-run.  GC pacing
+         is invisible to the simulation (the determinism digests exclude
+         host-GC gauges), so this is pure throughput. *)
+      if did > 0 then begin
+        let cur = Gc.get () in
+        if cur.Gc.minor_heap_size < minor_words then
+          Gc.set { cur with Gc.minor_heap_size = minor_words }
+      end;
       for k = 0 to n_epochs - 1 do
         (if not (Atomic.get stop) then
            try body did k
@@ -841,8 +853,18 @@ let register_telemetry t =
 let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
     ?lookahead_us ?(domains = 1) ?(config = Router.default_config)
     ?(faults = Fault.Cluster_scenario.zero) ?(frame_pool = false)
-    ?(fabric_queue = Fabric_queue.bypass) () =
+    ?(fabric_queue = Fabric_queue.bypass)
+    ?(minor_heap_words = 4 * 1024 * 1024) () =
   if members < 2 then invalid_arg "Cluster.create: members < 2";
+  if minor_heap_words < 0 then invalid_arg "Cluster.create: minor_heap_words";
+  (* Size this domain's minor arena up front (never down — respect a
+     larger ambient setting); worker domains spawned by [run_epochs]
+     apply the same floor on entry.  With the data path pooled the
+     steady-state allocation rate is ~100 words/packet, so a few
+     megawords of arena keeps whole epochs collection-free. *)
+  (let cur = Gc.get () in
+   if cur.Gc.minor_heap_size < minor_heap_words then
+     Gc.set { cur with Gc.minor_heap_size = minor_heap_words });
   let named = Fault.Cluster_scenario.max_member faults in
   if named >= members then
     invalid_arg
@@ -976,6 +998,7 @@ let create ?(members = 4) ?(ports_per_member = 8) ?(switch_latency_us = 2.)
       faults;
       latency_ps;
       lookahead_ps;
+      minor_heap_words;
       clock_ps;
       epoch = 0;
       egress_rng;

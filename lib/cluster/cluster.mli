@@ -110,6 +110,7 @@ type t = {
   faults : Fault.Cluster_scenario.t;
   latency_ps : int;
   lookahead_ps : int;
+  minor_heap_words : int;  (** per-domain minor-arena floor *)
   clock_ps : int ref;  (** cluster barrier clock *)
   mutable epoch : int;
   egress_rng : Sim.Rng.t array;
@@ -164,6 +165,7 @@ val create :
   ?faults:Fault.Cluster_scenario.t ->
   ?frame_pool:bool ->
   ?fabric_queue:Fabric_queue.config ->
+  ?minor_heap_words:int ->
   unit ->
   t
 (** [create ()] builds a 4-member cluster (8 external ports each), routes
@@ -193,7 +195,15 @@ val create :
     The bypass default delivers synchronously, draws nothing and never
     pauses, so an unqueued cluster behaves exactly as before; RED's
     drop draws come from dedicated per-hop streams split after the
-    damage streams, so enabling queueing never shifts existing draws. *)
+    damage streams, so enabling queueing never shifts existing draws.
+
+    [minor_heap_words] (default 4M words) is a floor on the minor-arena
+    size applied to the creating domain and to every worker domain
+    [run_for] spawns — with the data path pooled the steady-state
+    allocation rate is low enough that whole epochs then run without a
+    single minor collection.  The floor never shrinks a larger ambient
+    setting, and GC pacing is invisible to the simulation (host-GC
+    gauges are excluded from the determinism digests). *)
 
 val uplink_mac : int -> Packet.Ethernet.mac
 (** The MAC identifying member [m]'s uplink on the fabric. *)

@@ -40,6 +40,7 @@ let commit t =
   end
 
 let now_ps t = Int64.add (Sim.Engine.now ()) (Int64.of_int t.pending)
+let now_ps_i t = Sim.Engine.now_i () + t.pending
 
 let exec t n =
   match t.host with
@@ -111,3 +112,8 @@ let hash t v =
     h
   end
   else Ixp.Hash_unit.hash t.chip.Ixp.Chip.hash v
+
+let hash_charge t =
+  if t.defer then
+    t.pending <- t.pending + Ixp.Hash_unit.charge_booked t.chip.Ixp.Chip.hash
+  else Ixp.Hash_unit.charge t.chip.Ixp.Chip.hash

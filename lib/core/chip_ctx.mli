@@ -52,6 +52,10 @@ val now_ps : t -> int64
 (** The context's virtual clock: engine time plus pending booked delay
     (what arrival stamps should use under per-batch charging). *)
 
+val now_ps_i : t -> int
+(** {!now_ps} as a native int — the allocation-free form the per-packet
+    arrival stamp uses. *)
+
 val exec : t -> int -> unit
 (** Run register instructions on this context's processor. *)
 
@@ -83,3 +87,8 @@ val dram_write : t -> bytes:int -> unit
 
 val hash : t -> int64 -> int
 (** One hardware hash unit operation. *)
+
+val hash_charge : t -> unit
+(** One hash-unit operation whose value is discarded: same timing and
+    use accounting as {!hash}, no [int64] argument to box and no mixing
+    work.  For sites that model the hardware cost only. *)

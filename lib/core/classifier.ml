@@ -21,9 +21,30 @@ type t = {
   routes : Iproute.Table.t;
   flows : (Packet.Flow.tuple, entry) Hashtbl.t;
   mutable general : entry list;
+  (* Scratch outcome of the [_s] classifiers.  One packet is classified
+     at a time per classifier value within a charging window: the caller
+     must copy these fields out before its next hardware charge, because
+     a charge can suspend (classic mode) and let a sibling context
+     re-fill the scratch. *)
+  mutable s_per_flow : entry option;
+  mutable s_general : entry list;
+  mutable s_route : Iproute.Table.nexthop; (* Table.no_route = none *)
+  mutable s_route_cache_hit : bool;
+  s_hit : bool ref;
 }
 
-let create cm ~routes = { cm; routes; flows = Hashtbl.create 64; general = [] }
+let create cm ~routes =
+  {
+    cm;
+    routes;
+    flows = Hashtbl.create 64;
+    general = [];
+    s_per_flow = None;
+    s_general = [];
+    s_route = Iproute.Table.no_route;
+    s_route_cache_hit = false;
+    s_hit = ref false;
+  }
 
 let routes t = t.routes
 
@@ -94,6 +115,42 @@ let decide t frame =
     Classified { per_flow; general = t.general; route; route_cache_hit = hit }
   end
 
+(* Allocation-free twin of [decide]: the verdict goes into the scratch
+   fields instead of a fresh [Classified] record, the route probe is the
+   native-int sentinel form, and the flow hash is skipped outright when
+   no per-flow entry is installed (the table probe on an empty table is
+   a pure no-op, but [Flow.of_frame] boxes a key per packet). *)
+let decide_s t frame =
+  if
+    Packet.Frame.len frame < 14
+    || Packet.Ethernet.get_ethertype frame <> Packet.Ethernet.ethertype_ipv4
+    || not (Packet.Ipv4.valid frame)
+  then false
+  else begin
+    t.s_per_flow <-
+      (if Hashtbl.length t.flows = 0 then None
+       else
+         match Packet.Flow.of_frame frame with
+         | None -> None
+         | Some k -> (
+             match Hashtbl.find_opt t.flows k with
+             | Some e ->
+                 e.matches <- e.matches + 1;
+                 Some e
+             | None -> None));
+    t.s_general <- t.general;
+    t.s_route <-
+      Iproute.Table.lookup_cached_i t.routes (Packet.Ipv4.get_dst_i frame)
+        ~hit:t.s_hit;
+    t.s_route_cache_hit <- !(t.s_hit);
+    true
+  end
+
+let scratch_per_flow t = t.s_per_flow
+let scratch_general t = t.s_general
+let scratch_route t = t.s_route
+let scratch_route_cache_hit t = t.s_route_cache_hit
+
 (* A frame too short to hold an IP header never reaches the field reads:
    the validation branch rejects it first (on silicon the registers would
    simply hold stale bytes; here an out-of-range read is a crash, so the
@@ -117,5 +174,23 @@ let classify_full t ctx frame =
   ignore (Chip_ctx.hash ctx (Int64.of_int (Packet.Frame.len frame)));
   Chip_ctx.sram_read ctx ~bytes:cm.Cost_model.classify_full_sram_bytes;
   decide t frame
+
+(* Same hardware charges as the [outcome] forms — the hash value was
+   always discarded, so [hash_charge] books the identical delay without
+   boxing the operand. *)
+let classify_null_s t ctx frame =
+  let cm = t.cm in
+  Chip_ctx.exec ctx cm.Cost_model.classify_null_instr;
+  Chip_ctx.hash_charge ctx;
+  Chip_ctx.sram_read ctx ~bytes:(cm.Cost_model.classify_null_sram_reads * 4);
+  decide_s t frame
+
+let classify_full_s t ctx frame =
+  let cm = t.cm in
+  Chip_ctx.exec ctx cm.Cost_model.classify_full_instr;
+  Chip_ctx.hash_charge ctx;
+  Chip_ctx.hash_charge ctx;
+  Chip_ctx.sram_read ctx ~bytes:cm.Cost_model.classify_full_sram_bytes;
+  decide_s t frame
 
 let classify_functional t frame = decide t frame

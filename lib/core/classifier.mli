@@ -65,3 +65,23 @@ val classify_functional : t -> Packet.Frame.t -> outcome
 (** The same decision procedure with no hardware charging — for the
     StrongARM/Pentium (which receive the metadata pointer and "do not have
     to re-classify"), tests, and examples. *)
+
+(** {1 Allocation-free fast path}
+
+    The [_s] forms charge exactly like their [outcome] twins but write
+    the verdict into scratch fields of [t] instead of allocating a
+    [Classified] record: [false] means Invalid (drop); [true] means the
+    scratch accessors below hold this packet's decision.  The caller
+    MUST copy the scratch out before its next hardware charge — a charge
+    can suspend, and the next context to classify overwrites it. *)
+
+val classify_null_s : t -> Chip_ctx.t -> Packet.Frame.t -> bool
+val classify_full_s : t -> Chip_ctx.t -> Packet.Frame.t -> bool
+
+val scratch_per_flow : t -> entry option
+val scratch_general : t -> entry list
+
+val scratch_route : t -> Iproute.Table.nexthop
+(** Physically equal to {!Iproute.Table.no_route} when no route matched. *)
+
+val scratch_route_cache_hit : t -> bool

@@ -357,8 +357,8 @@ let run ?telemetry cfg =
             on_tx =
               Some
                 (fun desc _ ->
-                  Sim.Stats.Histogram.observe latency
-                    (Int64.sub (Sim.Engine.now ()) desc.Desc.arrival));
+                  Sim.Stats.Histogram.observe_i latency
+                    (Sim.Engine.now_i () - desc.Desc.arrival));
             idle_backoff_cycles = 64;
             scope = output_scope;
           }
@@ -378,7 +378,7 @@ let run ?telemetry cfg =
                   ignore
                     (Squeue.push q
                        (Desc.make ~buf ~len:cfg.frame_len ~in_port:0
-                          ~out_port:i ~arrival:(Sim.Engine.now ()) ()))
+                          ~out_port:i ~arrival:(Sim.Engine.now_i ()) ()))
                 done)
               queues;
             Sim.Engine.wait (Sim.Engine.ps_of_ns 2000.);

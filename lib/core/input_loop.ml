@@ -163,33 +163,45 @@ let spawn_context ?(burst_mps = 16) t chip ~ring ~slot ~ctx_id ~source ~stats =
                it overwrites); an empty pool drops the packet, the
                backpressure the paper's design trades away for timing
                predictability (section 3.2.3). *)
-            match Buffer_pool.alloc_opt chip.Chip.buffers frame with
-            | None ->
+            let buf = Buffer_pool.alloc_try chip.Chip.buffers frame in
+            if buf < 0 then begin
+              Sim.Stats.Counter.incr stats.enq_drop;
+              drop_event t "drop: buffer pool dry";
+              recycle_frame t frame
+            end
+            else begin
+              let desc =
+                Desc.take ~buf ~len:(Packet.Frame.len frame) ~in_port
+                  ~out_port ~fid
+                  ~arrival:(Chip_ctx.now_ps_i ctx)
+              in
+              let q = t.queue_of ~ctx_id qid in
+              if t.enq ctx q desc then begin
+                Sim.Stats.Counter.incr stats.enq_ok;
+                match t.notify with Some f -> f qid | None -> ()
+              end
+              else begin
+                Buffer_pool.free chip.Chip.buffers buf;
+                Desc.release desc;
                 Sim.Stats.Counter.incr stats.enq_drop;
-                drop_event t "drop: buffer pool dry";
-                recycle_frame t frame
-            | Some buf ->
-                let desc =
-                  Desc.make ~buf ~len:(Packet.Frame.len frame) ~in_port
-                    ~out_port ~fid
-                    ~arrival:(Chip_ctx.now_ps ctx) ()
-                in
-                let q = t.queue_of ~ctx_id qid in
-                if t.enq ctx q desc then begin
-                  Sim.Stats.Counter.incr stats.enq_ok;
-                  match t.notify with Some f -> f qid | None -> ()
-                end
-                else begin
-                  Buffer_pool.free chip.Chip.buffers buf;
-                  Sim.Stats.Counter.incr stats.enq_drop;
-                  drop_event t ("drop: queue full " ^ Squeue.name q)
-                end))
+                drop_event t ("drop: queue full " ^ Squeue.name q)
+              end
+            end))
     | Packet.Mp.Intermediate | Packet.Mp.Last ->
         t.process_rest_mp ctx frame;
         Chip_ctx.dram_write ctx ~bytes:Packet.Mp.size
   in
   Sim.Engine.spawn chip.Chip.engine name (fun () ->
       let engine = Sim.Engine.self_engine () in
+      (* Reusable park cell: the continuation slot and the registration
+         closure are built once, so an idle-park/wake cycle allocates
+         nothing (the suspend-based form built a waker per park). *)
+      let park_cell = Sim.Engine.make_cell engine in
+      (match source with
+      | Port p ->
+          let w = Sim.Engine.cell_waker park_cell in
+          Sim.Engine.on_park park_cell (fun () -> Mac_port.park_rx p w)
+      | Replay _ -> ());
       let rec loop backoff =
         (* Serialized section: token + port check + burst DMA
            programming, fused into one core access.  The previous
@@ -225,11 +237,11 @@ let spawn_context ?(burst_mps = 16) t chip ~ring ~slot ~ctx_id ~source ~stats =
         if n = 0 then begin
           Chip_ctx.exec ctx 4;
           match source with
-          | Port p ->
+          | Port _ ->
               (* Park until the port accepts a frame: zero idle events
                  instead of a poll every [idle_backoff_cycles]. *)
               Chip_ctx.commit ctx;
-              Sim.Engine.suspend (fun w -> Mac_port.park_rx p w);
+              Sim.Engine.park park_cell;
               loop 1
           | Replay _ ->
               Chip_ctx.wait_cycles ctx backoff;
@@ -239,7 +251,7 @@ let spawn_context ?(burst_mps = 16) t chip ~ring ~slot ~ctx_id ~source ~stats =
               loop (min (backoff * 2) t.idle_backoff_cycles)
         end
         else begin
-          Sim.Stats.Histogram.observe stats.batch_mps (Int64.of_int n);
+          Sim.Stats.Histogram.observe_i stats.batch_mps n;
           let span = Sim.Engine.batch_begin engine in
           let frames = ref 0 in
           for i = 0 to n - 1 do

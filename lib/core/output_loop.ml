@@ -33,41 +33,56 @@ type t = {
 (* The frame sits assembled in its DRAM buffer the whole time it is in
    flight; transmission walks an MP *cursor* over it rather than
    materializing an MP list (the split/join pair allocated a full copy of
-   every forwarded packet). *)
+   every forwarded packet).  The cursor record itself is allocated once
+   per context (per queue under O.3) and refilled in place per packet —
+   a fresh record per packet would be minor-heap traffic on the hottest
+   path in the system. *)
 type in_flight = {
-  desc : Desc.t;
-  frame : Packet.Frame.t;
-  total : int; (* MPs in the frame *)
+  mutable active : bool; (* holds a packet mid-transmission *)
+  mutable desc : Desc.t;
+  mutable frame : Packet.Frame.t;
+  mutable total : int; (* MPs in the frame *)
   mutable next : int; (* next MP index to transmit *)
   mutable charged : bool; (* current MP's data movement already paid *)
 }
 
+let idle_slot () =
+  {
+    active = false;
+    desc = Desc.make ~buf:(-1) ~len:0 ~in_port:(-1) ~out_port:(-1) ~arrival:0 ();
+    frame = Packet.Frame.of_bytes Bytes.empty;
+    total = 0;
+    next = 0;
+    charged = false;
+  }
+
 (* Dequeue bookkeeping shared by every discipline: select_queue charges are
    paid by the caller; this pays the tail-pointer update and reads the
-   packet out of its DRAM buffer. *)
-let take_packet t ctx chip stats desc =
+   packet out of its DRAM buffer, filling [infl] in place.  [false] means
+   the circular allocator lapped this packet (a stale buffer) — the
+   descriptor goes straight back to the free list. *)
+let take_packet t ctx chip stats desc infl =
   let cm = t.cm in
   Chip_ctx.exec ctx cm.Cost_model.output_pkt_instr;
   Chip_ctx.sram_write ctx ~bytes:(4 * cm.Cost_model.dequeue_sram_writes);
   Chip_ctx.scratch_write ctx ~bytes:(4 * cm.Cost_model.dequeue_scratch_writes);
-  match Ixp.Buffer_pool.read chip.Ixp.Chip.buffers desc.Desc.buf with
-  | None ->
-      (* The circular allocator lapped this packet. *)
+  match Ixp.Buffer_pool.get chip.Ixp.Chip.buffers desc.Desc.buf with
+  | frame ->
+      infl.active <- true;
+      infl.desc <- desc;
+      infl.frame <- frame;
+      infl.total <- Packet.Mp.count (Packet.Frame.len frame);
+      infl.next <- 0;
+      infl.charged <- false;
+      true
+  | exception Ixp.Buffer_pool.Stale ->
       Sim.Stats.Counter.incr stats.stale_bufs;
       (match t.scope with
       | None -> ()
       | Some scope ->
           Telemetry.Scope.event scope "stale buffer: circular pool lapped");
-      None
-  | Some frame ->
-      Some
-        {
-          desc;
-          frame;
-          total = Packet.Mp.count (Packet.Frame.len frame);
-          next = 0;
-          charged = false;
-        }
+      Desc.release desc;
+      false
 
 (* One MP's transmission is split around the wire-pacing check: the data
    movement (DRAM buffer to output FIFO, then slot enable) is charged
@@ -82,35 +97,38 @@ let charge_mp t ctx inflight =
   end;
   Chip_ctx.commit ctx
 
-(* Finish the already-charged MP whose transmit slot is reserved,
-   completing the frame on its last MP. *)
-let finish_mp t chip stats inflight ~port ~on_done =
-  let last = inflight.next = inflight.total - 1 in
-  inflight.next <- inflight.next + 1;
-  inflight.charged <- false;
+(* Finish the already-charged MP whose transmit slot is reserved.  On
+   the frame's final MP the packet retires: the frame goes to the wire,
+   the DRAM buffer is returned, and the descriptor is recycled — the
+   slot deactivates ([active] drops) for the next dequeue. *)
+let finish_mp t chip stats infl ~port =
+  let last = infl.next = infl.total - 1 in
+  infl.next <- infl.next + 1;
+  infl.charged <- false;
   Sim.Stats.Counter.incr stats.mps_out;
   if last then begin
     (match port with
     | Some p ->
-        Ixp.Mac_port.transmit_frame p inflight.frame
-          ~len:(Packet.Frame.len inflight.frame)
+        Ixp.Mac_port.transmit_frame p infl.frame
+          ~len:(Packet.Frame.len infl.frame)
     | None -> ());
-    on_done ();
+    infl.active <- false;
     (* Return the DRAM buffer (a no-op for the circular pool). *)
-    Ixp.Buffer_pool.free chip.Ixp.Chip.buffers inflight.desc.Desc.buf;
+    Ixp.Buffer_pool.free chip.Ixp.Chip.buffers infl.desc.Desc.buf;
     Sim.Stats.Counter.incr stats.pkts_out;
-    match t.on_tx with
-    | Some f -> f inflight.desc inflight.frame
-    | None -> ()
+    (match t.on_tx with
+    | Some f -> f infl.desc infl.frame
+    | None -> ());
+    Desc.release infl.desc
   end
 
 (* Batched transmit loop.  One token acquisition (the serialized FIFO
    slot-activation section) covers a whole burst of MPs — gated by
    [output_serial_per_burst]; off forces burst size 1, the classic
    one-MP-per-rotation Figure 6 loop.  Wire pacing uses the MAC's exact
-   slot-free time ([tx_try_pace]'s [`Wait d]) instead of exponential
-   polling, and an idle context parks on its queues' push waiters
-   instead of spinning. *)
+   slot-free time ([tx_try_pace_i]) instead of exponential polling, and
+   an idle context parks on its queues' push waiters instead of
+   spinning. *)
 let spawn_context ?(burst_mps = 16) t chip ~ring ~slot ~ctx_id ~stats =
   let open Ixp in
   let ctx = Chip_ctx.make chip ~ctx_id in
@@ -140,7 +158,9 @@ let spawn_context ?(burst_mps = 16) t chip ~ring ~slot ~ctx_id ~stats =
      wrappers route through [waker] so the engine's one-shot waker fires
      exactly once however many queues push in the same instant, and a
      wrapper left behind on queue B after a wake via queue A is a
-     harmless no-op that also clears B's registration. *)
+     harmless no-op that also clears B's registration.  Parking is the
+     idle path, so the suspend closure cost is irrelevant — but the
+     registration function is still built once, not per park. *)
   let nq = Array.length t.queues in
   let registered = Array.make nq false in
   let waker = ref (fun () -> ()) in
@@ -151,113 +171,124 @@ let spawn_context ?(burst_mps = 16) t chip ~ring ~slot ~ctx_id ~stats =
         waker := (fun () -> ());
         w ())
   in
+  let park_register w =
+    waker := w;
+    for i = 0 to nq - 1 do
+      if not registered.(i) then begin
+        registered.(i) <- true;
+        Squeue.add_waiter t.queues.(i) wrappers.(i)
+      end
+    done;
+    (* Work may have arrived between the caller's empty check and
+       this registration (memory charges suspend); never sleep past
+       it. *)
+    let any = ref false in
+    for i = 0 to nq - 1 do
+      if not (Squeue.is_empty t.queues.(i)) then any := true
+    done;
+    if !any then begin
+      let w' = !waker in
+      waker := (fun () -> ());
+      w' ()
+    end
+  in
+  (* Reusable park cell: the registration closure wraps [park_register]
+     with the cell's permanent waker once, so an idle-park/wake cycle
+     costs only the suspension (the suspend-based form built a fired
+     ref, a waker, and a handler closure per park). *)
+  let park_cell = Sim.Engine.make_cell chip.Chip.engine in
+  let park_waker = Sim.Engine.cell_waker park_cell in
+  Sim.Engine.on_park park_cell (fun () -> park_register park_waker);
   let park () =
     Chip_ctx.commit ctx;
-    Sim.Engine.suspend (fun w ->
-        waker := w;
-        for i = 0 to nq - 1 do
-          if not registered.(i) then begin
-            registered.(i) <- true;
-            Squeue.add_waiter t.queues.(i) wrappers.(i)
-          end
-        done;
-        (* Work may have arrived between the caller's empty check and
-           this registration (memory charges suspend); never sleep past
-           it. *)
-        let any = ref false in
-        for i = 0 to nq - 1 do
-          if not (Squeue.is_empty t.queues.(i)) then any := true
-        done;
-        if !any then begin
-          let w' = !waker in
-          waker := (fun () -> ());
-          w' ()
-        end)
+    Sim.Engine.park park_cell
   in
   let single_queue_loop () =
     let q = t.queues.(0) in
-    let select () =
-      match t.discipline with
-      | O1_batch ->
-          if !batch > 0 then begin
-            match Squeue.pop q with
-            | Some d ->
-                decr batch;
-                Some d
-            | None ->
-                batch := 0;
-                None
-          end
-          else begin
-            Chip_ctx.scratch_read ctx ~bytes:4;
-            let ready = Squeue.length q in
-            if ready = 0 then None
-            else begin
-              batch := ready - 1;
-              Squeue.pop q
-            end
-          end
-      | O2_single | O3_multi ->
-          Chip_ctx.scratch_read ctx ~bytes:4;
-          Squeue.pop q
-    in
-    let current = ref None in
+    let infl = idle_slot () in
+    let frames = ref 0 in
+    let mps = ref 0 in
+    (* Select + dequeue: true when [infl] holds a packet.  The length
+       check sits between the scratch-read charge (which may suspend and
+       let a sibling context drain the queue) and the option-free pop —
+       nothing can intervene between the two. *)
     let rec next_packet () =
-      match select () with
-      | None -> false
-      | Some desc -> (
-          match take_packet t ctx chip stats desc with
-          | Some inflight ->
-              current := Some inflight;
-              true
-          | None -> next_packet () (* stale buffer: try the next *))
+      let got =
+        match t.discipline with
+        | O1_batch ->
+            if !batch > 0 then begin
+              if Squeue.length q > 0 then begin
+                decr batch;
+                true
+              end
+              else begin
+                batch := 0;
+                false
+              end
+            end
+            else begin
+              Chip_ctx.scratch_read ctx ~bytes:4;
+              let ready = Squeue.length q in
+              if ready = 0 then false
+              else begin
+                batch := ready - 1;
+                true
+              end
+            end
+        | O2_single | O3_multi ->
+            Chip_ctx.scratch_read ctx ~bytes:4;
+            Squeue.length q > 0
+      in
+      got
+      && begin
+           let desc = Squeue.pop_nonempty q in
+           take_packet t ctx chip stats desc infl
+           || next_packet () (* stale buffer: try the next *)
+         end
     in
     let rec activation () =
       serial_section ();
-      if !current <> None || next_packet () then begin
+      if infl.active || next_packet () then begin
         let engine = Sim.Engine.self_engine () in
         let span = Sim.Engine.batch_begin engine in
-        let frames = ref 0 in
-        let mps = ref 0 in
+        frames := 0;
+        mps := 0;
         let rec step () =
           if !mps >= burst_mps then
             Sim.Engine.batch_end engine span ~frames:!frames
-          else
-            match !current with
-            | None ->
-                if next_packet () then step ()
-                else Sim.Engine.batch_end engine span ~frames:!frames
-            | Some inflight -> advance inflight
-        and advance inflight =
-          if inflight.next >= inflight.total then begin
+          else if not infl.active then begin
+            if next_packet () then step ()
+            else Sim.Engine.batch_end engine span ~frames:!frames
+          end
+          else advance ()
+        and advance () =
+          if infl.next >= infl.total then begin
             (* Zero-MP frame (never on real traffic): just retire it. *)
-            current := None;
+            infl.active <- false;
             incr frames;
             step ()
           end
           else begin
-            charge_mp t ctx inflight;
-            let port = t.port_for inflight.desc in
-            let pace =
+            charge_mp t ctx infl;
+            let port = t.port_for infl.desc in
+            let wait =
               match port with
-              | None -> `Ok
+              | None -> -1
               | Some p ->
-                  let last = inflight.next = inflight.total - 1 in
-                  Mac_port.tx_try_pace p
-                    ~tag:(if last then Packet.Mp.Last else Packet.Mp.First)
+                  Mac_port.tx_try_pace_i p ~last:(infl.next = infl.total - 1)
             in
-            match pace with
-            | `Ok ->
-                let done_ = inflight.next = inflight.total - 1 in
-                finish_mp t chip stats inflight ~port ~on_done:(fun () ->
-                    current := None);
-                incr mps;
-                if done_ then incr frames;
-                step ()
-            | `Wait d ->
-                (* Sleep exactly until the wire frees the slot. *)
-                Sim.Engine.wait_i (Int64.to_int d);
-                advance inflight
+            if wait < 0 then begin
+              let done_ = infl.next = infl.total - 1 in
+              finish_mp t chip stats infl ~port;
+              incr mps;
+              if done_ then incr frames;
+              step ()
+            end
+            else begin
+              (* Sleep exactly until the wire frees the slot. *)
+              Sim.Engine.wait_i wait;
+              advance ()
+            end
           end
         in
         step ();
@@ -272,46 +303,49 @@ let spawn_context ?(burst_mps = 16) t chip ~ring ~slot ~ctx_id ~stats =
   in
   let multi_queue_loop () =
     let n = Array.length t.queues in
-    let currents = Array.make n None in
-    let engine_of () = Sim.Engine.self_engine () in
+    let currents = Array.init n (fun _ -> idle_slot ()) in
+    let frames = ref 0 in
+    let mps = ref 0 in
+    let soonest = ref max_int in
     let rec activation () =
       serial_section ();
-      let engine = engine_of () in
+      let engine = Sim.Engine.self_engine () in
       let span = Sim.Engine.batch_begin engine in
-      let frames = ref 0 in
-      let mps = ref 0 in
+      frames := 0;
+      mps := 0;
       let close () = Sim.Engine.batch_end engine span ~frames:!frames in
       (* Advance the highest-priority in-flight packet whose wire has
-         room; [`Wait] is the soonest any blocked wire frees. *)
+         room.  Int-coded result: -2 = sent an MP, -1 = nothing in
+         flight, otherwise the soonest ps until a blocked wire frees. *)
       let try_advance () =
-        let soonest = ref Int64.max_int in
+        soonest := max_int;
         let rec go i =
-          if i >= n then if !soonest = Int64.max_int then `Idle else `Wait !soonest
-          else
-            match currents.(i) with
-            | None -> go (i + 1)
-            | Some inflight -> (
-                charge_mp t ctx inflight;
-                let port = t.port_for inflight.desc in
-                let pace =
-                  match port with
-                  | None -> `Ok
-                  | Some p ->
-                      let last = inflight.next = inflight.total - 1 in
-                      Mac_port.tx_try_pace p
-                        ~tag:(if last then Packet.Mp.Last else Packet.Mp.First)
-                in
-                match pace with
-                | `Ok ->
-                    let done_ = inflight.next = inflight.total - 1 in
-                    finish_mp t chip stats inflight ~port
-                      ~on_done:(fun () -> currents.(i) <- None);
-                    incr mps;
-                    if done_ then incr frames;
-                    `Sent
-                | `Wait d ->
-                    if d < !soonest then soonest := d;
-                    go (i + 1))
+          if i >= n then if !soonest = max_int then -1 else !soonest
+          else begin
+            let infl = currents.(i) in
+            if not infl.active then go (i + 1)
+            else begin
+              charge_mp t ctx infl;
+              let port = t.port_for infl.desc in
+              let wait =
+                match port with
+                | None -> -1
+                | Some p ->
+                    Mac_port.tx_try_pace_i p ~last:(infl.next = infl.total - 1)
+              in
+              if wait < 0 then begin
+                let done_ = infl.next = infl.total - 1 in
+                finish_mp t chip stats infl ~port;
+                incr mps;
+                if done_ then incr frames;
+                -2
+              end
+              else begin
+                if wait < !soonest then soonest := wait;
+                go (i + 1)
+              end
+            end
+          end
         in
         go 0
       in
@@ -322,43 +356,45 @@ let spawn_context ?(burst_mps = 16) t chip ~ring ~slot ~ctx_id ~stats =
         Chip_ctx.scratch_read ctx ~bytes:(4 * cm.Cost_model.o3_scratch_reads);
         Chip_ctx.exec ctx cm.Cost_model.o3_select_instr;
         let rec scan i =
-          if i >= n then None
-          else if currents.(i) <> None || Squeue.is_empty t.queues.(i) then
+          if i >= n then false
+          else if currents.(i).active || Squeue.is_empty t.queues.(i) then
             scan (i + 1)
           else begin
             Chip_ctx.scratch_read ctx ~bytes:4;
-            match Squeue.pop t.queues.(i) with
-            | None -> scan (i + 1)
-            | Some desc -> Some (i, desc)
+            if Squeue.length t.queues.(i) > 0 then begin
+              let desc = Squeue.pop_nonempty t.queues.(i) in
+              ignore (take_packet t ctx chip stats desc currents.(i) : bool);
+              true
+            end
+            else scan (i + 1)
           end
         in
-        match scan 0 with
-        | Some (i, desc) ->
-            (match take_packet t ctx chip stats desc with
-            | None -> ()
-            | Some inflight -> currents.(i) <- Some inflight);
-            true
-        | None -> false
+        scan 0
       in
       let rec step () =
         if !mps >= burst_mps then close ()
-        else
-          match try_advance () with
-          | `Sent -> step ()
-          | `Idle -> if try_start () then step () else close ()
-          | `Wait d ->
-              if try_start () then step ()
-              else begin
-                Sim.Engine.wait_i (Int64.to_int d);
-                step ()
-              end
+        else begin
+          let r = try_advance () in
+          if r = -2 then step ()
+          else if r = -1 then begin
+            if try_start () then step () else close ()
+          end
+          else if try_start () then step ()
+          else begin
+            Sim.Engine.wait_i r;
+            step ()
+          end
+        end
       in
       step ();
-      let any_inflight = Array.exists (fun c -> c <> None) currents in
+      let any_inflight = ref false in
+      for i = 0 to n - 1 do
+        if currents.(i).active then any_inflight := true
+      done;
       let any_queued =
         Array.exists (fun q -> not (Squeue.is_empty q)) t.queues
       in
-      if (not any_inflight) && not any_queued then park ();
+      if (not !any_inflight) && not any_queued then park ();
       activation ()
     in
     activation ()

@@ -86,6 +86,16 @@ type t = {
   vrp_detected : int ref;
   delivery_digests : string array option ref;
   mutable frame_pool : Packet.Frame_pool.t option;
+  (* Preallocated input-loop targets for the per-packet fast path: the
+     forwarding verdict for plain routed traffic is one of a small fixed
+     set of [To_queue] records, so they are built once here instead of
+     per packet.  [sa_targets] is indexed by [routed_out + 1] (the divert
+     verdict varies only in which port the route named, -1 for none);
+     entries beyond these shapes (installed forwarders, garbage ports)
+     still allocate on their rare paths. *)
+  port_targets : Input_loop.target array;
+  sa_targets : Input_loop.target array;
+  sa_ttl_target : Input_loop.target;
 }
 
 let mes_used ~n = (n + 3) / 4
@@ -102,7 +112,7 @@ let frame_escapable f =
   if et = Packet.Ethernet.ethertype_ipv4 then Packet.Ipv4.valid f
   else et = Packet.Mpls.ethertype
 
-let create ?(config = default_config) ?engine () =
+let create ?(config = default_config) ?(alloc_gauges = false) ?engine () =
   let engine =
     match engine with Some e -> e | None -> Sim.Engine.create ()
   in
@@ -172,6 +182,14 @@ let create ?(config = default_config) ?engine () =
     Ixp.Chip.create ~cfg:config.hw ~ports
       ~circular_buffers:config.circular_buffers engine
   in
+  (* The built-in per-port sinks only fold the frame into the delivery
+     digest and bump a counter — synchronous consumers that never retain
+     the frame — so the MAC may lend the DRAM buffer instead of copying
+     every delivered packet.  {!connect} installs a user sink through
+     [set_sink], which restores per-frame copies. *)
+  Array.iter
+    (fun p -> Ixp.Mac_port.set_sink_borrows p true)
+    chip.Ixp.Chip.ports;
   let routes =
     Iproute.Table.create ~engine:config.route_engine ~cache_slots:8192
       ~selective_invalidation:config.selective_invalidation ()
@@ -371,6 +389,28 @@ let create ?(config = default_config) ?engine () =
       Sim.Engine.batch_frames_total engine);
   Telemetry.Scope.gauge_int sim_scope "absorbed_waits" (fun () ->
       Sim.Engine.absorbed_waits engine);
+  (* Allocation gauges: this domain's GC counters rebased at router
+     creation.  Divide by output.pkts_out for words per forwarded packet
+     (both gauges land in the same `router_cli run --metrics` snapshot,
+     which passes [~alloc_gauges:true]); the steady-state budget
+     itself is asserted by the `alloc` bench experiment and test_alloc,
+     which rebase after a warm-up window.  Off by default: GC counters
+     are host facts, not simulation facts — they vary with pool warm-up
+     and domain placement, and would break the bit-identical snapshot
+     digests the cluster replay/domain-equivalence gates rely on. *)
+  if alloc_gauges then begin
+    let gc = Sim.Gc_stats.create () in
+    Telemetry.Scope.gauge_int sim_scope "gc_minor_words" (fun () ->
+        int_of_float (Sim.Gc_stats.minor_words gc));
+    Telemetry.Scope.gauge_int sim_scope "gc_promoted_words" (fun () ->
+        int_of_float (Sim.Gc_stats.promoted_words gc));
+    Telemetry.Scope.gauge_int sim_scope "gc_major_words" (fun () ->
+        int_of_float (Sim.Gc_stats.major_words gc));
+    Telemetry.Scope.gauge_int sim_scope "gc_minor_collections" (fun () ->
+        Sim.Gc_stats.minor_collections gc);
+    Telemetry.Scope.gauge_int sim_scope "gc_major_collections" (fun () ->
+        Sim.Gc_stats.major_collections gc)
+  end;
   Telemetry.Scope.dynamic sim_scope "delivery_digest" (fun () ->
       match !delivery_digests with
       | None -> Telemetry.Json.Null
@@ -400,6 +440,14 @@ let create ?(config = default_config) ?engine () =
     vrp_detected;
     delivery_digests;
     frame_pool = None;
+    port_targets =
+      Array.init n_all (fun p ->
+          Input_loop.To_queue { qid = p; out_port = p; fid = -1 });
+    sa_targets =
+      Array.init (n_all + 1) (fun i ->
+          Input_loop.To_queue { qid = n_all; out_port = i - 1; fid = -1 });
+    sa_ttl_target =
+      Input_loop.To_queue { qid = n_all; out_port = 0; fid = -1 };
   }
 
 (* Attach a frame pool before {!start}: dropped and released frames flow
@@ -433,98 +481,123 @@ let finish_ip t ctx frame nh =
   ignore cm;
   if not (Packet.Ipv4.decrement_ttl frame) then
     (* TTL expired: the slow path owns ICMP generation. *)
-    Input_loop.To_queue
-      { qid = qid_sa_local t; out_port = 0; fid = -1 }
+    t.sa_ttl_target
   else begin
     Packet.Ethernet.set_dst frame nh.Iproute.Table.gateway_mac;
     Packet.Ethernet.set_src frame
       (Packet.Ethernet.mac_of_port nh.Iproute.Table.out_port);
-    Input_loop.To_queue
-      {
-        qid = nh.Iproute.Table.out_port mod total_ports t.config;
-        out_port = nh.Iproute.Table.out_port;
-        fid = -1;
-      }
+    let p = nh.Iproute.Table.out_port in
+    let n_all = total_ports t.config in
+    if p >= 0 && p < n_all then t.port_targets.(p)
+    else Input_loop.To_queue { qid = p mod n_all; out_port = p; fid = -1 }
   end
 
-let default_process t ctx frame ~in_port =
-  let outcome =
-    if t.config.full_classifier then
-      Classifier.classify_full t.classifier ctx frame
-    else Classifier.classify_null t.classifier ctx frame
+(* Divert to the StrongARM with no installed forwarder (fid = -1): the
+   preallocated verdict when the route's port is in range. *)
+let divert_sa_fast t routed_out =
+  if routed_out >= -1 && routed_out < total_ports t.config then
+    t.sa_targets.(routed_out + 1)
+  else
+    Input_loop.To_queue { qid = qid_sa_local t; out_port = routed_out; fid = -1 }
+
+(* The installed-forwarder chain: entries exist, so this packet is off
+   the plain-forwarding fast path and per-verdict allocation is fine.
+   [route] uses {!Iproute.Table.no_route} as its none sentinel. *)
+let slow_chain t ctx frame ~in_port ~per_flow ~general ~route ~route_cache_hit
+    ~routed_out =
+  let no_route = route == Iproute.Table.no_route in
+  let divert_sa fid =
+    Input_loop.To_queue { qid = qid_sa_local t; out_port = routed_out; fid }
   in
-  match outcome with
-  | Classifier.Invalid -> Input_loop.Drop_it
-  | Classifier.Classified { per_flow; general; route; route_cache_hit } ->
-      (* The routing decision travels up the hierarchy in the descriptor
-         (the paper's 8-byte internal routing header), so higher levels
-         need not re-classify; -1 marks "no route yet" and the StrongARM's
-         slow path resolves it. *)
-      let routed_out =
-        match route with Some nh -> nh.Iproute.Table.out_port | None -> -1
-      in
-      let divert_sa fid =
-        Input_loop.To_queue { qid = qid_sa_local t; out_port = routed_out; fid }
-      in
-      let divert_pe fid =
-        let h =
-          match Packet.Flow.of_frame frame with
-          | Some k -> Hashtbl.hash k
-          | None -> 0
-        in
-        Input_loop.To_queue { qid = qid_sa_pe t h; out_port = routed_out; fid }
-      in
-      let run_entry (e : Classifier.entry) k =
-        match e.Classifier.where with
-        | Desc.Strongarm -> divert_sa e.Classifier.fid
-        | Desc.Pentium -> divert_pe e.Classifier.fid
-        | Desc.Microengine -> (
-            Vrp.execute
-              ~op_overhead:
-                ( t.config.cm.Cost_model.vrp_mem_op_instr,
-                  t.config.cm.Cost_model.vrp_mem_op_wait )
-              ctx e.Classifier.fwdr.Forwarder.code;
-            match
-              e.Classifier.fwdr.Forwarder.action ~state:e.Classifier.state
-                frame ~in_port
-            with
-            | Forwarder.Continue -> k ()
-            | Forwarder.Drop -> Input_loop.Drop_it
-            | Forwarder.Forward p ->
-                (* A verdict naming a non-existent port is forwarder
-                   misbehavior (OCaml's [mod] is negative for negative
-                   [p], so indexing with it would crash the context);
-                   contain it as a drop. *)
-                if p >= 0 && p < total_ports t.config then
-                  Input_loop.To_queue { qid = p; out_port = p; fid = -1 }
-                else Input_loop.Drop_it
-            | Forwarder.Forward_routed -> (
-                match route with
-                | Some nh -> finish_ip t ctx frame nh
-                | None -> divert_sa (-1))
-            | Forwarder.Divert Desc.Strongarm -> divert_sa e.Classifier.fid
-            | Forwarder.Divert Desc.Pentium -> divert_pe e.Classifier.fid
-            | Forwarder.Divert Desc.Microengine -> k ())
-      in
-      let rec chain = function
-        | [] -> (
-            (* The built-in minimal IP tail.  Packets with options, no
-               route, or a route-cache miss are exceptional: the StrongARM
-               services them (section 3.2), warming the cache on the
-               way. *)
-            if Packet.Ipv4.has_options frame then divert_sa (-1)
-            else if t.config.divert_on_cache_miss && not route_cache_hit then
-              divert_sa (-1)
-            else
-              match route with
-              | Some nh -> finish_ip t ctx frame nh
-              | None -> divert_sa (-1))
-        | e :: rest -> run_entry e (fun () -> chain rest)
-      in
-      let entries =
-        match per_flow with Some e -> e :: general | None -> general
-      in
-      chain entries
+  let divert_pe fid =
+    let h =
+      match Packet.Flow.of_frame frame with
+      | Some k -> Hashtbl.hash k
+      | None -> 0
+    in
+    Input_loop.To_queue { qid = qid_sa_pe t h; out_port = routed_out; fid }
+  in
+  let run_entry (e : Classifier.entry) k =
+    match e.Classifier.where with
+    | Desc.Strongarm -> divert_sa e.Classifier.fid
+    | Desc.Pentium -> divert_pe e.Classifier.fid
+    | Desc.Microengine -> (
+        Vrp.execute
+          ~op_overhead:
+            ( t.config.cm.Cost_model.vrp_mem_op_instr,
+              t.config.cm.Cost_model.vrp_mem_op_wait )
+          ctx e.Classifier.fwdr.Forwarder.code;
+        match
+          e.Classifier.fwdr.Forwarder.action ~state:e.Classifier.state frame
+            ~in_port
+        with
+        | Forwarder.Continue -> k ()
+        | Forwarder.Drop -> Input_loop.Drop_it
+        | Forwarder.Forward p ->
+            (* A verdict naming a non-existent port is forwarder
+               misbehavior (OCaml's [mod] is negative for negative
+               [p], so indexing with it would crash the context);
+               contain it as a drop. *)
+            if p >= 0 && p < total_ports t.config then
+              Input_loop.To_queue { qid = p; out_port = p; fid = -1 }
+            else Input_loop.Drop_it
+        | Forwarder.Forward_routed ->
+            if no_route then divert_sa (-1) else finish_ip t ctx frame route
+        | Forwarder.Divert Desc.Strongarm -> divert_sa e.Classifier.fid
+        | Forwarder.Divert Desc.Pentium -> divert_pe e.Classifier.fid
+        | Forwarder.Divert Desc.Microengine -> k ())
+  in
+  let rec chain = function
+    | [] ->
+        (* The built-in minimal IP tail.  Packets with options, no
+           route, or a route-cache miss are exceptional: the StrongARM
+           services them (section 3.2), warming the cache on the
+           way. *)
+        if Packet.Ipv4.has_options frame then divert_sa (-1)
+        else if t.config.divert_on_cache_miss && not route_cache_hit then
+          divert_sa (-1)
+        else if no_route then divert_sa (-1)
+        else finish_ip t ctx frame route
+    | e :: rest -> run_entry e (fun () -> chain rest)
+  in
+  let entries = match per_flow with Some e -> e :: general | None -> general in
+  chain entries
+
+let default_process t ctx frame ~in_port =
+  let c = t.classifier in
+  let ok =
+    if t.config.full_classifier then Classifier.classify_full_s c ctx frame
+    else Classifier.classify_null_s c ctx frame
+  in
+  if not ok then Input_loop.Drop_it
+  else begin
+    (* Copy the classifier's scratch verdict out before any further
+       hardware charge: a charge can suspend (classic mode) and let a
+       sibling context re-classify over the same scratch. *)
+    let per_flow = Classifier.scratch_per_flow c in
+    let general = Classifier.scratch_general c in
+    let route = Classifier.scratch_route c in
+    let route_cache_hit = Classifier.scratch_route_cache_hit c in
+    (* The routing decision travels up the hierarchy in the descriptor
+       (the paper's 8-byte internal routing header), so higher levels
+       need not re-classify; -1 marks "no route yet" and the StrongARM's
+       slow path resolves it. *)
+    let routed_out =
+      if route == Iproute.Table.no_route then -1
+      else route.Iproute.Table.out_port
+    in
+    match (per_flow, general) with
+    | None, [] ->
+        (* No installed forwarders: the minimal IP tail, allocation-free. *)
+        if Packet.Ipv4.has_options frame then divert_sa_fast t routed_out
+        else if t.config.divert_on_cache_miss && not route_cache_hit then
+          divert_sa_fast t routed_out
+        else if route == Iproute.Table.no_route then divert_sa_fast t routed_out
+        else finish_ip t ctx frame route
+    | _ ->
+        slow_chain t ctx frame ~in_port ~per_flow ~general ~route
+          ~route_cache_hit ~routed_out
+  end
 
 let start ?process t =
   let cfg = t.config in
@@ -662,6 +735,11 @@ let start ?process t =
            cfg.hw.Ixp.Config.token_pass_cycles)
       ~members:n_out ()
   in
+  (* Each transmit port's [Some] is built once: [port_for] runs per MP,
+     and a fresh option per call was steady minor-heap traffic. *)
+  let port_opts =
+    Array.init n_all (fun i -> Some t.chip.Ixp.Chip.ports.(i))
+  in
   (* Ports are packed onto output contexts greedily by line rate, so a
      fast uplink gets a context to itself while slow ports share. *)
   let out_assignment = Array.make n_out [] in
@@ -700,14 +778,12 @@ let start ?process t =
             discipline =
               (if multi then Output_loop.O3_multi else Output_loop.O1_batch);
             queues;
-            port_for =
-              (fun desc ->
-                Some t.chip.Ixp.Chip.ports.(desc.Desc.out_port mod n_all));
+            port_for = (fun desc -> port_opts.(desc.Desc.out_port mod n_all));
             on_tx =
               Some
                 (fun desc _ ->
-                  Sim.Stats.Histogram.observe t.latency
-                    (Int64.sub (Sim.Engine.now ()) desc.Desc.arrival));
+                  Sim.Stats.Histogram.observe_i t.latency
+                    (Sim.Engine.now_i () - desc.Desc.arrival));
             idle_backoff_cycles = 128;
             scope = Some t.output_scope;
           }

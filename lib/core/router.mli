@@ -117,11 +117,26 @@ type t = {
   mutable frame_pool : Packet.Frame_pool.t option;
       (** attached via {!set_frame_pool}; [None] leaves every allocation
           path exactly as before *)
+  port_targets : Input_loop.target array;
+      (** preallocated routed-out verdicts, one per port — the fast
+          path's [To_queue] records, built once at {!create} *)
+  sa_targets : Input_loop.target array;
+      (** preallocated StrongARM diverts (fid -1), indexed by the routed
+          port + 1 (index 0 = no route) *)
+  sa_ttl_target : Input_loop.target;  (** the TTL-expired divert *)
 }
 
-val create : ?config:config -> ?engine:Sim.Engine.t -> unit -> t
+val create :
+  ?config:config -> ?alloc_gauges:bool -> ?engine:Sim.Engine.t -> unit -> t
 (** Build (does not start fibers).  Pass a shared [engine] to place
-    several routers in one simulation (see {!connect}). *)
+    several routers in one simulation (see {!connect}).
+
+    [alloc_gauges] (default [false]) additionally registers host-GC
+    allocation gauges ([gc_minor_words], [gc_promoted_words], ...) in the
+    [sim] telemetry scope, rebased at creation.  They are opt-in because
+    they report host facts, not simulation facts: their values vary with
+    allocator warm-up and domain placement, so registering them would
+    break snapshot-digest comparisons across replays and domain counts. *)
 
 val set_frame_pool : t -> Packet.Frame_pool.t -> unit
 (** Attach a {!Packet.Frame_pool} (call before {!start}).  Frames the

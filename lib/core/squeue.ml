@@ -82,6 +82,16 @@ let pop q =
     Some d
   end
 
+(* Option-free pop for callers that have already checked [length q > 0]
+   — the [Some d] of [pop] is two words per forwarded packet. *)
+let pop_nonempty q =
+  if q.len = 0 then invalid_arg (q.name ^ ": pop_nonempty on empty queue");
+  let d = Array.unsafe_get q.arr q.head in
+  q.head <- (q.head + 1) land q.mask;
+  q.len <- q.len - 1;
+  q.dequeued <- q.dequeued + 1;
+  d
+
 let peek q = if q.len = 0 then None else Some (Array.unsafe_get q.arr q.head)
 let length q = q.len
 let is_empty q = q.len = 0

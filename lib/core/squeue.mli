@@ -20,6 +20,11 @@ val push : t -> Desc.t -> bool
 (** [push q d] appends; false (and a drop count) when full. *)
 
 val pop : t -> Desc.t option
+
+val pop_nonempty : t -> Desc.t
+(** [pop] for callers that have already checked [length t > 0] —
+    allocation-free.  @raise Invalid_argument on an empty queue. *)
+
 val peek : t -> Desc.t option
 val length : t -> int
 val is_empty : t -> bool

@@ -41,7 +41,7 @@ type t = {
   work_signal : Sim.Semaphore.t;
   stats : stats;
   mutable spare_probe : int;
-  mutable busy_ps : int64;
+  mutable busy_ps : int; (* native-int ps; see [busy] *)
   mutable pe_rr : int; (* round-robin cursor over the Pentium-bound queues *)
   mutable faults : Fault.Injector.t option;
   mutable crashes : int;
@@ -70,7 +70,7 @@ let create chip cm ?(wakeup = Polling) ?(pe_flow_queues = 4)
     work_signal = Sim.Semaphore.create ~name:"sa.signal" 0;
     stats = make_stats ();
     spare_probe = 0;
-    busy_ps = 0L;
+    busy_ps = 0;
     pe_rr = 0;
     faults = None;
     crashes = 0;
@@ -96,14 +96,17 @@ let register_telemetry scope t =
   queue t.local_q;
   Array.iter queue t.pe_qs
 
+(* Native-int timestamps: this brackets every slow-path dequeue and
+   process step, and the int64 form boxed four values per call. *)
 let busy t f =
-  let t0 = Sim.Engine.now () in
+  let t0 = Sim.Engine.now_i () in
   let r = f () in
-  t.busy_ps <- Int64.add t.busy_ps (Int64.sub (Sim.Engine.now ()) t0);
+  t.busy_ps <- t.busy_ps + (Sim.Engine.now_i () - t0);
   r
 
 let busy_cycles t =
-  Sim.Engine.Clock.cycles_of_ps t.ctx.Chip_ctx.chip.Ixp.Chip.me_clock t.busy_ps
+  Sim.Engine.Clock.cycles_of_ps t.ctx.Chip_ctx.chip.Ixp.Chip.me_clock
+    (Int64.of_int t.busy_ps)
 
 let notify t =
   match t.wakeup with
@@ -192,7 +195,7 @@ let process_local t desc =
                     let d =
                       Desc.make ~buf ~len:(Packet.Frame.len reply)
                         ~in_port:desc.Desc.in_port ~out_port:port
-                        ~arrival:(Sim.Engine.now ()) ()
+                        ~arrival:(Sim.Engine.now_i ()) ()
                     in
                     Sim.Stats.Counter.incr t.stats.icmp_sent;
                     finish t d)

@@ -57,7 +57,7 @@ type t = {
   stats : stats;
   mutable spare_probe : int;  (** delay-loop iterations when idle, the
                                   paper's spare-cycle methodology *)
-  mutable busy_ps : int64;  (** time spent working (excludes idle and
+  mutable busy_ps : int;  (** time spent working, native-int ps (excludes idle and
                                 backpressure waits) *)
   mutable pe_rr : int;  (** round-robin cursor over [pe_qs] *)
   mutable faults : Fault.Injector.t option;

@@ -133,11 +133,42 @@ type t = {
   mutable gen : int;
   cache : (Packet.Flow.five, cache_entry) Hashtbl.t;
   cache_capacity : int;
+  (* Batch-span memo: within one context activation (an open
+     [Sim.Engine] batch span) bursts are strongly flow-local, so the
+     previous frame's decision usually answers the next frame too.  The
+     memo is a single (span, key, rule) triple checked before the flow
+     cache — a hit skips even the cache's hash probe.  Validity is the
+     conjunction of span identity (a real suspension breaks the span, so
+     nothing can have interleaved) and generation identity (rule churn
+     invalidates it exactly like the cache). *)
+  mutable memo_span : int;  (** 0 = memo empty / outside any span *)
+  mutable memo_gen : int;
+  mutable memo_key : Packet.Flow.five;
+  mutable memo_rule : rule option;
   hits : Sim.Stats.Counter.t;
   misses : Sim.Stats.Counter.t;
   flushes : Sim.Stats.Counter.t;
   probe_count : Sim.Stats.Counter.t;
+  memo_hits : Sim.Stats.Counter.t;
 }
+
+let dummy_five : Packet.Flow.five =
+  {
+    f_src = 0l;
+    f_src_port = 0;
+    f_dst = 0l;
+    f_dst_port = 0;
+    f_proto = 0;
+    f_dscp = 0;
+  }
+
+let five_eq (a : Packet.Flow.five) (b : Packet.Flow.five) =
+  Int32.equal a.f_src b.f_src
+  && Int32.equal a.f_dst b.f_dst
+  && a.f_src_port = b.f_src_port
+  && a.f_dst_port = b.f_dst_port
+  && a.f_proto = b.f_proto
+  && a.f_dscp = b.f_dscp
 
 let create ?(cache_capacity = 4096) () =
   if cache_capacity < 1 then invalid_arg "Classifier.create: cache_capacity";
@@ -148,10 +179,15 @@ let create ?(cache_capacity = 4096) () =
     gen = 0;
     cache = Hashtbl.create 256;
     cache_capacity;
+    memo_span = 0;
+    memo_gen = 0;
+    memo_key = dummy_five;
+    memo_rule = None;
     hits = Sim.Stats.Counter.create "classifier.cache_hit";
     misses = Sim.Stats.Counter.create "classifier.cache_miss";
     flushes = Sim.Stats.Counter.create "classifier.cache_flush";
     probe_count = Sim.Stats.Counter.create "classifier.probes";
+    memo_hits = Sim.Stats.Counter.create "classifier.mf_batch_memo_hits";
   }
 
 let compare_tuple a b =
@@ -282,6 +318,23 @@ let lookup t k =
       Hashtbl.replace t.cache k { ce_gen = t.gen; ce_rule = r };
       r
 
+let lookup_span t ~span k =
+  if
+    span <> 0 && span = t.memo_span && t.memo_gen = t.gen
+    && five_eq t.memo_key k
+  then begin
+    Sim.Stats.Counter.incr t.memo_hits;
+    t.memo_rule
+  end
+  else begin
+    let r = lookup t k in
+    t.memo_span <- span;
+    t.memo_gen <- t.gen;
+    t.memo_key <- k;
+    t.memo_rule <- r;
+    r
+  end
+
 let lookup_linear t k =
   Hashtbl.fold
     (fun _ tbl acc ->
@@ -304,6 +357,7 @@ let cache_hits t = Sim.Stats.Counter.value t.hits
 let cache_misses t = Sim.Stats.Counter.value t.misses
 let cache_flushes t = Sim.Stats.Counter.value t.flushes
 let probes t = Sim.Stats.Counter.value t.probe_count
+let batch_memo_hits t = Sim.Stats.Counter.value t.memo_hits
 
 let attach t scope =
   Telemetry.Scope.gauge_int scope "tuples" (fun () -> n_tuples t);
@@ -313,7 +367,8 @@ let attach t scope =
   Telemetry.Scope.register_counter scope ~name:"cache_hit" t.hits;
   Telemetry.Scope.register_counter scope ~name:"cache_miss" t.misses;
   Telemetry.Scope.register_counter scope ~name:"cache_flush" t.flushes;
-  Telemetry.Scope.register_counter scope ~name:"probes" t.probe_count
+  Telemetry.Scope.register_counter scope ~name:"probes" t.probe_count;
+  Telemetry.Scope.register_counter scope ~name:"mf_batch_memo_hits" t.memo_hits
 
 let forwarder ?(max_probes = 4) ~(cm : Router.Cost_model.t) t =
   if max_probes < 1 then invalid_arg "Classifier.forwarder: max_probes";
@@ -328,7 +383,16 @@ let forwarder ?(max_probes = 4) ~(cm : Router.Cost_model.t) t =
     match Packet.Flow.five_of_frame frame with
     | None -> Router.Forwarder.Continue
     | Some k -> (
-        match lookup t k with
+        (* Inside a batch span consecutive frames of a burst share the
+           activation — and usually the flow — so route through the
+           span memo.  Outside any span [current_span] is 0 and
+           [lookup_span] degrades to plain [lookup]. *)
+        let span =
+          match Sim.Engine.current_engine () with
+          | Some e -> Sim.Engine.current_span e
+          | None -> 0
+        in
+        match lookup_span t ~span k with
         | None | Some { act = Accept; _ } -> Router.Forwarder.Continue
         | Some { act = Drop; _ } -> Router.Forwarder.Drop
         | Some { act = Forward p; _ } -> Router.Forwarder.Forward p

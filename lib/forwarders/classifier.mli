@@ -79,6 +79,15 @@ val lookup : t -> Packet.Flow.five -> rule option
 (** The winning rule via flow cache + pruned tuple walk, or [None] when
     nothing matches. *)
 
+val lookup_span : t -> span:int -> Packet.Flow.five -> rule option
+(** {!lookup} behind a one-entry batch-span memo: when [span] is nonzero
+    and equals the span of the previous call with the same key (and the
+    rule set has not churned), the previous answer is returned without
+    touching the flow cache.  Bursts inside one context activation are
+    strongly flow-local, so the memo absorbs most of a burst after its
+    first frame.  Pass [Sim.Engine.current_span]; [span = 0] (outside
+    any batch span) bypasses the memo entirely. *)
+
 val lookup_linear : t -> Packet.Flow.five -> rule option
 (** The naive oracle: scan every installed rule, keep the best by
     {!compare_rule}.  Exists so the differential battery can compare the
@@ -96,9 +105,14 @@ val probes : t -> int
     pruning effectiveness measure ([probes / cache_misses] = average
     tuples touched per miss). *)
 
+val batch_memo_hits : t -> int
+(** Lookups answered by the batch-span memo ({!lookup_span}) without
+    touching the flow cache. *)
+
 val attach : t -> Telemetry.Scope.t -> unit
 (** Register gauges ([tuples], [rules], [cache_entries]) and counters
-    ([cache_hit], [cache_miss], [cache_flush], [probes]) under a scope. *)
+    ([cache_hit], [cache_miss], [cache_flush], [probes],
+    [mf_batch_memo_hits]) under a scope. *)
 
 val forwarder :
   ?max_probes:int -> cm:Router.Cost_model.t -> t -> Router.Forwarder.t

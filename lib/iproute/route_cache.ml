@@ -1,53 +1,101 @@
+(* Keys are native ints (the 32 address bits, [0 .. 2^32-1]): the
+   [int32] form of the first version forced a boxed key compare per
+   probe, and the tuple-in-option line layout forced a [Some v] per hit.
+   Lines are now two parallel arrays — an int key array ([-1] = empty;
+   no masked address is negative) and a value array — so the fast-path
+   probe {!find_or} touches no allocator at all.  The [addr]-typed API
+   survives as wrappers for the control plane and tests. *)
+
 type 'a t = {
-  hash : Packet.Ipv4.addr -> int;
-  lines : (Packet.Ipv4.addr * 'a) option array;
+  hash : int -> int;
+  keys : int array; (* -1 = empty line *)
+  vals : 'a option array; (* dense mirror; [Some] refreshed per insert *)
   mutable hits : int;
   mutable misses : int;
   mutable scan_cost : int;
 }
 
-let default_hash a =
+let default_hash_i x =
   (* Full-avalanche mix (the IXP1200's hash unit is CRC-like): line
      selection takes the hash modulo the slot count, so the high address
      bits must reach the low hash bits. *)
-  let x = Int32.to_int a land 0xFFFFFFFF in
   let x = x * 0x9E3779B1 in
   let x = x lxor (x lsr 16) in
   let x = x * 0x85EBCA6B in
   let x = x lxor (x lsr 13) in
   x land max_int
 
-let create ?(hash = default_hash) ~slots () =
+let key_of_addr a = Int32.to_int a land 0xFFFFFFFF
+
+let create ?hash ~slots () =
   if slots <= 0 then invalid_arg "Route_cache.create: slots <= 0";
-  { hash; lines = Array.make slots None; hits = 0; misses = 0; scan_cost = 0 }
+  let hash =
+    match hash with
+    | None -> default_hash_i
+    | Some h -> fun k -> h (Int32.of_int k)
+  in
+  {
+    hash;
+    keys = Array.make slots (-1);
+    vals = Array.make slots None;
+    hits = 0;
+    misses = 0;
+    scan_cost = 0;
+  }
 
-let line c a = c.hash a mod Array.length c.lines
+let line c k = c.hash k mod Array.length c.keys
 
-let find c a =
-  match c.lines.(line c a) with
-  | Some (key, v) when key = a ->
-      c.hits <- c.hits + 1;
-      Some v
-  | Some _ | None ->
-      c.misses <- c.misses + 1;
-      None
+(* The hot probe: returns the cached value, or [default] on a miss (an
+   empty or mismatched line).  No option, no tuple — the caller compares
+   against its own sentinel. *)
+let find_or c k ~default =
+  let l = line c k in
+  if c.keys.(l) = k then begin
+    c.hits <- c.hits + 1;
+    match c.vals.(l) with Some v -> v | None -> assert false
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    default
+  end
 
-let insert c a v = c.lines.(line c a) <- Some (a, v)
+let find_i c k =
+  let l = line c k in
+  if c.keys.(l) = k then begin
+    c.hits <- c.hits + 1;
+    c.vals.(l)
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    None
+  end
 
-let invalidate c = Array.fill c.lines 0 (Array.length c.lines) None
+let find c a = find_i c (key_of_addr a)
+
+let insert_i c k v =
+  let l = line c k in
+  c.keys.(l) <- k;
+  c.vals.(l) <- Some v
+
+let insert c a v = insert_i c (key_of_addr a) v
+
+let invalidate c =
+  Array.fill c.keys 0 (Array.length c.keys) (-1);
+  Array.fill c.vals 0 (Array.length c.vals) None
+
+let drop_line c l =
+  c.keys.(l) <- -1;
+  c.vals.(l) <- None
 
 let invalidate_matching c pred =
-  c.scan_cost <- c.scan_cost + Array.length c.lines;
+  c.scan_cost <- c.scan_cost + Array.length c.keys;
   Array.iteri
-    (fun i line ->
-      match line with
-      | Some (key, _) when pred key -> c.lines.(i) <- None
-      | Some _ | None -> ())
-    c.lines
+    (fun i k -> if k >= 0 && pred (Int32.of_int k) then drop_line c i)
+    c.keys
 
 let invalidate_covered c p =
   let host = 32 - Prefix.length p in
-  let slots = Array.length c.lines in
+  let slots = Array.length c.keys in
   if host < Sys.int_size - 1 && 1 lsl host < slots then begin
     (* Few covered addresses: probe each one's line directly instead of
        scanning every slot — a /32 change touches exactly one line. *)
@@ -55,11 +103,9 @@ let invalidate_covered c p =
     let n = 1 lsl host in
     c.scan_cost <- c.scan_cost + n;
     for i = 0 to n - 1 do
-      let a = Int32.of_int (base lor i) in
-      let l = line c a in
-      match c.lines.(l) with
-      | Some (key, _) when key = a -> c.lines.(l) <- None
-      | Some _ | None -> ()
+      let k = base lor i in
+      let l = line c k in
+      if c.keys.(l) = k then drop_line c l
     done
   end
   else invalidate_matching c (Prefix.matches p)

@@ -15,8 +15,21 @@ val create : ?hash:(Packet.Ipv4.addr -> int) -> slots:int -> unit -> 'a t
 val find : 'a t -> Packet.Ipv4.addr -> 'a option
 (** [find c a] is the cached value for exactly [a], if its line holds it. *)
 
+val find_or : 'a t -> int -> default:'a -> 'a
+(** [find_or c k ~default] is the hot-path probe: the cached value for
+    key [k] (the 32 address bits as a native int), or [default] on a
+    miss.  Counts a hit or miss like {!find}; allocates nothing — the
+    caller distinguishes a miss by physical comparison with its own
+    sentinel value. *)
+
+val find_i : 'a t -> int -> 'a option
+(** {!find} keyed by native-int address bits. *)
+
 val insert : 'a t -> Packet.Ipv4.addr -> 'a -> unit
 (** [insert c a v] fills [a]'s line, evicting any previous occupant. *)
+
+val insert_i : 'a t -> int -> 'a -> unit
+(** {!insert} keyed by native-int address bits. *)
 
 val invalidate : 'a t -> unit
 (** Drop every line (route table changed). *)

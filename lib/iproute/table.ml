@@ -94,6 +94,28 @@ let lookup_cached t a =
           `Miss (Some nh)
       | None -> `Miss None)
 
+(* Hot-path form: the miss sentinel replaces the option, the [hit] out-
+   parameter replaces the polymorphic-variant wrapper, and the key is
+   the 32 address bits as a native int — a cache hit allocates nothing.
+   The full LPM on a miss still boxes its [int32] key; misses are the
+   divert path and pay far more than one box anyway. *)
+let no_route = { out_port = min_int; gateway_mac = 0 }
+
+let lookup_cached_i t k ~hit =
+  let nh = Route_cache.find_or t.cache k ~default:no_route in
+  if nh != no_route then begin
+    hit := true;
+    nh
+  end
+  else begin
+    hit := false;
+    match lookup t (Int32.of_int k) with
+    | Some nh ->
+        Route_cache.insert_i t.cache k nh;
+        nh
+    | None -> no_route
+  end
+
 let size t = t.n
 
 let bindings t =

@@ -40,6 +40,17 @@ val lookup_cached : t -> Packet.Ipv4.addr -> [ `Hit of nexthop | `Miss of nextho
 (** Fast-path lookup: [`Hit] on a cache hit; on a miss, runs the full match,
     refills the cache on success, and reports what it found. *)
 
+val no_route : nexthop
+(** Sentinel returned by {!lookup_cached_i} when no route matches
+    (compare physically).  Its [out_port] is [min_int], which no real
+    route carries. *)
+
+val lookup_cached_i : t -> int -> hit:bool ref -> nexthop
+(** [lookup_cached_i t k ~hit] is {!lookup_cached} keyed by the 32
+    destination-address bits as a native int: sets [hit] to whether the
+    cache line held the answer, returns the next hop or {!no_route}.
+    Allocation-free on a cache hit. *)
+
 val size : t -> int
 (** Number of routes. *)
 

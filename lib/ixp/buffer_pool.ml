@@ -1,7 +1,26 @@
-type handle = { index : int; generation : int }
+(* Handles are packed native ints — generation in the high bits, slot
+   index in the low [idx_bits] — because the record form of the first
+   version cost 3 words per allocation on a path that runs per packet
+   (plus 2 more for the [Some] wrapping in [alloc_opt]'s callers).  24
+   index bits cover 16M buffers, far beyond the paper's 8192; the ~38
+   remaining generation bits lap a slot for longer than any run. *)
+
+type handle = int
+
+let idx_bits = 24
+let idx_mask = (1 lsl idx_bits) - 1
+let handle_of ~index ~generation = (generation lsl idx_bits) lor index
+let handle_index h = h land idx_mask
+let handle_generation h = h asr idx_bits
+
+exception Stale
+
+(* Slots hold frames directly, with a shared zero-length sentinel for
+   "empty" — an option field would cost a fresh [Some] per store. *)
+let no_frame = Packet.Frame.alloc 0
 
 type slot = {
-  mutable frame : Packet.Frame.t option;
+  mutable frame : Packet.Frame.t;
   mutable generation : int;
   mutable live : bool; (* stack mode: allocated and not yet freed *)
 }
@@ -26,7 +45,8 @@ let set_faults t inj = t.faults <- Some inj
 let set_release t f = t.on_release <- Some f
 
 let make_slots count =
-  Array.init count (fun _ -> { frame = None; generation = 0; live = false })
+  if count > idx_mask + 1 then invalid_arg "Buffer_pool: count too large";
+  Array.init count (fun _ -> { frame = no_frame; generation = 0; live = false })
 
 let create_circular ~count () =
   if count <= 0 then invalid_arg "Buffer_pool: count";
@@ -66,52 +86,56 @@ let alloc t frame =
       let index = c.next in
       c.next <- (c.next + 1) mod Array.length t.slots;
       let slot = t.slots.(index) in
-      (match slot.frame with
-      | None -> ()
-      | Some old ->
-          t.overwrites <- t.overwrites + 1;
-          (match t.on_release with Some r -> r old | None -> ()));
+      if slot.frame != no_frame then begin
+        t.overwrites <- t.overwrites + 1;
+        match t.on_release with Some r -> r slot.frame | None -> ()
+      end;
       slot.generation <- slot.generation + 1;
-      slot.frame <- Some frame;
-      { index; generation = slot.generation }
+      slot.frame <- frame;
+      handle_of ~index ~generation:slot.generation
   | Stack free ->
       if Stack.is_empty free then failwith "Buffer_pool: out of buffers";
       let index = Stack.pop free in
       let slot = t.slots.(index) in
       slot.generation <- slot.generation + 1;
-      slot.frame <- Some frame;
+      slot.frame <- frame;
       slot.live <- true;
       t.in_use <- t.in_use + 1;
-      { index; generation = slot.generation }
+      handle_of ~index ~generation:slot.generation
 
 (* Non-raising form for the batched hot loop: allocation failure (an
    injected Pool_fail or a dry stack) is an expected per-frame outcome
    there, and raising would tear the whole batch down through the
-   exception handler instead of dropping one frame. *)
-let alloc_opt t frame =
-  match alloc t frame with h -> Some h | exception Failure _ -> None
+   exception handler instead of dropping one frame.  Failure is encoded
+   as a negative handle rather than an option — generations are
+   positive, so no valid handle is negative — keeping the per-packet
+   success path free of a [Some] box. *)
+let alloc_try t frame =
+  match alloc t frame with h -> h | exception Failure _ -> -1
 
-let read t h =
-  let slot = t.slots.(h.index) in
-  if slot.generation <> h.generation then begin
+let get t h =
+  let slot = t.slots.(h land idx_mask) in
+  if slot.generation <> h asr idx_bits then begin
     t.stale_reads <- t.stale_reads + 1;
-    None
+    raise Stale
   end
   else slot.frame
+
+let read t h = match get t h with f -> Some f | exception Stale -> None
 
 let free t h =
   match t.mode with
   | Circular _ -> ()
   | Stack free ->
-      let slot = t.slots.(h.index) in
-      if slot.live && slot.generation = h.generation then begin
+      let slot = t.slots.(handle_index h) in
+      if slot.live && slot.generation = handle_generation h then begin
         slot.live <- false;
-        (match slot.frame, t.on_release with
-        | Some f, Some r -> r f
+        (match t.on_release with
+        | Some r when slot.frame != no_frame -> r slot.frame
         | _ -> ());
-        slot.frame <- None;
+        slot.frame <- no_frame;
         t.in_use <- t.in_use - 1;
-        Stack.push h.index free
+        Stack.push (handle_index h) free
       end
 
 let overwrites t = t.overwrites

@@ -13,8 +13,18 @@
 
 type t
 
-type handle = { index : int; generation : int }
-(** A reference to a buffer as enqueued in an SRAM queue. *)
+type handle = int
+(** A reference to a buffer as enqueued in an SRAM queue: the slot index
+    in the low bits, the generation above it (see {!handle_of}).  Packed
+    into a native int so queues and descriptors carry it unboxed — the
+    record form cost three words per packet. *)
+
+val handle_of : index:int -> generation:int -> handle
+(** [handle_of ~index ~generation] packs a handle (tests build synthetic
+    handles with this; the pool itself is the only producer otherwise). *)
+
+val handle_index : handle -> int
+val handle_generation : handle -> int
 
 val create_circular : count:int -> unit -> t
 (** The paper's allocator. *)
@@ -27,10 +37,19 @@ val alloc : t -> Packet.Frame.t -> handle
     mode this may silently overwrite the oldest in-flight buffer (counted
     in {!overwrites}).  In stack mode it raises [Failure] when empty. *)
 
-val alloc_opt : t -> Packet.Frame.t -> handle option
-(** {!alloc} returning [None] instead of raising [Failure] (injected
-    allocation failure, or a dry stack pool) — the batched input loop's
-    drop-one-frame path. *)
+val alloc_try : t -> Packet.Frame.t -> handle
+(** {!alloc} returning a negative handle instead of raising [Failure]
+    (injected allocation failure, or a dry stack pool) — the batched
+    input loop's drop-one-frame path, with no option box on success. *)
+
+exception Stale
+(** Raised by {!get} when the buffer was reused since the handle was
+    created (a lost packet). *)
+
+val get : t -> handle -> Packet.Frame.t
+(** [get pool h] is the stored frame; raises {!Stale} (and counts a
+    stale read) if the buffer was reused since [h] was created.  The
+    allocation-free form of {!read}. *)
 
 val read : t -> handle -> Packet.Frame.t option
 (** [read pool h] is the stored frame, or [None] if the buffer was reused

@@ -26,4 +26,16 @@ let hash_booked t v =
   t.uses <- t.uses + 1;
   (Sim.Engine.Clock.ps_of_cycles_i t.clock t.cycles, hash_free t v)
 
+(* Charge-only forms, for call sites that pay the unit's latency but
+   discard the value (the fast-path classifier mixes the destination
+   only to model the hardware cost): no [Int64] argument to box, no
+   mixing work, identical timing and [uses] accounting. *)
+let charge t =
+  t.uses <- t.uses + 1;
+  Sim.Engine.Clock.wait_cycles t.clock t.cycles
+
+let charge_booked t =
+  t.uses <- t.uses + 1;
+  Sim.Engine.Clock.ps_of_cycles_i t.clock t.cycles
+
 let uses t = t.uses

@@ -18,6 +18,15 @@ val hash_booked : t -> int64 -> int * int
     [(charge_ps, hash)] for the per-batch charging path to accumulate
     instead of waiting. *)
 
+val charge : t -> unit
+(** [charge u] (inside a fiber) pays the unit's latency and counts the
+    use without computing a value — for sites that model the hardware
+    cost of a hash whose result they discard.  Allocation-free. *)
+
+val charge_booked : t -> int
+(** [charge_booked u] is the booked form of {!charge}: counts the use
+    and returns the charge in picoseconds. *)
+
 val hash_free : t -> int64 -> int
 (** The same mixing function without the cycle charge (for code that
     accounts costs in aggregate, e.g. the VRP interpreter). *)

@@ -18,6 +18,12 @@ type t = {
   dummy : Packet.Frame.t;
   mutable sink : Packet.Frame.t -> unit;
   mutable sink_present : bool;
+  (* A borrowing sink consumes the frame synchronously during the call
+     and never retains it (the router's internal digest/counter sinks),
+     so [transmit_frame] can lend the DRAM buffer instead of paying a
+     [prefix_copy] per packet.  Cleared by [set_sink]: an external sink
+     may hold the frame past the call, and the buffer is recycled. *)
+  mutable sink_borrows : bool;
   mutable tx_partial : Packet.Mp.t list; (* reversed *)
   mutable tx_horizon : int; (* ps: when the wire finishes what it has *)
   wire_mid : int; (* ps on the wire for a non-final MP *)
@@ -40,8 +46,13 @@ type t = {
   (* Parked input contexts waiting for this port to become non-empty.
      One waiter is woken per accepted frame (not per MP): a frame is the
      unit of new work, and waking every parked context per MP would
-     thundering-herd the token ring. *)
-  mutable rx_waiters : (unit -> unit) list;
+     thundering-herd the token ring.  A stack (array + length) rather
+     than a list: the wakers are the contexts' permanent park-cell
+     closures, so registration is a store, not a cons — this runs once
+     per idle park on the per-frame path.  LIFO order matches the old
+     cons/pop-head list exactly. *)
+  mutable rx_waiters : (unit -> unit) array;
+  mutable rx_waiters_len : int;
 }
 
 let mp_wire_ps ~mbps ~bytes =
@@ -71,6 +82,7 @@ let create _engine ~id ~mbps ~rx_slots ?sink () =
     dummy;
     sink;
     sink_present;
+    sink_borrows = false;
     tx_partial = [];
     tx_horizon = 0;
     wire_mid = mp_wire_ps ~mbps ~bytes:Packet.Mp.size;
@@ -86,7 +98,8 @@ let create _engine ~id ~mbps ~rx_slots ?sink () =
     tx_link_down = 0;
     tx_gate = None;
     tx_gated = 0;
-    rx_waiters = [];
+    rx_waiters = Array.make 4 ignore;
+    rx_waiters_len = 0;
   }
 
 let id t = t.id
@@ -94,7 +107,10 @@ let mbps t = t.mbps
 
 let set_sink t f =
   t.sink <- f;
-  t.sink_present <- true
+  t.sink_present <- true;
+  t.sink_borrows <- false
+
+let set_sink_borrows t b = t.sink_borrows <- b
 
 let set_faults t inj = t.faults <- Some inj
 let link_up t = t.link_up
@@ -146,11 +162,11 @@ let offer_clean t f =
     done;
     t.r_len <- t.r_len + n;
     t.rx_frames <- t.rx_frames + 1;
-    (match t.rx_waiters with
-    | [] -> ()
-    | w :: rest ->
-        t.rx_waiters <- rest;
-        w ());
+    (if t.rx_waiters_len > 0 then begin
+       let i = t.rx_waiters_len - 1 in
+       t.rx_waiters_len <- i;
+       t.rx_waiters.(i) ()
+     end);
     true
   end
 
@@ -160,11 +176,14 @@ let offer t f =
     false
   end
   else
-    match wire_damage t f with
-    | None ->
-        t.rx_lost <- t.rx_lost + 1;
-        false
-    | Some f -> offer_clean t f
+    match t.faults with
+    | None -> offer_clean t f (* no injector: skip the [Some f] box *)
+    | Some _ -> (
+        match wire_damage t f with
+        | None ->
+            t.rx_lost <- t.rx_lost + 1;
+            false
+        | Some f -> offer_clean t f)
 
 let rdy t = t.r_len > 0
 
@@ -172,7 +191,18 @@ let rdy t = t.r_len > 0
    when MPs are already queued, so the usual pattern
    [Engine.suspend (fun w -> park_rx port w)] never misses work that
    arrived between the caller's check and the suspension. *)
-let park_rx t w = if t.r_len > 0 then w () else t.rx_waiters <- w :: t.rx_waiters
+let park_rx t w =
+  if t.r_len > 0 then w ()
+  else begin
+    let n = t.rx_waiters_len in
+    if n = Array.length t.rx_waiters then begin
+      let bigger = Array.make (2 * n) ignore in
+      Array.blit t.rx_waiters 0 bigger 0 n;
+      t.rx_waiters <- bigger
+    end;
+    t.rx_waiters.(n) <- w;
+    t.rx_waiters_len <- n + 1
+  end
 
 let tag_of_code =
   [| Packet.Mp.Only; Packet.Mp.First; Packet.Mp.Intermediate; Packet.Mp.Last |]
@@ -252,6 +282,20 @@ let tx_try_pace t ~tag =
     end
   end
 
+(* [tx_try_pace] without the [`Wait d] box: -1 reserves the slot, any
+   other value is the strictly positive wait in ps. *)
+let tx_try_pace_i t ~last =
+  if not (tx_gate_open t) then t.wire_last
+  else begin
+    let wire = if last then t.wire_last else t.wire_mid in
+    let now = Sim.Engine.now_i () in
+    if t.tx_horizon - now > wire then t.tx_horizon - (now + wire)
+    else begin
+      t.tx_horizon <- (if t.tx_horizon > now then t.tx_horizon else now) + wire;
+      -1
+    end
+  end
+
 (* The whole-frame transmit path the output loop uses: the frame already
    sits assembled in DRAM, so "reassembling" its MPs is a copy of the
    bytes the caller still holds — performed only when someone is
@@ -260,7 +304,9 @@ let transmit_frame t frame ~len =
   if not t.link_up then t.tx_link_down <- t.tx_link_down + 1
   else begin
     t.tx_frames <- t.tx_frames + 1;
-    if t.sink_present then t.sink (Packet.Frame.prefix_copy frame ~len)
+    if t.sink_present then
+      if t.sink_borrows && Packet.Frame.len frame = len then t.sink frame
+      else t.sink (Packet.Frame.prefix_copy frame ~len)
   end
 
 let transmit_mp t mp ~len_hint =

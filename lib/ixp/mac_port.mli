@@ -25,7 +25,16 @@ val mbps : t -> float
 
 val set_sink : t -> (Packet.Frame.t -> unit) -> unit
 (** Replace where transmitted frames are delivered — e.g. wire this port
-    to another router's receive side to build multi-router topologies. *)
+    to another router's receive side to build multi-router topologies.
+    Always resets the borrow flag (see {!set_sink_borrows}): an external
+    sink gets a private copy of each frame. *)
+
+val set_sink_borrows : t -> bool -> unit
+(** Declare that the current sink consumes each frame synchronously
+    during the call and never retains it.  {!transmit_frame} then lends
+    the DRAM buffer directly (when its length matches) instead of
+    allocating a per-packet copy.  Only safe for internal sinks such as
+    the router's delivery digest; {!set_sink} clears it. *)
 
 val set_faults : t -> Fault.Injector.t -> unit
 (** Enable wire-level fault injection on this port's receive side: burst
@@ -106,6 +115,11 @@ val tx_try_pace : t -> tag:Packet.Mp.tag -> [ `Ok | `Wait of int64 ]
     [`Wait d] means the slot frees in [d] ps — the caller should poll
     again (with a short backoff, not by sleeping the whole [d]: an output
     context that naps stalls the token rotation for everyone). *)
+
+val tx_try_pace_i : t -> last:bool -> int
+(** {!tx_try_pace} without the variant box: [-1] reserves the slot
+    ([`Ok]); any other value is the strictly positive wait in ps.
+    [last] marks the frame's final MP (pays preamble + gap time). *)
 
 val tx_pace_ok : t -> last:bool -> bool
 (** Allocation-free form of {!tx_try_pace} for the per-MP output loop:

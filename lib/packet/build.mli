@@ -24,6 +24,22 @@ val udp :
     [frame_bytes] with encapsulation headroom included.  [tos] (default 0)
     writes the Type-of-Service byte — DSCP in bits [7:2]. *)
 
+val udp_i :
+  ?pool:Frame_pool.t ->
+  ?frame_len:int ->
+  src:int ->
+  dst:int ->
+  src_port:int ->
+  dst_port:int ->
+  ?ttl:int ->
+  ?tos:int ->
+  ?payload:string ->
+  unit ->
+  Frame.t
+(** {!udp} with native-int addresses ([0 .. 2^32-1]): the
+    allocation-free form for per-packet workload generators, which
+    otherwise box two [int32] addresses per frame. *)
+
 val tcp :
   ?pool:Frame_pool.t ->
   ?frame_len:int ->

@@ -29,3 +29,8 @@ val pseudo_header_sum :
   src:int32 -> dst:int32 -> proto:int -> len:int -> int
 (** [pseudo_header_sum ~src ~dst ~proto ~len] is the unfinished sum of the
     TCP/UDP pseudo header. *)
+
+val pseudo_header_sum_i :
+  src:int -> dst:int -> proto:int -> len:int -> int
+(** Native-int addresses ([0 .. 2^32-1]): the allocation-free form for
+    the per-frame L4 checksum fills. *)

@@ -18,14 +18,11 @@ let pp_mac ppf m =
 (* Locally administered (bit 1 of first octet set), stable per port. *)
 let mac_of_port i = 0x020000000000 lor (0xC0DE00 lsl 8) lor (i land 0xFF)
 
-let get_mac f off =
-  let hi = Frame.get_u16 f off in
-  let lo = Frame.get_u32 f (off + 2) in
-  (hi lsl 32) lor (Int32.to_int lo land 0xFFFFFFFF)
+let get_mac f off = (Frame.get_u16 f off lsl 32) lor Frame.get_u32_i f (off + 2)
 
 let set_mac f off m =
   Frame.set_u16 f off ((m lsr 32) land 0xFFFF);
-  Frame.set_u32 f (off + 2) (Int32.of_int (m land 0xFFFFFFFF))
+  Frame.set_u32_i f (off + 2) (m land 0xFFFFFFFF)
 
 let get_dst f = get_mac f 0
 let set_dst f m = set_mac f 0 m

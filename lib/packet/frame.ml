@@ -33,6 +33,14 @@ let set_u32 f off v =
   set_u16 f off (Int32.to_int (Int32.shift_right_logical v 16) land 0xFFFF);
   set_u16 f (off + 2) (Int32.to_int v land 0xFFFF)
 
+(* Native-int 32-bit accessors: an [int32] result is a fresh box per
+   read, and header reads run several times per packet. *)
+let get_u32_i f off = (get_u16 f off lsl 16) lor get_u16 f (off + 2)
+
+let set_u32_i f off v =
+  set_u16 f off ((v lsr 16) land 0xFFFF);
+  set_u16 f (off + 2) (v land 0xFFFF)
+
 let blit_string s f off = Bytes.blit_string s 0 f.data off (String.length s)
 
 let prefix_copy f ~len =

@@ -43,6 +43,12 @@ val set_u16 : t -> int -> int -> unit
 val get_u32 : t -> int -> int32
 val set_u32 : t -> int -> int32 -> unit
 
+val get_u32_i : t -> int -> int
+(** Big-endian 32-bit read as a native int ([0 .. 2^32-1]) — the
+    allocation-free form ([int32] results are boxed). *)
+
+val set_u32_i : t -> int -> int -> unit
+
 val blit_string : string -> t -> int -> unit
 (** [blit_string s f off] copies [s] into the frame at [off]. *)
 

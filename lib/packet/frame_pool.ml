@@ -21,7 +21,10 @@ type t = {
   mutable frames : Frame.t array; (* slot -> frame, first [minted] live *)
   mutable gens : int array; (* slot -> current generation *)
   mutable minted : int;
-  free : int Stack.t;
+  (* Free slots as an int-array stack: a [Stack.t] allocates a cons per
+     push and an option per pop, and take/give run once per packet. *)
+  mutable free : int array;
+  mutable free_len : int;
   debug : bool;
   mutable outstanding : int;
   mutable misses : int; (* takes served by fresh allocation *)
@@ -40,7 +43,8 @@ let create ?(debug = false) ?(max_frames = 4096) ~frame_bytes () =
     frames = Array.make (min max_frames 64) dummy;
     gens = Array.make (min max_frames 64) 0;
     minted = 0;
-    free = Stack.create ();
+    free = Array.make (min max_frames 64) 0;
+    free_len = 0;
     debug;
     outstanding = 0;
     misses = 0;
@@ -78,24 +82,24 @@ let take t ~len =
     t.misses <- t.misses + 1;
     Frame.alloc len
   end
-  else
-    match Stack.pop_opt t.free with
-    | Some slot ->
-        let f = t.frames.(slot) in
-        let gen = t.gens.(slot) + 1 in
-        t.gens.(slot) <- gen;
-        f.Frame.pool_gen <- gen;
-        Bytes.fill f.Frame.data 0 (Bytes.length f.Frame.data) '\000';
-        f.Frame.len <- len;
-        t.outstanding <- t.outstanding + 1;
-        t.recycles <- t.recycles + 1;
-        f
-    | None ->
-        if t.minted < t.max_frames then mint t ~len
-        else begin
-          t.misses <- t.misses + 1;
-          Frame.alloc len
-        end
+  else if t.free_len > 0 then begin
+    t.free_len <- t.free_len - 1;
+    let slot = t.free.(t.free_len) in
+    let f = t.frames.(slot) in
+    let gen = t.gens.(slot) + 1 in
+    t.gens.(slot) <- gen;
+    f.Frame.pool_gen <- gen;
+    Bytes.fill f.Frame.data 0 (Bytes.length f.Frame.data) '\000';
+    f.Frame.len <- len;
+    t.outstanding <- t.outstanding + 1;
+    t.recycles <- t.recycles + 1;
+    f
+  end
+  else if t.minted < t.max_frames then mint t ~len
+  else begin
+    t.misses <- t.misses + 1;
+    Frame.alloc len
+  end
 
 let bad t what =
   t.bad_gives <- t.bad_gives + 1;
@@ -115,7 +119,13 @@ let give t f =
     (* Invalidate the outstanding tag so a second give is caught. *)
     t.gens.(slot) <- t.gens.(slot) + 1;
     t.outstanding <- t.outstanding - 1;
-    Stack.push slot t.free
+    if t.free_len = Array.length t.free then begin
+      let nf = Array.make (min t.max_frames (2 * t.free_len)) 0 in
+      Array.blit t.free 0 nf 0 t.free_len;
+      t.free <- nf
+    end;
+    t.free.(t.free_len) <- slot;
+    t.free_len <- t.free_len + 1
   end
 
 let minted t = t.minted
@@ -128,7 +138,7 @@ let bad_gives t = t.bad_gives
    stack.  Registered with {!Fault.Invariant} by the router when a pool
    is attached. *)
 let check t =
-  let free = Stack.length t.free in
+  let free = t.free_len in
   if t.outstanding + free <> t.minted then
     Some
       (Printf.sprintf "outstanding %d + free %d <> minted %d" t.outstanding

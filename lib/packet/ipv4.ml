@@ -36,6 +36,13 @@ let set_src f v = Frame.set_u32 f (offset + 12) v
 let get_dst f = Frame.get_u32 f (offset + 16)
 let set_dst f v = Frame.set_u32 f (offset + 16) v
 
+(* Native-int address reads for the per-packet paths (an [addr] result
+   is a boxed [int32]). *)
+let get_src_i f = Frame.get_u32_i f (offset + 12)
+let get_dst_i f = Frame.get_u32_i f (offset + 16)
+let set_src_i f v = Frame.set_u32_i f (offset + 12) v
+let set_dst_i f v = Frame.set_u32_i f (offset + 16) v
+
 let proto_tcp = 6
 let proto_udp = 17
 

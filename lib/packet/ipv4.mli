@@ -55,6 +55,18 @@ val set_src : Frame.t -> addr -> unit
 val get_dst : Frame.t -> addr
 val set_dst : Frame.t -> addr -> unit
 
+val get_src_i : Frame.t -> int
+(** Source address as a native int ([0 .. 2^32-1]) — the allocation-free
+    form for per-packet reads. *)
+
+val get_dst_i : Frame.t -> int
+
+val set_src_i : Frame.t -> int -> unit
+(** Native-int setters: the allocation-free form for per-packet writes
+    (workload generators stamp both addresses on every frame). *)
+
+val set_dst_i : Frame.t -> int -> unit
+
 val proto_tcp : int
 val proto_udp : int
 

@@ -26,7 +26,8 @@ let full_sum f =
   let off = base f in
   let len = seg_len f in
   let pseudo =
-    Checksum.pseudo_header_sum ~src:(Ipv4.get_src f) ~dst:(Ipv4.get_dst f)
+    Checksum.pseudo_header_sum_i ~src:(Ipv4.get_src_i f)
+      ~dst:(Ipv4.get_dst_i f)
       ~proto:(Ipv4.get_proto f) ~len
   in
   pseudo + Checksum.sum f.Frame.data ~off ~len

@@ -30,7 +30,39 @@ type t = {
   mutable absorbed : int; (* waits absorbed into batch activations *)
   mutable batched_activations : int; (* spans completed without queueing *)
   mutable batch_frames : int; (* frames processed through batch spans *)
+  (* Payload slot for the boxless wait path: [wait_i]/[wait] stash the
+     duration here and perform the constant [Wait0] instead of
+     allocating a [Wait d] block per suspension.  Valid only between
+     the perform and the handler reading it back — nothing can run in
+     between. *)
+  mutable wait_arg : int;
+  (* Same trick for [park]: the cell rides here so the perform carries
+     no payload block.  Initialized to a dummy self-cell at [create]. *)
+  mutable park_arg : cell;
 }
+
+(* A reusable park point: one cell per (fiber, resource) pair replaces
+   the per-suspension [fired] ref + waker closure + callback closure
+   that [Suspend] allocates.  [wake_fn] is the cell's permanent waker —
+   registrars hand it to waiter lists without minting a closure — and
+   [register] is installed once at wiring time; the handler calls it
+   after capturing the continuation, preserving [Suspend]'s
+   register-then-maybe-fire-immediately semantics exactly.
+
+   The parked continuation lives in a [k_slot] wrapper with an
+   [occupied] flag beside it, not in an option: the slot is allocated
+   at the cell's first park and mutated in place on every later one, so
+   a steady-state park/wake cycle writes two fields and boxes
+   nothing. *)
+and cell = {
+  mutable occupied : bool;
+  mutable pk : k_slot option; (* [Some] after the first park, then reused *)
+  pengine : t;
+  wake_fn : unit -> unit;
+  mutable register : unit -> unit;
+}
+
+and k_slot = { mutable kk : (unit, unit) Effect.Deep.continuation }
 
 type waker = unit -> unit
 
@@ -38,7 +70,10 @@ exception Deadlock of string
 
 type _ Effect.t +=
   | Wait : int -> unit Effect.t
+  | Wait0 : unit Effect.t (* duration in [wait_arg]; constant, no box *)
   | Suspend : (waker -> unit) -> unit Effect.t
+  | Park : cell -> unit Effect.t
+  | Park0 : unit Effect.t (* cell in [park_arg]; constant, no box *)
   | Now : int64 Effect.t
   | Spawn_here : (string * (unit -> unit)) -> unit Effect.t
   | Self : t Effect.t
@@ -55,21 +90,31 @@ let current () = Domain.DLS.get current_key
 let current_engine = current
 
 let create () =
-  {
-    clock = 0;
-    seq = 0;
-    queue = Wheel.create ();
-    live = 0;
-    limit = 0;
-    elided = 0;
-    running = false;
-    coalescing = true;
-    span_ctr = 0;
-    cur_span = 0;
-    absorbed = 0;
-    batched_activations = 0;
-    batch_frames = 0;
-  }
+  (* The dummy cell breaks the [t]/[cell] knot so [park_arg] never needs
+     an option (and so never boxes on the park fast path). *)
+  let rec t =
+    {
+      clock = 0;
+      seq = 0;
+      queue = Wheel.create ();
+      live = 0;
+      limit = 0;
+      elided = 0;
+      running = false;
+      coalescing = true;
+      span_ctr = 0;
+      cur_span = 0;
+      absorbed = 0;
+      batched_activations = 0;
+      batch_frames = 0;
+      wait_arg = 0;
+      park_arg = dummy;
+    }
+  and dummy =
+    { occupied = false; pk = None; pengine = t; wake_fn = ignore;
+      register = ignore }
+  in
+  t
 
 let time t = Int64.of_int t.clock
 
@@ -78,11 +123,52 @@ let schedule_event t ~at ev =
   t.seq <- seq + 1;
   Wheel.push t.queue ~now:t.clock ~time:at ~seq ev
 
+let cell_wake c =
+  if not c.occupied then invalid_arg "Engine: park cell woken while empty";
+  c.occupied <- false;
+  match c.pk with
+  | Some s -> schedule_event c.pengine ~at:c.pengine.clock (Resume s.kk)
+  | None -> assert false (* occupied implies a slot *)
+
+let make_cell t =
+  let rec c =
+    { occupied = false; pk = None; pengine = t;
+      wake_fn = (fun () -> cell_wake c); register = ignore }
+  in
+  c
+
+let on_park c f = c.register <- f
+let cell_waker c = c.wake_fn
+
 (* Each fiber body runs under this handler; resuming a captured continuation
    re-enters the handler, so a fiber only needs wrapping once, at spawn. *)
 let rec exec_fiber t name fn =
   let open Effect.Deep in
   t.live <- t.live + 1;
+  (* The [Wait0] handler, allocated once per fiber at spawn.  The
+     per-perform form (`Some (fun k -> ...)` inside [effc]) costs a
+     closure and an option block on every real suspension — the single
+     largest steady-state allocation once the data path itself is
+     pooled.  The duration rides in [t.wait_arg] (set by the performer;
+     nothing runs in between), so this closure captures only [t]. *)
+  let wait0_fn (k : (unit, unit) continuation) =
+    (* A real suspension: any open batch span is broken — other fibers
+       may interleave before this one resumes, so the activation no
+       longer covers the batch. *)
+    t.cur_span <- 0;
+    schedule_event t ~at:(t.clock + t.wait_arg) (Resume k)
+  in
+  let some_wait0 = Some wait0_fn in
+  let park0_fn (k : (unit, unit) continuation) =
+    t.cur_span <- 0;
+    let c = t.park_arg in
+    if c.occupied then
+      invalid_arg ("Engine: park cell already occupied (" ^ name ^ ")");
+    (match c.pk with Some s -> s.kk <- k | None -> c.pk <- Some { kk = k });
+    c.occupied <- true;
+    c.register ()
+  in
+  let some_park0 = Some park0_fn in
   match_with fn ()
     {
       retc = (fun () -> t.live <- t.live - 1);
@@ -95,12 +181,11 @@ let rec exec_fiber t name fn =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
+          | Wait0 -> (some_wait0 : ((a, unit) continuation -> unit) option)
+          | Park0 -> (some_park0 : ((a, unit) continuation -> unit) option)
           | Wait d ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  (* A real suspension: any open batch span is broken —
-                     other fibers may interleave before this one resumes,
-                     so the activation no longer covers the batch. *)
                   t.cur_span <- 0;
                   if d < 0 then
                     discontinue k (Invalid_argument "Engine.wait: negative")
@@ -119,6 +204,18 @@ let rec exec_fiber t name fn =
                     end
                   in
                   f waker)
+          | Park c ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.cur_span <- 0;
+                  if c.occupied then
+                    invalid_arg
+                      ("Engine: park cell already occupied (" ^ name ^ ")");
+                  (match c.pk with
+                  | Some s -> s.kk <- k
+                  | None -> c.pk <- Some { kk = k });
+                  c.occupied <- true;
+                  c.register ())
           | Now ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -233,6 +330,7 @@ let batch_end t span ~frames =
   if frames > 0 then t.batched_activations <- t.batched_activations + 1;
   if t.cur_span = span then t.cur_span <- 0
 
+let current_span t = t.cur_span
 let absorbed_waits t = t.absorbed
 let batched_activations t = t.batched_activations
 let batch_frames_total t = t.batch_frames
@@ -261,25 +359,46 @@ let now () =
    number and must run first. *)
 let wait_i d =
   match current () with
-  | Some t when d >= 0 && t.coalescing ->
-      let target = t.clock + d in
-      if target <= t.limit && Wheel.min_time t.queue > target then begin
+  | Some t when d >= 0 ->
+      if
+        t.coalescing
+        &&
+        let target = t.clock + d in
+        target <= t.limit && Wheel.min_time t.queue > target
+      then begin
         (* Inside a batch span the wait is part of one coalesced
            activation, not an independently elided event: keep the two
            gauges disjoint so their sum stays meaningful. *)
         if t.cur_span <> 0 then t.absorbed <- t.absorbed + 1
         else t.elided <- t.elided + 1;
-        t.clock <- target
+        t.clock <- t.clock + d
       end
-      else Effect.perform (Wait d)
+      else begin
+        (* Boxless suspension: duration via [wait_arg] + constant
+           effect, handled by the fiber's preallocated [Wait0] arm. *)
+        t.wait_arg <- d;
+        Effect.perform Wait0
+      end
   | _ -> Effect.perform (Wait d)
 
 let wait d =
   (* Keep the negative check exact across the int conversion. *)
   if d < 0L then Effect.perform (Wait (-1))
-  else Effect.perform (Wait (Int64.to_int d))
+  else
+    match current () with
+    | Some t ->
+        t.wait_arg <- Int64.to_int d;
+        Effect.perform Wait0
+    | None -> Effect.perform (Wait (Int64.to_int d))
 
 let suspend f = Effect.perform (Suspend f)
+
+let park c =
+  match current () with
+  | Some t when t == c.pengine ->
+      t.park_arg <- c;
+      Effect.perform Park0
+  | _ -> Effect.perform (Park c)
 let spawn_here name fn = Effect.perform (Spawn_here (name, fn))
 
 let self_engine () =

@@ -116,6 +116,13 @@ val batch_end : t -> int -> frames:int -> unit
     coalesced activation only if it was never broken by a real
     suspension. *)
 
+val current_span : t -> int
+(** [current_span t] is the id of the currently open batch span, or [0]
+    when outside any span (or after the span was broken by a real
+    suspension).  Per-batch memo caches key their validity on this id:
+    a cached decision is reusable only while the span that filled it is
+    still open. *)
+
 val absorbed_waits : t -> int
 (** [absorbed_waits t] is the number of waits satisfied in place inside
     a batch span.  Disjoint from {!elided_waits}: a wait is counted in
@@ -157,6 +164,39 @@ val wait_i : int -> unit
 val suspend : (waker -> unit) -> unit
 (** [suspend f] parks the calling fiber and hands [f] a waker that any other
     fiber (or resource bookkeeping code) may call to resume it. *)
+
+(** {2 Reusable park cells}
+
+    [suspend] allocates a one-shot flag and two closures per call; a
+    fiber that parks on the same resource over and over (an input
+    context on an empty ring, an output context on a full queue) can
+    instead wire a {!cell} once and {!park} on it for the life of the
+    run.  Semantics match [suspend] exactly: the continuation is
+    captured first, then the registrar runs — so a registrar that finds
+    the resource already ready may fire the waker immediately, and the
+    resulting event ordering is identical to the [suspend] form. *)
+
+type cell
+(** A reusable park point for one fiber on one resource. *)
+
+val make_cell : t -> cell
+(** [make_cell t] is a fresh, empty cell for engine [t]. *)
+
+val on_park : cell -> (unit -> unit) -> unit
+(** [on_park c f] installs [f] as the cell's registrar, called (inside
+    the scheduler, after continuation capture) each time the owning
+    fiber {!park}s.  Typically [f] enrolls {!cell_waker}[ c] with the
+    resource being waited on. *)
+
+val cell_waker : cell -> waker
+(** [cell_waker c] is the cell's permanent waker: calling it schedules
+    the parked fiber at the current instant.  Stable across parks, so
+    waiter lists can hold it without a fresh closure per suspension.
+    Raises [Invalid_argument] if the cell is empty (double wake). *)
+
+val park : cell -> unit
+(** [park c] parks the calling fiber on [c] (must be called by the same
+    fiber each time; a cell holds at most one continuation). *)
 
 val spawn_here : string -> (unit -> unit) -> unit
 (** [spawn_here name fn] spawns a sibling fiber from inside a fiber. *)

@@ -1,0 +1,56 @@
+(* Allocation telemetry: deltas of the runtime's allocation counters
+   against a rebased origin.  The paper's data path is fast because its
+   hot loop never allocates (buffers live in fixed SDRAM pools); the
+   OCaml reproduction's equivalent discipline is measured here — minor
+   words per forwarded packet and steady-state promotions — and gated in
+   CI by the `alloc` bench experiment.
+
+   [Gc.minor_words ()] is used for the minor-heap counter because it is
+   documented exact in native code (it reads the young pointer), while
+   [Gc.quick_stat] supplies promoted/major words and collection counts
+   without forcing a heap walk.  All counters are per-domain in OCaml 5:
+   a baseline captured on one domain only measures that domain's
+   allocation, which is exactly what the per-domain GC tuning at
+   [Cluster.create] needs. *)
+
+type t = {
+  mutable minor_words : float;
+  mutable promoted_words : float;
+  mutable major_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+}
+
+let rebase t =
+  let s = Gc.quick_stat () in
+  t.minor_words <- Gc.minor_words ();
+  t.promoted_words <- s.Gc.promoted_words;
+  t.major_words <- s.Gc.major_words;
+  t.minor_collections <- s.Gc.minor_collections;
+  t.major_collections <- s.Gc.major_collections
+
+let create () =
+  let t =
+    {
+      minor_words = 0.;
+      promoted_words = 0.;
+      major_words = 0.;
+      minor_collections = 0;
+      major_collections = 0;
+    }
+  in
+  rebase t;
+  t
+
+let minor_words t = Gc.minor_words () -. t.minor_words
+
+let promoted_words t =
+  (Gc.quick_stat ()).Gc.promoted_words -. t.promoted_words
+
+let major_words t = (Gc.quick_stat ()).Gc.major_words -. t.major_words
+
+let minor_collections t =
+  (Gc.quick_stat ()).Gc.minor_collections - t.minor_collections
+
+let major_collections t =
+  (Gc.quick_stat ()).Gc.major_collections - t.major_collections

@@ -1,32 +1,114 @@
-type t = { mutable state : int64 }
+(* Splitmix64 on two 32-bit native-int limbs.
 
-let golden = 0x9E3779B97F4A7C15L
+   The obvious [int64] implementation allocates a box for every
+   intermediate of [mix] (~9 boxes per draw), and workload generators
+   draw several times per packet — the RNG alone was ~25% of the
+   steady-state per-packet allocation.  Keeping the state as two 32-bit
+   limbs in native ints makes [advance]/[int]/[float]/[bool] allocation
+   free while producing bit-identical output to the int64 form (a unit
+   test checks them against an int64 reference); [next]/[int32] still
+   box their results, as their types require. *)
 
-let mix z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+type t = {
+  mutable hi : int; (* 32-bit state limbs *)
+  mutable lo : int;
+  mutable out_hi : int; (* limbs of the latest mixed draw *)
+  mutable out_lo : int;
+}
 
-let create seed = { state = seed }
+let mask32 = 0xFFFFFFFF
+
+(* golden = 0x9E3779B97F4A7C15 *)
+let golden_hi = 0x9E3779B9
+let golden_lo = 0x7F4A7C15
+
+(* mix multipliers: 0xBF58476D1CE4E5B9 and 0x94D049BB133111EB *)
+let m1_hi = 0xBF58476D
+let m1_lo = 0x1CE4E5B9
+let m2_hi = 0x94D049BB
+let m2_lo = 0x133111EB
+
+let create seed =
+  {
+    hi = Int64.to_int (Int64.shift_right_logical seed 32) land mask32;
+    lo = Int64.to_int seed land mask32;
+    out_hi = 0;
+    out_lo = 0;
+  }
+
+(* High half of a*b for a, b < 2^32.  16-bit limb products: a native
+   int keeps 63 bits, so a 32x32 product would lose bit 63 of its high
+   half; the 16-bit split keeps every partial product exact. *)
+let hi32_mul a b =
+  let a0 = a land 0xFFFF and a1 = a lsr 16 in
+  let b0 = b land 0xFFFF and b1 = b lsr 16 in
+  let p00 = a0 * b0 and p01 = a0 * b1 and p10 = a1 * b0 and p11 = a1 * b1 in
+  let mid = p01 + p10 in
+  let lo = p00 + ((mid land 0xFFFF) lsl 16) in
+  p11 + (mid lsr 16) + (lo lsr 32)
+
+let lo32_mul a b = (a * b) land mask32
+
+(* Advance the state and leave the mixed 64-bit draw in
+   [out_hi]/[out_lo].  A straight line of native-int ops: no
+   allocation. *)
+let advance r =
+  (* state += golden (mod 2^64) *)
+  let lo_sum = r.lo + golden_lo in
+  let lo = lo_sum land mask32 in
+  let hi = (r.hi + golden_hi + (lo_sum lsr 32)) land mask32 in
+  r.hi <- hi;
+  r.lo <- lo;
+  (* z ^= z >>> 30 *)
+  let zl = lo lxor (((lo lsr 30) lor (hi lsl 2)) land mask32) in
+  let zh = hi lxor (hi lsr 30) in
+  (* z *= m1 (mod 2^64) *)
+  let pl = lo32_mul zl m1_lo in
+  let ph =
+    (hi32_mul zl m1_lo + lo32_mul zl m1_hi + lo32_mul zh m1_lo) land mask32
+  in
+  (* z ^= z >>> 27 *)
+  let zl = pl lxor (((pl lsr 27) lor (ph lsl 5)) land mask32) in
+  let zh = ph lxor (ph lsr 27) in
+  (* z *= m2 (mod 2^64) *)
+  let pl = lo32_mul zl m2_lo in
+  let ph =
+    (hi32_mul zl m2_lo + lo32_mul zl m2_hi + lo32_mul zh m2_lo) land mask32
+  in
+  (* z ^= z >>> 31 *)
+  r.out_lo <- pl lxor (((pl lsr 31) lor (ph lsl 1)) land mask32);
+  r.out_hi <- ph lxor (ph lsr 31)
 
 let next r =
-  r.state <- Int64.add r.state golden;
-  mix r.state
+  advance r;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int r.out_hi) 32)
+    (Int64.of_int r.out_lo)
 
-let split r = create (next r)
+let split r =
+  advance r;
+  { hi = r.out_hi; lo = r.out_lo; out_hi = 0; out_lo = 0 }
 
 let int r bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
-  let v = Int64.to_int (next r) land max_int in
-  v mod bound
+  advance r;
+  (* Int64.to_int keeps the low 63 bits; land max_int then clears the
+     native sign bit, leaving the draw's low 62 bits. *)
+  (((r.out_hi land 0x3FFFFFFF) lsl 32) lor r.out_lo) mod bound
 
 let float r x =
-  let v = Int64.to_float (Int64.shift_right_logical (next r) 11) in
+  advance r;
+  (* (draw >>> 11) is a 53-bit integer; exact in a float either way. *)
+  let v = float_of_int ((r.out_hi lsl 21) lor (r.out_lo lsr 11)) in
   x *. (v /. 9007199254740992.0 (* 2^53 *))
 
-let bool r = Int64.logand (next r) 1L = 1L
+let bool r =
+  advance r;
+  r.out_lo land 1 = 1
 
-let int32 r = Int64.to_int32 (next r)
+let int32 r =
+  advance r;
+  Int32.of_int r.out_lo
 
 let exponential r ~mean =
   let u = float r 1.0 in

@@ -14,35 +14,46 @@ end
 
 module Histogram = struct
   (* Bucket i holds samples whose bit length is i, i.e. in
-     [2^(i-1), 2^i).  64 buckets + one for zero. *)
+     [2^(i-1), 2^i).  64 buckets + one for zero.
+
+     Internals are native ints: the int64 [observe] of the first version
+     boxed its argument and the float [sum] field allocated on every
+     update (a mutable float in a mixed record is boxed), so the per-
+     packet latency observation cost ~8 words.  Sample values on the hot
+     path are picosecond durations, which fit a native int by the same
+     argument as the engine clock. *)
   type t = {
     name : string;
     buckets : int array;
     mutable count : int;
-    mutable sum : float;
-    mutable max_v : int64;
+    mutable sum_i : int;
+    mutable max_i : int;
   }
 
   let create name =
-    { name; buckets = Array.make 65 0; count = 0; sum = 0.; max_v = 0L }
+    { name; buckets = Array.make 65 0; count = 0; sum_i = 0; max_i = 0 }
 
-  let bucket_of v =
-    if v <= 0L then 0
+  let bucket_of_i v =
+    if v <= 0 then 0
     else begin
-      let rec bits i v = if v = 0L then i else bits (i + 1) (Int64.shift_right_logical v 1) in
+      let rec bits i v = if v = 0 then i else bits (i + 1) (v lsr 1) in
       bits 0 v
     end
 
-  let observe h v =
-    let b = bucket_of v in
+  let observe_i h v =
+    let b = bucket_of_i v in
     h.buckets.(b) <- h.buckets.(b) + 1;
     h.count <- h.count + 1;
-    h.sum <- h.sum +. Int64.to_float v;
-    if v > h.max_v then h.max_v <- v
+    h.sum_i <- h.sum_i + v;
+    if v > h.max_i then h.max_i <- v
 
+  let observe h v = observe_i h (Int64.to_int v)
   let count h = h.count
-  let mean h = if h.count = 0 then 0. else h.sum /. float_of_int h.count
-  let max_value h = h.max_v
+
+  let mean h =
+    if h.count = 0 then 0. else float_of_int h.sum_i /. float_of_int h.count
+
+  let max_value h = Int64.of_int h.max_i
 
   let percentile h p =
     if h.count = 0 then 0L
@@ -50,7 +61,7 @@ module Histogram = struct
       let target = int_of_float (Float.round (p *. float_of_int h.count)) in
       let target = if target < 1 then 1 else target in
       let rec scan i acc =
-        if i > 64 then h.max_v
+        if i > 64 then Int64.of_int h.max_i
         else begin
           let acc = acc + h.buckets.(i) in
           if acc >= target then
@@ -62,8 +73,8 @@ module Histogram = struct
     end
 
   let pp ppf h =
-    Format.fprintf ppf "%s: n=%d mean=%.1f p50<=%Ld p99<=%Ld max=%Ld" h.name
-      h.count (mean h) (percentile h 0.5) (percentile h 0.99) h.max_v
+    Format.fprintf ppf "%s: n=%d mean=%.1f p50<=%Ld p99<=%Ld max=%d" h.name
+      h.count (mean h) (percentile h 0.5) (percentile h 0.99) h.max_i
 end
 
 module Series = struct

@@ -37,6 +37,12 @@ module Histogram : sig
 
   val create : string -> t
   val observe : t -> int64 -> unit
+
+  val observe_i : t -> int -> unit
+  (** [observe_i h v] is {!observe} on a native-int sample — the
+      allocation-free form the per-packet paths use (an [int64]
+      argument is a box per call). *)
+
   val count : t -> int
   val mean : t -> float
 

@@ -14,12 +14,23 @@
    original order among contending members.  A virtual position still
    advances exactly one slot per release so the [rotations] fairness
    witness keeps its original meaning. *)
+(* Contended acquires park on a per-slot {!Engine.cell} instead of
+   [Engine.suspend]: a slot belongs to exactly one fiber (see [join]),
+   so the cell, its permanent waker, and its registration closure are
+   built once at the slot's first contention and every later contended
+   acquire allocates nothing beyond the suspension itself.  [waiters]
+   holds the cells' stable wakers directly, with a physical-equality
+   sentinel instead of an option, so registration never boxes. *)
+let no_waiter : Engine.waker =
+ fun () -> invalid_arg "Token_ring: sentinel waker fired"
+
 type t = {
   name : string;
   pass_ps : int;
   n : int;
   claimed : bool array;
-  waiters : Engine.waker option array;
+  waiters : Engine.waker array; (* [no_waiter] = empty slot *)
+  cells : Engine.cell option array;
   mutable pos : int; (* slot the token is parked at / travelling to *)
   mutable held : bool; (* true from grant (incl. in-flight) to release *)
   mutable available_at : int; (* pass-in-flight horizon *)
@@ -36,7 +47,8 @@ let create ?(name = "ring") ?(pass_ps = 0L) ~members () =
     pass_ps = Int64.to_int pass_ps;
     n = members;
     claimed = Array.make members false;
-    waiters = Array.make members None;
+    waiters = Array.make members no_waiter;
+    cells = Array.make members None;
     pos = 0;
     held = false;
     available_at = 0;
@@ -76,10 +88,19 @@ let acquire t idx =
     take t
   end
   else begin
-    (match t.waiters.(idx) with
-    | Some _ -> invalid_arg (t.name ^ ": slot acquired twice concurrently")
-    | None -> ());
-    Engine.suspend (fun w -> t.waiters.(idx) <- Some w);
+    if t.waiters.(idx) != no_waiter then
+      invalid_arg (t.name ^ ": slot acquired twice concurrently");
+    let c =
+      match t.cells.(idx) with
+      | Some c -> c
+      | None ->
+          let c = Engine.make_cell (Engine.self_engine ()) in
+          let w = Engine.cell_waker c in
+          Engine.on_park c (fun () -> t.waiters.(idx) <- w);
+          t.cells.(idx) <- Some c;
+          c
+    in
+    Engine.park c;
     (* Woken by a grant: [pos] and [available_at] already point here. *)
     take t
   end
@@ -94,23 +115,30 @@ let release t idx =
      counting completed fairness rounds. *)
   t.vpos <- (t.vpos + 1) mod t.n;
   if t.vpos = 0 then t.rotations <- t.rotations + 1;
-  (* Grant to the nearest waiter in ring order after this slot. *)
+  (* Grant to the nearest waiter in ring order after this slot.  The
+     scan returns the slot index (or -1), not a tuple: granting is on
+     the per-packet path and a [Some (s, k, w)] box per release would
+     undo the cell conversion's savings. *)
   let rec scan k =
-    if k >= t.n then None
+    if k >= t.n then -1
     else
       let s = (idx + k) mod t.n in
-      match t.waiters.(s) with Some w -> Some (s, k, w) | None -> scan (k + 1)
+      if t.waiters.(s) != no_waiter then s else scan (k + 1)
   in
-  match scan 1 with
-  | Some (s, h, w) ->
-      t.waiters.(s) <- None;
-      t.pos <- s;
-      t.available_at <- now + (h * t.pass_ps);
-      (* [held] stays true through the flight: the grantee owns it. *)
-      w ()
-  | None ->
-      t.held <- false;
-      t.available_at <- now
+  let s = scan 1 in
+  if s >= 0 then begin
+    let w = t.waiters.(s) in
+    t.waiters.(s) <- no_waiter;
+    let h = hops t idx s in
+    t.pos <- s;
+    t.available_at <- now + (h * t.pass_ps);
+    (* [held] stays true through the flight: the grantee owns it. *)
+    w ()
+  end
+  else begin
+    t.held <- false;
+    t.available_at <- now
+  end
 
 let with_token t idx f =
   let _ = acquire t idx in

@@ -1,14 +1,15 @@
-let subnet_addr ~subnet ~host =
-  Int32.of_int
-    ((10 lsl 24) lor ((subnet land 0xFF) lsl 16) lor (host land 0xFFFF))
+let subnet_addr_i ~subnet ~host =
+  (10 lsl 24) lor ((subnet land 0xFF) lsl 16) lor (host land 0xFFFF)
+
+let subnet_addr ~subnet ~host = Int32.of_int (subnet_addr_i ~subnet ~host)
 
 let udp_uniform ?pool ~rng ~n_subnets ?(frame_len = Packet.Build.min_frame)
     () i =
   let subnet = Sim.Rng.int rng n_subnets in
   let host = 1 + Sim.Rng.int rng 100 in
-  Packet.Build.udp ?pool ~frame_len
-    ~src:(subnet_addr ~subnet:(200 + (i mod 8)) ~host:(i land 0xFFFF))
-    ~dst:(subnet_addr ~subnet ~host)
+  Packet.Build.udp_i ?pool ~frame_len
+    ~src:(subnet_addr_i ~subnet:(200 + (i mod 8)) ~host:(i land 0xFFFF))
+    ~dst:(subnet_addr_i ~subnet ~host)
     ~src_port:(1024 + (i mod 60000))
     ~dst_port:(Sim.Rng.int rng 10000)
     ()

@@ -20,4 +20,5 @@ let () =
       ("integration", Test_integration.tests);
       ("fuzz", Test_fuzz.tests);
       ("batch", Test_batch.tests);
+      ("alloc", Test_alloc.tests);
     ]

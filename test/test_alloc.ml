@@ -1,0 +1,204 @@
+(* Steady-state allocation discipline.
+
+   The zero-allocation work (pooled frames, park cells, boxless wait
+   path, limb RNG) is easy to regress invisibly: a stray closure or
+   int64 box per packet costs nothing in correctness and everything in
+   throughput.  These tests pin the discipline down functionally:
+
+   - a GC audit of the full line-rate router: after warm-up, a measured
+     window must stay within the words-per-packet budget and promote
+     nothing to the major heap (steady state lives and dies entirely in
+     the minor arena);
+   - a qcheck property that frame-pool recycling never aliases two live
+     descriptors (the pool closing the allocation loop must not hand
+     the same frame out twice);
+   - the limb-based splitmix64 against a straight int64 reference, bit
+     for bit, across draws, splits and the derived samplers. *)
+
+let seed = 42
+
+(* Matches the bench/alloc.ml ceiling: the local budget the CI baseline
+   ratio-gate sits on top of. *)
+let words_per_packet_budget = 150.
+
+(* --- steady-state GC audit -------------------------------------------- *)
+
+let line_rate_router () =
+  let config =
+    {
+      Router.default_config with
+      Router.circular_buffers = true;
+      Router.queue_capacity = 512;
+    }
+  in
+  let r = Router.create ~config () in
+  let pool = Packet.Frame_pool.create ~max_frames:16_384 ~frame_bytes:80 () in
+  Router.set_frame_pool r pool;
+  for p = 0 to config.Router.n_ports - 1 do
+    Router.add_route r
+      (Iproute.Prefix.of_string (Printf.sprintf "10.%d.0.0/16" p))
+      ~port:p
+  done;
+  Router.start r;
+  let rng = Sim.Rng.create (Int64.of_int seed) in
+  for p = 0 to config.Router.n_ports - 1 do
+    let rng = Sim.Rng.split rng in
+    let gen =
+      Workload.Mix.udp_uniform ~pool ~rng ~n_subnets:config.Router.n_ports
+        ~frame_len:64 ()
+    in
+    ignore
+      (Workload.Source.spawn_line_rate r.Router.engine
+         ~name:(Printf.sprintf "gen%d" p)
+         ~mbps:100. ~frame_len:64 ~gen
+         ~offer:(fun f ->
+           let ok = Router.inject r ~port:p f in
+           if not ok then Packet.Frame_pool.give pool f;
+           ok)
+         ())
+  done;
+  r
+
+let test_steady_state_gc () =
+  (* A minor arena big enough that the measured window cannot fill it:
+     any promotion observed is then a real steady-state leak to the
+     major heap, not collection pressure. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  let r = line_rate_router () in
+  Router.run_for r ~us:2_000.;
+  let out0 =
+    Sim.Stats.Counter.value r.Router.ostats.Router.Output_loop.pkts_out
+  in
+  let gc = Sim.Gc_stats.create () in
+  Router.run_for r ~us:10_000.;
+  let out =
+    Sim.Stats.Counter.value r.Router.ostats.Router.Output_loop.pkts_out - out0
+  in
+  Alcotest.(check bool) "forwarded enough packets to measure" true (out > 1_000);
+  let w = Sim.Gc_stats.minor_words gc /. float_of_int out in
+  if w > words_per_packet_budget then
+    Alcotest.failf "steady state allocates %.1f minor words/packet (budget %.0f)"
+      w words_per_packet_budget;
+  let promoted = Sim.Gc_stats.promoted_words gc in
+  if promoted > 0. then
+    Alcotest.failf "steady state promoted %.0f words to the major heap" promoted;
+  Alcotest.(check int)
+    "no minor collections in the measured window" 0
+    (Sim.Gc_stats.minor_collections gc)
+
+(* --- pool recycling never aliases live frames -------------------------- *)
+
+(* Interpret a random op sequence against a small pool, tracking the live
+   (checked-out) set.  Every take must return a descriptor physically
+   distinct from every frame still live — a pool bug that resurrects an
+   outstanding slot would alias two owners and corrupt both. *)
+let pool_no_aliasing =
+  QCheck.Test.make ~name:"frame pool never aliases two live descriptors"
+    ~count:200
+    QCheck.(list (pair bool (int_range 1 64)))
+    (fun ops ->
+      let pool =
+        Packet.Frame_pool.create ~max_frames:8 ~frame_bytes:64 ~debug:true ()
+      in
+      let live = ref [] in
+      List.iter
+        (fun (take, len) ->
+          if take then begin
+            let f = Packet.Frame_pool.take pool ~len in
+            if List.exists (fun g -> g == f) !live then
+              QCheck.Test.fail_reportf
+                "take returned a frame already live (%d outstanding)"
+                (List.length !live);
+            live := f :: !live
+          end
+          else
+            match !live with
+            | [] -> ()
+            | f :: rest ->
+                Packet.Frame_pool.give pool f;
+                live := rest)
+        ops;
+      (match Packet.Frame_pool.check pool with
+      | Some msg -> QCheck.Test.fail_reportf "pool conservation: %s" msg
+      | None -> ());
+      true)
+
+(* --- limb RNG versus the int64 reference ------------------------------- *)
+
+(* Straight int64 splitmix64 (Steele et al.), the form the limb rewrite
+   must reproduce bit for bit. *)
+module Ref64 = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = seed }
+  let golden = 0x9E3779B97F4A7C15L
+  let m1 = 0xBF58476D1CE4E5B9L
+  let m2 = 0x94D049BB133111EBL
+
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) m1 in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) m2 in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let next r =
+    r.state <- Int64.add r.state golden;
+    mix r.state
+
+  let split r = create (next r)
+
+  (* The derived samplers, replicated exactly as rng.ml defines them on
+     the limbs, but from the int64 draw. *)
+  let int r bound =
+    let d = next r in
+    Int64.to_int (Int64.logand d 0x3FFFFFFFFFFFFFFFL) mod bound
+
+  let float r x =
+    let d = next r in
+    let v = Int64.to_float (Int64.shift_right_logical d 11) in
+    x *. (v /. 9007199254740992.0)
+
+  let bool r = Int64.logand (next r) 1L = 1L
+end
+
+let test_rng_matches_reference () =
+  let seeds = [ 0L; 1L; -1L; 42L; 0xDEADBEEFL; Int64.min_int; Int64.max_int ] in
+  List.iter
+    (fun seed ->
+      let a = Sim.Rng.create seed and b = Ref64.create seed in
+      for i = 1 to 1_000 do
+        let x = Sim.Rng.next a and y = Ref64.next b in
+        if x <> y then
+          Alcotest.failf "seed %Ld draw %d: limb %Lx <> reference %Lx" seed i x
+            y
+      done)
+    seeds;
+  (* Splits derive the same streams. *)
+  let a = Sim.Rng.create 7L and b = Ref64.create 7L in
+  let a' = Sim.Rng.split a and b' = Ref64.split b in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "split stream" (Ref64.next b') (Sim.Rng.next a');
+    Alcotest.(check int64) "parent after split" (Ref64.next b) (Sim.Rng.next a)
+  done;
+  (* Derived samplers: same values through the limb fast paths. *)
+  let a = Sim.Rng.create 99L and b = Ref64.create 99L in
+  for i = 1 to 1_000 do
+    let bound = 1 + (i * 37 mod 10_000) in
+    Alcotest.(check int) "int sampler" (Ref64.int b bound) (Sim.Rng.int a bound)
+  done;
+  let a = Sim.Rng.create 13L and b = Ref64.create 13L in
+  for _ = 1 to 1_000 do
+    Alcotest.(check (float 0.)) "float sampler" (Ref64.float b 1.0)
+      (Sim.Rng.float a 1.0)
+  done;
+  let a = Sim.Rng.create 5L and b = Ref64.create 5L in
+  for _ = 1 to 1_000 do
+    Alcotest.(check bool) "bool sampler" (Ref64.bool b) (Sim.Rng.bool a)
+  done
+
+let tests =
+  [
+    Alcotest.test_case "steady-state GC audit" `Slow test_steady_state_gc;
+    QCheck_alcotest.to_alcotest pool_no_aliasing;
+    Alcotest.test_case "limb RNG = int64 reference" `Quick
+      test_rng_matches_reference;
+  ]

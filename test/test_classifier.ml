@@ -297,6 +297,52 @@ let classified_delivery_identity () =
         g g')
     [ 1; 16 ]
 
+(* The batch-span memo must be pure acceleration: same answers as
+   [lookup], hits only within one span on a repeated key, and churn
+   (generation bump) invalidates it like the flow cache. *)
+let batch_memo_semantics () =
+  let t =
+    of_rules
+      [
+        Classifier.rule ~prio:1 ~dst:(addr "10.2.0.0", 16) Classifier.Drop;
+        Classifier.rule ~prio:2 ~src:(addr "10.1.0.0", 16) Classifier.Accept;
+      ]
+  in
+  let k = five () in
+  let hits () = Classifier.batch_memo_hits t in
+  (* span 0 = outside any batch: plain lookups, never memoized. *)
+  let r0 = Classifier.lookup_span t ~span:0 k in
+  let r0' = Classifier.lookup_span t ~span:0 k in
+  Alcotest.(check int) "span 0 never hits the memo" 0 (hits ());
+  Alcotest.(check bool) "span 0 answers agree" true (r0 = r0');
+  (* Same span, same key: second call is a memo hit with the same rule. *)
+  let r1 = Classifier.lookup_span t ~span:7 k in
+  let r2 = Classifier.lookup_span t ~span:7 k in
+  Alcotest.(check int) "repeat in span hits" 1 (hits ());
+  Alcotest.(check bool) "memo answer identical" true (r1 == r2);
+  Alcotest.(check bool) "memo agrees with lookup" true
+    (r1 = Classifier.lookup t k);
+  (* A different key in the same span misses, then memoizes. *)
+  let k2 = five ~dst:"10.9.0.9" () in
+  ignore (Classifier.lookup_span t ~span:7 k2);
+  Alcotest.(check int) "key change misses" 1 (hits ());
+  ignore (Classifier.lookup_span t ~span:7 k2);
+  Alcotest.(check int) "then hits" 2 (hits ());
+  (* A new span misses even on the memoized key. *)
+  ignore (Classifier.lookup_span t ~span:8 k2);
+  Alcotest.(check int) "span change misses" 2 (hits ());
+  (* Rule churn invalidates: the memo must not serve the pre-churn
+     answer. *)
+  ignore (Classifier.lookup_span t ~span:9 k);
+  let shadow =
+    Classifier.rule ~prio:0 ~dst:(addr "10.2.0.0", 16) (Classifier.Forward 3)
+  in
+  Classifier.add t shadow;
+  (match Classifier.lookup_span t ~span:9 k with
+  | Some r when Classifier.compare_rule r shadow = 0 -> ()
+  | _ -> Alcotest.fail "memo served a stale answer across churn");
+  Alcotest.(check int) "churn invalidated the memo" 2 (hits ())
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ differential_qcheck; permutation_qcheck ]
@@ -309,6 +355,7 @@ let tests =
     Alcotest.test_case "10k-op churn staleness audit" `Quick
       churn_staleness_audit;
     Alcotest.test_case "cache transparency" `Quick cache_transparency;
+    Alcotest.test_case "batch-span memo semantics" `Quick batch_memo_semantics;
     Alcotest.test_case "admission budget" `Quick admission_budget;
     Alcotest.test_case "classified delivery identity" `Quick
       classified_delivery_identity;

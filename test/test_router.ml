@@ -69,15 +69,16 @@ let squeue_fifo_and_capacity () =
   let q = Squeue.create ~capacity:2 () in
   let d i =
     Desc.make
-      ~buf:{ Ixp.Buffer_pool.index = i; generation = 1 }
-      ~len:64 ~in_port:0 ~out_port:0 ~arrival:0L ()
+      ~buf:(Ixp.Buffer_pool.handle_of ~index:i ~generation:1)
+      ~len:64 ~in_port:0 ~out_port:0 ~arrival:0 ()
   in
   Alcotest.(check bool) "push 1" true (Squeue.push q (d 1));
   Alcotest.(check bool) "push 2" true (Squeue.push q (d 2));
   Alcotest.(check bool) "full" false (Squeue.push q (d 3));
   Alcotest.(check int) "dropped" 1 (Squeue.dropped q);
   (match Squeue.pop q with
-  | Some x -> Alcotest.(check int) "fifo" 1 x.Desc.buf.Ixp.Buffer_pool.index
+  | Some x ->
+      Alcotest.(check int) "fifo" 1 (Ixp.Buffer_pool.handle_index x.Desc.buf)
   | None -> Alcotest.fail "empty");
   Alcotest.(check int) "peak" 2 (Squeue.peak_length q)
 
